@@ -1,0 +1,80 @@
+"""Extension bench: near-real-time streaming reduction latency.
+
+Quantifies the "near-real time data processing" capability the paper's
+introduction motivates: how long after an acquisition chunk arrives is
+the live cross-section updated, and what does a snapshot cost —
+the two numbers that decide whether an experiment can be steered.
+"""
+
+import time
+
+import numpy as np
+
+from conftest import record_report
+from repro.bench.report import format_table
+from repro.core.streaming import EventStream, StreamingReduction
+from repro.nexus.corrections import read_flux_file, read_vanadium_file
+from repro.nexus.schema import read_event_nexus
+
+N_RUNS = 3
+BATCH = 500
+
+
+def test_extension_streaming_latency(benchmark, benzil_data):
+    data = benzil_data
+    flux = read_flux_file(data.flux_path)
+    vanadium = read_vanadium_file(data.vanadium_path)
+
+    def stream_everything():
+        live = StreamingReduction(
+            grid=data.grid,
+            point_group=data.point_group,
+            flux=flux,
+            instrument=data.instrument,
+            solid_angles=vanadium.detector_weights,
+            backend="vectorized",
+        )
+        open_times, batch_times, snapshot_times = [], [], []
+        for path in data.nexus_paths[:N_RUNS]:
+            run = read_event_nexus(path)
+            t0 = time.perf_counter()
+            live.open_run(run)
+            open_times.append(time.perf_counter() - t0)
+            for b in EventStream(run, batch_size=BATCH):
+                t0 = time.perf_counter()
+                live.consume(b)
+                batch_times.append(time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            live.snapshot()
+            snapshot_times.append(time.perf_counter() - t0)
+            live.close_run(run.run_number)
+        return live, open_times, batch_times, snapshot_times
+
+    live, open_times, batch_times, snapshot_times = benchmark.pedantic(
+        stream_everything, rounds=1, iterations=1
+    )
+
+    rows = [
+        ("open_run (MDNorm, once/run)", f"{np.mean(open_times) * 1e3:.2f}",
+         f"{np.max(open_times) * 1e3:.2f}"),
+        (f"consume ({BATCH}-event batch)", f"{np.mean(batch_times) * 1e3:.2f}",
+         f"{np.max(batch_times) * 1e3:.2f}"),
+        ("snapshot (live cross-section)", f"{np.mean(snapshot_times) * 1e3:.2f}",
+         f"{np.max(snapshot_times) * 1e3:.2f}"),
+    ]
+    record_report(
+        "extension_streaming",
+        format_table(
+            "Extension: streaming reduction latency "
+            f"({N_RUNS} runs, {len(batch_times)} batches)",
+            ["operation", "mean (ms)", "max (ms)"],
+            rows,
+            col_width=30,
+        )
+        + "\n(an acquisition chunk is visible in the live cross-section "
+        "within one consume + snapshot)",
+    )
+
+    assert live.events_seen > 0
+    # steering requires sub-second turnaround per chunk at this scale
+    assert np.mean(batch_times) + np.mean(snapshot_times) < 1.0

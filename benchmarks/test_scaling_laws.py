@@ -1,0 +1,131 @@
+"""Complexity scaling laws of the two kernels (paper Section III.B).
+
+Listings 1-2 state the cost structure: BinMD iterates
+(symmetry ops x events); MDNorm iterates (symmetry ops x detectors)
+with a per-trajectory cost bounded by the grid's plane count.  This
+bench sweeps each driver variable on the device back end, fits the
+log-log slope, and checks the measured exponents are ~linear — the
+property that lets the paper extrapolate from proxies to production
+scale.
+"""
+
+import numpy as np
+
+from conftest import record_report
+from repro.bench.report import format_table
+from repro.core.binmd import bin_events
+from repro.core.grid import HKLGrid
+from repro.core.hist3 import Hist3
+from repro.core.mdnorm import mdnorm
+from repro.nexus.corrections import FluxSpectrum
+from repro.nexus.events import EventTable
+
+import time
+
+RNG = np.random.default_rng(2024)
+GRID = HKLGrid(basis=np.eye(3), minimum=(-4, -4, -1), maximum=(4, 4, 1),
+               bins=(101, 101, 1))
+FLUX = FluxSpectrum(momentum=np.linspace(1.0, 11.0, 64),
+                    density=np.ones(64))
+BAND = (2.0, 10.0)
+
+
+def _ops(n):
+    from repro.crystal.symmetry import point_group
+
+    full = point_group("m-3m").operations.astype(np.float64)
+    return np.ascontiguousarray(full[:n]) * 0.21  # scaled into the grid
+
+
+def _events(n):
+    return EventTable.from_columns(
+        signal=RNG.random(n),
+        q_sample=RNG.uniform(-4, 4, size=(n, 3)),
+    )
+
+
+def _detectors(n):
+    d = RNG.normal(size=(n, 3))
+    return d / np.linalg.norm(d, axis=1, keepdims=True)
+
+
+def _median_time(fn, repeats=3):
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return float(np.median(times))
+
+
+def _slope(xs, ys):
+    return float(np.polyfit(np.log(xs), np.log(ys), 1)[0])
+
+
+def test_scaling_laws(benchmark):
+    rows = []
+
+    # BinMD vs events (ops fixed)
+    sizes = [20_000, 60_000, 180_000]
+    ops = _ops(6)
+    times = []
+    for n in sizes:
+        events = _events(n)
+        times.append(_median_time(
+            lambda: bin_events(Hist3(GRID), events, ops, backend="vectorized")
+        ))
+    s_events = _slope(sizes, times)
+    rows.append(("BinMD vs events", "1.0", f"{s_events:.2f}"))
+
+    # BinMD vs symmetry ops (events fixed)
+    events = _events(60_000)
+    op_counts = [2, 6, 18]
+    times = []
+    for k in op_counts:
+        ops_k = _ops(k)
+        times.append(_median_time(
+            lambda: bin_events(Hist3(GRID), events, ops_k, backend="vectorized")
+        ))
+    s_ops = _slope(op_counts, times)
+    rows.append(("BinMD vs symmetry ops", "1.0", f"{s_ops:.2f}"))
+
+    # MDNorm vs detectors (ops fixed)
+    det_counts = [500, 1500, 4500]
+    ops = _ops(6)
+    times = []
+    for n in det_counts:
+        dets = _detectors(n)
+        solid = np.ones(n)
+        times.append(_median_time(
+            lambda: mdnorm(Hist3(GRID), ops, dets, solid, FLUX, BAND,
+                           backend="vectorized", sort_impl="library")
+        ))
+    s_dets = _slope(det_counts, times)
+    rows.append(("MDNorm vs detectors", "1.0", f"{s_dets:.2f}"))
+
+    # benchmark datapoint: the largest MDNorm case
+    dets = _detectors(4500)
+    benchmark.pedantic(
+        lambda: mdnorm(Hist3(GRID), ops, dets, np.ones(4500), FLUX, BAND,
+                       backend="vectorized", sort_impl="library"),
+        rounds=1, iterations=1,
+    )
+
+    record_report(
+        "scaling_laws",
+        format_table(
+            "Kernel complexity scaling (device back end, log-log slope)",
+            ["sweep", "expected exponent", "measured"],
+            rows,
+            col_width=24,
+        )
+        + "\n(Listings 1-2: both kernels are linear in their loop "
+        "variables; sub-linear measurements indicate fixed overheads "
+        "still amortizing at the small end of the sweep)",
+    )
+
+    # linearity within generous tolerance (constant overheads pull the
+    # slope down at small sizes; anything >= ~0.5 and <= ~1.4 is linear
+    # behaviour on these ranges, and super-linear would be a regression)
+    for name, slope in (("events", s_events), ("ops", s_ops), ("dets", s_dets)):
+        assert 0.3 <= slope <= 1.5, f"BinMD/MDNorm scaling vs {name}: {slope}"

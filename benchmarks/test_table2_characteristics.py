@@ -1,0 +1,89 @@
+"""Table II: use-case characteristics and the Garnet/Mantid baseline WCT.
+
+Reproduces both columns (Benzil/CORELLI, Bixbyite/TOPAZ): the workload
+characteristics at paper scale and at this run's scale, plus the
+measured production-baseline wall-clock (extrapolated to the full file
+count where the baseline was measured on a subset — marked with *).
+"""
+
+import pytest
+
+from conftest import FILES, record_report
+from repro.bench.harness import run_garnet
+from repro.bench.paper import TABLE2
+from repro.bench.report import format_table
+
+
+@pytest.fixture(scope="module")
+def garnet_runs(benzil_data, bixbyite_data):
+    return {
+        "benzil_corelli": run_garnet(benzil_data, files=FILES["benzil"]["garnet"]),
+        "bixbyite_topaz": run_garnet(bixbyite_data, files=FILES["bixbyite"]["garnet"]),
+    }
+
+
+def test_table2_use_case_characteristics(benchmark, benzil_data, bixbyite_data,
+                                         garnet_runs):
+    datasets = {"benzil_corelli": benzil_data, "bixbyite_topaz": bixbyite_data}
+    headers = ["", "CORELLI Benzil", "TOPAZ Bixbyite"]
+    rows = []
+
+    def per_case(fn):
+        return [fn("benzil_corelli"), fn("bixbyite_topaz")]
+
+    rows.append(["files (paper)"] + per_case(lambda k: TABLE2[k].files))
+    rows.append(["files (here)"] + per_case(lambda k: datasets[k].spec.n_files))
+    rows.append(["symmetry ops"] + per_case(lambda k: TABLE2[k].symmetry_ops))
+    rows.append(["events (paper)"] + per_case(lambda k: f"{TABLE2[k].events:.1e}"))
+    rows.append(
+        ["events (here)"] + per_case(lambda k: f"{datasets[k].spec.n_events_total:.1e}")
+    )
+    rows.append(["detectors (paper)"] + per_case(lambda k: f"{TABLE2[k].detectors:.1e}"))
+    rows.append(
+        ["detectors (here)"] + per_case(lambda k: datasets[k].spec.n_detectors)
+    )
+    rows.append(["bins (paper)"] + per_case(lambda k: str(TABLE2[k].bins)))
+    rows.append(["bins (here)"] + per_case(lambda k: str(datasets[k].spec.grid_bins)))
+    rows.append(["projections"] + per_case(lambda k: TABLE2[k].projections))
+    rows.append(
+        ["Garnet MDNorm+BinMD (paper s)"]
+        + per_case(lambda k: TABLE2[k].garnet_mdnorm_binmd_s)
+    )
+    rows.append(
+        ["Garnet MDNorm+BinMD (here s)*"]
+        + per_case(
+            lambda k: garnet_runs[k].per_file("MDNorm + BinMD")
+            * garnet_runs[k].files_full
+        )
+    )
+    rows.append(
+        ["Garnet total (paper s)"] + per_case(lambda k: TABLE2[k].garnet_total_s)
+    )
+    rows.append(
+        ["Garnet total (here s)*"]
+        + per_case(lambda k: garnet_runs[k].total_extrapolated)
+    )
+    table = format_table(
+        "Table II analogue: use-case characteristics + Garnet baseline WCT",
+        headers,
+        rows,
+        col_width=22,
+    )
+    table += (
+        "\n(* extrapolated from "
+        f"{garnet_runs['benzil_corelli'].files_measured} benzil / "
+        f"{garnet_runs['bixbyite_topaz'].files_measured} bixbyite measured files "
+        "to the full file count)"
+    )
+    record_report("table2_characteristics", table)
+
+    # the paper's shape: bixbyite is the heavier reduction
+    bz = garnet_runs["benzil_corelli"]
+    bx = garnet_runs["bixbyite_topaz"]
+    assert bx.per_file("MDNorm + BinMD") > bz.per_file("MDNorm + BinMD")
+    assert bx.total_extrapolated > bz.total_extrapolated
+
+    # pytest-benchmark datapoint: one baseline file reduction
+    benchmark.pedantic(
+        lambda: run_garnet(benzil_data, files=1), rounds=1, iterations=1
+    )

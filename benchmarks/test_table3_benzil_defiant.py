@@ -1,0 +1,49 @@
+"""Table III: Benzil proxies on a Defiant-like configuration.
+
+Defiant = EPYC 7662 CPU rows (the C++ proxy on the threads engine) and
+AMD MI100 GPU rows (MiniVATES on the MI100-class device profile:
+in-kernel comb sort + per-lane atomics).  The JIT / no-JIT columns are
+the same file measured with a cold and a warm kernel cache.
+"""
+
+from conftest import FILES, record_report
+from repro.bench.harness import (
+    MI100_PROFILE,
+    assert_results_match,
+    run_cpp_proxy,
+    run_minivates,
+    run_minivates_jit_split,
+)
+from repro.bench.paper import TABLE3_BENZIL_DEFIANT
+from repro.bench.report import format_stage_table
+
+
+def test_table3_benzil_defiant(benchmark, benzil_data):
+    files = FILES["benzil"]
+    cpp = run_cpp_proxy(benzil_data, files=files["cpp"])
+    mv_total = run_minivates(
+        benzil_data, files=files["minivates"], profile=MI100_PROFILE
+    )
+    assert_results_match(
+        run_cpp_proxy(benzil_data, files=files["minivates"]), mv_total
+    )
+
+    def jit_split():
+        return run_minivates_jit_split(benzil_data, profile=MI100_PROFILE)
+
+    mv_jit, mv_warm = benchmark.pedantic(jit_split, rounds=1, iterations=1)
+
+    table = format_stage_table(
+        "Table III analogue: Benzil (CORELLI) on Defiant-like engines "
+        "(CPU threads vs MI100-class device)",
+        cpp,
+        mv_jit,
+        mv_warm,
+        TABLE3_BENZIL_DEFIANT,
+        mv_total=mv_total,
+    )
+    record_report("table3_benzil_defiant", table)
+
+    # the paper's shape: the JIT run costs at least the warm run
+    assert mv_jit.per_file("MDNorm + BinMD") >= 0.9 * mv_warm.per_file("MDNorm + BinMD")
+    assert mv_warm.per_file("MDNorm") > 0

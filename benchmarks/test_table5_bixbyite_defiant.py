@@ -1,0 +1,71 @@
+"""Table V: Bixbyite proxies on a Defiant-like configuration.
+
+The heavier use case: 24 symmetry operations, 7x the events, more
+detectors, run under MPI (4 ranks, like the paper's ``srun -n 4``).
+CPU rows from the C++ proxy, device rows from the MI100-class profile.
+"""
+
+import numpy as np
+
+from conftest import FILES, record_report
+from repro.bench.harness import (
+    MI100_PROFILE,
+    run_cpp_proxy,
+    run_minivates,
+    run_minivates_jit_split,
+)
+from repro.bench.paper import TABLE5_BIXBYITE_DEFIANT
+from repro.bench.report import format_stage_table
+from repro.mpi import run_world
+from repro.proxy.cpp_proxy import CppProxyConfig, CppProxyWorkflow
+
+
+def test_table5_bixbyite_defiant(benchmark, bixbyite_data):
+    files = FILES["bixbyite"]
+    cpp = run_cpp_proxy(bixbyite_data, files=files["cpp"])
+    mv_total = run_minivates(
+        bixbyite_data, files=files["minivates"], profile=MI100_PROFILE
+    )
+
+    def jit_split():
+        return run_minivates_jit_split(bixbyite_data, profile=MI100_PROFILE)
+
+    mv_jit, mv_warm = benchmark.pedantic(jit_split, rounds=1, iterations=1)
+
+    table = format_stage_table(
+        "Table V analogue: Bixbyite (TOPAZ) on Defiant-like engines "
+        "(CPU threads vs MI100-class device)",
+        cpp,
+        mv_jit,
+        mv_warm,
+        TABLE5_BIXBYITE_DEFIANT,
+        mv_total=mv_total,
+    )
+    record_report("table5_bixbyite_defiant", table)
+
+    # the paper runs the C++ proxy under MPI; the distributed result
+    # must match the single-rank proxy
+    cfg = CppProxyConfig(
+        md_paths=bixbyite_data.md_paths[: files["cpp"]],
+        flux_path=bixbyite_data.flux_path,
+        vanadium_path=bixbyite_data.vanadium_path,
+        instrument=bixbyite_data.instrument,
+        grid=bixbyite_data.grid,
+        point_group=bixbyite_data.point_group,
+        n_threads=1,
+    )
+
+    def spmd(comm):
+        res = CppProxyWorkflow(cfg).run(comm=comm)
+        return res.binmd.signal if res.is_root else None
+
+    outs = run_world(4, spmd)
+    assert np.allclose(outs[0], cpp.result.binmd.signal)
+
+    # JIT semantics, asserted deterministically (the compile cost is
+    # sub-millisecond and drowns in single-core timing noise on heavy
+    # files): the cold run performed kernel specializations, and its
+    # wall clock is not anomalously below the warm run
+    assert mv_jit.extras["jit_compile_events"] > 0
+    assert mv_jit.extras["jit_compile_seconds"] > 0
+    assert mv_jit.per_file("MDNorm + BinMD") >= 0.7 * mv_warm.per_file("MDNorm + BinMD")

@@ -1,0 +1,73 @@
+"""Table VI: Bixbyite proxies on a Milan0-like configuration.
+
+The paper's headline cells: warm (no-JIT) BinMD on the A100 runs
+"over 50,000x faster than the C++ proxy on CPU" (5.31e-5 s — a number
+dominated by asynchronous kernel launch, which a synchronous NumPy
+device cannot reproduce; EXPERIMENTS.md discusses this), and MDNorm is
+~3x faster than the C++ proxy.
+"""
+
+from conftest import FILES, record_report
+from repro.bench.harness import (
+    A100_PROFILE,
+    MI100_PROFILE,
+    run_cpp_proxy,
+    run_minivates,
+    run_minivates_jit_split,
+)
+from repro.bench.paper import TABLE6_BIXBYITE_MILAN0
+from repro.bench.report import comparison_block, format_stage_table
+
+
+def test_table6_bixbyite_milan0(benchmark, bixbyite_data):
+    files = FILES["bixbyite"]
+    cpp = run_cpp_proxy(bixbyite_data, files=files["cpp"])
+    mv_total = run_minivates(
+        bixbyite_data, files=files["minivates"], profile=A100_PROFILE
+    )
+
+    def jit_split():
+        return run_minivates_jit_split(bixbyite_data, profile=A100_PROFILE)
+
+    mv_jit, mv_warm = benchmark.pedantic(jit_split, rounds=1, iterations=1)
+
+    table = format_stage_table(
+        "Table VI analogue: Bixbyite (TOPAZ) on Milan0-like engines "
+        "(CPU threads vs A100-class device)",
+        cpp,
+        mv_jit,
+        mv_warm,
+        TABLE6_BIXBYITE_MILAN0,
+        mv_total=mv_total,
+    )
+
+    _, mi_warm = run_minivates_jit_split(bixbyite_data, profile=MI100_PROFILE)
+    table += "\n" + comparison_block(
+        "paper headline ratios (Bixbyite, warm same-file per-stage)",
+        {
+            "MDNorm C++/A100-class": (
+                3.0,
+                cpp.per_file("MDNorm") / max(mv_warm.per_file("MDNorm"), 1e-12),
+            ),
+            "BinMD C++/A100-class": (
+                58000.0,
+                cpp.per_file("BinMD") / max(mv_warm.per_file("BinMD"), 1e-12),
+            ),
+            "MDNorm MI100/A100 class": (
+                1.15,
+                mi_warm.per_file("MDNorm") / max(mv_warm.per_file("MDNorm"), 1e-12),
+            ),
+        },
+    )
+    record_report("table6_bixbyite_milan0", table)
+
+    # the direction that must hold: the A100-class device MDNorm beats
+    # the CPU proxy on the heavy workload (paper: ~3x)
+    assert mv_warm.per_file("MDNorm") < cpp.per_file("MDNorm")
+    # JIT semantics, asserted deterministically (the compile cost is
+    # sub-millisecond and drowns in single-core timing noise on heavy
+    # files): the cold run performed kernel specializations, and its
+    # wall clock is not anomalously below the warm run
+    assert mv_jit.extras["jit_compile_events"] > 0
+    assert mv_jit.extras["jit_compile_seconds"] > 0
+    assert mv_jit.per_file("MDNorm + BinMD") >= 0.7 * mv_warm.per_file("MDNorm + BinMD")

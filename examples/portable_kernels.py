@@ -1,0 +1,104 @@
+"""Writing your own performance-portable kernel on the JACC layer.
+
+The paper's pitch is that application scientists write one kernel and
+run it on every back end.  This example implements a new analysis
+kernel — the radial (powder) average of a reduced cross-section — as a
+:class:`repro.jacc.Kernel` with both a scalar and a data-parallel body,
+and runs it unchanged on serial, threads and the device back end,
+checking the results agree and timing each engine.
+
+Run:  python examples/portable_kernels.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.bench.workloads import benzil_corelli, build_workload
+from repro.jacc import Kernel, available_backends, parallel_for
+from repro.jacc.atomic import atomic_add
+from repro.jacc.kernels import make_captures
+from repro.proxy import MiniVatesConfig, MiniVatesWorkflow
+
+
+def radial_average_kernel() -> Kernel:
+    """Histogram every (H, K) bin's intensity by its radius |c|."""
+
+    def element(ctx, i):
+        # one lane per flattened 2-D bin
+        value = ctx.values[i]
+        if value != value:  # NaN: bin had no normalization
+            return
+        r = ctx.radii[i]
+        b = int(r / ctx.dr)
+        if b < ctx.n_radial:
+            ctx.sums[b] += value
+            ctx.counts[b] += 1.0
+
+    def batch(ctx, dims):
+        good = ~np.isnan(ctx.values)
+        b = (ctx.radii / ctx.dr).astype(np.int64)
+        good &= b < ctx.n_radial
+        atomic_add(ctx.sums, b[good], ctx.values[good])
+        atomic_add(ctx.counts, b[good], 1.0)
+
+    return Kernel(name="radial_average", element=element, batch=batch)
+
+
+def main() -> None:
+    # produce a cross-section to analyze
+    data = build_workload(benzil_corelli(scale=0.001, n_files=4))
+    result = MiniVatesWorkflow(
+        MiniVatesConfig(
+            md_paths=data.md_paths,
+            flux_path=data.flux_path,
+            vanadium_path=data.vanadium_path,
+            instrument=data.instrument,
+            grid=data.grid,
+            point_group=data.point_group,
+        )
+    ).run()
+    cross = result.cross_section
+
+    # lay out the kernel inputs: one lane per (H, K) bin
+    grid = cross.grid
+    e0, e1, _ = grid.edges
+    c0 = 0.5 * (e0[1:] + e0[:-1])
+    c1 = 0.5 * (e1[1:] + e1[:-1])
+    radii = np.sqrt(c0[:, None] ** 2 + c1[None, :] ** 2).ravel()
+    values = cross.slice2d(axis=2, index=0).ravel()
+    n_radial = 60
+    dr = float(radii.max() / n_radial) + 1e-12
+
+    kernel = radial_average_kernel()
+    profiles = {}
+    for backend in available_backends():
+        sums = np.zeros(n_radial)
+        counts = np.zeros(n_radial)
+        captures = make_captures(
+            values=values, radii=radii, sums=sums, counts=counts,
+            dr=dr, n_radial=n_radial,
+        )
+        t0 = time.perf_counter()
+        parallel_for(values.shape[0], kernel, captures, backend=backend)
+        dt = time.perf_counter() - t0
+        with np.errstate(invalid="ignore"):
+            profiles[backend] = (np.divide(sums, counts,
+                                           out=np.full(n_radial, np.nan),
+                                           where=counts > 0), dt)
+
+    reference, _ = profiles["serial"]
+    print(f"{'back end':<12} {'WCT':>10}   result")
+    for backend, (profile, dt) in profiles.items():
+        match = np.allclose(np.nan_to_num(profile), np.nan_to_num(reference))
+        print(f"{backend:<12} {dt * 1e3:>8.2f}ms   "
+              f"{'identical to serial' if match else 'MISMATCH'}")
+        assert match
+
+    peak = np.nanargmax(reference)
+    print(f"\nradial profile peak at |c| = {(peak + 0.5) * dr:.2f} r.l.u. — "
+          "the strongest powder ring of the benzil pattern")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""The Garnet/Mantid-style production baseline.
+
+The paper benchmarks its proxies against "the current CPU-only
+production implementation using the Garnet Python multiprocess package
+based on the Mantid C++ framework" (Table II).  This subpackage
+re-implements the *algorithms and data structures* that make that
+implementation what it is — the cost drivers the proxies then remove:
+
+* :mod:`repro.baseline.mdbox` — Mantid's adaptive MDBox hierarchy
+  (recursive boxes holding equal-ish event counts);
+* :mod:`repro.baseline.mantid_binmd` — BinMD over **array-of-structs**
+  event objects, one interpreted iteration per (op, event), routing
+  events through the box hierarchy;
+* :mod:`repro.baseline.mantid_mdnorm` — MDNorm with the **linear
+  searches** the proxies replace with a region-of-interest strategy,
+  sorting an array of structs (tuples) instead of primitive indices;
+* :mod:`repro.baseline.garnet` — the per-run multiprocess driver
+  (LoadEventNexus -> ConvertToMD -> MDNorm + BinMD per run, reduced
+  across workers).
+
+In this Python reproduction the baseline's interpreted per-event /
+per-struct execution plays the role of the production framework's
+generic C++ paths: it is the slow, correct reference whose outputs all
+proxies must match and whose wall-clock anchors every speedup ratio.
+"""
+
+from repro.baseline.mdbox import MDBox, MDBoxController
+from repro.baseline.mantid_binmd import mantid_bin_md
+from repro.baseline.mantid_mdnorm import mantid_md_norm
+from repro.baseline.garnet import GarnetWorkflow, GarnetConfig
+
+__all__ = [
+    "MDBox",
+    "MDBoxController",
+    "mantid_bin_md",
+    "mantid_md_norm",
+    "GarnetWorkflow",
+    "GarnetConfig",
+]

@@ -1,0 +1,51 @@
+"""Benchmark support: workload builders and the table/figure harness.
+
+Everything the ``benchmarks/`` suite needs to regenerate the paper's
+evaluation artifacts:
+
+* :mod:`repro.bench.paper` — the published numbers of Tables I-VI,
+  transcribed, for side-by-side reporting;
+* :mod:`repro.bench.workloads` — the Benzil/CORELLI and Bixbyite/TOPAZ
+  workloads at the paper's full parameters plus a scaling policy, with
+  an on-disk dataset cache so repeated benchmark runs reuse the
+  synthesized files;
+* :mod:`repro.bench.systems` — Table I's systems plus the actual host;
+* :mod:`repro.bench.harness` — drivers measuring each implementation
+  and assembling the paper's table rows (JIT vs no-JIT columns,
+  extrapolation of implementations measured on a file subset);
+* :mod:`repro.bench.report` — plain-text table rendering and the
+  paper-vs-measured comparison blocks quoted in EXPERIMENTS.md.
+"""
+
+from repro.bench.workloads import WorkloadSpec, WorkloadData, benzil_corelli, bixbyite_topaz
+from repro.bench.harness import (
+    run_garnet,
+    run_cpp_proxy,
+    run_minivates,
+    MeasuredRun,
+    DeviceProfile,
+    MI100_PROFILE,
+    A100_PROFILE,
+)
+from repro.bench.report import format_table, format_stage_table, comparison_block
+from repro.bench.sweep import SweepPoint, SweepResult, run_sweep
+
+__all__ = [
+    "WorkloadSpec",
+    "WorkloadData",
+    "benzil_corelli",
+    "bixbyite_topaz",
+    "run_garnet",
+    "run_cpp_proxy",
+    "run_minivates",
+    "MeasuredRun",
+    "DeviceProfile",
+    "MI100_PROFILE",
+    "A100_PROFILE",
+    "format_table",
+    "format_stage_table",
+    "comparison_block",
+    "SweepPoint",
+    "SweepResult",
+    "run_sweep",
+]

@@ -1,0 +1,243 @@
+"""Drivers measuring each implementation on a workload.
+
+Each ``run_*`` function executes one implementation on (a subset of)
+the workload's run files and returns a :class:`MeasuredRun` holding the
+paper-style stage rows:
+
+* ``per_file(stage)`` — mean seconds per run file (what Tables III-VI
+  report for the stage rows);
+* ``first_file(stage)`` — the JIT-inclusive first call;
+* ``warm(stage)`` — the mean over non-first calls ("no JIT");
+* ``total_extrapolated`` — the whole-workflow wall clock, scaled from
+  ``files_measured`` to the workload's full file count when an
+  implementation is too slow to run on all files (documented in the
+  row).
+
+Device profiles bundle the device-behaviour knobs:
+:data:`MI100_PROFILE` (per-lane atomics, in-kernel comb sort) and
+:data:`A100_PROFILE` (buffered atomics, library sort) — the honest
+stand-ins for the paper's two GPUs (DESIGN.md section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.baseline.garnet import GarnetConfig, GarnetWorkflow
+from repro.bench.workloads import WorkloadData
+from repro.core.cross_section import CrossSectionResult
+from repro.nexus.corrections import read_flux_file, read_vanadium_file
+from repro.proxy.cpp_proxy import CppProxyConfig, CppProxyWorkflow
+from repro.proxy.minivates import MiniVatesConfig, MiniVatesWorkflow
+from repro.util.timers import StageTimings
+from repro.util.validation import require
+
+STAGES = ("UpdateEvents", "MDNorm", "BinMD", "MDNorm + BinMD")
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Device-behaviour configuration for the MiniVATES proxy."""
+
+    name: str
+    sort_impl: str
+    scatter_impl: str
+
+
+#: AMD MI100-like: per-lane atomic updates, in-kernel comb sort
+MI100_PROFILE = DeviceProfile(name="MI100-class", sort_impl="comb", scatter_impl="atomic")
+#: NVIDIA A100-like: efficient (buffered) atomics, library sort
+A100_PROFILE = DeviceProfile(name="A100-class", sort_impl="library", scatter_impl="buffered")
+
+
+@dataclass
+class MeasuredRun:
+    """One implementation's measured timings on a workload."""
+
+    label: str
+    workload_key: str
+    files_measured: int
+    files_full: int
+    timings: StageTimings
+    result: CrossSectionResult
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    def per_file(self, stage: str) -> float:
+        t = self.timings.seconds(stage)
+        return t / self.files_measured if self.files_measured else 0.0
+
+    def first_file(self, stage: str) -> float:
+        if stage == "MDNorm + BinMD":
+            return self.first_file("MDNorm") + self.first_file("BinMD")
+        return self.timings.first_call.get(stage, 0.0)
+
+    def warm(self, stage: str) -> float:
+        return self.timings.mean_warm_seconds(stage)
+
+    @property
+    def total_measured(self) -> float:
+        return self.timings.seconds("Total")
+
+    @property
+    def total_extrapolated(self) -> float:
+        """Whole-workflow estimate at the full file count."""
+        if self.files_measured >= self.files_full:
+            return self.total_measured
+        per_file = self.total_measured / max(self.files_measured, 1)
+        return per_file * self.files_full
+
+    @property
+    def extrapolated(self) -> bool:
+        return self.files_measured < self.files_full
+
+    def stage_summary(self) -> Dict[str, float]:
+        return {stage: self.per_file(stage) for stage in STAGES}
+
+
+def _subset(data: WorkloadData, files: Optional[int]) -> tuple[list, list, int]:
+    n = len(data.md_paths) if files is None else min(files, len(data.md_paths))
+    require(n >= 1, "need at least one file to measure")
+    return data.nexus_paths[:n], data.md_paths[:n], n
+
+
+def run_garnet(
+    data: WorkloadData, *, files: Optional[int] = None, n_workers: int = 1
+) -> MeasuredRun:
+    """Measure the Garnet/Mantid production baseline."""
+    nexus_paths, _, n = _subset(data, files)
+    flux = read_flux_file(data.flux_path)
+    vanadium = read_vanadium_file(data.vanadium_path)
+    cfg = GarnetConfig(
+        nexus_paths=nexus_paths,
+        instrument=data.instrument,
+        grid=data.grid,
+        point_group_symbol=data.structure.point_group_symbol,
+        flux=flux,
+        solid_angles=vanadium.detector_weights,
+        n_workers=n_workers,
+    )
+    result = GarnetWorkflow(cfg).run()
+    return MeasuredRun(
+        label=f"Garnet/Mantid baseline (x{n_workers} proc)",
+        workload_key=data.spec.key,
+        files_measured=n,
+        files_full=data.spec.n_files,
+        timings=result.timings,
+        result=result,
+    )
+
+
+def run_cpp_proxy(
+    data: WorkloadData, *, files: Optional[int] = None, n_threads: Optional[int] = None
+) -> MeasuredRun:
+    """Measure the C++ proxy (optimized CPU kernels, threaded)."""
+    _, md_paths, n = _subset(data, files)
+    cfg = CppProxyConfig(
+        md_paths=md_paths,
+        flux_path=data.flux_path,
+        vanadium_path=data.vanadium_path,
+        instrument=data.instrument,
+        grid=data.grid,
+        point_group=data.point_group,
+        n_threads=n_threads,
+    )
+    result = CppProxyWorkflow(cfg).run()
+    return MeasuredRun(
+        label="C++ proxy (CPU)",
+        workload_key=data.spec.key,
+        files_measured=n,
+        files_full=data.spec.n_files,
+        timings=result.timings,
+        result=result,
+    )
+
+
+def run_minivates(
+    data: WorkloadData,
+    *,
+    files: Optional[int] = None,
+    profile: DeviceProfile = A100_PROFILE,
+    cold_start: bool = True,
+) -> MeasuredRun:
+    """Measure the MiniVATES proxy under a device profile."""
+    _, md_paths, n = _subset(data, files)
+    cfg = MiniVatesConfig(
+        md_paths=md_paths,
+        flux_path=data.flux_path,
+        vanadium_path=data.vanadium_path,
+        instrument=data.instrument,
+        grid=data.grid,
+        point_group=data.point_group,
+        sort_impl=profile.sort_impl,
+        scatter_impl=profile.scatter_impl,
+        cold_start=cold_start,
+    )
+    result = MiniVatesWorkflow(cfg).run()
+    return MeasuredRun(
+        label=f"MiniVATES ({profile.name})",
+        workload_key=data.spec.key,
+        files_measured=n,
+        files_full=data.spec.n_files,
+        timings=result.timings,
+        result=result,
+        extras=dict(result.extras or {}),
+    )
+
+
+def run_minivates_jit_split(
+    data: WorkloadData,
+    *,
+    profile: DeviceProfile = A100_PROFILE,
+    file_index: int = 0,
+) -> tuple[MeasuredRun, MeasuredRun]:
+    """The JIT vs no-JIT measurement of Tables III-VI, done honestly.
+
+    Within a multi-file workflow the first file differs from later ones
+    in *workload* (each run has its own goniometer setting and live
+    trajectory count), which confounds first-call JIT accounting.  This
+    measures the same single file twice — once with a cold kernel cache
+    ("JIT") and once warm ("no JIT") — so the only difference is the
+    specialization cost, exactly what the paper's columns isolate.
+    """
+    require(0 <= file_index < len(data.md_paths), "file_index out of range")
+
+    def one(cold: bool) -> MeasuredRun:
+        cfg = MiniVatesConfig(
+            md_paths=[data.md_paths[file_index]],
+            flux_path=data.flux_path,
+            vanadium_path=data.vanadium_path,
+            instrument=data.instrument,
+            grid=data.grid,
+            point_group=data.point_group,
+            sort_impl=profile.sort_impl,
+            scatter_impl=profile.scatter_impl,
+            cold_start=cold,
+        )
+        result = MiniVatesWorkflow(cfg).run()
+        return MeasuredRun(
+            label=f"MiniVATES ({profile.name}, {'JIT' if cold else 'no JIT'})",
+            workload_key=data.spec.key,
+            files_measured=1,
+            files_full=data.spec.n_files,
+            timings=result.timings,
+            result=result,
+            extras=dict(result.extras or {}),
+        )
+
+    cold_run = one(True)
+    warm_run = one(False)
+    return cold_run, warm_run
+
+
+def assert_results_match(a: MeasuredRun, b: MeasuredRun, *, rtol: float = 1e-7) -> None:
+    """Same files -> identical histograms, regardless of implementation."""
+    require(a.files_measured == b.files_measured,
+            "cannot compare runs over different file subsets")
+    ra, rb = a.result, b.result
+    if not np.allclose(ra.binmd.signal, rb.binmd.signal, rtol=rtol, atol=1e-12):
+        raise AssertionError(f"BinMD histograms differ: {a.label} vs {b.label}")
+    if not np.allclose(ra.mdnorm.signal, rb.mdnorm.signal, rtol=rtol, atol=1e-12):
+        raise AssertionError(f"MDNorm histograms differ: {a.label} vs {b.label}")

@@ -1,0 +1,130 @@
+"""The published evaluation numbers, transcribed from the paper.
+
+Used by the harness to print paper-vs-measured comparisons and by
+EXPERIMENTS.md generation.  All wall-clock times in seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+# -- Table I: systems -----------------------------------------------------
+
+PAPER_SYSTEMS = {
+    "Defiant (OLCF)": {
+        "nodes": 36,
+        "cpu": "64-core AMD EPYC 7662 Rome, 4 NUMA",
+        "gpu": "4x AMD MI100 32 GB HBM2",
+        "memory": "256 GB DDR4",
+    },
+    "Milan0 (ExCL)": {
+        "nodes": 1,
+        "cpu": "2 x 32-core AMD EPYC 7513, 2 NUMA",
+        "gpu": "2x NVIDIA A100 80 GB",
+        "memory": "1 TB DDR4-3200",
+    },
+    "bl12-analysis2 (SNS)": {
+        "nodes": 1,
+        "cpu": "16-core AMD EPYC 7343, 1 NUMA",
+        "gpu": "1x NVIDIA T600 4 GB",
+        "memory": "512 GB DDR4",
+    },
+}
+
+# -- Table II: use-case characteristics + Garnet baseline -----------------
+
+@dataclass(frozen=True)
+class UseCaseCharacteristics:
+    files: int
+    symmetry_ops: int
+    events: int
+    detectors: int
+    bins: Tuple[int, int, int]
+    projections: str
+    #: Garnet/Mantid MDNorm + BinMD WCT on bl12-analysis2 (s)
+    garnet_mdnorm_binmd_s: float
+    #: Garnet/Mantid total workflow WCT on bl12-analysis2 (s)
+    garnet_total_s: float
+
+
+TABLE2 = {
+    "benzil_corelli": UseCaseCharacteristics(
+        files=36,
+        symmetry_ops=6,
+        events=40_000_000,
+        detectors=372_000,
+        bins=(603, 603, 1),
+        projections="([H,H],[H,-H],[L])",
+        garnet_mdnorm_binmd_s=55.0,
+        garnet_total_s=271.0,
+    ),
+    "bixbyite_topaz": UseCaseCharacteristics(
+        files=22,
+        symmetry_ops=24,
+        events=280_000_000,
+        detectors=1_600_000,
+        bins=(601, 601, 1),
+        projections="([H],[K],[L])",
+        garnet_mdnorm_binmd_s=102.0,
+        garnet_total_s=904.0,
+    ),
+}
+
+# -- Tables III-VI: proxy stage WCTs ---------------------------------------
+# rows: stage -> (cpp_cpu, minivates_jit, minivates_nojit); None = n/a
+
+StageRow = Dict[str, Tuple[Optional[float], Optional[float], Optional[float]]]
+
+TABLE3_BENZIL_DEFIANT: StageRow = {
+    "UpdateEvents": (0.092, 0.136, 0.064),
+    "MDNorm": (0.688, 4.669, 0.174),
+    "BinMD": (0.057, 0.488, 0.010),
+    "MDNorm + BinMD": (0.746, 5.157, 0.184),
+    "Total": (7.746, 48.932, None),
+}
+
+TABLE4_BENZIL_MILAN0: StageRow = {
+    "UpdateEvents": (1.250, 0.090, 0.0504),
+    "MDNorm": (0.456, 2.367, 0.0532),
+    "BinMD": (0.034, 0.517, 0.0000),
+    "MDNorm + BinMD": (0.490, 2.894, 0.0532),
+    "Total": (15.985, 30.135, None),
+}
+
+TABLE5_BIXBYITE_DEFIANT: StageRow = {
+    "UpdateEvents": (23.70, 3.12, 18.12),
+    "MDNorm": (2.81, 4.51, 0.45),
+    "BinMD": (5.40, 3.70, 2.95),
+    "MDNorm + BinMD": (8.21, 8.21, 3.40),
+    "Total": (215.98, 553.89, None),
+}
+
+TABLE6_BIXBYITE_MILAN0: StageRow = {
+    "UpdateEvents": (42.59, 3.784, 3.037),
+    "MDNorm": (1.53, 3.133, 0.518),
+    "BinMD": (3.08, 0.766, 5.31e-5),
+    "MDNorm + BinMD": (4.61, 3.899, 0.518),
+    "Total": (306.46, 667.02, None),
+}
+
+PAPER_TABLES: Dict[str, StageRow] = {
+    "table3": TABLE3_BENZIL_DEFIANT,
+    "table4": TABLE4_BENZIL_MILAN0,
+    "table5": TABLE5_BIXBYITE_DEFIANT,
+    "table6": TABLE6_BIXBYITE_MILAN0,
+}
+
+#: headline claims the reproduction checks for *shape* (direction and
+#: rough magnitude), per DESIGN.md section 5
+HEADLINE_CLAIMS = {
+    "proxy_vs_garnet_cpu": "proxies outperform Garnet/Mantid by ~74x on CPU",
+    "proxy_vs_garnet_gpu": "proxies outperform Garnet/Mantid by ~299x on GPU",
+    "a100_vs_mi100_binmd": "BinMD is >172x faster on A100 than MI100",
+    "a100_vs_mi100_mdnorm": "MDNorm is >3x faster on A100 than MI100",
+    "jit_first_call": "the first file pays JIT; later iterations do not",
+    "binmd_nojit_speed": "warm BinMD on the A100-class device beats the "
+    "CPU proxy by orders of magnitude",
+    "updateevents_dominates_bixbyite": "I/O (UpdateEvents) dominates the "
+    "Bixbyite totals",
+}

@@ -1,0 +1,110 @@
+"""Plain-text rendering of the paper-style tables.
+
+The benchmark suite prints these blocks (and the session tee captures
+them into ``bench_output.txt``); EXPERIMENTS.md quotes them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.bench.harness import STAGES, MeasuredRun
+from repro.bench.paper import StageRow
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    col_width: int = 14,
+) -> str:
+    """A fixed-width text table with a title rule."""
+    out: List[str] = []
+    rule = "=" * max(len(title), (len(headers)) * (col_width + 2))
+    out.append(rule)
+    out.append(title)
+    out.append(rule)
+    out.append("  ".join(f"{h:<{col_width}}" for h in headers))
+    out.append("-" * len(out[-1]))
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(f"{value:<{col_width}.4g}")
+            else:
+                cells.append(f"{str(value):<{col_width}}")
+        out.append("  ".join(cells))
+    return "\n".join(out)
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value == 0:
+        return "0"
+    if abs(value) < 1e-3:
+        return f"{value:.2e}"
+    return f"{value:.4g}"
+
+
+def format_stage_table(
+    title: str,
+    cpp: MeasuredRun,
+    mv_jit: MeasuredRun,
+    mv_warm: MeasuredRun,
+    paper_rows: Optional[StageRow] = None,
+    mv_total: Optional[MeasuredRun] = None,
+) -> str:
+    """The Tables III-VI layout: stage rows x (CPU, JIT, no JIT) columns,
+    measured values side by side with the paper's.
+
+    ``mv_jit`` / ``mv_warm`` are the cold/warm single-file runs from
+    :func:`run_minivates_jit_split`; ``mv_total`` (default ``mv_warm``)
+    provides the whole-workflow Total row.
+    """
+    mv_total = mv_total or mv_warm
+    headers = ["WCT (s/file)", "C++ (CPU)", "MV JIT", "MV no JIT"]
+    if paper_rows:
+        headers += ["paper C++", "paper JIT", "paper noJIT"]
+    rows: List[List[object]] = []
+    for stage in STAGES:
+        row: List[object] = [
+            stage,
+            _fmt(cpp.per_file(stage)),
+            _fmt(mv_jit.per_file(stage)),
+            _fmt(mv_warm.per_file(stage)),
+        ]
+        if paper_rows:
+            p = paper_rows.get(stage, (None, None, None))
+            row += [_fmt(p[0]), _fmt(p[1]), _fmt(p[2])]
+        rows.append(row)
+    total_row: List[object] = [
+        "Total (wf)",
+        _fmt(cpp.total_extrapolated) + ("*" if cpp.extrapolated else ""),
+        _fmt(mv_total.total_extrapolated) + ("*" if mv_total.extrapolated else ""),
+        "-",
+    ]
+    if paper_rows:
+        p = paper_rows.get("Total", (None, None, None))
+        total_row += [_fmt(p[0]), _fmt(p[1]), _fmt(p[2])]
+    rows.append(total_row)
+    note = (
+        "\n(* extrapolated from "
+        f"{cpp.files_measured}/{cpp.files_full} (C++) and "
+        f"{mv_total.files_measured}/{mv_total.files_full} (MiniVATES) files; "
+        "MV JIT / no JIT are the same file measured cold then warm; "
+        "paper columns are per-stage values from the corresponding table)"
+    )
+    return format_table(title, headers, rows) + note
+
+
+def comparison_block(label: str, items: Dict[str, Tuple[float, float]]) -> str:
+    """A 'claim: paper vs measured' block for the headline ratios."""
+    lines = [f"-- {label} --"]
+    for claim, (paper_value, measured_value) in items.items():
+        lines.append(
+            f"  {claim:<42s} paper ~{paper_value:>10.4g}   "
+            f"measured {measured_value:>10.4g}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""Parameter sweeps over reduction configurations.
+
+A small declarative utility used by the benchmark suite (and usable
+interactively) to measure how a quantity responds to one driver
+variable: build the configuration for each parameter value, run it,
+time it, optionally extract extra observables, and fit the log-log
+scaling exponent.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.util.validation import require
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One measured point of a sweep."""
+
+    parameter: float
+    seconds: float
+    observables: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All points of a sweep plus derived statistics."""
+
+    name: str
+    parameter_name: str
+    points: List[SweepPoint]
+
+    @property
+    def parameters(self) -> np.ndarray:
+        return np.array([p.parameter for p in self.points])
+
+    @property
+    def seconds(self) -> np.ndarray:
+        return np.array([p.seconds for p in self.points])
+
+    def scaling_exponent(self) -> float:
+        """log-log slope of wall-clock vs parameter (>= 2 points)."""
+        require(len(self.points) >= 2, "need >= 2 points to fit a slope")
+        return float(np.polyfit(np.log(self.parameters), np.log(self.seconds), 1)[0])
+
+    def rows(self) -> List[tuple]:
+        """(parameter, seconds, *observables) rows for a report table."""
+        out = []
+        for p in self.points:
+            row = [f"{p.parameter:g}", f"{p.seconds:.4f}"]
+            row += [f"{v:.5g}" for v in p.observables.values()]
+            out.append(tuple(row))
+        return out
+
+    def observable_names(self) -> List[str]:
+        return list(self.points[0].observables) if self.points else []
+
+
+def run_sweep(
+    name: str,
+    parameter_name: str,
+    values: Sequence[float],
+    run_one: Callable[[Any], Optional[Dict[str, float]]],
+    *,
+    repeats: int = 3,
+) -> SweepResult:
+    """Measure ``run_one(value)`` for each parameter value.
+
+    ``run_one`` may return a dict of extra observables (histogram
+    totals, coverage, ...), recorded alongside the median wall-clock of
+    ``repeats`` calls.
+    """
+    require(len(values) >= 1, "sweep needs at least one value")
+    require(repeats >= 1, "repeats must be >= 1")
+    points: List[SweepPoint] = []
+    for value in values:
+        times = []
+        observables: Dict[str, float] = {}
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            out = run_one(value)
+            times.append(time.perf_counter() - t0)
+            if out:
+                observables = {k: float(v) for k, v in out.items()}
+        points.append(
+            SweepPoint(
+                parameter=float(value),
+                seconds=float(np.median(times)),
+                observables=observables,
+            )
+        )
+    return SweepResult(name=name, parameter_name=parameter_name, points=points)

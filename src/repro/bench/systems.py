@@ -1,0 +1,70 @@
+"""Systems (Table I): the paper's machines and this host.
+
+The paper's hardware is unavailable; the table bench reports the
+published systems beside the actual benchmark host and the execution-
+engine mapping DESIGN.md section 2 defines, so every measured number in
+the other tables is traceable to a concrete substitution.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.bench.paper import PAPER_SYSTEMS
+
+
+@dataclass(frozen=True)
+class HostInfo:
+    platform: str
+    machine: str
+    python: str
+    cpu_count: int
+    memory_gb: float
+
+
+def current_host() -> HostInfo:
+    mem_gb = 0.0
+    try:
+        with open("/proc/meminfo") as fh:
+            for line in fh:
+                if line.startswith("MemTotal:"):
+                    mem_gb = float(line.split()[1]) / (1024.0**2)
+                    break
+    except OSError:  # pragma: no cover - non-Linux hosts
+        pass
+    return HostInfo(
+        platform=platform.platform(),
+        machine=platform.machine(),
+        python=platform.python_version(),
+        cpu_count=os.cpu_count() or 1,
+        memory_gb=mem_gb,
+    )
+
+
+#: how each paper system maps onto this reproduction's execution engines
+ENGINE_MAPPING: Dict[str, str] = {
+    "Defiant (OLCF)": "threads back end (CPU rows) + MI100-class device "
+    "profile (comb sort, per-lane atomics)",
+    "Milan0 (ExCL)": "threads back end (CPU rows) + A100-class device "
+    "profile (library sort, buffered atomics)",
+    "bl12-analysis2 (SNS)": "Garnet/Mantid baseline (interpreted "
+    "array-of-structs, multiprocess over runs)",
+}
+
+
+def systems_rows() -> list[tuple[str, str, str, str]]:
+    """(system, paper CPU/GPU, paper memory, engine mapping) rows."""
+    rows = []
+    for name, desc in PAPER_SYSTEMS.items():
+        rows.append(
+            (
+                name,
+                f"{desc['cpu']} | {desc['gpu']}",
+                desc["memory"],
+                ENGINE_MAPPING[name],
+            )
+        )
+    return rows

@@ -1,0 +1,162 @@
+"""``repro-reduce``: command-line entry point.
+
+Synthesizes (or reuses) a workload and runs a chosen implementation of
+the cross-section reduction, printing the paper-style stage timings.
+
+Examples::
+
+    repro-reduce --workload benzil --impl minivates --scale 0.001
+    repro-reduce --workload bixbyite --impl garnet --files 2
+    repro-reduce --workload benzil --impl all --files 6
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench.harness import (
+    A100_PROFILE,
+    MI100_PROFILE,
+    MeasuredRun,
+    assert_results_match,
+    run_cpp_proxy,
+    run_garnet,
+    run_minivates,
+)
+from repro.bench.workloads import benzil_corelli, bixbyite_topaz, build_workload
+
+
+def _parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-reduce",
+        description="Run the cross-section reduction on a synthetic workload.",
+    )
+    p.add_argument("--workload", choices=("benzil", "bixbyite"), default="benzil",
+                   help="use case: Benzil/CORELLI or Bixbyite/TOPAZ")
+    p.add_argument("--impl", choices=("garnet", "cpp", "minivates", "all"),
+                   default="minivates", help="implementation to run")
+    p.add_argument("--scale", type=float, default=None,
+                   help="event/detector scale vs the paper (default REPRO_SCALE or 0.002)")
+    p.add_argument("--files", type=int, default=None,
+                   help="number of run files to synthesize/measure")
+    p.add_argument("--device-profile", choices=("a100", "mi100"), default="a100",
+                   help="MiniVATES device profile")
+    p.add_argument("--check", action="store_true",
+                   help="with --impl all: assert all implementations agree")
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="also write timings and histogram statistics as JSON")
+    p.add_argument("--peaks", type=int, default=0, metavar="N",
+                   help="report the N strongest peaks of the cross-section")
+    p.add_argument("--save", metavar="PATH", default=None,
+                   help="write the reduced cross-section (with provenance) "
+                        "to a reduced-data file")
+    p.add_argument("--render", action="store_true",
+                   help="render the cross-section slice as ASCII art")
+    p.add_argument("--plan", metavar="PLAN_JSON", default=None,
+                   help="run a reduction plan file instead of a synthetic "
+                        "workload (ignores --workload/--impl/--scale/--files)")
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+
+    if args.plan:
+        from repro.core.plan import load_plan, run_plan
+
+        plan = load_plan(args.plan)
+        print(f"running plan {args.plan} "
+              f"({len(plan.runs)} runs, impl={plan.implementation})")
+        result = run_plan(plan)
+        print(result.timings.summary())
+        if result.cross_section is not None:
+            print(f"cross-section: {result.cross_section!r}")
+        if args.save and result.cross_section is not None:
+            from repro.core.output import save_reduced
+
+            save_reduced(args.save, result, notes=f"plan {args.plan}")
+            print(f"wrote reduced data to {args.save}")
+        return 0
+
+    make_spec = benzil_corelli if args.workload == "benzil" else bixbyite_topaz
+    spec = make_spec(scale=args.scale, n_files=args.files)
+    print(spec.describe())
+    data = build_workload(spec)
+    profile = A100_PROFILE if args.device_profile == "a100" else MI100_PROFILE
+
+    runs: List[MeasuredRun] = []
+    if args.impl in ("garnet", "all"):
+        runs.append(run_garnet(data))
+    if args.impl in ("cpp", "all"):
+        runs.append(run_cpp_proxy(data))
+    if args.impl in ("minivates", "all"):
+        runs.append(run_minivates(data, profile=profile))
+
+    for run in runs:
+        print()
+        print(f"== {run.label} ==")
+        print(run.timings.summary())
+        if run.result.cross_section is not None:
+            print(f"cross-section: {run.result.cross_section!r}")
+        if run.extras:
+            print(f"device stats: {run.extras}")
+
+    if args.peaks > 0 and runs and runs[-1].result.cross_section is not None:
+        from repro.core.peaks import find_peaks
+
+        peaks = find_peaks(runs[-1].result.binmd).strongest(args.peaks)
+        print(f"\nstrongest {peaks.n_peaks} peaks (H, K, L -> intensity):")
+        for hkl, intensity in zip(peaks.hkl, peaks.intensity):
+            print(f"  ({hkl[0]:+6.2f}, {hkl[1]:+6.2f}, {hkl[2]:+6.2f})"
+                  f"  ->  {intensity:.4g}")
+
+    if args.render and runs and runs[-1].result.binmd is not None:
+        from repro.core.render import render_hist
+
+        print()
+        print(render_hist(runs[-1].result.binmd))
+
+    if args.save and runs and runs[-1].result.cross_section is not None:
+        from repro.core.output import save_reduced
+
+        save_reduced(args.save, runs[-1].result,
+                     notes=f"repro-reduce {args.workload}/{args.impl}")
+        print(f"\nwrote reduced data to {args.save}")
+
+    if args.check and len(runs) > 1:
+        for other in runs[1:]:
+            assert_results_match(runs[0], other)
+        print("\nall implementations produced identical histograms")
+
+    if args.json:
+        import json
+
+        payload = {
+            "workload": spec.describe(),
+            "runs": [
+                {
+                    "label": run.label,
+                    "files_measured": run.files_measured,
+                    "stages_s": {
+                        stage: run.timings.seconds(stage)
+                        for stage in ("UpdateEvents", "MDNorm", "BinMD",
+                                      "MDNorm + BinMD", "Total")
+                    },
+                    "binmd_total": run.result.binmd.total(),
+                    "mdnorm_total": run.result.mdnorm.total(),
+                    "coverage": run.result.binmd.nonzero_fraction(),
+                    "extras": run.extras,
+                }
+                for run in runs
+            ],
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

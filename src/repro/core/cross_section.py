@@ -1,0 +1,184 @@
+"""Algorithm 1: the differential scattering cross-section.
+
+::
+
+    start, end <- range(MPI_Rank, MPI_Size)
+    0 <- mdnorm, binmd
+    for i = start to end do
+        event_data <- LOAD events, rotations, charge, ...
+        mdnorm += MDNorm(events)   <- CPU/GPU
+        binmd  += BinMD(events)    <- CPU/GPU
+    end for
+    cross_section <- MPI_Reduce(binmd) / MPI_Reduce(mdnorm)
+
+Each rank owns private histograms; ``Reduce`` combines them on the
+root, which performs the guarded division.  Per-stage wall-clock is
+accumulated into a :class:`~repro.util.timers.StageTimings` using the
+paper's stage names (UpdateEvents / MDNorm / BinMD / Total).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.binmd import bin_events
+from repro.core.grid import HKLGrid
+from repro.core.hist3 import Hist3
+from repro.core.md_event_workspace import MDEventWorkspace
+from repro.core.mdnorm import mdnorm
+from repro.crystal.symmetry import PointGroup
+from repro.mpi import SUM, Comm, SequentialComm, rank_range
+from repro.nexus.corrections import FluxSpectrum
+from repro.util.timers import StageTimings
+from repro.util.validation import ValidationError, require
+
+
+@dataclass
+class CrossSectionResult:
+    """Outcome of Algorithm 1 on the root rank.
+
+    Non-root ranks receive ``cross_section=None`` but still carry their
+    local timings.
+    """
+
+    cross_section: Optional[Hist3]
+    binmd: Optional[Hist3]
+    mdnorm: Optional[Hist3]
+    timings: StageTimings
+    n_runs: int
+    backend: str
+    #: implementation-specific diagnostics (e.g. device transfer bytes)
+    extras: Optional[dict] = None
+
+    @property
+    def is_root(self) -> bool:
+        return self.cross_section is not None
+
+
+def compute_cross_section(
+    load_run: Callable[[int], MDEventWorkspace],
+    n_runs: int,
+    grid: HKLGrid,
+    point_group: PointGroup,
+    flux: FluxSpectrum,
+    det_directions: np.ndarray,
+    solid_angles: np.ndarray,
+    *,
+    comm: Optional[Comm] = None,
+    backend: Optional[str] = None,
+    sort_impl: str = "comb",
+    scatter_impl: str = "atomic",
+    timings: Optional[StageTimings] = None,
+    binmd_impl: Optional[Callable] = None,
+    mdnorm_impl: Optional[Callable] = None,
+) -> CrossSectionResult:
+    """Run Algorithm 1.
+
+    Parameters
+    ----------
+    load_run:
+        ``load_run(i) -> MDEventWorkspace`` for run index ``i`` — the
+        timed ``UpdateEvents`` stage (usually ``load_md`` on a file).
+    n_runs:
+        Total number of experiment runs (files).
+    grid, point_group, flux:
+        Output grid, sample symmetry, incident spectrum.
+    det_directions, solid_angles:
+        Instrument geometry + vanadium weights for MDNorm.
+    comm:
+        Simulated MPI communicator; None = single rank.
+    backend:
+        jacc back end for both kernels; None = process default.
+    binmd_impl / mdnorm_impl:
+        Alternative kernel implementations with the same signatures as
+        :func:`repro.core.binmd.bin_events` (minus ``backend``) and
+        :func:`repro.core.mdnorm.mdnorm` — this is how the proxy
+        applications plug their optimized kernels into the identical
+        Algorithm-1 loop.
+    """
+    require(n_runs >= 1, "need at least one run")
+    comm = comm or SequentialComm()
+    timings = timings or StageTimings(label=f"cross-section[{backend or 'default'}]")
+
+    binmd_hist = Hist3(grid, track_errors=True)
+    mdnorm_hist = Hist3(grid)
+
+    start, end = rank_range(n_runs, comm.rank, comm.size)
+    with timings.stage("Total"):
+        for i in range(start, end):
+            with timings.stage("UpdateEvents"):
+                ws = load_run(i)
+            if ws.ub_matrix is None:
+                raise ValidationError(
+                    f"run index {i} carries no UB matrix; Algorithm 1 needs it"
+                )
+            event_transforms = grid.transforms_for(ws.ub_matrix, point_group)
+            traj_transforms = grid.transforms_for(
+                ws.ub_matrix, point_group, goniometer=ws.goniometer
+            )
+            with timings.stage("MDNorm"):
+                if mdnorm_impl is not None:
+                    mdnorm_impl(
+                        mdnorm_hist,
+                        traj_transforms,
+                        det_directions,
+                        solid_angles,
+                        flux,
+                        ws.momentum_band,
+                        charge=ws.proton_charge,
+                    )
+                else:
+                    mdnorm(
+                        mdnorm_hist,
+                        traj_transforms,
+                        det_directions,
+                        solid_angles,
+                        flux,
+                        ws.momentum_band,
+                        charge=ws.proton_charge,
+                        backend=backend,
+                        sort_impl=sort_impl,
+                        scatter_impl=scatter_impl,
+                    )
+            with timings.stage("BinMD"):
+                if binmd_impl is not None:
+                    binmd_impl(binmd_hist, ws.events, event_transforms)
+                else:
+                    bin_events(
+                        binmd_hist,
+                        ws.events,
+                        event_transforms,
+                        backend=backend,
+                        scatter_impl=scatter_impl,
+                    )
+
+        # MPI_Reduce of both histograms onto the root
+        binmd_total = np.empty_like(binmd_hist.signal) if comm.rank == 0 else None
+        mdnorm_total = np.empty_like(mdnorm_hist.signal) if comm.rank == 0 else None
+        comm.Reduce(binmd_hist.signal, binmd_total, op=SUM, root=0)
+        comm.Reduce(mdnorm_hist.signal, mdnorm_total, op=SUM, root=0)
+
+        if comm.rank != 0:
+            return CrossSectionResult(
+                cross_section=None,
+                binmd=None,
+                mdnorm=None,
+                timings=timings,
+                n_runs=n_runs,
+                backend=backend or "default",
+            )
+
+        binmd_out = Hist3(grid, signal=binmd_total)
+        mdnorm_out = Hist3(grid, signal=mdnorm_total)
+        cross = binmd_out.divide(mdnorm_out)
+    return CrossSectionResult(
+        cross_section=cross,
+        binmd=binmd_out,
+        mdnorm=mdnorm_out,
+        timings=timings,
+        n_runs=n_runs,
+        backend=backend or "default",
+    )

@@ -1,0 +1,321 @@
+"""MDNorm: trajectory normalization over (symmetry op x detector).
+
+The paper's Listing 1: a 2-D index space of ``(symmetry op, detector)``.
+Each lane
+
+1. forms its trajectory direction ``D = T_op (z_hat - d_hat)``,
+2. clips the momentum window to the grid box,
+3. collects every grid-plane crossing in that window
+   ("calculate intersections ~(600x600x1)"),
+4. **sorts** them (comb sort — in-kernel, allocation-free),
+5. **linearly interpolates** the cumulative incident flux over each
+   sub-segment, and
+6. **appends** ``solid_angle x flux`` into the normalization histogram.
+
+The pre-pass :func:`max_intersections` bounds step 3's output so the
+device buffer can be pre-allocated.  JACC's device ``parallel_reduce``
+supports only ``+`` (the limitation the paper documents), so on the
+device back end the MAX is computed with the same workaround MiniVATES
+uses: a counting kernel, a device->host copy, and a host-side max; the
+CPU back ends use the elegant ``parallel_reduce(op="max")`` directly.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+import numpy as np
+
+from repro.core.combsort import comb_sort, comb_sort_rows
+from repro.core.grid import HKLGrid
+from repro.core.hist3 import Hist3
+from repro.core.intersections import (
+    count_crossings_batch,
+    count_crossings_scalar,
+    fill_crossings_batch,
+    fill_crossings_scalar,
+    k_window,
+    trajectory_directions,
+)
+from repro.jacc import get_backend, parallel_for
+from repro.jacc.api import default_backend
+from repro.jacc.kernels import Captures, Kernel
+from repro.nexus.corrections import FluxSpectrum
+from repro.util.validation import require
+
+#: trajectories per device tile in the main MDNorm kernel
+DEFAULT_TILE_ROWS = 8192
+
+
+class _Scratch:
+    """Per-thread preallocated intersection buffers (no allocation in
+    the kernel body, as in MiniVATES)."""
+
+    def __init__(self, width: int) -> None:
+        self.width = width
+        self._local = threading.local()
+
+    def get(self) -> np.ndarray:
+        buf = getattr(self._local, "buf", None)
+        if buf is None:
+            buf = np.empty(self.width, dtype=np.float64)
+            self._local.buf = buf
+        return buf
+
+
+def _interp_cumulative(flux_k: np.ndarray, flux_cum: np.ndarray, k: float) -> float:
+    """Scalar linear interpolation of the cumulative flux table."""
+    if k <= flux_k[0]:
+        return float(flux_cum[0])
+    if k >= flux_k[-1]:
+        return float(flux_cum[-1])
+    j = int(np.searchsorted(flux_k, k)) - 1
+    t = (k - flux_k[j]) / (flux_k[j + 1] - flux_k[j])
+    return float(flux_cum[j] + t * (flux_cum[j + 1] - flux_cum[j]))
+
+
+# ---------------------------------------------------------------------------
+# pre-pass: maximum intersections per trajectory
+# ---------------------------------------------------------------------------
+
+def _count_element(ctx: Captures, n: int, d: int) -> float:
+    direction = ctx.directions[n, d]
+    lo = ctx.k_lo[n, d]
+    hi = ctx.k_hi[n, d]
+    return float(count_crossings_scalar(direction, ctx.grid, lo, hi))
+
+
+def _count_batch(ctx: Captures, dims: tuple[int, int]) -> np.ndarray:
+    return count_crossings_batch(
+        ctx.directions, ctx.grid, ctx.k_lo, ctx.k_hi
+    ).astype(np.float64)
+
+
+COUNT_KERNEL = Kernel(name="mdnorm_count", element=_count_element, batch=_count_batch)
+
+
+def _count_store_batch(ctx: Captures, dims: tuple[int, int]) -> None:
+    ctx.counts[...] = count_crossings_batch(ctx.directions, ctx.grid, ctx.k_lo, ctx.k_hi)
+
+
+COUNT_STORE_KERNEL = Kernel(
+    name="mdnorm_count_store",
+    element=lambda ctx, n, d: None,  # device-only helper
+    batch=_count_store_batch,
+)
+
+
+def max_intersections(
+    grid: HKLGrid,
+    transforms: np.ndarray,
+    det_directions: np.ndarray,
+    momentum_band: tuple[float, float],
+    *,
+    backend: Optional[str] = None,
+    use_extended_reduce: bool = False,
+) -> int:
+    """Upper bound on per-trajectory intersections (+2 endpoints).
+
+    On CPU back ends this is one ``parallel_reduce(op="max")``.  The
+    device back end cannot reduce with MAX (JACC limitation), so there
+    it launches a counting ``parallel_for`` into a device array, copies
+    it to the host, and maxes there — the documented MiniVATES
+    workaround, with the device->host transfer really happening (and
+    counted by the back end's transfer statistics).
+
+    ``use_extended_reduce=True`` opts into
+    :func:`repro.jacc.reduction.device_reduce` — the custom-operator
+    device reduction the paper lists as hoped-for future work — which
+    removes the per-lane device->host copy entirely.
+    """
+    be = get_backend(backend) if backend else default_backend()
+    directions = trajectory_directions(transforms, det_directions)
+    k_lo, k_hi = k_window(directions, grid, *momentum_band)
+    dims = directions.shape[:2]
+    if be.device_kind == "device" and use_extended_reduce:
+        from repro.jacc.reduction import device_reduce
+
+        captures = Captures(directions=directions, grid=grid, k_lo=k_lo, k_hi=k_hi)
+        max_count = int(device_reduce(dims, COUNT_KERNEL, captures, op="max",
+                                      backend=be.name))
+    elif be.device_kind == "device":
+        counts_dev = be.to_device(np.zeros(dims[0] * dims[1], dtype=np.int64))
+        captures = Captures(
+            directions=directions, grid=grid, k_lo=k_lo, k_hi=k_hi, counts=counts_dev
+        )
+        be.parallel_for(dims, COUNT_STORE_KERNEL, captures)
+        counts_host = be.to_host(counts_dev)  # the workaround's D2H copy
+        max_count = int(counts_host.max(initial=0))
+    else:
+        captures = Captures(directions=directions, grid=grid, k_lo=k_lo, k_hi=k_hi)
+        max_count = int(be.parallel_reduce(dims, COUNT_KERNEL, captures, op="max"))
+    return max_count + 2
+
+
+# ---------------------------------------------------------------------------
+# main MDNorm kernel
+# ---------------------------------------------------------------------------
+
+def _mdnorm_element(ctx: Captures, n: int, d: int) -> None:
+    """Listing 1's per-(op, detector) body."""
+    direction = ctx.directions[n, d]
+    lo = ctx.k_lo[n, d]
+    hi = ctx.k_hi[n, d]
+    if not hi > lo:
+        return
+    buf = ctx.scratch.get()
+    count = ctx.fill(buf, direction, ctx.grid, lo, hi)
+    comb_sort(buf, count)
+    weight_det = ctx.solid_angles[d] * ctx.charge
+    if weight_det == 0.0:
+        return
+    flux_k, flux_cum = ctx.flux_k, ctx.flux_cum
+    d0, d1, d2 = float(direction[0]), float(direction[1]), float(direction[2])
+    phi_lo = _interp_cumulative(flux_k, flux_cum, buf[0])
+    for j in range(count - 1):
+        a = buf[j]
+        b = buf[j + 1]
+        phi_hi = _interp_cumulative(flux_k, flux_cum, b)
+        if b > a:
+            mid = 0.5 * (a + b)
+            w = (phi_hi - phi_lo) * weight_det
+            if w != 0.0:
+                ctx.hist.push(mid * d0, mid * d1, mid * d2, w)
+        phi_lo = phi_hi
+
+
+def _mdnorm_batch(ctx: Captures, dims: tuple[int, int]) -> None:
+    """Device realization: stream-compacted rows, lane-parallel comb
+    sort, vectorized flux interpolation, atomic scatter-add."""
+    n_ops, n_det = dims
+    directions = ctx.directions.reshape(-1, 3)
+    k_lo = ctx.k_lo.reshape(-1)
+    k_hi = ctx.k_hi.reshape(-1)
+    grid: HKLGrid = ctx.grid
+    target = ctx.hist.flat_signal
+    # per-trajectory weight: solid angle of the detector (tiled over ops)
+    det_w = np.broadcast_to(ctx.solid_angles, (n_ops, n_det)).reshape(-1) * ctx.charge
+
+    # stream compaction: trajectories that never enter the grid box (or
+    # carry zero weight) do no work — drop their lanes up front instead
+    # of padding them through the sort and interpolation stages
+    live = (k_hi > k_lo) & (det_w != 0.0)
+    if not live.any():
+        return
+    directions = directions[live]
+    k_lo = k_lo[live]
+    k_hi = k_hi[live]
+    det_w = det_w[live]
+    n_rows = directions.shape[0]
+    width = ctx.width
+
+    tile = ctx.tile_rows
+    for start in range(0, n_rows, tile):
+        stop = min(start + tile, n_rows)
+        padded = fill_crossings_batch(
+            directions[start:stop], grid, k_lo[start:stop], k_hi[start:stop], width
+        )
+        if ctx.sort_impl == "comb":
+            comb_sort_rows(padded)
+        else:
+            padded.sort(axis=1)
+        phi = np.interp(padded, ctx.flux_k, ctx.flux_cum)
+        seg_lo = padded[:, :-1]
+        seg_hi = padded[:, 1:]
+        seg_flux = phi[:, 1:] - phi[:, :-1]
+        mid = 0.5 * (seg_lo + seg_hi)
+        coords = mid[:, :, None] * directions[start:stop, None, :]
+        flat_idx, inside = grid.bin_index(coords)
+        weights = seg_flux * det_w[start:stop, None]
+        live = inside & (seg_hi > seg_lo) & (weights != 0.0)
+        Hist3._scatter(target, flat_idx[live], weights[live], ctx.scatter_impl)
+
+
+MDNORM_KERNEL = Kernel(name="mdnorm", element=_mdnorm_element, batch=_mdnorm_batch)
+
+
+def mdnorm(
+    hist: Hist3,
+    transforms: np.ndarray,
+    det_directions: np.ndarray,
+    solid_angles: np.ndarray,
+    flux: FluxSpectrum,
+    momentum_band: tuple[float, float],
+    *,
+    charge: float = 1.0,
+    backend: Optional[str] = None,
+    sort_impl: str = "comb",
+    scatter_impl: str = "atomic",
+    tile_rows: int = DEFAULT_TILE_ROWS,
+    width: Optional[int] = None,
+) -> Hist3:
+    """Accumulate the normalization for one run into ``hist``.
+
+    Parameters
+    ----------
+    hist:
+        Normalization histogram (accumulated in place, also returned).
+    transforms:
+        ``(n_ops, 3, 3)`` Q_lab -> grid matrices *including* the run's
+        goniometer (``HKLGrid.transforms_for(..., goniometer=R)``).
+    det_directions:
+        ``(n_det, 3)`` unit vectors sample -> pixel.
+    solid_angles:
+        ``(n_det,)`` per-detector solid angle x efficiency (the
+        vanadium weights).
+    flux:
+        Incident flux spectrum; its cumulative integral is linearly
+        interpolated over each trajectory segment.
+    momentum_band:
+        Accepted ``(k_min, k_max)`` of the run.
+    charge:
+        The run's proton charge (scales the flux).
+    sort_impl:
+        "comb" (the paper's in-kernel sort) or "library" (the ablation
+        alternative) — device back end only.
+    scatter_impl:
+        "atomic" or "buffered" histogram accumulation (device back end
+        only; see :meth:`Hist3.push_many`).
+    width:
+        Padded intersection-buffer width; None runs the pre-pass.
+    """
+    transforms = np.asarray(transforms, dtype=np.float64)
+    det_directions = np.asarray(det_directions, dtype=np.float64)
+    solid_angles = np.asarray(solid_angles, dtype=np.float64)
+    require(transforms.ndim == 3 and transforms.shape[1:] == (3, 3),
+            "transforms must be (n_ops, 3, 3)")
+    require(det_directions.ndim == 2 and det_directions.shape[1] == 3,
+            "det_directions must be (n_det, 3)")
+    require(solid_angles.shape == (det_directions.shape[0],),
+            "solid_angles length mismatch")
+    require(sort_impl in ("comb", "library"), "sort_impl must be comb|library")
+
+    grid = hist.grid
+    if width is None:
+        width = max_intersections(
+            grid, transforms, det_directions, momentum_band, backend=backend
+        )
+    width = min(width, grid.max_plane_crossings)
+
+    directions = trajectory_directions(transforms, det_directions)
+    k_lo, k_hi = k_window(directions, grid, *momentum_band)
+    captures = Captures(
+        hist=hist,
+        grid=grid,
+        directions=directions,
+        k_lo=k_lo,
+        k_hi=k_hi,
+        solid_angles=solid_angles,
+        charge=float(charge),
+        flux_k=flux.momentum,
+        flux_cum=flux._cumulative,
+        scratch=_Scratch(width),
+        fill=fill_crossings_scalar,
+        width=int(width),
+        tile_rows=int(tile_rows),
+        sort_impl=sort_impl,
+        scatter_impl=scatter_impl,
+    )
+    parallel_for(directions.shape[:2], MDNORM_KERNEL, captures, backend=backend)
+    return hist

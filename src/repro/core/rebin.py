@@ -1,0 +1,124 @@
+"""Dynamic rebinning without data movement.
+
+The paper's motivation (Section IV): speeding the reduction up "enables
+broader modeling and simulation options (e.g., 3D volumes, real-time)
+and dynamically modifying histogram binning parameters while minimizing
+the need for data movement."  This module delivers that capability: an
+:class:`InMemoryReducer` loads each run's MDEvents **once**, keeps them
+resident, and produces cross-sections for arbitrary output grids —
+different bin counts, different projection bases, thicker or thinner L
+slices, full 3-D volumes — without touching the files again.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.binmd import bin_events
+from repro.core.cross_section import CrossSectionResult
+from repro.core.grid import HKLGrid
+from repro.core.hist3 import Hist3
+from repro.core.md_event_workspace import MDEventWorkspace, load_md
+from repro.core.mdnorm import mdnorm
+from repro.crystal.symmetry import PointGroup
+from repro.instruments.detector import DetectorArray
+from repro.nexus.corrections import FluxSpectrum
+from repro.util.timers import StageTimings
+from repro.util.validation import ValidationError, require
+
+
+class InMemoryReducer:
+    """Load runs once; rebin onto any grid on demand."""
+
+    def __init__(
+        self,
+        md_paths: Sequence[str],
+        flux: FluxSpectrum,
+        instrument: DetectorArray,
+        solid_angles: np.ndarray,
+        point_group: PointGroup,
+        *,
+        backend: Optional[str] = None,
+    ) -> None:
+        require(len(md_paths) >= 1, "need at least one run file")
+        self.flux = flux
+        self.instrument = instrument
+        self.solid_angles = np.ascontiguousarray(solid_angles, dtype=np.float64)
+        self.point_group = point_group
+        self.backend = backend
+        self.load_count = 0
+        self._workspaces: List[MDEventWorkspace] = []
+        for path in md_paths:
+            ws = load_md(path)
+            if ws.ub_matrix is None:
+                raise ValidationError(f"{path!r} carries no UB matrix")
+            self._workspaces.append(ws)
+            self.load_count += 1
+
+    @property
+    def n_runs(self) -> int:
+        return len(self._workspaces)
+
+    @property
+    def total_events(self) -> int:
+        return sum(ws.n_events for ws in self._workspaces)
+
+    def reduce(self, grid: HKLGrid) -> CrossSectionResult:
+        """Produce the cross-section on ``grid`` from resident events.
+
+        No file I/O happens here — the ``UpdateEvents`` stage of the
+        returned timings is exactly zero, which is the data-movement
+        saving the paper's motivation describes.
+        """
+        timings = StageTimings(label=f"rebin[{grid.bins}]")
+        binmd_hist = Hist3(grid, track_errors=True)
+        mdnorm_hist = Hist3(grid)
+        with timings.stage("Total"):
+            for ws in self._workspaces:
+                event_t = grid.transforms_for(ws.ub_matrix, self.point_group)
+                traj_t = grid.transforms_for(
+                    ws.ub_matrix, self.point_group, goniometer=ws.goniometer
+                )
+                with timings.stage("MDNorm"):
+                    mdnorm(
+                        mdnorm_hist, traj_t, self.instrument.directions,
+                        self.solid_angles, self.flux, ws.momentum_band,
+                        charge=ws.proton_charge, backend=self.backend,
+                    )
+                with timings.stage("BinMD"):
+                    bin_events(binmd_hist, ws.events, event_t, backend=self.backend)
+            cross = binmd_hist.divide(mdnorm_hist)
+        return CrossSectionResult(
+            cross_section=cross,
+            binmd=binmd_hist,
+            mdnorm=mdnorm_hist,
+            timings=timings,
+            n_runs=self.n_runs,
+            backend=self.backend or "default",
+        )
+
+    def reduce_volume(
+        self,
+        bins: tuple[int, int, int],
+        *,
+        basis: Optional[np.ndarray] = None,
+        minimum: tuple[float, float, float] = (-6.0, -6.0, -6.0),
+        maximum: tuple[float, float, float] = (6.0, 6.0, 6.0),
+    ) -> CrossSectionResult:
+        """Convenience: a full 3-D volume reduction (lBins > 1) — the
+        "3D volumes" option the paper says acceleration unlocks."""
+        grid = HKLGrid(
+            basis=np.eye(3) if basis is None else basis,
+            minimum=minimum,
+            maximum=maximum,
+            bins=bins,
+        )
+        return self.reduce(grid)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"InMemoryReducer(runs={self.n_runs}, events={self.total_events}, "
+            f"loads={self.load_count})"
+        )

@@ -1,0 +1,61 @@
+"""Terminal rendering of reduced histograms.
+
+MiniVATES.jl "does not save any output files" and the paper's Fig. 4
+panels are images; in a terminal-first reproduction the equivalent is
+an ASCII intensity map.  Used by ``examples/bixbyite_topaz.py`` and the
+CLI's ``--render`` flag.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.hist3 import Hist3
+from repro.util.validation import require
+
+#: intensity ramp, dark to bright
+SHADES = " .:-=+*#%@"
+
+
+def ascii_map(
+    slice2d: np.ndarray,
+    *,
+    width: int = 64,
+    percentile: float = 97.0,
+) -> str:
+    """Render a 2-D intensity array as terminal art.
+
+    The array is block-averaged down to roughly ``width`` columns (half
+    as many rows, matching terminal cell aspect), scaled to the given
+    intensity percentile of the non-empty pixels, and mapped onto a
+    10-step shade ramp.  NaNs (undefined cross-section bins) render as
+    empty.
+    """
+    require(width >= 4, "width must be >= 4")
+    require(0 < percentile <= 100, "percentile must be in (0, 100]")
+    data = np.nan_to_num(np.asarray(slice2d, dtype=np.float64), nan=0.0)
+    if data.ndim != 2:
+        raise ValueError(f"ascii_map expects a 2-D array, got {data.shape}")
+    n0, n1 = data.shape
+    step0 = max(1, n0 // max(width // 2, 1))
+    step1 = max(1, n1 // width)
+    ds = data[: n0 // step0 * step0, : n1 // step1 * step1]
+    if ds.size == 0:
+        return ""
+    ds = ds.reshape(ds.shape[0] // step0, step0, ds.shape[1] // step1, step1)
+    ds = ds.mean(axis=(1, 3))
+    positive = ds[ds > 0]
+    top = np.percentile(positive, percentile) if positive.size else 1.0
+    scaled = np.clip(ds / max(top, 1e-30), 0.0, 1.0)
+    idx = (scaled * (len(SHADES) - 1)).astype(int)
+    return "\n".join("".join(SHADES[i] for i in row) for row in idx)
+
+
+def render_hist(hist: Hist3, *, axis: int = 2, index: int = 0, width: int = 64) -> str:
+    """Render one 2-D slice of a histogram, with an axis banner."""
+    banner = (
+        f"{hist.grid.names[(axis + 1) % 3]} x {hist.grid.names[(axis + 2) % 3]} "
+        f"(slice {index} of {hist.grid.names[axis]}, "
+        f"coverage {hist.nonzero_fraction():.1%})"
+    )
+    return banner + "\n" + ascii_map(hist.slice2d(axis=axis, index=index), width=width)

@@ -1,0 +1,62 @@
+"""Sample goniometer rotations.
+
+SNS single-crystal instruments rotate the sample between runs (one
+goniometer setting per run; CORELLI's Benzil ensemble is 36 omega
+settings, TOPAZ's Bixbyite 22 arbitrary orientations).  The rotation
+``R`` carries sample-frame vectors into the lab frame:
+``Q_lab = R @ Q_sample``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import ValidationError, as_float_array
+
+
+def rotation_about_axis(axis: np.ndarray, angle_deg: float) -> np.ndarray:
+    """Rodrigues rotation matrix about ``axis`` by ``angle_deg`` degrees."""
+    axis = as_float_array(axis, "axis", ndim=1)
+    if axis.shape != (3,):
+        raise ValidationError(f"axis must have 3 components, got {axis.shape}")
+    n = np.linalg.norm(axis)
+    if n < 1e-12:
+        raise ValidationError("rotation axis must be non-zero")
+    x, y, z = axis / n
+    theta = np.radians(angle_deg)
+    c, s = np.cos(theta), np.sin(theta)
+    k = np.array([[0.0, -z, y], [z, 0.0, -x], [-y, x, 0.0]])
+    return np.eye(3) + s * k + (1.0 - c) * (k @ k)
+
+
+def goniometer_omega_chi_phi(omega: float, chi: float = 0.0, phi: float = 0.0) -> np.ndarray:
+    """Standard SNS goniometer: R = Ry(omega) Rz(chi) Ry(phi), degrees.
+
+    The vertical axis is y (omega and phi), chi tilts about the beam-
+    perpendicular z axis, matching Mantid's default goniometer for
+    CORELLI/TOPAZ.
+    """
+    ry_omega = rotation_about_axis(np.array([0.0, 1.0, 0.0]), omega)
+    rz_chi = rotation_about_axis(np.array([0.0, 0.0, 1.0]), chi)
+    ry_phi = rotation_about_axis(np.array([0.0, 1.0, 0.0]), phi)
+    return ry_omega @ rz_chi @ ry_phi
+
+
+@dataclass(frozen=True)
+class Goniometer:
+    """A named goniometer setting (one per experiment run)."""
+
+    omega: float
+    chi: float = 0.0
+    phi: float = 0.0
+
+    @property
+    def rotation(self) -> np.ndarray:
+        return goniometer_omega_chi_phi(self.omega, self.chi, self.phi)
+
+    @property
+    def inverse(self) -> np.ndarray:
+        r = self.rotation
+        return r.T  # rotations: inverse == transpose

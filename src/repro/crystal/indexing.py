@@ -1,0 +1,117 @@
+"""UB refinement from indexed peaks.
+
+The production workflow determines a sample's orientation by indexing
+observed Bragg peaks against the known lattice (Mantid's
+``FindUBUsingLatticeParameters`` / ``CalculateUMatrix``).  Given peak
+positions in Q_sample and their integer (H, K, L) assignments, the
+optimal orientation U solves the orthogonal Procrustes problem
+
+    U* = argmin_U  sum_i || U B hkl_i - q_i / (2 pi) ||^2
+
+whose closed form is the Kabsch/SVD algorithm.  :func:`refine_ub`
+implements it; :func:`index_peaks` produces the integer assignments by
+rounding fractional HKL under a trial UB.
+
+Together with :mod:`repro.core.peaks` this closes the last loop of the
+reproduction: reduce -> find peaks -> index -> recover the orientation
+the synthetic events were generated with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.crystal.lattice import UnitCell
+from repro.crystal.ub import TWO_PI, UBMatrix
+from repro.util.validation import ValidationError, require
+
+
+@dataclass(frozen=True)
+class IndexingResult:
+    """Outcome of :func:`index_peaks`."""
+
+    #: (n, 3) integer HKL assignments
+    hkl: np.ndarray
+    #: (n,) boolean: assignment within tolerance
+    indexed: np.ndarray
+    #: (n,) max |fractional - integer| per peak
+    residual: np.ndarray
+
+    @property
+    def n_indexed(self) -> int:
+        return int(self.indexed.sum())
+
+    @property
+    def fraction_indexed(self) -> float:
+        return float(self.indexed.mean()) if self.indexed.size else 0.0
+
+
+def index_peaks(
+    q_sample: np.ndarray,
+    trial_ub: UBMatrix,
+    *,
+    tolerance: float = 0.15,
+) -> IndexingResult:
+    """Assign integer HKL to peaks under a trial orientation.
+
+    A peak is *indexed* when every fractional Miller index is within
+    ``tolerance`` of an integer.
+    """
+    require(0 < tolerance < 0.5, "tolerance must be in (0, 0.5)")
+    q = np.asarray(q_sample, dtype=np.float64)
+    if q.ndim != 2 or q.shape[1] != 3:
+        raise ValidationError(f"q_sample must be (n, 3), got {q.shape}")
+    frac = trial_ub.q_sample_to_hkl(q)
+    hkl = np.rint(frac)
+    residual = np.max(np.abs(frac - hkl), axis=1)
+    return IndexingResult(
+        hkl=hkl.astype(np.int64),
+        indexed=residual <= tolerance,
+        residual=residual,
+    )
+
+
+def refine_ub(
+    q_sample: np.ndarray,
+    hkl: np.ndarray,
+    cell: UnitCell,
+) -> UBMatrix:
+    """Optimal-orientation UB from indexed peaks (Kabsch algorithm).
+
+    Parameters
+    ----------
+    q_sample:
+        ``(n, 3)`` peak momentum transfers in the sample frame.
+    hkl:
+        ``(n, 3)`` their integer Miller indices.
+    cell:
+        The known unit cell (B is computed from it; only U is fitted).
+    """
+    q = np.asarray(q_sample, dtype=np.float64)
+    h = np.asarray(hkl, dtype=np.float64)
+    require(q.ndim == 2 and q.shape[1] == 3, "q_sample must be (n, 3)")
+    require(h.shape == q.shape, "hkl and q_sample shapes differ")
+    require(q.shape[0] >= 2, "need at least two peaks to orient a crystal")
+
+    b = cell.b_matrix()
+    source = h @ b.T  # B hkl, the crystal-frame directions
+    target = q / TWO_PI
+    # guard against degenerate (collinear) peak sets
+    if np.linalg.matrix_rank(np.vstack([source, np.zeros((1, 3))])) < 2:
+        raise ValidationError("peaks are collinear; orientation is ambiguous")
+
+    # Kabsch: U = V diag(1, 1, det) W^T for H = source^T target = W S V^T
+    covariance = source.T @ target
+    w, _s, vt = np.linalg.svd(covariance)
+    d = np.sign(np.linalg.det(vt.T @ w.T))
+    u = vt.T @ np.diag([1.0, 1.0, d]) @ w.T
+    return UBMatrix(cell=cell, u=u)
+
+
+def indexing_error(ub: UBMatrix, q_sample: np.ndarray, hkl: np.ndarray) -> float:
+    """RMS distance (in r.l.u.) between assigned and predicted indices."""
+    frac = ub.q_sample_to_hkl(np.asarray(q_sample, dtype=np.float64))
+    d = frac - np.asarray(hkl, dtype=np.float64)
+    return float(np.sqrt(np.mean(np.sum(d * d, axis=1))))

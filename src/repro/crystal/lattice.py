@@ -1,0 +1,98 @@
+"""Unit cells and the Busing-Levy B matrix.
+
+Conventions (Busing & Levy 1967, as used by Mantid):
+
+* direct cell parameters ``a, b, c`` in Angstrom, angles
+  ``alpha, beta, gamma`` in degrees;
+* reciprocal parameters ``a* = b c sin(alpha) / V`` etc. (no 2 pi);
+* the B matrix maps integer (H, K, L) to a Cartesian reciprocal-space
+  vector in units of 1/Angstrom (again without the 2 pi, which the UB
+  transforms in :mod:`repro.crystal.ub` apply explicitly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import cos, radians, sin, sqrt
+
+import numpy as np
+
+from repro.util.validation import ValidationError, require
+
+
+@dataclass(frozen=True)
+class UnitCell:
+    """A crystallographic unit cell."""
+
+    a: float
+    b: float
+    c: float
+    alpha: float = 90.0
+    beta: float = 90.0
+    gamma: float = 90.0
+
+    def __post_init__(self) -> None:
+        for name in ("a", "b", "c"):
+            require(getattr(self, name) > 0, f"cell edge {name} must be positive")
+        for name in ("alpha", "beta", "gamma"):
+            ang = getattr(self, name)
+            require(0.0 < ang < 180.0, f"cell angle {name} must be in (0, 180)")
+        # The metric must be positive definite; the triple-product formula
+        # under the square root in `volume` must be positive.
+        ca, cb, cg = (cos(radians(x)) for x in (self.alpha, self.beta, self.gamma))
+        disc = 1.0 - ca * ca - cb * cb - cg * cg + 2.0 * ca * cb * cg
+        if disc <= 0.0:
+            raise ValidationError(f"degenerate cell angles {self.alpha}/{self.beta}/{self.gamma}")
+
+    @property
+    def volume(self) -> float:
+        """Direct cell volume in Angstrom^3."""
+        ca, cb, cg = (cos(radians(x)) for x in (self.alpha, self.beta, self.gamma))
+        disc = 1.0 - ca * ca - cb * cb - cg * cg + 2.0 * ca * cb * cg
+        return self.a * self.b * self.c * sqrt(disc)
+
+    def metric_tensor(self) -> np.ndarray:
+        """Direct-space metric tensor G (dot products of cell vectors)."""
+        a, b, c = self.a, self.b, self.c
+        ca, cb, cg = (cos(radians(x)) for x in (self.alpha, self.beta, self.gamma))
+        return np.array(
+            [
+                [a * a, a * b * cg, a * c * cb],
+                [a * b * cg, b * b, b * c * ca],
+                [a * c * cb, b * c * ca, c * c],
+            ]
+        )
+
+    def reciprocal(self) -> "UnitCell":
+        """The reciprocal cell (lengths in 1/Angstrom, angles in degrees)."""
+        g_star = np.linalg.inv(self.metric_tensor())
+        ra, rb, rc = np.sqrt(np.diag(g_star))
+        ralpha = np.degrees(np.arccos(g_star[1, 2] / (rb * rc)))
+        rbeta = np.degrees(np.arccos(g_star[0, 2] / (ra * rc)))
+        rgamma = np.degrees(np.arccos(g_star[0, 1] / (ra * rb)))
+        return UnitCell(ra, rb, rc, ralpha, rbeta, rgamma)
+
+    def b_matrix(self) -> np.ndarray:
+        """Busing-Levy B: Cartesian reciprocal coordinates of (H,K,L)."""
+        rec = self.reciprocal()
+        ra, rb, rc = rec.a, rec.b, rec.c
+        rbeta, rgamma = radians(rec.beta), radians(rec.gamma)
+        return np.array(
+            [
+                [ra, rb * cos(rgamma), rc * cos(rbeta)],
+                [0.0, rb * sin(rgamma), -rc * sin(rbeta) * cos(radians(self.alpha))],
+                [0.0, 0.0, 1.0 / self.c],
+            ]
+        )
+
+    def d_spacing(self, hkl: np.ndarray) -> np.ndarray:
+        """Interplanar spacing(s) d(hkl) in Angstrom; hkl is (..., 3)."""
+        hkl = np.asarray(hkl, dtype=np.float64)
+        g_star = np.linalg.inv(self.metric_tensor())
+        inv_d_sq = np.einsum("...i,ij,...j->...", hkl, g_star, hkl)
+        with np.errstate(divide="ignore"):
+            return 1.0 / np.sqrt(inv_d_sq)
+
+    def q_magnitude(self, hkl: np.ndarray) -> np.ndarray:
+        """|Q| = 2 pi / d for the given reflection(s)."""
+        return 2.0 * np.pi / self.d_spacing(hkl)

@@ -1,0 +1,115 @@
+"""Orientation (U) and UB matrices; HKL <-> Q_sample transforms.
+
+Conventions follow Mantid:
+
+* ``Q_sample = 2 pi * UB * hkl`` (1/Angstrom),
+* ``hkl = (2 pi * UB)^-1 * Q_sample``,
+* ``U`` is a proper rotation carrying the Busing-Levy Cartesian frame of
+  the crystal onto the sample frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.crystal.lattice import UnitCell
+from repro.util.validation import ValidationError, as_matrix3
+
+TWO_PI = 2.0 * np.pi
+
+
+def _orthonormalize(u: np.ndarray) -> np.ndarray:
+    """Project a near-rotation onto the closest proper rotation (SVD)."""
+    w, _s, vt = np.linalg.svd(u)
+    r = w @ vt
+    if np.linalg.det(r) < 0:
+        w[:, -1] *= -1.0
+        r = w @ vt
+    return r
+
+
+@dataclass
+class UBMatrix:
+    """The UB matrix of an oriented single crystal."""
+
+    cell: UnitCell
+    u: np.ndarray = field(default_factory=lambda: np.eye(3))
+
+    def __post_init__(self) -> None:
+        self.u = as_matrix3(self.u, "u")
+        if not np.allclose(self.u @ self.u.T, np.eye(3), atol=1e-8):
+            raise ValidationError("U must be orthogonal")
+        if np.linalg.det(self.u) < 0:
+            raise ValidationError("U must be a proper rotation (det=+1)")
+
+    @classmethod
+    def from_u_vectors(cls, cell: UnitCell, u_along: np.ndarray, v_in_plane: np.ndarray) -> "UBMatrix":
+        """Orient so reflection ``u_along`` points along beam (+z) and
+        ``v_in_plane`` lies in the (x, z) plane — the standard SetUB
+        (u, v) convention."""
+        b = cell.b_matrix()
+        qu = b @ np.asarray(u_along, dtype=np.float64)
+        qv = b @ np.asarray(v_in_plane, dtype=np.float64)
+        nu = np.linalg.norm(qu)
+        if nu < 1e-12:
+            raise ValidationError("u_along maps to zero reciprocal vector")
+        e3 = qu / nu
+        qv_perp = qv - (qv @ e3) * e3
+        nv = np.linalg.norm(qv_perp)
+        if nv < 1e-12:
+            raise ValidationError("v_in_plane is parallel to u_along")
+        e1 = qv_perp / nv
+        e2 = np.cross(e3, e1)
+        # Crystal Cartesian frame (e1,e2,e3) -> sample frame (x,y,z).
+        t_crystal = np.column_stack([e1, e2, e3])
+        u = _orthonormalize(np.eye(3) @ t_crystal.T)
+        return cls(cell=cell, u=u)
+
+    @classmethod
+    def from_matrix(cls, ub: np.ndarray) -> "UBMatrix":
+        """Recover cell and orientation from a raw UB matrix.
+
+        Uses ``(UB)^T (UB) = G*`` to get the reciprocal metric, rebuilds
+        B, then ``U = UB B^-1`` re-orthonormalized.
+        """
+        ub = as_matrix3(ub, "ub")
+        g_star = ub.T @ ub
+        g = np.linalg.inv(g_star)
+        a, b_len, c = np.sqrt(np.diag(g))
+        alpha = np.degrees(np.arccos(g[1, 2] / (b_len * c)))
+        beta = np.degrees(np.arccos(g[0, 2] / (a * c)))
+        gamma = np.degrees(np.arccos(g[0, 1] / (a * b_len)))
+        cell = UnitCell(a, b_len, c, alpha, beta, gamma)
+        u = _orthonormalize(ub @ np.linalg.inv(cell.b_matrix()))
+        return cls(cell=cell, u=u)
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """UB (without the 2 pi)."""
+        return self.u @ self.cell.b_matrix()
+
+    def hkl_to_q_sample(self, hkl: np.ndarray) -> np.ndarray:
+        """(..., 3) hkl -> (..., 3) Q_sample in 1/Angstrom."""
+        hkl = np.asarray(hkl, dtype=np.float64)
+        return TWO_PI * hkl @ self.matrix.T
+
+    def q_sample_to_hkl(self, q_sample: np.ndarray) -> np.ndarray:
+        """(..., 3) Q_sample -> (..., 3) fractional hkl."""
+        q = np.asarray(q_sample, dtype=np.float64)
+        inv = np.linalg.inv(TWO_PI * self.matrix)
+        return q @ inv.T
+
+    def hkl_transform(self, goniometer: Optional[np.ndarray] = None) -> np.ndarray:
+        """The matrix M with ``hkl = M @ Q_lab``.
+
+        ``Q_sample = R^-1 Q_lab`` for goniometer rotation R, and
+        ``hkl = (2 pi UB)^-1 Q_sample``.  With ``goniometer=None`` the
+        identity rotation is used.
+        """
+        m = np.linalg.inv(TWO_PI * self.matrix)
+        if goniometer is not None:
+            m = m @ np.linalg.inv(as_matrix3(goniometer, "goniometer"))
+        return m

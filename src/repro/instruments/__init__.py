@@ -1,0 +1,50 @@
+"""Instrument models: CORELLI and TOPAZ geometry plus event synthesis.
+
+The real experiment data (8.5 GB Benzil / 206 GB Bixbyite NeXus files)
+is facility-internal; this subpackage substitutes a physically faithful
+synthetic pipeline:
+
+* :mod:`repro.instruments.detector` — generic pixelated detector arrays
+  (positions, flight paths, solid angles, direction lookup);
+* :mod:`repro.instruments.corelli` — CORELLI's cylindrical geometry
+  (372K pixels at full scale, 20 m moderator-sample flight path);
+* :mod:`repro.instruments.topaz` — TOPAZ's panel geometry (1.6M pixels
+  at full scale, short sample-detector distances);
+* :mod:`repro.instruments.conversion` — time-of-flight <-> wavelength
+  <-> momentum <-> Q_lab kinematics;
+* :mod:`repro.instruments.synth` — synthetic single-crystal event
+  generation: Bragg peaks + diffuse scattering from the sample's real
+  lattice, mapped through the exact inverse of the reduction kinematics
+  onto (pixel id, time-of-flight) events.
+"""
+
+from repro.instruments.detector import DetectorArray
+from repro.instruments.corelli import make_corelli
+from repro.instruments.topaz import make_topaz
+from repro.instruments.conversion import (
+    tof_to_wavelength,
+    wavelength_to_tof,
+    wavelength_to_momentum,
+    momentum_to_wavelength,
+    q_lab_from_events,
+    H_OVER_MN,
+)
+from repro.instruments.synth import SynthesisConfig, synthesize_run, instrument_q_window
+from repro.instruments.idf import read_instrument, write_instrument
+
+__all__ = [
+    "DetectorArray",
+    "make_corelli",
+    "make_topaz",
+    "tof_to_wavelength",
+    "wavelength_to_tof",
+    "wavelength_to_momentum",
+    "momentum_to_wavelength",
+    "q_lab_from_events",
+    "H_OVER_MN",
+    "SynthesisConfig",
+    "synthesize_run",
+    "instrument_q_window",
+    "read_instrument",
+    "write_instrument",
+]

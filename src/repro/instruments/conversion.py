@@ -1,0 +1,103 @@
+"""Time-of-flight kinematics.
+
+Conventions (Mantid / SNS):
+
+* lab frame: sample at the origin, incident beam along +z, y vertical;
+* elastic scattering: ``|k_f| = |k_i| = k = 2 pi / lambda``;
+* momentum transfer ``Q_lab = k_i - k_f = k (z_hat - d_hat)`` where
+  ``d_hat`` is the unit vector from sample to the detector pixel;
+* de Broglie: ``lambda[A] = (h / m_n) * t / L`` with the neutron's total
+  flight path ``L = L1 + L2`` and ``h/m_n = 3956.034 A m/s``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import require
+
+#: h / m_n in Angstrom * meter / second
+H_OVER_MN = 3956.034
+
+#: conversion factor: lambda[A] = TOF_US_TO_LAMBDA * tof[us] / L[m]
+TOF_US_TO_LAMBDA = H_OVER_MN * 1.0e-6
+
+
+def tof_to_wavelength(tof_us: np.ndarray, flight_path_m: np.ndarray) -> np.ndarray:
+    """Time of flight (microseconds) -> wavelength (Angstrom)."""
+    return TOF_US_TO_LAMBDA * np.asarray(tof_us, dtype=np.float64) / np.asarray(
+        flight_path_m, dtype=np.float64
+    )
+
+
+def wavelength_to_tof(lam: np.ndarray, flight_path_m: np.ndarray) -> np.ndarray:
+    """Wavelength (Angstrom) -> time of flight (microseconds)."""
+    return np.asarray(lam, dtype=np.float64) * np.asarray(
+        flight_path_m, dtype=np.float64
+    ) / TOF_US_TO_LAMBDA
+
+
+def wavelength_to_momentum(lam: np.ndarray) -> np.ndarray:
+    """lambda (Angstrom) -> k = 2 pi / lambda (1/Angstrom)."""
+    lam = np.asarray(lam, dtype=np.float64)
+    return 2.0 * np.pi / lam
+
+
+def momentum_to_wavelength(k: np.ndarray) -> np.ndarray:
+    """k (1/Angstrom) -> lambda = 2 pi / k (Angstrom)."""
+    k = np.asarray(k, dtype=np.float64)
+    return 2.0 * np.pi / k
+
+
+def q_lab_from_events(
+    tof_us: np.ndarray,
+    detector_directions: np.ndarray,
+    flight_path_m: np.ndarray,
+) -> np.ndarray:
+    """Momentum transfer of raw events.
+
+    Parameters
+    ----------
+    tof_us:
+        ``(n,)`` times of flight in microseconds.
+    detector_directions:
+        ``(n, 3)`` unit vectors sample -> pixel for each event.
+    flight_path_m:
+        ``(n,)`` total flight path L1 + L2(pixel) in meters.
+
+    Returns
+    -------
+    ``(n, 3)`` Q_lab in 1/Angstrom.
+    """
+    lam = tof_to_wavelength(tof_us, flight_path_m)
+    k = wavelength_to_momentum(lam)
+    d = np.asarray(detector_directions, dtype=np.float64)
+    require(d.ndim == 2 and d.shape[1] == 3, "detector_directions must be (n, 3)")
+    q = -d * k[:, None]
+    q[:, 2] += k
+    return q
+
+
+def momentum_from_q_elastic(q_lab: np.ndarray) -> np.ndarray:
+    """Solve the elastic condition for k given Q_lab.
+
+    From ``Q = k (z_hat - d_hat)`` with ``|d_hat| = 1`` follows
+    ``|Q|^2 = 2 k Q_z``, i.e. ``k = |Q|^2 / (2 Q_z)``.  Entries with
+    ``Q_z <= 0`` are kinematically unreachable and return ``inf``.
+    """
+    q = np.asarray(q_lab, dtype=np.float64)
+    qsq = np.einsum("...i,...i->...", q, q)
+    qz = q[..., 2]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        k = np.where(qz > 0.0, qsq / (2.0 * qz), np.inf)
+    return k
+
+
+def scattering_direction_from_q(q_lab: np.ndarray, k: np.ndarray) -> np.ndarray:
+    """Unit vector sample -> detector for given Q_lab and momentum k:
+    ``d_hat = z_hat - Q / k``."""
+    q = np.asarray(q_lab, dtype=np.float64)
+    k = np.asarray(k, dtype=np.float64)
+    d = -q / k[..., None]
+    d[..., 2] += 1.0
+    return d

@@ -1,0 +1,64 @@
+"""Instrument definition files.
+
+Mantid instruments are defined by on-disk definition files (IDF) so a
+reduction can run anywhere the data travels.  This module provides the
+equivalent for :class:`DetectorArray`: a complete geometry serialization
+(pixel positions, areas, flight path, wavelength band) in the h5lite
+container, written next to the event files by the workload builder, so
+a dataset directory is self-contained.
+
+Schema::
+
+    /instrument          NX_class="NXinstrument"
+      name               string
+      positions          (n, 3) float64, meters, zlib-compressed
+      pixel_area         (n,) float64, m^2, zlib-compressed
+      l1                 scalar float64, meters
+      wavelength_band    (2,) float64, Angstrom
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.instruments.detector import DetectorArray
+from repro.nexus.h5lite import File, H5LiteError
+
+
+def write_instrument(path: Union[str, os.PathLike], instrument: DetectorArray) -> None:
+    """Serialize an instrument geometry to a definition file."""
+    with File(path, "w") as f:
+        grp = f.create_group("instrument")
+        grp.attrs["NX_class"] = "NXinstrument"
+        grp.create_dataset("name", data=np.array(instrument.name))
+        grp.create_dataset("positions", data=instrument.positions,
+                           compression="zlib")
+        grp.create_dataset("pixel_area", data=instrument.pixel_area,
+                           compression="zlib")
+        grp.create_dataset("l1", data=np.array(instrument.l1, dtype=np.float64))
+        grp.create_dataset(
+            "wavelength_band",
+            data=np.asarray(instrument.wavelength_band, dtype=np.float64),
+        )
+
+
+def read_instrument(path: Union[str, os.PathLike]) -> DetectorArray:
+    """Load an instrument geometry back from its definition file."""
+    with File(path, "r") as f:
+        try:
+            grp = f["instrument"]
+        except KeyError as exc:
+            raise H5LiteError(
+                f"{os.fspath(path)!r} has no /instrument group"
+            ) from exc
+        band = grp.read("wavelength_band")
+        return DetectorArray(
+            name=str(grp.read("name")[()]),
+            positions=grp.read("positions"),
+            pixel_area=grp.read("pixel_area"),
+            l1=float(grp.read("l1")[()]),
+            wavelength_band=(float(band[0]), float(band[1])),
+        )

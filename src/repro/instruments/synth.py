@@ -1,0 +1,202 @@
+"""Synthetic single-crystal event generation.
+
+Substitutes the facility-internal raw data (DESIGN.md section 2): events
+are drawn from the *sample's real reciprocal lattice* — Bragg peaks with
+mosaic broadening plus a diffuse component — and pushed through the
+exact inverse of the reduction kinematics onto ``(pixel id, time of
+flight)`` pairs:
+
+1. draw ``Q_sample`` from the peak/diffuse mixture;
+2. rotate into the lab frame with the run's goniometer,
+   ``Q_lab = R Q_sample``;
+3. solve the elastic condition ``k = |Q|^2 / (2 Q_z)`` and keep events
+   whose momentum lies in the instrument's wavelength band;
+4. compute the scattered direction ``d_hat = z_hat - Q / k`` and find
+   the pixel that records it (KD-tree nearest-direction lookup; events
+   that miss the detector coverage are rejected, like real neutrons);
+5. convert momentum to time of flight over that pixel's flight path.
+
+Because step 2-5 is the inverse of what the reduction does, loading the
+file and converting back to HKL recovers the generated pattern — the
+golden integration tests rely on that round trip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.crystal.reflections import generate_reflections
+from repro.crystal.structures import CrystalStructure
+from repro.crystal.ub import UBMatrix
+from repro.instruments.conversion import (
+    momentum_from_q_elastic,
+    scattering_direction_from_q,
+    wavelength_to_tof,
+    momentum_to_wavelength,
+)
+from repro.instruments.detector import DetectorArray
+from repro.nexus.corrections import FluxSpectrum, VanadiumData
+from repro.nexus.events import RunData
+from repro.util.validation import ReproError, as_matrix3, require
+
+
+class SynthesisError(ReproError):
+    """Event generation could not reach the requested statistics."""
+
+
+@dataclass(frozen=True)
+class SynthesisConfig:
+    """Tunables of the synthetic scattering model."""
+
+    #: Gaussian mosaic broadening of Bragg peaks, 1/Angstrom
+    mosaic_sigma: float = 0.02
+    #: reject |Q| below this (beamstop region), 1/Angstrom
+    q_min: float = 0.5
+    #: |Q| ceiling; None = instrument kinematic limit
+    q_max: Optional[float] = None
+    #: proposal batches before giving up on low-acceptance configurations
+    max_batches: int = 60
+    #: events proposed per batch as a multiple of the shortfall
+    oversample: float = 4.0
+
+
+def instrument_q_window(instrument: DetectorArray, q_min: float = 0.5) -> tuple[float, float]:
+    """The |Q| range the instrument can record elastically.
+
+    ``|Q| = 2 k sin(theta)`` with ``2 theta`` the scattering angle, so
+    the ceiling is ``2 k_max sin(two_theta_max / 2)``.
+    """
+    _k_min, k_max = instrument.momentum_band()
+    tt_max = float(instrument.two_theta.max())
+    q_max = 2.0 * k_max * np.sin(tt_max / 2.0)
+    require(q_max > q_min, "instrument cannot reach the requested q_min")
+    return q_min, q_max
+
+
+def synthesize_run(
+    *,
+    instrument: DetectorArray,
+    structure: CrystalStructure,
+    ub: UBMatrix,
+    goniometer: np.ndarray,
+    n_events: int,
+    rng: np.random.Generator,
+    run_number: int = 0,
+    proton_charge: float = 1.0,
+    run_duration_s: float = 3600.0,
+    config: SynthesisConfig = SynthesisConfig(),
+) -> RunData:
+    """Generate one experiment run of ``n_events`` recorded neutrons."""
+    require(n_events > 0, "n_events must be positive")
+    goniometer = as_matrix3(goniometer, "goniometer")
+    q_min, q_kinematic = instrument_q_window(instrument, config.q_min)
+    q_max = min(config.q_max, q_kinematic) if config.q_max else q_kinematic
+
+    reflections = generate_reflections(structure, q_max, q_min=q_min)
+    q_peaks = ub.hkl_to_q_sample(reflections.hkl.astype(np.float64))
+    peak_prob = reflections.intensity / reflections.intensity.sum()
+
+    k_min, k_max = instrument.momentum_band()
+    det_ids: list[np.ndarray] = []
+    tofs: list[np.ndarray] = []
+    accepted = 0
+    acceptance = 0.05  # adaptive estimate, refined per batch
+
+    for _batch in range(config.max_batches):
+        shortfall = n_events - accepted
+        if shortfall <= 0:
+            break
+        m = int(min(4e6, max(1024, config.oversample * shortfall / max(acceptance, 1e-3))))
+
+        # -- 1. Q_sample from the Bragg/diffuse mixture ------------------
+        is_bragg = rng.random(m) >= structure.diffuse_fraction
+        nb = int(is_bragg.sum())
+        q_s = np.empty((m, 3))
+        if nb:
+            idx = rng.choice(q_peaks.shape[0], size=nb, p=peak_prob)
+            q_s[is_bragg] = q_peaks[idx] + rng.normal(
+                scale=config.mosaic_sigma, size=(nb, 3)
+            )
+        nd = m - nb
+        if nd:
+            # isotropic diffuse: uniform in the spherical shell volume
+            direction = rng.normal(size=(nd, 3))
+            direction /= np.linalg.norm(direction, axis=1, keepdims=True)
+            u = rng.random(nd)
+            radius = np.cbrt(u * (q_max**3 - q_min**3) + q_min**3)
+            q_s[~is_bragg] = direction * radius[:, None]
+
+        # -- 2. rotate to the lab frame ----------------------------------
+        q_lab = q_s @ goniometer.T
+
+        # -- 3. elastic condition and band acceptance --------------------
+        k = momentum_from_q_elastic(q_lab)
+        ok = np.isfinite(k) & (k >= k_min) & (k <= k_max)
+        qmag = np.linalg.norm(q_lab, axis=1)
+        ok &= (qmag >= q_min) & (qmag <= q_max)
+        if not np.any(ok):
+            acceptance = max(acceptance * 0.5, 1e-3)
+            continue
+        q_lab, k = q_lab[ok], k[ok]
+
+        # -- 4. pixel lookup ---------------------------------------------
+        d_hat = scattering_direction_from_q(q_lab, k)
+        norms = np.linalg.norm(d_hat, axis=1, keepdims=True)
+        d_hat = d_hat / norms
+        pix, hit = instrument.nearest_pixel(d_hat)
+        if not np.any(hit):
+            acceptance = max(acceptance * 0.5, 1e-3)
+            continue
+        pix, k = pix[hit], k[hit]
+
+        # -- 5. momentum -> time of flight --------------------------------
+        lam = momentum_to_wavelength(k)
+        flight = instrument.l1 + instrument.l2[pix]
+        tof = wavelength_to_tof(lam, flight)
+
+        take = min(pix.shape[0], shortfall)
+        det_ids.append(pix[:take].astype(np.uint32))
+        tofs.append(tof[:take])
+        accepted += take
+        acceptance = max(pix.shape[0] / m, 1e-3)
+
+    if accepted < n_events:
+        raise SynthesisError(
+            f"only {accepted}/{n_events} events accepted after "
+            f"{config.max_batches} batches; instrument coverage or the "
+            f"wavelength band is too restrictive for this sample"
+        )
+
+    detector_ids = np.concatenate(det_ids)
+    tof_us = np.concatenate(tofs)
+    # event-based acquisition metadata: each event's proton pulse,
+    # uniform beam over the run duration, in acquisition order
+    pulse_times = np.sort(rng.uniform(0.0, run_duration_s, n_events))
+    return RunData(
+        run_number=run_number,
+        detector_ids=detector_ids,
+        tof=tof_us,
+        pulse_times=pulse_times,
+        weights=np.ones(n_events, dtype=np.float32),
+        goniometer=goniometer,
+        proton_charge=proton_charge,
+        wavelength_band=instrument.wavelength_band,
+        instrument=instrument.name,
+        sample=structure.name,
+        ub_matrix=ub.matrix,
+    )
+
+
+def make_vanadium(instrument: DetectorArray, efficiency: float = 1.0) -> VanadiumData:
+    """Vanadium calibration for an instrument: solid angle x efficiency."""
+    require(0 < efficiency <= 1.0, "efficiency must be in (0, 1]")
+    return VanadiumData(detector_weights=instrument.solid_angles * efficiency)
+
+
+def make_flux(instrument: DetectorArray, n_points: int = 256) -> FluxSpectrum:
+    """Synthetic incident flux spectrum over the instrument's band."""
+    lo, hi = instrument.wavelength_band
+    return FluxSpectrum.from_wavelength_band(lo, hi, n_points)

@@ -1,0 +1,81 @@
+"""TOPAZ: high-resolution single-crystal diffractometer (SNS beamline 12).
+
+The real instrument has ~1.6M pixels (the inner loop count of Listing 1
+for the Bixbyite case): about 25 flat 256x256 Anger-camera panels of
+~15x15 cm mounted on a sphere of roughly 40-45 cm around the sample,
+with an 18 m moderator-to-sample flight path.
+
+``make_topaz(scale=...)`` reproduces a panel arrangement at configurable
+per-panel resolution so scaled runs keep the short flight paths, the
+panel tiling and the wide solid-angle coverage of the real instrument.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.instruments.detector import DetectorArray
+from repro.crystal.goniometer import rotation_about_axis
+from repro.util.validation import require
+
+#: pixel count of the full instrument (paper Table II: 1.6M)
+FULL_PIXELS = 1_600_000
+N_PANELS = 24
+PANEL_SIDE_M = 0.158
+PANEL_DISTANCE_M = 0.425
+L1_M = 18.0
+WAVELENGTH_BAND = (0.4, 3.5)
+
+# Panel centers as (two_theta_deg, azimuth_deg) on the detector sphere;
+# a staggered arrangement avoiding the incident and transmitted beam.
+_PANEL_ANGLES = [
+    (tt, az)
+    for tt in (26.0, 48.0, 70.0, 92.0, 114.0, 136.0)
+    for az in (0.0, 90.0, 180.0, 270.0)
+]
+
+
+def make_topaz(n_pixels: int | None = None, scale: float = 1.0) -> DetectorArray:
+    """Build the TOPAZ detector array.
+
+    Parameters
+    ----------
+    n_pixels:
+        Explicit total pixel budget; overrides ``scale``.
+    scale:
+        Fraction of the real instrument's 1.6M pixels to instantiate.
+    """
+    if n_pixels is None:
+        n_pixels = max(N_PANELS * 4, int(round(FULL_PIXELS * scale)))
+    require(n_pixels >= N_PANELS * 4, f"TOPAZ needs >= {N_PANELS * 4} pixels")
+    per_panel_side = max(2, int(round(np.sqrt(n_pixels / N_PANELS))))
+
+    # Local panel grid in its own plane, centered on the origin.
+    half = PANEL_SIDE_M / 2.0
+    u = np.linspace(-half, half, per_panel_side)
+    uu, vv = np.meshgrid(u, u, indexing="ij")
+    local = np.column_stack(
+        [uu.ravel(), vv.ravel(), np.zeros(per_panel_side**2)]
+    )
+
+    panels = []
+    for two_theta, azimuth in _PANEL_ANGLES:
+        # Panel normal points back at the sample.  Start with a panel in
+        # the x-y plane at +z, rotate by two_theta about y, then by the
+        # azimuth about the beam axis z.
+        r_tt = rotation_about_axis(np.array([0.0, 1.0, 0.0]), two_theta)
+        r_az = rotation_about_axis(np.array([0.0, 0.0, 1.0]), azimuth)
+        rot = r_az @ r_tt
+        center = rot @ np.array([0.0, 0.0, PANEL_DISTANCE_M])
+        panels.append(local @ rot.T + center)
+    positions = np.vstack(panels)
+
+    pixel_pitch = PANEL_SIDE_M / per_panel_side
+    pixel_area = np.full(positions.shape[0], pixel_pitch**2)
+    return DetectorArray(
+        name="TOPAZ",
+        positions=positions,
+        pixel_area=pixel_area,
+        l1=L1_M,
+        wavelength_band=WAVELENGTH_BAND,
+    )

@@ -1,0 +1,36 @@
+"""Atomic accumulation primitives.
+
+The paper's Hist3 increments bin values "with atomic operations" so
+thousands of device threads can push concurrently.  The host-side
+equivalents here:
+
+* :func:`atomic_add` — unbuffered scatter-add (``np.add.at``): correct
+  under duplicate indices, which is precisely the guarantee a device
+  ``atomicAdd`` gives;
+* :func:`atomic_add_scalar` — the per-element form used inside scalar
+  kernel bodies (serial/threads back ends).  The threads back end keeps
+  correctness because CPython's GIL serializes the read-modify-write of
+  a single float64 element within one bytecode-level operation window;
+  we still route through this function so the access pattern is
+  explicit and auditable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def atomic_add(target_flat: np.ndarray, indices: np.ndarray, values: np.ndarray | float) -> None:
+    """Scatter-add with full duplicate-index correctness.
+
+    ``target_flat[indices[j]] += values[j]`` for every j, applied
+    unbuffered (unlike ``target_flat[indices] += values``, which drops
+    duplicate contributions — the classic GPU histogram race that
+    ``atomicAdd`` exists to prevent).
+    """
+    np.add.at(target_flat, indices, values)
+
+
+def atomic_add_scalar(target_flat: np.ndarray, index: int, value: float) -> None:
+    """Single-element atomic add used by scalar kernel bodies."""
+    target_flat[index] += value

@@ -1,0 +1,40 @@
+"""In-process MPI simulator with an mpi4py-style API.
+
+Algorithm 1 of the paper distributes the outermost loop over experiment
+runs (files) across MPI ranks; each rank accumulates private MDNorm and
+BinMD histograms that are combined with ``MPI_Reduce`` before the final
+division.  mpi4py is unavailable offline, so this subpackage provides a
+faithful in-process world:
+
+* ranks execute concurrently as threads, each with a :class:`Comm`;
+* lowercase methods (``send``/``recv``/``bcast``/``gather``/``reduce``)
+  move arbitrary Python objects, uppercase methods (``Reduce``/
+  ``Allreduce``/``Bcast``) operate on NumPy buffers without copies on
+  the send side — the same two-level API (and the same performance
+  guidance) as mpi4py;
+* :func:`run_world` launches an SPMD function over ``size`` ranks and
+  collects per-rank return values;
+* :func:`rank_range` is Algorithm 1's contiguous block decomposition.
+
+Semantics (collective completion, reduction associativity, rank-private
+memory) match MPI; wall-clock speedup does not on a single-core host,
+which DESIGN.md documents as part of the hardware substitution.
+"""
+
+from repro.mpi.comm import Comm, SequentialComm, MPIError
+from repro.mpi.ops import SUM, MAX, MIN, PROD, Op
+from repro.mpi.runner import run_world
+from repro.mpi.decomposition import rank_range
+
+__all__ = [
+    "Comm",
+    "SequentialComm",
+    "MPIError",
+    "SUM",
+    "MAX",
+    "MIN",
+    "PROD",
+    "Op",
+    "run_world",
+    "rank_range",
+]

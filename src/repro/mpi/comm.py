@@ -1,0 +1,202 @@
+"""Communicators and collectives for the in-process MPI world.
+
+A :class:`World` holds the shared rendezvous state of ``size`` ranks;
+each rank's :class:`Comm` is its handle into it.  Collectives are
+implemented with a deposit / combine / retrieve protocol separated by
+reusable barriers, which gives MPI's completion semantics (a collective
+returns only when every rank has contributed).  Point-to-point uses one
+FIFO queue per receiving rank with (source, tag) matching and a holding
+area for out-of-order arrivals, like a real unexpected-message queue.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.mpi.ops import Op, SUM
+from repro.util.validation import ReproError
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+class MPIError(ReproError):
+    """Misuse of the simulated MPI API."""
+
+
+class World:
+    """Shared state of one simulated MPI world."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise MPIError(f"world size must be >= 1, got {size}")
+        self.size = size
+        self.barrier = threading.Barrier(size)
+        self.lock = threading.Lock()
+        self.slots: List[Any] = [None] * size
+        self.result: Any = None
+        self.mailboxes: List["queue.Queue[Tuple[int, int, Any]]"] = [
+            queue.Queue() for _ in range(size)
+        ]
+        # per-rank holding area for messages dequeued but not yet matched
+        self.pending: List[List[Tuple[int, int, Any]]] = [[] for _ in range(size)]
+
+
+class Comm:
+    """One rank's communicator handle (mpi4py-flavoured API)."""
+
+    def __init__(self, world: World, rank: int) -> None:
+        if not (0 <= rank < world.size):
+            raise MPIError(f"rank {rank} out of range for size {world.size}")
+        self._world = world
+        self._rank = rank
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return self._world.size
+
+    def Get_rank(self) -> int:
+        return self._rank
+
+    def Get_size(self) -> int:
+        return self._world.size
+
+    # -- synchronization ---------------------------------------------------
+    def Barrier(self) -> None:
+        self._world.barrier.wait()
+
+    barrier = Barrier
+
+    # -- point-to-point (object mode) --------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        if not (0 <= dest < self.size):
+            raise MPIError(f"invalid destination rank {dest}")
+        self._world.mailboxes[dest].put((self._rank, tag, obj))
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG, timeout: float = 60.0) -> Any:
+        pending = self._world.pending[self._rank]
+        for i, (src, t, obj) in enumerate(pending):
+            if (source in (ANY_SOURCE, src)) and (tag in (ANY_TAG, t)):
+                pending.pop(i)
+                return obj
+        box = self._world.mailboxes[self._rank]
+        while True:
+            try:
+                src, t, obj = box.get(timeout=timeout)
+            except queue.Empty:
+                raise MPIError(
+                    f"rank {self._rank} recv(source={source}, tag={tag}) timed out"
+                ) from None
+            if (source in (ANY_SOURCE, src)) and (tag in (ANY_TAG, t)):
+                return obj
+            pending.append((src, t, obj))
+
+    # -- collectives (object mode) ------------------------------------------
+    def _deposit_and_wait(self, value: Any) -> List[Any]:
+        w = self._world
+        w.slots[self._rank] = value
+        w.barrier.wait()
+        snapshot = list(w.slots)
+        w.barrier.wait()  # ensure everyone snapshotted before slot reuse
+        return snapshot
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        snapshot = self._deposit_and_wait(obj if self._rank == root else None)
+        return snapshot[root]
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
+        snapshot = self._deposit_and_wait(obj)
+        return snapshot if self._rank == root else None
+
+    def allgather(self, obj: Any) -> List[Any]:
+        return self._deposit_and_wait(obj)
+
+    def scatter(self, objs: Optional[List[Any]], root: int = 0) -> Any:
+        if self._rank == root:
+            if objs is None or len(objs) != self.size:
+                raise MPIError(f"scatter needs a list of length {self.size} on root")
+        snapshot = self._deposit_and_wait(objs if self._rank == root else None)
+        return snapshot[root][self._rank]
+
+    def reduce(self, obj: Any, op: Op = SUM, root: int = 0) -> Any:
+        snapshot = self._deposit_and_wait(obj)
+        if self._rank != root:
+            return None
+        acc = snapshot[0]
+        for item in snapshot[1:]:
+            acc = op.scalar(acc, item)
+        return acc
+
+    def allreduce(self, obj: Any, op: Op = SUM) -> Any:
+        snapshot = self._deposit_and_wait(obj)
+        acc = snapshot[0]
+        for item in snapshot[1:]:
+            acc = op.scalar(acc, item)
+        return acc
+
+    # -- collectives (buffer mode) --------------------------------------------
+    def Reduce(
+        self,
+        sendbuf: np.ndarray,
+        recvbuf: Optional[np.ndarray],
+        op: Op = SUM,
+        root: int = 0,
+    ) -> None:
+        """Element-wise array reduction into ``recvbuf`` on ``root``.
+
+        ``sendbuf`` is read without copying; only the root materializes
+        the combined result (Algorithm 1's histogram reduction).
+        """
+        send = np.asarray(sendbuf)
+        snapshot = self._deposit_and_wait(send)
+        if self._rank != root:
+            return
+        if recvbuf is None:
+            raise MPIError("root rank must pass a recvbuf to Reduce")
+        if recvbuf.shape != send.shape:
+            raise MPIError(
+                f"recvbuf shape {recvbuf.shape} != sendbuf shape {send.shape}"
+            )
+        np.copyto(recvbuf, snapshot[0])
+        for arr in snapshot[1:]:
+            recvbuf[...] = op.array(recvbuf, arr)
+
+    def Allreduce(self, sendbuf: np.ndarray, recvbuf: np.ndarray, op: Op = SUM) -> None:
+        send = np.asarray(sendbuf)
+        snapshot = self._deposit_and_wait(send)
+        if recvbuf.shape != send.shape:
+            raise MPIError(
+                f"recvbuf shape {recvbuf.shape} != sendbuf shape {send.shape}"
+            )
+        np.copyto(recvbuf, snapshot[0])
+        for arr in snapshot[1:]:
+            recvbuf[...] = op.array(recvbuf, arr)
+
+    def Bcast(self, buf: np.ndarray, root: int = 0) -> None:
+        snapshot = self._deposit_and_wait(buf if self._rank == root else None)
+        if self._rank != root:
+            np.copyto(buf, snapshot[root])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Comm(rank={self._rank}, size={self.size})"
+
+
+class SequentialComm(Comm):
+    """A size-1 communicator usable without spawning a world.
+
+    Lets the reduction workflow run identically in single-process mode
+    (collectives degenerate to copies), the same convenience
+    ``MPI.COMM_SELF`` provides.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(World(1), 0)

@@ -1,0 +1,25 @@
+"""Work decomposition over ranks.
+
+Algorithm 1's first line: ``start, end = range(MPI_Rank, MPI_Size)`` —
+each rank takes a contiguous block of the experiment's runs.
+"""
+
+from __future__ import annotations
+
+from repro.mpi.comm import MPIError
+
+
+def rank_range(n_items: int, rank: int, size: int) -> tuple[int, int]:
+    """Contiguous block [start, end) for ``rank`` out of ``size``.
+
+    Remainder items go to the lowest ranks, so block sizes differ by at
+    most one; every item is assigned exactly once.
+    """
+    if n_items < 0:
+        raise MPIError(f"n_items must be >= 0, got {n_items}")
+    if size < 1 or not (0 <= rank < size):
+        raise MPIError(f"invalid rank/size {rank}/{size}")
+    base, extra = divmod(n_items, size)
+    start = rank * base + min(rank, extra)
+    end = start + base + (1 if rank < extra else 0)
+    return start, end

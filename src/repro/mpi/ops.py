@@ -1,0 +1,23 @@
+"""Reduction operators for the MPI simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Op:
+    """A named, associative, commutative reduction operator."""
+
+    name: str
+    scalar: Callable[[object, object], object]
+    array: Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+SUM = Op("SUM", lambda a, b: a + b, lambda a, b: np.add(a, b))
+PROD = Op("PROD", lambda a, b: a * b, lambda a, b: np.multiply(a, b))
+MAX = Op("MAX", lambda a, b: a if a >= b else b, lambda a, b: np.maximum(a, b))
+MIN = Op("MIN", lambda a, b: a if a <= b else b, lambda a, b: np.minimum(a, b))

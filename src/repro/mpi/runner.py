@@ -1,0 +1,46 @@
+"""SPMD launcher for the in-process MPI world."""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, List
+
+from repro.mpi.comm import Comm, MPIError, World
+
+
+def run_world(size: int, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> List[Any]:
+    """Run ``fn(comm, *args, **kwargs)`` on ``size`` concurrent ranks.
+
+    Returns the per-rank return values in rank order.  If any rank
+    raises, the first exception (by rank) is re-raised after all ranks
+    finish or abort — a deadlock-free analogue of ``MPI_Abort``.
+    """
+    if size < 1:
+        raise MPIError(f"world size must be >= 1, got {size}")
+    world = World(size)
+    results: List[Any] = [None] * size
+    errors: List[BaseException | None] = [None] * size
+
+    def entry(rank: int) -> None:
+        comm = Comm(world, rank)
+        try:
+            results[rank] = fn(comm, *args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            errors[rank] = exc
+            world.barrier.abort()  # unblock peers stuck in collectives
+
+    threads = [
+        threading.Thread(target=entry, args=(rank,), name=f"mpi-rank-{rank}")
+        for rank in range(size)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    for exc in errors:
+        if exc is not None and not isinstance(exc, threading.BrokenBarrierError):
+            raise exc
+    broken = next((e for e in errors if e is not None), None)
+    if broken is not None:
+        raise broken
+    return results

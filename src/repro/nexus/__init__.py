@@ -1,0 +1,72 @@
+"""NeXus-like hierarchical data storage substrate.
+
+The paper's workflow consumes event data stored in the NeXus schema on
+top of HDF5.  Neither library is available offline, so this subpackage
+provides:
+
+* :mod:`repro.nexus.h5lite` — a from-scratch hierarchical binary file
+  format (groups, typed datasets, attributes, per-dataset checksums)
+  with an h5py-flavoured API;
+* :mod:`repro.nexus.schema` — the NeXus event-entry schema used by the
+  SNS instruments (entry/events, DAS logs, sample/UB, proton charge);
+* :mod:`repro.nexus.events` — in-memory run representation (``RunData``)
+  and the 8-column MDEvent table layout shared with the proxies;
+* :mod:`repro.nexus.corrections` — the Vanadium (solid angle x
+  efficiency) and Flux (integrated incident spectrum) files the MDNorm
+  normalization requires.
+"""
+
+from repro.nexus.h5lite import File, Group, Dataset, H5LiteError
+from repro.nexus.events import (
+    RunData,
+    EventTable,
+    COL_SIGNAL,
+    COL_ERROR_SQ,
+    COL_RUN_INDEX,
+    COL_DETECTOR_ID,
+    COL_GONIOMETER_INDEX,
+    COL_QX,
+    COL_QY,
+    COL_QZ,
+    N_EVENT_COLUMNS,
+)
+from repro.nexus.schema import write_event_nexus, read_event_nexus, NXEntryInfo
+from repro.nexus.filtering import filter_time_window, split_by_time, run_duration
+from repro.nexus.corrections import (
+    FluxSpectrum,
+    VanadiumData,
+    write_flux_file,
+    read_flux_file,
+    write_vanadium_file,
+    read_vanadium_file,
+)
+
+__all__ = [
+    "File",
+    "Group",
+    "Dataset",
+    "H5LiteError",
+    "RunData",
+    "EventTable",
+    "COL_SIGNAL",
+    "COL_ERROR_SQ",
+    "COL_RUN_INDEX",
+    "COL_DETECTOR_ID",
+    "COL_GONIOMETER_INDEX",
+    "COL_QX",
+    "COL_QY",
+    "COL_QZ",
+    "N_EVENT_COLUMNS",
+    "write_event_nexus",
+    "read_event_nexus",
+    "NXEntryInfo",
+    "filter_time_window",
+    "split_by_time",
+    "run_duration",
+    "FluxSpectrum",
+    "VanadiumData",
+    "write_flux_file",
+    "read_flux_file",
+    "write_vanadium_file",
+    "read_vanadium_file",
+]

@@ -1,0 +1,172 @@
+"""Normalization correction inputs: the Flux and Vanadium files.
+
+The MDNorm normalization needs two measured corrections (the paper's
+artifact description: "the VanadiumFile and FluxFile are copied to the
+same directory"):
+
+* :class:`FluxSpectrum` — the incident beam spectrum integrated over
+  the monitor, tabulated against neutron momentum ``k = 2 pi / lambda``.
+  MDNorm integrates it along each detector trajectory segment; we store
+  the cumulative integral so a segment's contribution is a difference of
+  two linear interpolations, exactly the ``linear_interpolation()`` step
+  of the paper's Listing 1.
+* :class:`VanadiumData` — per-detector ``solid_angle x efficiency``
+  weights from a vanadium calibration measurement (vanadium scatters
+  incoherently and isotropically, so deviations measure the detector
+  response).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.nexus.h5lite import File
+from repro.util.validation import ValidationError, require
+
+
+@dataclass
+class FluxSpectrum:
+    """Incident flux density tabulated on an ascending momentum grid.
+
+    Attributes
+    ----------
+    momentum:
+        ``(m,)`` strictly ascending momentum grid in 1/Angstrom.
+    density:
+        ``(m,)`` non-negative flux density ``phi(k)``.
+    """
+
+    momentum: np.ndarray
+    density: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.momentum = np.ascontiguousarray(self.momentum, dtype=np.float64)
+        self.density = np.ascontiguousarray(self.density, dtype=np.float64)
+        require(self.momentum.ndim == 1 and self.momentum.size >= 2,
+                "momentum grid needs at least 2 points")
+        require(self.density.shape == self.momentum.shape,
+                "density and momentum shapes differ")
+        if not np.all(np.diff(self.momentum) > 0):
+            raise ValidationError("momentum grid must be strictly ascending")
+        if np.any(self.density < 0):
+            raise ValidationError("flux density must be non-negative")
+        # Cumulative integral Phi(k) by the trapezoid rule; Phi[0] = 0.
+        seg = 0.5 * (self.density[1:] + self.density[:-1]) * np.diff(self.momentum)
+        self._cumulative = np.concatenate([[0.0], np.cumsum(seg)])
+
+    @property
+    def k_min(self) -> float:
+        return float(self.momentum[0])
+
+    @property
+    def k_max(self) -> float:
+        return float(self.momentum[-1])
+
+    @property
+    def total(self) -> float:
+        """Integral of the density over the full band."""
+        return float(self._cumulative[-1])
+
+    def cumulative(self, k: np.ndarray) -> np.ndarray:
+        """Linearly interpolated ``Phi(k)``, clamped to the band edges."""
+        return np.interp(np.asarray(k, dtype=np.float64), self.momentum, self._cumulative)
+
+    def integral(self, k_lo: np.ndarray, k_hi: np.ndarray) -> np.ndarray:
+        """``integral_{k_lo}^{k_hi} phi(k) dk`` (vectorized, clamped)."""
+        return self.cumulative(k_hi) - self.cumulative(k_lo)
+
+    @classmethod
+    def from_wavelength_band(
+        cls,
+        lambda_min: float,
+        lambda_max: float,
+        n_points: int = 256,
+        *,
+        moderator_temperature_peak: float = 1.5,
+    ) -> "FluxSpectrum":
+        """A Maxwellian-like moderator spectrum over a wavelength band.
+
+        A reasonable synthetic stand-in for the SNS monitor spectrum:
+        ``phi(lambda) ~ lambda^-5 exp(-(lp/lambda)^2)`` with peak near
+        ``moderator_temperature_peak`` Angstrom, converted to momentum.
+        """
+        require(0 < lambda_min < lambda_max, "need 0 < lambda_min < lambda_max")
+        lam = np.linspace(lambda_min, lambda_max, n_points)
+        lp = moderator_temperature_peak
+        phi_lambda = lam**-5.0 * np.exp(-((lp / lam) ** 2))
+        phi_lambda /= phi_lambda.max()
+        # Change variables lambda -> k = 2 pi / lambda; dk = 2 pi / lambda^2 dlambda
+        k = 2.0 * np.pi / lam[::-1]
+        phi_k = (phi_lambda * lam**2 / (2.0 * np.pi))[::-1]
+        return cls(momentum=k, density=phi_k)
+
+
+@dataclass
+class VanadiumData:
+    """Per-detector ``solid_angle x efficiency`` calibration weights."""
+
+    detector_weights: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.detector_weights = np.ascontiguousarray(
+            self.detector_weights, dtype=np.float64
+        )
+        require(self.detector_weights.ndim == 1, "detector_weights must be 1-D")
+        if np.any(self.detector_weights < 0):
+            raise ValidationError("detector weights must be non-negative")
+
+    @property
+    def n_detectors(self) -> int:
+        return int(self.detector_weights.shape[0])
+
+    def with_mask(self, detector_ids: np.ndarray) -> "VanadiumData":
+        """A copy with the given detectors masked out (weight 0).
+
+        Masked pixels contribute neither events' normalization weight
+        nor trajectories — the standard way dead/noisy tubes are
+        excluded from a reduction.
+        """
+        ids = np.asarray(detector_ids, dtype=np.int64)
+        if ids.size and (ids.min() < 0 or ids.max() >= self.n_detectors):
+            raise ValidationError(
+                f"mask ids out of range [0, {self.n_detectors})"
+            )
+        weights = self.detector_weights.copy()
+        weights[ids] = 0.0
+        return VanadiumData(detector_weights=weights)
+
+    @property
+    def n_masked(self) -> int:
+        return int(np.count_nonzero(self.detector_weights == 0.0))
+
+
+def write_flux_file(path: Union[str, os.PathLike], flux: FluxSpectrum) -> None:
+    with File(path, "w") as f:
+        grp = f.create_group("flux")
+        grp.attrs["NX_class"] = "NXdata"
+        mom = grp.create_dataset("momentum", data=flux.momentum)
+        mom.attrs["units"] = "1/Angstrom"
+        grp.create_dataset("density", data=flux.density)
+
+
+def read_flux_file(path: Union[str, os.PathLike]) -> FluxSpectrum:
+    with File(path, "r") as f:
+        return FluxSpectrum(
+            momentum=f.read("flux/momentum"), density=f.read("flux/density")
+        )
+
+
+def write_vanadium_file(path: Union[str, os.PathLike], van: VanadiumData) -> None:
+    with File(path, "w") as f:
+        grp = f.create_group("vanadium")
+        grp.attrs["NX_class"] = "NXdata"
+        grp.create_dataset("detector_weights", data=van.detector_weights)
+
+
+def read_vanadium_file(path: Union[str, os.PathLike]) -> VanadiumData:
+    with File(path, "r") as f:
+        return VanadiumData(detector_weights=f.read("vanadium/detector_weights"))

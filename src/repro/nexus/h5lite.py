@@ -1,0 +1,572 @@
+"""h5lite: a minimal hierarchical binary container with an h5py-like API.
+
+The real workflow stores raw and intermediate data in HDF5.  HDF5 is not
+available in this environment, so h5lite implements the subset of the
+model the reduction needs, from scratch:
+
+* a tree of **groups**, each holding child groups and **datasets**;
+* datasets are n-dimensional typed arrays, stored contiguously in
+  C order, read back lazily (``Dataset[...]`` seeks into the file, so a
+  40M-event table is not touched until sliced);
+* string **attributes** plus scalar/array attributes on groups and
+  datasets (NeXus uses attributes for ``NX_class`` tags and units);
+* extendable 1-D/2-D datasets during write (event streams append in
+  chunks, concatenated on close);
+* a CRC32 checksum per dataset, verified on first read, so corrupted
+  files fail loudly instead of producing silent garbage.
+
+On-disk layout::
+
+    +------------------+----------------------------------------------+
+    | 8 bytes          | magic  b"H5LITE01"                           |
+    | 4 bytes  u32 LE  | format version (currently 1)                 |
+    | 8 bytes  u64 LE  | byte offset of the JSON header               |
+    | ...              | raw dataset payloads, 8-byte aligned         |
+    | header           | UTF-8 JSON tree (groups/datasets/attrs)      |
+    | 8 bytes  u64 LE  | length of the JSON header (trailer)          |
+    +------------------+----------------------------------------------+
+
+The header lives at the *end* so payloads stream to disk as they are
+written, like HDF5's contiguous layout; the trailer length makes the
+header locatable from EOF.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import struct
+import zlib
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.util.validation import ReproError
+
+MAGIC = b"H5LITE01"
+FORMAT_VERSION = 1
+_ALIGN = 8
+
+AttrValue = Union[int, float, str, bool, np.ndarray, list]
+
+
+class H5LiteError(ReproError, OSError):
+    """Raised for malformed files, bad modes, and checksum mismatches."""
+
+
+def _encode_attr(value: AttrValue) -> Any:
+    """Encode an attribute value into a JSON-representable object."""
+    if isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, (list, tuple)):
+        value = np.asarray(value)
+    if isinstance(value, np.ndarray):
+        if value.dtype.kind not in "biuf":
+            raise H5LiteError(f"unsupported attribute array dtype {value.dtype}")
+        return {
+            "__ndarray__": True,
+            "dtype": value.dtype.str,
+            "shape": list(value.shape),
+            "data": value.ravel().tolist(),
+        }
+    raise H5LiteError(f"unsupported attribute type {type(value).__name__}")
+
+
+def _decode_attr(value: Any) -> AttrValue:
+    if isinstance(value, dict) and value.get("__ndarray__"):
+        arr = np.array(value["data"], dtype=np.dtype(value["dtype"]))
+        return arr.reshape(value["shape"])
+    return value
+
+
+class AttributeManager:
+    """Dict-like attribute access mirroring ``h5py``'s ``.attrs``."""
+
+    def __init__(self, node: "_Node") -> None:
+        self._node = node
+
+    def __getitem__(self, key: str) -> AttrValue:
+        try:
+            return _decode_attr(self._node._attrs[key])
+        except KeyError:
+            raise KeyError(f"no attribute {key!r} on {self._node.name!r}") from None
+
+    def __setitem__(self, key: str, value: AttrValue) -> None:
+        self._node._file._check_writable()
+        self._node._attrs[key] = _encode_attr(value)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._node._attrs
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._node._attrs)
+
+    def __len__(self) -> int:
+        return len(self._node._attrs)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self[key] if key in self else default
+
+    def items(self) -> Iterator[Tuple[str, AttrValue]]:
+        for k in self._node._attrs:
+            yield k, self[k]
+
+
+class _Node:
+    """Common base of :class:`Group` and :class:`Dataset`."""
+
+    def __init__(self, file: "File", name: str) -> None:
+        self._file = file
+        self.name = name  # absolute path, '/' rooted
+        self._attrs: Dict[str, Any] = {}
+
+    @property
+    def attrs(self) -> AttributeManager:
+        return AttributeManager(self)
+
+    @property
+    def basename(self) -> str:
+        return self.name.rsplit("/", 1)[-1] or "/"
+
+
+class Dataset(_Node):
+    """A typed n-dimensional array stored contiguously in the file.
+
+    While the file is open for writing, data lives in staged in-memory
+    chunks (supporting ``append``).  After close/reopen, ``Dataset``
+    reads lazily from disk; ``[...]`` with a full or partial selection
+    materializes only what is requested along the first axis when the
+    selection is a slice or index on axis 0.
+    """
+
+    def __init__(
+        self,
+        file: "File",
+        name: str,
+        dtype: np.dtype,
+        shape: Tuple[int, ...],
+        compression: Optional[str] = None,
+    ):
+        super().__init__(file, name)
+        self.dtype = np.dtype(dtype)
+        self.shape = tuple(int(s) for s in shape)
+        if compression not in (None, "zlib"):
+            raise H5LiteError(f"unsupported compression {compression!r}")
+        self.compression = compression
+        # write-side staging
+        self._chunks: List[np.ndarray] = []
+        # read-side placement
+        self._offset: Optional[int] = None
+        self._stored_nbytes: Optional[int] = None
+        self._crc: Optional[int] = None
+        self._crc_checked = False
+
+    # -- shape helpers -------------------------------------------------
+    @property
+    def size(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) if self.shape else 1
+
+    @property
+    def nbytes(self) -> int:
+        return self.size * self.dtype.itemsize
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    def __len__(self) -> int:
+        if not self.shape:
+            raise TypeError("len() of a scalar dataset")
+        return self.shape[0]
+
+    # -- write side ----------------------------------------------------
+    def append(self, data: np.ndarray) -> None:
+        """Extend along axis 0 (write mode only).
+
+        All appended blocks must share trailing dimensions and be
+        convertible to the dataset dtype.
+        """
+        self._file._check_writable()
+        block = np.ascontiguousarray(data, dtype=self.dtype)
+        if block.ndim != len(self.shape):
+            raise H5LiteError(
+                f"append block ndim {block.ndim} != dataset ndim {len(self.shape)}"
+            )
+        if block.shape[1:] != self.shape[1:]:
+            raise H5LiteError(
+                f"append block trailing shape {block.shape[1:]} != {self.shape[1:]}"
+            )
+        self._chunks.append(block)
+        self.shape = (self.shape[0] + block.shape[0],) + self.shape[1:]
+
+    def _staged(self) -> np.ndarray:
+        if len(self._chunks) == 1:
+            return self._chunks[0]
+        if not self._chunks:
+            return np.empty(self.shape, dtype=self.dtype)
+        return np.concatenate(self._chunks, axis=0)
+
+    # -- read side -----------------------------------------------------
+    def _read_all(self) -> np.ndarray:
+        if self._chunks or self._offset is None:
+            return self._staged().reshape(self.shape)
+        fh = self._file._fh
+        assert fh is not None
+        fh.seek(self._offset)
+        stored = self._stored_nbytes if self._stored_nbytes is not None else self.nbytes
+        raw = fh.read(stored)
+        if len(raw) != stored:
+            raise H5LiteError(
+                f"truncated dataset {self.name!r}: wanted {stored} bytes, "
+                f"got {len(raw)}"
+            )
+        if not self._crc_checked and self._crc is not None:
+            if zlib.crc32(raw) != self._crc:
+                raise H5LiteError(f"checksum mismatch reading dataset {self.name!r}")
+            self._crc_checked = True
+        if self.compression == "zlib":
+            try:
+                raw = zlib.decompress(raw)
+            except zlib.error as exc:
+                raise H5LiteError(
+                    f"corrupt compressed dataset {self.name!r}: {exc}"
+                ) from exc
+            if len(raw) != self.nbytes:
+                raise H5LiteError(
+                    f"decompressed size mismatch for dataset {self.name!r}"
+                )
+        return np.frombuffer(raw, dtype=self.dtype).reshape(self.shape)
+
+    def _read_rows(self, start: int, stop: int) -> np.ndarray:
+        """Read a contiguous row range [start, stop) along axis 0."""
+        row_items = int(np.prod(self.shape[1:], dtype=np.int64)) if self.ndim > 1 else 1
+        row_bytes = row_items * self.dtype.itemsize
+        fh = self._file._fh
+        assert fh is not None and self._offset is not None
+        fh.seek(self._offset + start * row_bytes)
+        n = stop - start
+        raw = fh.read(n * row_bytes)
+        if len(raw) != n * row_bytes:
+            raise H5LiteError(f"truncated dataset {self.name!r}")
+        return np.frombuffer(raw, dtype=self.dtype).reshape((n,) + self.shape[1:])
+
+    def __getitem__(self, key: Any) -> Any:
+        # Fast path: row-range read without materializing the whole array,
+        # only when integrity was already verified (partial reads cannot
+        # check a whole-payload CRC).
+        if (
+            not self._chunks
+            and self._offset is not None
+            and self.ndim >= 1
+            and isinstance(key, slice)
+            and self._crc_checked
+            and self.compression is None  # compressed payloads read whole
+        ):
+            start, stop, step = key.indices(self.shape[0])
+            if step == 1:
+                return self._read_rows(start, stop)
+        data = self._read_all()
+        if isinstance(key, tuple) and key == ():
+            return data[()] if self.ndim == 0 else data
+        return data[key]
+
+    def read(self) -> np.ndarray:
+        """Materialize the full dataset (verifying the checksum)."""
+        return self._read_all()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<h5lite Dataset {self.name!r} shape={self.shape} dtype={self.dtype}>"
+
+
+class Group(_Node):
+    """A node holding child groups and datasets, addressable by path."""
+
+    def __init__(self, file: "File", name: str) -> None:
+        super().__init__(file, name)
+        self._children: "Dict[str, _Node]" = {}
+
+    # -- creation ------------------------------------------------------
+    def create_group(self, path: str) -> "Group":
+        """Create (or return existing) group, making intermediates."""
+        self._file._check_writable()
+        node = self
+        for part in _split(path):
+            child = node._children.get(part)
+            if child is None:
+                child = Group(self._file, _join(node.name, part))
+                node._children[part] = child
+            elif not isinstance(child, Group):
+                raise H5LiteError(f"{child.name!r} exists and is not a group")
+            node = child
+        return node
+
+    def create_dataset(
+        self,
+        path: str,
+        data: Optional[np.ndarray] = None,
+        *,
+        dtype: Optional[Union[str, np.dtype]] = None,
+        shape: Optional[Tuple[int, ...]] = None,
+        compression: Optional[str] = None,
+    ) -> Dataset:
+        """Create a dataset from ``data``, or empty+extendable with
+        ``dtype`` and a ``shape`` whose axis 0 may start at 0.
+
+        ``compression="zlib"`` stores the payload deflated (whole-
+        payload; partial row reads then materialize the full array).
+        """
+        self._file._check_writable()
+        parts = _split(path)
+        if not parts:
+            raise H5LiteError("dataset path must be non-empty")
+        parent = self.create_group("/".join(parts[:-1])) if len(parts) > 1 else self
+        name = parts[-1]
+        if name in parent._children:
+            raise H5LiteError(f"{_join(parent.name, name)!r} already exists")
+        if data is not None:
+            arr = np.asarray(data, dtype=dtype)
+            if arr.ndim > 0:
+                # note: ascontiguousarray would promote 0-d scalars to 1-d
+                arr = np.ascontiguousarray(arr)
+            if arr.dtype == object:
+                raise H5LiteError("object arrays are not storable")
+            if arr.dtype.kind == "U":  # store unicode as utf-8 bytes
+                encoded = np.char.encode(arr, "utf-8")
+                ds = Dataset(self._file, _join(parent.name, name), encoded.dtype,
+                             encoded.shape, compression=compression)
+                ds._chunks = [np.ascontiguousarray(encoded)]
+                ds._attrs["__utf8__"] = True
+            else:
+                ds = Dataset(self._file, _join(parent.name, name), arr.dtype,
+                             arr.shape, compression=compression)
+                ds._chunks = [arr]
+        else:
+            if dtype is None or shape is None:
+                raise H5LiteError("empty dataset needs explicit dtype and shape")
+            ds = Dataset(self._file, _join(parent.name, name), np.dtype(dtype),
+                         tuple(shape), compression=compression)
+        parent._children[name] = ds
+        return ds
+
+    # -- access --------------------------------------------------------
+    def __getitem__(self, path: str) -> Union["Group", Dataset]:
+        node: _Node = self
+        for part in _split(path):
+            if not isinstance(node, Group) or part not in node._children:
+                raise KeyError(f"no object {path!r} in {self.name!r}")
+            node = node._children[part]
+        return node  # type: ignore[return-value]
+
+    def __contains__(self, path: str) -> bool:
+        try:
+            self[path]
+            return True
+        except KeyError:
+            return False
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._children)
+
+    def keys(self):
+        return self._children.keys()
+
+    def items(self):
+        return self._children.items()
+
+    def groups(self) -> Iterator["Group"]:
+        for child in self._children.values():
+            if isinstance(child, Group):
+                yield child
+
+    def datasets(self) -> Iterator[Dataset]:
+        for child in self._children.values():
+            if isinstance(child, Dataset):
+                yield child
+
+    def visit(self, func) -> None:
+        """Depth-first traversal calling ``func(path, node)``."""
+        for child in self._children.values():
+            func(child.name, child)
+            if isinstance(child, Group):
+                child.visit(func)
+
+    def require_dataset(self, path: str) -> Dataset:
+        node = self[path]
+        if not isinstance(node, Dataset):
+            raise H5LiteError(f"{path!r} is a group, expected dataset")
+        return node
+
+    def read(self, path: str) -> np.ndarray:
+        """Convenience: materialize the dataset at ``path``."""
+        ds = self.require_dataset(path)
+        data = ds.read()
+        if ds._attrs.get("__utf8__") and data.dtype.kind == "S":
+            return np.char.decode(data, "utf-8")
+        return data
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<h5lite Group {self.name!r} ({len(self._children)} members)>"
+
+
+class File(Group):
+    """The root group plus file lifecycle.
+
+    Modes: ``"w"`` create/truncate for writing, ``"r"`` read-only.
+    Usable as a context manager; write mode serializes on ``close``.
+    """
+
+    def __init__(self, path: Union[str, os.PathLike], mode: str = "r") -> None:
+        if mode not in ("r", "w"):
+            raise H5LiteError(f"mode must be 'r' or 'w', got {mode!r}")
+        self.path = os.fspath(path)
+        self.mode = mode
+        self._fh: Optional[io.BufferedIOBase] = None
+        self._closed = False
+        super().__init__(self, "/")
+        if mode == "r":
+            self._fh = open(self.path, "rb")
+            try:
+                self._load_header()
+            except Exception:
+                self._fh.close()
+                raise
+
+    # -- lifecycle -------------------------------------------------------
+    def _check_writable(self) -> None:
+        if self.mode != "w" or self._closed:
+            raise H5LiteError(f"file {self.path!r} is not open for writing")
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        if self.mode == "w":
+            self._write_out()
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        self._closed = True
+
+    def __enter__(self) -> "File":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            if not self._closed and self.mode == "r" and self._fh is not None:
+                self._fh.close()
+        except Exception:
+            pass
+
+    # -- serialization -----------------------------------------------------
+    def _write_out(self) -> None:
+        with open(self.path, "wb") as fh:
+            fh.write(MAGIC)
+            fh.write(struct.pack("<I", FORMAT_VERSION))
+            header_off_pos = fh.tell()
+            fh.write(struct.pack("<Q", 0))  # patched later
+
+            def place(node: _Node) -> Dict[str, Any]:
+                entry: Dict[str, Any] = {"attrs": dict(node._attrs)}
+                if isinstance(node, Dataset):
+                    pad = (-fh.tell()) % _ALIGN
+                    fh.write(b"\x00" * pad)
+                    offset = fh.tell()
+                    payload = node._staged()
+                    raw = payload.tobytes(order="C")
+                    if node.compression == "zlib":
+                        raw = zlib.compress(raw)
+                    fh.write(raw)
+                    entry.update(
+                        kind="dataset",
+                        dtype=node.dtype.str,
+                        shape=list(node.shape),
+                        offset=offset,
+                        crc=zlib.crc32(raw),
+                        stored_nbytes=len(raw),
+                    )
+                    if node.compression:
+                        entry["compression"] = node.compression
+                else:
+                    assert isinstance(node, Group)
+                    entry["kind"] = "group"
+                    entry["children"] = {
+                        name: place(child) for name, child in node._children.items()
+                    }
+                return entry
+
+            tree = place(self)
+            header = json.dumps({"version": FORMAT_VERSION, "root": tree}).encode("utf-8")
+            pad = (-fh.tell()) % _ALIGN
+            fh.write(b"\x00" * pad)
+            header_off = fh.tell()
+            fh.write(header)
+            fh.write(struct.pack("<Q", len(header)))
+            fh.seek(header_off_pos)
+            fh.write(struct.pack("<Q", header_off))
+
+    def _load_header(self) -> None:
+        fh = self._fh
+        assert fh is not None
+        magic = fh.read(8)
+        if magic != MAGIC:
+            raise H5LiteError(f"{self.path!r} is not an h5lite file (bad magic)")
+        (version,) = struct.unpack("<I", fh.read(4))
+        if version != FORMAT_VERSION:
+            raise H5LiteError(f"unsupported h5lite version {version}")
+        (header_off,) = struct.unpack("<Q", fh.read(8))
+        fh.seek(0, os.SEEK_END)
+        end = fh.tell()
+        if header_off + 8 > end:
+            raise H5LiteError(f"{self.path!r} is truncated (header out of range)")
+        fh.seek(end - 8)
+        (header_len,) = struct.unpack("<Q", fh.read(8))
+        if header_off + header_len + 8 != end:
+            raise H5LiteError(f"{self.path!r} header bookkeeping is inconsistent")
+        fh.seek(header_off)
+        try:
+            doc = json.loads(fh.read(header_len).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise H5LiteError(f"{self.path!r} header is corrupt: {exc}") from exc
+
+        def build(entry: Dict[str, Any], parent: Group, name: str) -> None:
+            if entry["kind"] == "dataset":
+                ds = Dataset(
+                    self,
+                    _join(parent.name, name),
+                    np.dtype(entry["dtype"]),
+                    tuple(entry["shape"]),
+                    compression=entry.get("compression"),
+                )
+                ds._offset = int(entry["offset"])
+                ds._stored_nbytes = entry.get("stored_nbytes")
+                ds._crc = int(entry["crc"])
+                ds._attrs = dict(entry.get("attrs", {}))
+                parent._children[name] = ds
+            else:
+                grp = Group(self, _join(parent.name, name))
+                grp._attrs = dict(entry.get("attrs", {}))
+                parent._children[name] = grp
+                for child_name, child in entry.get("children", {}).items():
+                    build(child, grp, child_name)
+
+        root = doc["root"]
+        self._attrs = dict(root.get("attrs", {}))
+        for child_name, child in root.get("children", {}).items():
+            build(child, self, child_name)
+
+
+def _split(path: str) -> List[str]:
+    return [p for p in path.strip("/").split("/") if p]
+
+
+def _join(parent: str, name: str) -> str:
+    return (parent.rstrip("/") + "/" + name) if parent != "/" else "/" + name

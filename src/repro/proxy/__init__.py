@@ -1,0 +1,35 @@
+"""The two proxy applications of the paper's methodology (Fig. 3).
+
+* :mod:`repro.proxy.cpp_proxy` — the ``extract_mdnorm`` C++ proxy:
+  the minimal relevant code extracted from Mantid with the paper's
+  CPU-side algorithmic improvements (region-of-interest searches,
+  primitive index arrays instead of structs, collapsed
+  (op x detector) parallel loops on a thread pool, MPI over files);
+* :mod:`repro.proxy.minivates` — MiniVATES.jl: the same computation
+  as JACC-style device kernels (vectorized back end) with explicit
+  host/device transfers, the in-kernel comb sort, the
+  max-intersections pre-pass workaround, and real JIT-vs-warm
+  accounting.
+
+Both proxies consume the SaveMD files the production workflow writes
+and must reproduce the Garnet baseline's output exactly — the paper's
+artifact description makes the same promise, and the integration suite
+enforces it here.
+"""
+
+from repro.proxy.cpp_proxy import (
+    cpp_bin_md,
+    cpp_md_norm,
+    CppProxyConfig,
+    CppProxyWorkflow,
+)
+from repro.proxy.minivates import MiniVatesConfig, MiniVatesWorkflow
+
+__all__ = [
+    "cpp_bin_md",
+    "cpp_md_norm",
+    "CppProxyConfig",
+    "CppProxyWorkflow",
+    "MiniVatesConfig",
+    "MiniVatesWorkflow",
+]

@@ -1,0 +1,29 @@
+"""Shared utilities: wall-clock timing, deterministic RNG, validation.
+
+These are the lowest-level pieces of the reproduction; everything else
+(the NeXus substrate, the instrument models, the reduction kernels)
+builds on them.  Nothing in here knows about neutrons.
+"""
+
+from repro.util.timers import Timer, StageTimings, timed
+from repro.util.rng import RunStreams, make_rng
+from repro.util.validation import (
+    ReproError,
+    ValidationError,
+    require,
+    as_float_array,
+    as_matrix3,
+)
+
+__all__ = [
+    "Timer",
+    "StageTimings",
+    "timed",
+    "RunStreams",
+    "make_rng",
+    "ReproError",
+    "ValidationError",
+    "require",
+    "as_float_array",
+    "as_matrix3",
+]

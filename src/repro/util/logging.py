@@ -1,0 +1,26 @@
+"""Thin logging facade.
+
+Uses the stdlib logger under the ``repro`` namespace with a formatter
+that prefixes the reduction stage.  Kept deliberately small; HPC codes
+should not pay for logging in hot loops, so kernels never log.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+
+_FORMAT = "%(asctime)s %(name)s %(levelname)s %(message)s"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Get a namespaced logger; level comes from ``REPRO_LOG`` (default WARNING)."""
+    logger = logging.getLogger(f"repro.{name}" if not name.startswith("repro") else name)
+    root = logging.getLogger("repro")
+    if not root.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        root.addHandler(handler)
+        root.setLevel(os.environ.get("REPRO_LOG", "WARNING").upper())
+        root.propagate = False
+    return logger

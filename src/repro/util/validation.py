@@ -1,0 +1,42 @@
+"""Argument validation helpers and the package exception hierarchy."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation."""
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValidationError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ValidationError(message)
+
+
+def as_float_array(value: Any, name: str, ndim: int | None = None) -> np.ndarray:
+    """Coerce ``value`` to a float64 ndarray, optionally checking ndim."""
+    try:
+        arr = np.asarray(value, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} is not numeric: {exc}") from exc
+    if ndim is not None and arr.ndim != ndim:
+        raise ValidationError(f"{name} must be {ndim}-dimensional, got shape {arr.shape}")
+    if not np.all(np.isfinite(arr)):
+        raise ValidationError(f"{name} contains non-finite values")
+    return arr
+
+
+def as_matrix3(value: Any, name: str) -> np.ndarray:
+    """Coerce to a finite 3x3 float64 matrix."""
+    arr = as_float_array(value, name, ndim=2)
+    if arr.shape != (3, 3):
+        raise ValidationError(f"{name} must be 3x3, got shape {arr.shape}")
+    return arr

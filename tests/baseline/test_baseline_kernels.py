@@ -1,0 +1,107 @@
+"""The baseline's defining property: numerically identical to the core."""
+
+import numpy as np
+import pytest
+
+from repro.baseline.mantid_binmd import _linear_locate, mantid_bin_md
+from repro.baseline.mantid_mdnorm import mantid_md_norm
+from repro.baseline.mdbox import MDBoxController
+from repro.core.binmd import bin_events
+from repro.core.grid import HKLGrid
+from repro.core.hist3 import Hist3
+from repro.core.mdnorm import mdnorm
+from repro.nexus.corrections import FluxSpectrum
+from repro.nexus.events import EventTable
+
+
+@pytest.fixture()
+def grid():
+    return HKLGrid(
+        basis=np.eye(3), minimum=(-2.0, -2.0, -0.5), maximum=(2.0, 2.0, 0.5),
+        bins=(10, 10, 1),
+    )
+
+
+@pytest.fixture()
+def flux():
+    k = np.linspace(1.0, 12.0, 48)
+    return FluxSpectrum(momentum=k, density=np.exp(-0.1 * k))
+
+
+OPS = np.stack([np.eye(3), -np.eye(3)])
+
+
+class TestLinearLocate:
+    def test_interior(self):
+        edges = [0.0, 1.0, 2.0, 3.0]
+        assert _linear_locate(edges, 0.5) == 0
+        assert _linear_locate(edges, 1.0) == 1  # left-inclusive
+        assert _linear_locate(edges, 2.9) == 2
+
+    def test_outside(self):
+        edges = [0.0, 1.0, 2.0]
+        assert _linear_locate(edges, -0.1) == -1
+        assert _linear_locate(edges, 2.0) == -1
+        assert _linear_locate(edges, 5.0) == -1
+
+
+class TestBinMdEquality:
+    def test_matches_core(self, grid, rng):
+        events = EventTable.from_columns(
+            signal=rng.random(300) + 0.1,
+            q_sample=rng.uniform(-2.5, 2.5, size=(300, 3)),
+        )
+        baseline = Hist3(grid, track_errors=True)
+        mantid_bin_md(baseline, events, OPS)
+        core = Hist3(grid, track_errors=True)
+        bin_events(core, events, OPS, backend="vectorized")
+        assert np.allclose(baseline.signal, core.signal)
+        assert np.allclose(baseline.error_sq, core.error_sq)
+
+    def test_box_hierarchy_receives_inside_events(self, grid, rng):
+        events = EventTable.from_columns(
+            signal=np.ones(50),
+            q_sample=rng.uniform(-1.5, 1.5, size=(50, 3)),
+        )
+        hist = Hist3(grid)
+        from repro.baseline.mdbox import build_workspace_box
+
+        box = build_workspace_box(
+            MDBoxController(split_threshold=16),
+            [(grid.minimum[i], grid.maximum[i]) for i in range(3)],
+        )
+        mantid_bin_md(hist, events, OPS, workspace_box=box)
+        # every histogrammed event also entered the workspace box
+        assert box.total_signal() == pytest.approx(hist.total())
+
+    def test_box_controller_convenience(self, grid, rng):
+        events = EventTable.from_columns(
+            signal=np.ones(30), q_sample=rng.uniform(-1, 1, size=(30, 3))
+        )
+        hist = Hist3(grid)
+        mantid_bin_md(hist, events, OPS,
+                      box_controller=MDBoxController(split_threshold=8))
+        assert hist.total() > 0
+
+
+class TestMdNormEquality:
+    def test_matches_core(self, grid, flux, rng):
+        n_det = 40
+        dets = rng.normal(size=(n_det, 3))
+        dets /= np.linalg.norm(dets, axis=1, keepdims=True)
+        solid = rng.random(n_det)
+        band = (2.0, 9.0)
+
+        baseline = Hist3(grid)
+        mantid_md_norm(baseline, OPS, dets, solid, flux, band, charge=1.5)
+        core = Hist3(grid)
+        mdnorm(core, OPS, dets, solid, flux, band, charge=1.5,
+               backend="vectorized")
+        assert np.allclose(baseline.signal, core.signal, rtol=1e-9, atol=1e-15)
+
+    def test_zero_weight_detectors_skipped(self, grid, flux, rng):
+        dets = rng.normal(size=(10, 3))
+        dets /= np.linalg.norm(dets, axis=1, keepdims=True)
+        h = Hist3(grid)
+        mantid_md_norm(h, OPS, dets, np.zeros(10), flux, (2.0, 9.0))
+        assert h.total() == 0.0

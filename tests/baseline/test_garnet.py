@@ -1,0 +1,60 @@
+"""Unit tests for the Garnet multiprocess driver."""
+
+import numpy as np
+import pytest
+
+from repro.baseline.garnet import GarnetConfig, GarnetWorkflow
+from repro.util.validation import ValidationError
+
+
+def _config(exp, **over):
+    kwargs = dict(
+        nexus_paths=exp.nexus_paths,
+        instrument=exp.instrument,
+        grid=exp.grid,
+        point_group_symbol="321",
+        flux=exp.flux,
+        solid_angles=exp.vanadium.detector_weights,
+        n_workers=1,
+    )
+    kwargs.update(over)
+    return GarnetConfig(**kwargs)
+
+
+class TestGarnet:
+    def test_runs_and_produces_cross_section(self, tiny_experiment):
+        res = GarnetWorkflow(_config(tiny_experiment)).run()
+        assert res.backend == "garnet-multiprocess"
+        assert res.n_runs == 3
+        assert res.binmd.total() > 0
+        assert res.mdnorm.total() > 0
+        finite = ~np.isnan(res.cross_section.signal)
+        assert finite.any()
+
+    def test_stage_timings_accumulated_per_run(self, tiny_experiment):
+        res = GarnetWorkflow(_config(tiny_experiment)).run()
+        for stage in ("UpdateEvents", "MDNorm", "BinMD"):
+            assert res.timings.timer(stage).ncalls == 3
+            assert res.timings.seconds(stage) > 0
+        assert res.timings.seconds("Total") >= res.timings.seconds("MDNorm + BinMD")
+
+    def test_multiprocess_equals_single_process(self, tiny_experiment):
+        sp = GarnetWorkflow(_config(tiny_experiment, n_workers=1)).run()
+        mp = GarnetWorkflow(_config(tiny_experiment, n_workers=2)).run()
+        assert np.allclose(sp.binmd.signal, mp.binmd.signal)
+        assert np.allclose(sp.mdnorm.signal, mp.mdnorm.signal)
+
+    def test_config_validation(self, tiny_experiment):
+        with pytest.raises(ValidationError):
+            _config(tiny_experiment, nexus_paths=[])
+        with pytest.raises(ValidationError):
+            _config(tiny_experiment, n_workers=0)
+        with pytest.raises(ValidationError):
+            _config(tiny_experiment, point_group_symbol="nonsense")
+
+    def test_subset_of_runs(self, tiny_experiment):
+        one = GarnetWorkflow(
+            _config(tiny_experiment, nexus_paths=tiny_experiment.nexus_paths[:1])
+        ).run()
+        full = GarnetWorkflow(_config(tiny_experiment)).run()
+        assert one.binmd.total() < full.binmd.total()

@@ -1,0 +1,108 @@
+"""Unit tests for the Mantid-style MDBox hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.baseline.mdbox import MDBox, MDBoxController, build_workspace_box
+from repro.util.validation import ValidationError
+
+
+def _box(threshold=4, split_into=2, max_depth=3):
+    ctl = MDBoxController(
+        split_threshold=threshold, split_into=split_into, max_depth=max_depth
+    )
+    return MDBox(ctl, (0.0, 0.0, 0.0), (1.0, 1.0, 1.0))
+
+
+def _event(c0, c1, c2, sig=1.0):
+    return (sig, sig, c0, c1, c2)
+
+
+class TestInsertion:
+    def test_leaf_accumulates(self):
+        box = _box()
+        assert box.add_event(_event(0.5, 0.5, 0.5))
+        assert box.n_events == 1
+        assert box.is_leaf
+
+    def test_outside_rejected(self):
+        box = _box()
+        assert not box.add_event(_event(1.5, 0.5, 0.5))
+        assert not box.add_event(_event(0.5, -0.1, 0.5))
+        assert box.n_events == 0
+
+    def test_upper_boundary_exclusive(self):
+        box = _box()
+        assert not box.add_event(_event(1.0, 0.5, 0.5))
+        assert box.add_event(_event(0.0, 0.0, 0.0))
+
+    def test_split_at_threshold(self):
+        rng = np.random.default_rng(0)
+        box = _box(threshold=4)
+        for _ in range(5):
+            box.add_event(_event(*rng.random(3)))
+        assert not box.is_leaf
+        assert box.n_events == 5
+        assert len(box.children) == 8  # 2^3
+
+    def test_events_redistributed_on_split(self):
+        rng = np.random.default_rng(1)
+        box = _box(threshold=4)
+        events = [_event(*rng.random(3), sig=i + 1.0) for i in range(10)]
+        for ev in events:
+            box.add_event(ev)
+        collected = sorted(ev[0] for ev in box.iter_events())
+        assert collected == [float(i + 1) for i in range(10)]
+
+    def test_max_depth_caps_splitting(self):
+        box = _box(threshold=1, max_depth=1)
+        # every event identical -> same child; depth cap prevents recursion
+        for _ in range(20):
+            box.add_event(_event(0.1, 0.1, 0.1))
+        assert box.max_depth_used() <= 1
+        assert box.n_events == 20
+
+
+class TestTraversal:
+    def test_leaves_partition_events(self):
+        rng = np.random.default_rng(2)
+        box = _box(threshold=8)
+        for _ in range(100):
+            box.add_event(_event(*rng.random(3)))
+        total = sum(len(leaf.events) for leaf in box.leaves())
+        assert total == 100
+
+    def test_total_signal(self):
+        box = _box()
+        box.add_event(_event(0.2, 0.2, 0.2, sig=2.0))
+        box.add_event(_event(0.8, 0.8, 0.8, sig=3.0))
+        assert box.total_signal() == 5.0
+
+    def test_children_cover_parent_extent(self):
+        box = _box(threshold=1, split_into=2)
+        box.add_event(_event(0.1, 0.1, 0.1))
+        box.add_event(_event(0.9, 0.9, 0.9))
+        assert not box.is_leaf
+        los = np.array([c.lo for c in box.children])
+        his = np.array([c.hi for c in box.children])
+        assert los.min() == 0.0 and his.max() == 1.0
+
+
+class TestValidation:
+    def test_degenerate_extent(self):
+        ctl = MDBoxController()
+        with pytest.raises(ValidationError, match="degenerate"):
+            MDBox(ctl, (0, 0, 0), (0, 1, 1))
+
+    def test_controller_validation(self):
+        with pytest.raises(ValidationError):
+            MDBoxController(split_threshold=0)
+        with pytest.raises(ValidationError):
+            MDBoxController(split_into=1)
+        with pytest.raises(ValidationError):
+            MDBoxController(max_depth=-1)
+
+    def test_build_workspace_box(self):
+        box = build_workspace_box(MDBoxController(), [(-1, 1), (-2, 2), (0, 1)])
+        assert box.lo == (-1.0, -2.0, 0.0)
+        assert box.hi == (1.0, 2.0, 1.0)

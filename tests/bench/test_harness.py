@@ -1,0 +1,105 @@
+"""Unit tests for the benchmark harness math and drivers."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import (
+    A100_PROFILE,
+    MI100_PROFILE,
+    MeasuredRun,
+    assert_results_match,
+    run_cpp_proxy,
+    run_garnet,
+    run_minivates,
+)
+from repro.bench.workloads import benzil_corelli, build_workload
+from repro.core.cross_section import CrossSectionResult
+from repro.util.timers import StageTimings
+
+
+@pytest.fixture(scope="module")
+def data(tmp_path_factory):
+    import os
+
+    os.environ["REPRO_BENCH_DATA"] = str(tmp_path_factory.mktemp("bench"))
+    return build_workload(benzil_corelli(scale=0.0002, n_files=3))
+
+
+class TestDrivers:
+    def test_garnet(self, data):
+        run = run_garnet(data, files=2)
+        assert run.files_measured == 2
+        assert run.files_full == 3
+        assert run.extrapolated
+        assert run.total_measured > 0
+        assert run.total_extrapolated == pytest.approx(1.5 * run.total_measured)
+
+    def test_cpp(self, data):
+        run = run_cpp_proxy(data)
+        assert run.files_measured == 3
+        assert not run.extrapolated
+        assert run.per_file("MDNorm") > 0
+
+    @pytest.mark.parametrize("profile", [A100_PROFILE, MI100_PROFILE])
+    def test_minivates_profiles(self, data, profile):
+        run = run_minivates(data, profile=profile)
+        assert profile.name in run.label
+        assert run.extras["kernel_launches"] > 0
+
+    def test_all_agree(self, data):
+        g = run_garnet(data)
+        c = run_cpp_proxy(data)
+        m = run_minivates(data)
+        assert_results_match(g, c)
+        assert_results_match(g, m)
+
+    def test_mismatch_detected(self, data):
+        a = run_cpp_proxy(data)
+        b = run_cpp_proxy(data)
+        b.result.binmd.signal[0, 0, 0] += 1.0
+        with pytest.raises(AssertionError, match="BinMD"):
+            assert_results_match(a, b)
+
+    def test_subset_mismatch_rejected(self, data):
+        a = run_cpp_proxy(data, files=2)
+        b = run_cpp_proxy(data, files=3)
+        with pytest.raises(Exception):
+            assert_results_match(a, b)
+
+
+class TestMeasuredRunMath:
+    def _fake(self, stage_seconds, files_measured, files_full):
+        t = StageTimings()
+        for stage, per_call in stage_seconds.items():
+            for j in range(files_measured):
+                timer = t.timer(stage)
+                timer.elapsed += per_call
+                timer.ncalls += 1
+                t.first_call.setdefault(stage, per_call)
+        total = t.timer("Total")
+        total.elapsed = sum(stage_seconds.values()) * files_measured
+        total.ncalls = 1
+        result = CrossSectionResult(
+            cross_section=None, binmd=None, mdnorm=None, timings=t,
+            n_runs=files_full, backend="fake",
+        )
+        return MeasuredRun(
+            label="fake", workload_key="k", files_measured=files_measured,
+            files_full=files_full, timings=t, result=result,
+        )
+
+    def test_per_file(self):
+        run = self._fake({"MDNorm": 0.5}, 4, 4)
+        assert run.per_file("MDNorm") == pytest.approx(0.5)
+
+    def test_extrapolation(self):
+        run = self._fake({"MDNorm": 1.0}, 2, 10)
+        assert run.total_extrapolated == pytest.approx(5 * run.total_measured)
+
+    def test_warm_excludes_first(self):
+        run = self._fake({"BinMD": 0.25}, 4, 4)
+        assert run.warm("BinMD") == pytest.approx(0.25)
+
+    def test_combined_stage(self):
+        run = self._fake({"MDNorm": 0.5, "BinMD": 0.25}, 2, 2)
+        assert run.per_file("MDNorm + BinMD") == pytest.approx(0.75)

@@ -1,0 +1,53 @@
+"""Unit tests for the cold/warm JIT measurement helper."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import (
+    A100_PROFILE,
+    MI100_PROFILE,
+    run_minivates_jit_split,
+)
+from repro.bench.workloads import benzil_corelli, build_workload
+
+
+@pytest.fixture(scope="module")
+def data(tmp_path_factory):
+    import os
+
+    os.environ["REPRO_BENCH_DATA"] = str(tmp_path_factory.mktemp("jit"))
+    return build_workload(benzil_corelli(scale=0.0002, n_files=2))
+
+
+class TestJitSplit:
+    def test_same_file_identical_results(self, data):
+        cold, warm = run_minivates_jit_split(data)
+        assert np.allclose(cold.result.binmd.signal, warm.result.binmd.signal)
+        assert np.allclose(cold.result.mdnorm.signal, warm.result.mdnorm.signal)
+
+    def test_cold_run_compiled_warm_did_not(self, data):
+        cold, warm = run_minivates_jit_split(data)
+        assert cold.extras["jit_compile_events"] > 0
+        # warm run reused the cache the cold run filled
+        assert warm.extras["jit_compile_events"] == cold.extras["jit_compile_events"]
+        assert warm.extras["jit_compile_seconds"] == cold.extras["jit_compile_seconds"]
+
+    def test_labels(self, data):
+        cold, warm = run_minivates_jit_split(data, profile=MI100_PROFILE)
+        assert "JIT" in cold.label and "no JIT" in warm.label
+        assert "MI100" in cold.label
+
+    def test_single_file_measured(self, data):
+        cold, warm = run_minivates_jit_split(data, file_index=1)
+        assert cold.files_measured == warm.files_measured == 1
+        assert cold.files_full == data.spec.n_files
+
+    def test_bad_file_index(self, data):
+        with pytest.raises(Exception):
+            run_minivates_jit_split(data, file_index=99)
+
+    @pytest.mark.parametrize("profile", [A100_PROFILE, MI100_PROFILE])
+    def test_profiles_produce_same_histograms(self, data, profile):
+        cold_a, _ = run_minivates_jit_split(data, profile=A100_PROFILE)
+        cold_p, _ = run_minivates_jit_split(data, profile=profile)
+        assert np.allclose(cold_a.result.binmd.signal, cold_p.result.binmd.signal)

@@ -1,0 +1,56 @@
+"""Unit tests for table rendering."""
+
+from repro.bench.paper import PAPER_TABLES, TABLE2
+from repro.bench.report import comparison_block, format_table
+from repro.bench.systems import current_host, systems_rows
+
+
+class TestFormatTable:
+    def test_contains_title_headers_and_values(self):
+        text = format_table(
+            "Demo", ["col1", "col2"], [["a", 1.25], ["b", 3.5]]
+        )
+        assert "Demo" in text
+        assert "col1" in text and "col2" in text
+        assert "1.25" in text and "3.5" in text
+
+    def test_float_formatting(self):
+        text = format_table("T", ["x"], [[0.123456789]])
+        assert "0.1235" in text
+
+
+class TestComparisonBlock:
+    def test_layout(self):
+        text = comparison_block("headline", {"speedup": (74.0, 63.2)})
+        assert "headline" in text
+        assert "74" in text and "63.2" in text
+
+
+class TestPaperData:
+    def test_tables_present(self):
+        assert set(PAPER_TABLES) == {"table3", "table4", "table5", "table6"}
+        for rows in PAPER_TABLES.values():
+            assert "MDNorm" in rows and "BinMD" in rows and "Total" in rows
+
+    def test_table2_baseline_wcts(self):
+        assert TABLE2["benzil_corelli"].garnet_total_s == 271.0
+        assert TABLE2["bixbyite_topaz"].garnet_total_s == 904.0
+
+    def test_table6_binmd_headline(self):
+        """The 50,000x claim: warm BinMD 5.31e-5 s vs 3.08 s on CPU."""
+        cpu, _jit, nojit = PAPER_TABLES["table6"]["BinMD"]
+        assert cpu / nojit > 50_000
+
+
+class TestSystems:
+    def test_rows_cover_all_paper_systems(self):
+        rows = systems_rows()
+        names = [r[0] for r in rows]
+        assert names == ["Defiant (OLCF)", "Milan0 (ExCL)", "bl12-analysis2 (SNS)"]
+        for _, hw, mem, mapping in rows:
+            assert hw and mem and mapping
+
+    def test_current_host(self):
+        host = current_host()
+        assert host.cpu_count >= 1
+        assert host.python

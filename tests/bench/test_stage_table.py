@@ -1,0 +1,73 @@
+"""Unit tests for the Tables III-VI renderer."""
+
+import pytest
+
+from repro.bench.harness import MeasuredRun
+from repro.bench.paper import TABLE3_BENZIL_DEFIANT
+from repro.bench.report import format_stage_table
+from repro.core.cross_section import CrossSectionResult
+from repro.util.timers import StageTimings
+
+
+def _run(label, per_file, files_measured=2, files_full=4):
+    t = StageTimings()
+    for stage, seconds in per_file.items():
+        for _ in range(files_measured):
+            timer = t.timer(stage)
+            timer.elapsed += seconds
+            timer.ncalls += 1
+            t.first_call.setdefault(stage, seconds)
+    total = t.timer("Total")
+    total.elapsed = sum(per_file.values()) * files_measured
+    total.ncalls = 1
+    result = CrossSectionResult(
+        cross_section=None, binmd=None, mdnorm=None, timings=t,
+        n_runs=files_full, backend=label,
+    )
+    return MeasuredRun(
+        label=label, workload_key="w", files_measured=files_measured,
+        files_full=files_full, timings=t, result=result,
+    )
+
+
+@pytest.fixture()
+def runs():
+    stages = {"UpdateEvents": 0.01, "MDNorm": 0.2, "BinMD": 0.05}
+    return (
+        _run("cpp", stages),
+        _run("jit", {k: v * 3 for k, v in stages.items()}, files_measured=1),
+        _run("warm", stages, files_measured=1),
+    )
+
+
+class TestFormatStageTable:
+    def test_contains_all_stage_rows(self, runs):
+        cpp, jit, warm = runs
+        text = format_stage_table("T", cpp, jit, warm)
+        for stage in ("UpdateEvents", "MDNorm", "BinMD", "MDNorm + BinMD",
+                      "Total (wf)"):
+            assert stage in text
+
+    def test_paper_columns_included_when_given(self, runs):
+        cpp, jit, warm = runs
+        text = format_stage_table("T", cpp, jit, warm, TABLE3_BENZIL_DEFIANT)
+        assert "paper C++" in text
+        assert "4.669" in text  # paper MDNorm JIT value
+
+    def test_extrapolation_marker(self, runs):
+        cpp, jit, warm = runs
+        text = format_stage_table("T", cpp, jit, warm, mv_total=cpp)
+        assert "*" in text
+        assert "2/4" in text
+
+    def test_jit_and_warm_columns_differ(self, runs):
+        cpp, jit, warm = runs
+        text = format_stage_table("T", cpp, jit, warm)
+        # jit per-file MDNorm = 0.6, warm = 0.2
+        assert "0.6" in text and "0.2" in text
+
+    def test_total_uses_mv_total_run(self, runs):
+        cpp, jit, warm = runs
+        explicit = _run("mv_total", {"MDNorm": 1.0}, files_measured=4)
+        text = format_stage_table("T", cpp, jit, warm, mv_total=explicit)
+        assert "4" in text  # 4 files x 1.0 s total

@@ -1,0 +1,108 @@
+"""Shared fixtures: one tiny synthesized experiment reused suite-wide.
+
+Synthesis is the expensive part of every integration test, so the
+standard dataset (a small CORELLI/Benzil ensemble plus its on-disk
+NeXus / SaveMD / flux / vanadium files) is built once per session.
+Tests must never mutate fixture state; anything that needs to write
+gets its own tmp_path copies.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List
+
+import numpy as np
+import pytest
+
+from repro.core.grid import HKLGrid
+from repro.core.md_event_workspace import MDEventWorkspace, convert_to_md, save_md
+from repro.crystal.goniometer import Goniometer
+from repro.crystal.structures import benzil
+from repro.crystal.symmetry import point_group
+from repro.crystal.ub import UBMatrix
+from repro.instruments.corelli import make_corelli
+from repro.instruments.synth import make_flux, make_vanadium, synthesize_run
+from repro.nexus.corrections import write_flux_file, write_vanadium_file
+from repro.nexus.events import RunData
+from repro.nexus.schema import write_event_nexus
+
+
+@dataclass
+class TinyExperiment:
+    """A complete small experiment: 3 runs on a 500-pixel CORELLI."""
+
+    instrument: object
+    structure: object
+    ub: UBMatrix
+    grid: HKLGrid
+    point_group: object
+    runs: List[RunData]
+    workspaces: List[MDEventWorkspace]
+    nexus_paths: List[str]
+    md_paths: List[str]
+    flux_path: str
+    vanadium_path: str
+    flux: object
+    vanadium: object
+
+
+@pytest.fixture(scope="session")
+def tiny_experiment(tmp_path_factory: pytest.TempPathFactory) -> TinyExperiment:
+    base = tmp_path_factory.mktemp("tiny_experiment")
+    structure = benzil()
+    instrument = make_corelli(n_pixels=500)
+    ub = UBMatrix.from_u_vectors(structure.cell, [0.0, 0.0, 1.0], [1.0, 0.0, 0.0])
+    grid = HKLGrid.benzil_grid(bins=(41, 41, 1))
+    pg = point_group("321")
+    flux = make_flux(instrument)
+    vanadium = make_vanadium(instrument)
+
+    runs, workspaces, nexus_paths, md_paths = [], [], [], []
+    for i, omega in enumerate((0.0, 40.0, 80.0)):
+        run = synthesize_run(
+            instrument=instrument,
+            structure=structure,
+            ub=ub,
+            goniometer=Goniometer(omega).rotation,
+            n_events=1200,
+            rng=np.random.default_rng(9000 + i),
+            run_number=i,
+        )
+        ws = convert_to_md(run, instrument, run_index=i)
+        npath = str(base / f"run_{i}.nxs.h5")
+        mpath = str(base / f"run_{i}.md.h5")
+        write_event_nexus(npath, run)
+        save_md(mpath, ws)
+        runs.append(run)
+        workspaces.append(ws)
+        nexus_paths.append(npath)
+        md_paths.append(mpath)
+
+    flux_path = str(base / "flux.h5")
+    vanadium_path = str(base / "vanadium.h5")
+    write_flux_file(flux_path, flux)
+    write_vanadium_file(vanadium_path, vanadium)
+
+    return TinyExperiment(
+        instrument=instrument,
+        structure=structure,
+        ub=ub,
+        grid=grid,
+        point_group=pg,
+        runs=runs,
+        workspaces=workspaces,
+        nexus_paths=nexus_paths,
+        md_paths=md_paths,
+        flux_path=flux_path,
+        vanadium_path=vanadium_path,
+        flux=flux,
+        vanadium=vanadium,
+    )
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,111 @@
+"""Unit + property tests for the allocation-free comb sort."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.core.combsort import comb_sort, comb_sort_rows
+
+
+class TestScalar:
+    @pytest.mark.parametrize("n", [0, 1, 2, 3, 5, 16, 100, 257])
+    def test_sorts_random(self, n):
+        rng = np.random.default_rng(n)
+        a = rng.random(n)
+        expected = np.sort(a)
+        comb_sort(a)
+        assert np.array_equal(a, expected)
+
+    def test_prefix_only(self):
+        a = np.array([3.0, 1.0, 2.0, -99.0, -98.0])
+        comb_sort(a, n=3)
+        assert np.array_equal(a, [1.0, 2.0, 3.0, -99.0, -98.0])
+
+    def test_already_sorted(self):
+        a = np.arange(50.0)
+        comb_sort(a)
+        assert np.array_equal(a, np.arange(50.0))
+
+    def test_reverse_sorted(self):
+        a = np.arange(50.0)[::-1].copy()
+        comb_sort(a)
+        assert np.array_equal(a, np.arange(50.0))
+
+    def test_duplicates(self):
+        a = np.array([2.0, 1.0, 2.0, 1.0, 1.0])
+        comb_sort(a)
+        assert np.array_equal(a, [1.0, 1.0, 1.0, 2.0, 2.0])
+
+    @given(
+        values=st.lists(
+            st.floats(allow_nan=False, allow_infinity=False, width=32),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_library_sort(self, values):
+        a = np.array(values, dtype=np.float64)
+        expected = np.sort(a)
+        comb_sort(a)
+        assert np.array_equal(a, expected)
+
+
+class TestRows:
+    def test_sorts_each_row(self):
+        rng = np.random.default_rng(0)
+        m = rng.random((50, 37))
+        expected = np.sort(m, axis=1)
+        comb_sort_rows(m)
+        assert np.array_equal(m, expected)
+
+    def test_empty_and_tiny(self):
+        assert comb_sort_rows(np.zeros((0, 5))) == 0
+        assert comb_sort_rows(np.zeros((5, 1))) == 0
+        one = np.array([[2.0, 1.0]])
+        comb_sort_rows(one)
+        assert np.array_equal(one, [[1.0, 2.0]])
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            comb_sort_rows(np.zeros(5))
+
+    def test_partially_sorted_rows(self):
+        """MDNorm rows are a few sorted runs concatenated — the common case."""
+        a = np.sort(np.random.default_rng(1).random((20, 30)), axis=1)
+        b = np.sort(np.random.default_rng(2).random((20, 30)), axis=1)
+        m = np.concatenate([a, b], axis=1)
+        expected = np.sort(m, axis=1)
+        comb_sort_rows(m)
+        assert np.array_equal(m, expected)
+
+    def test_rows_with_padding_pattern(self):
+        """The MDNorm layout: [k_lo, crossings..., k_hi, k_hi, ...]."""
+        m = np.array(
+            [
+                [1.0, 5.0, 3.0, 2.0, 9.0, 9.0, 9.0],
+                [0.0, 0.5, 0.25, 4.0, 4.0, 4.0, 4.0],
+            ]
+        )
+        comb_sort_rows(m)
+        assert np.array_equal(m[0], [1.0, 2.0, 3.0, 5.0, 9.0, 9.0, 9.0])
+        assert np.array_equal(m[1], [0.0, 0.25, 0.5, 4.0, 4.0, 4.0, 4.0])
+
+    @given(
+        m=npst.arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(1, 20), st.integers(2, 40)),
+            elements=st.floats(allow_nan=False, allow_infinity=False, width=32),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_library_sort_property(self, m):
+        expected = np.sort(m, axis=1)
+        comb_sort_rows(m)
+        assert np.array_equal(m, expected)
+
+    def test_pass_count_reported(self):
+        m = np.random.default_rng(3).random((10, 64))
+        passes = comb_sort_rows(m)
+        assert passes > 0

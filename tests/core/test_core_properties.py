@@ -1,0 +1,162 @@
+"""Property-based tests on the core reduction invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.binmd import bin_events
+from repro.core.grid import HKLGrid
+from repro.core.hist3 import Hist3
+from repro.core.mdnorm import max_intersections, mdnorm
+from repro.crystal.goniometer import rotation_about_axis
+from repro.nexus.corrections import FluxSpectrum
+from repro.nexus.events import EventTable
+
+BACKENDS = ("serial", "vectorized")
+
+
+def _grid(bins=(8, 8, 4), extent=2.0):
+    return HKLGrid(
+        basis=np.eye(3),
+        minimum=(-extent, -extent, -extent / 2),
+        maximum=(extent, extent, extent / 2),
+        bins=bins,
+    )
+
+
+class TestBinMdProperties:
+    @given(seed=st.integers(0, 1000), n=st.integers(1, 300))
+    @settings(max_examples=30, deadline=None)
+    def test_total_conserved_when_all_inside(self, seed, n):
+        """Any rotation preserves the histogrammed total when the grid
+        comfortably contains the rotated events."""
+        rng = np.random.default_rng(seed)
+        grid = _grid(extent=4.0)
+        q = rng.uniform(-0.9, 0.9, size=(n, 3))  # |coords| < sqrt(3) < 2
+        events = EventTable.from_columns(signal=rng.random(n) + 0.1, q_sample=q)
+        rot = rotation_about_axis(rng.normal(size=3) + 1e-3, rng.uniform(0, 360))
+        h = Hist3(grid)
+        bin_events(h, events, rot[None], backend="vectorized")
+        assert h.total() == pytest.approx(events.total_signal())
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_backends_agree_on_random_inputs(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 200))
+        grid = _grid()
+        q = rng.uniform(-3.0, 3.0, size=(n, 3))
+        events = EventTable.from_columns(signal=rng.random(n), q_sample=q)
+        ops = np.stack([np.eye(3), -np.eye(3), np.diag([1.0, -1.0, -1.0])])
+        results = []
+        for backend in BACKENDS:
+            h = Hist3(grid)
+            bin_events(h, events, ops, backend=backend)
+            results.append(h.signal)
+        assert np.allclose(results[0], results[1])
+
+    @given(
+        w1=st.floats(0.1, 5.0), w2=st.floats(0.1, 5.0),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_linearity_in_weights(self, w1, w2, seed):
+        """BinMD is linear: hist(w1*e) + hist(w2*e) == hist((w1+w2)*e)."""
+        rng = np.random.default_rng(seed)
+        grid = _grid()
+        q = rng.uniform(-1.5, 1.5, size=(50, 3))
+        base = np.ones(50)
+        h_sum = Hist3(grid)
+        bin_events(h_sum, EventTable.from_columns(signal=w1 * base, q_sample=q),
+                   np.eye(3)[None], backend="vectorized")
+        bin_events(h_sum, EventTable.from_columns(signal=w2 * base, q_sample=q),
+                   np.eye(3)[None], backend="vectorized")
+        h_once = Hist3(grid)
+        bin_events(h_once,
+                   EventTable.from_columns(signal=(w1 + w2) * base, q_sample=q),
+                   np.eye(3)[None], backend="vectorized")
+        assert np.allclose(h_sum.signal, h_once.signal)
+
+
+class TestMdNormProperties:
+    def _flux(self):
+        k = np.linspace(1.0, 10.0, 32)
+        return FluxSpectrum(momentum=k, density=np.ones(32))
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_flux_conservation_uniform_density(self, seed):
+        """With uniform flux density, the normalization total equals
+        sum_traj solid_angle * density * (in-box momentum length)."""
+        from repro.core.intersections import k_window, trajectory_directions
+
+        rng = np.random.default_rng(seed)
+        grid = _grid()
+        n_det = int(rng.integers(2, 30))
+        dets = rng.normal(size=(n_det, 3))
+        dets /= np.linalg.norm(dets, axis=1, keepdims=True)
+        solid = rng.random(n_det)
+        flux = self._flux()
+        band = (2.0, 8.0)
+        ops = np.stack([np.eye(3), -np.eye(3)])
+
+        h = Hist3(grid)
+        mdnorm(h, ops, dets, solid, flux, band, backend="vectorized")
+
+        directions = trajectory_directions(ops, dets)
+        lo, hi = k_window(directions, grid, *band)
+        lengths = np.clip(hi - lo, 0.0, None)
+        density = flux.total / (flux.k_max - flux.k_min)
+        expected = float((np.broadcast_to(solid, lengths.shape) * lengths).sum()
+                         * density)
+        assert h.total() == pytest.approx(expected, rel=1e-9)
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=15, deadline=None)
+    def test_prepass_bound_is_always_sufficient(self, seed):
+        """fill never overflows a buffer sized by the pre-pass."""
+        rng = np.random.default_rng(seed)
+        grid = _grid(bins=(5, 7, 3))
+        dets = rng.normal(size=(10, 3))
+        dets /= np.linalg.norm(dets, axis=1, keepdims=True)
+        band = (1.5, 9.0)
+        ops = np.eye(3)[None]
+        width = max_intersections(grid, ops, dets, band, backend="vectorized")
+        h = Hist3(grid)
+        # raises if the width is insufficient
+        mdnorm(h, ops, dets, np.ones(10), self._flux(), band,
+               backend="vectorized", width=width)
+
+    @given(seed=st.integers(0, 300), charge=st.floats(0.1, 10.0))
+    @settings(max_examples=15, deadline=None)
+    def test_charge_linearity(self, seed, charge):
+        rng = np.random.default_rng(seed)
+        grid = _grid()
+        dets = rng.normal(size=(8, 3))
+        dets /= np.linalg.norm(dets, axis=1, keepdims=True)
+        flux = self._flux()
+        a = Hist3(grid)
+        mdnorm(a, np.eye(3)[None], dets, np.ones(8), flux, (2.0, 8.0),
+               charge=1.0, backend="vectorized")
+        b = Hist3(grid)
+        mdnorm(b, np.eye(3)[None], dets, np.ones(8), flux, (2.0, 8.0),
+               charge=charge, backend="vectorized")
+        assert np.allclose(b.signal, charge * a.signal)
+
+
+class TestCrossSectionProperties:
+    @given(seed=st.integers(0, 300))
+    @settings(max_examples=20, deadline=None)
+    def test_division_bounds(self, seed):
+        """cross = binmd/mdnorm is NaN exactly where mdnorm == 0."""
+        rng = np.random.default_rng(seed)
+        grid = _grid(bins=(4, 4, 2))
+        num = Hist3(grid, signal=rng.random((4, 4, 2)))
+        den_signal = rng.random((4, 4, 2))
+        den_signal[rng.random((4, 4, 2)) < 0.3] = 0.0
+        den = Hist3(grid, signal=den_signal)
+        out = num.divide(den)
+        assert np.array_equal(np.isnan(out.signal), den_signal == 0.0)
+        mask = den_signal != 0
+        assert np.allclose(out.signal[mask], num.signal[mask] / den_signal[mask])

@@ -1,0 +1,112 @@
+"""Tests for statistical error propagation through the division."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import HKLGrid
+from repro.core.hist3 import Hist3
+
+
+@pytest.fixture()
+def grid():
+    return HKLGrid(basis=np.eye(3), minimum=(0, 0, 0), maximum=(1, 1, 1),
+                   bins=(2, 2, 1))
+
+
+class TestDivideErrors:
+    def test_standard_propagation_formula(self, grid):
+        num = Hist3(grid, track_errors=True)
+        den = Hist3(grid, track_errors=True)
+        num.push(0.25, 0.25, 0.5, 8.0, err_sq=8.0)   # Poisson: var == counts
+        den.push(0.25, 0.25, 0.5, 2.0, err_sq=0.5)
+        out = num.divide(den)
+        c = 8.0 / 2.0
+        expected_var = c**2 * (8.0 / 8.0**2 + 0.5 / 2.0**2)
+        assert out.error_sq[0, 0, 0] == pytest.approx(expected_var)
+
+    def test_no_errors_without_tracking(self, grid):
+        out = Hist3(grid).divide(Hist3(grid))
+        assert out.error_sq is None
+
+    def test_zero_denominator_bins_have_zero_error(self, grid):
+        num = Hist3(grid, track_errors=True)
+        den = Hist3(grid, track_errors=True)
+        num.push(0.25, 0.25, 0.5, 4.0, err_sq=4.0)
+        out = num.divide(den)  # denominator all zero
+        assert np.isnan(out.signal[0, 0, 0])
+        assert np.all(out.error_sq == 0.0)
+
+    def test_zero_numerator_bin_error_from_denominator_only(self, grid):
+        num = Hist3(grid, track_errors=True)
+        den = Hist3(grid, track_errors=True)
+        den.push(0.25, 0.25, 0.5, 2.0, err_sq=0.5)
+        out = num.divide(den)
+        # ratio is 0, so the propagated variance is 0 too
+        assert out.signal[0, 0, 0] == 0.0
+        assert out.error_sq[0, 0, 0] == 0.0
+
+    def test_errors_scale_with_statistics(self, grid):
+        """More counts -> smaller relative error of the ratio."""
+        def ratio_rel_err(counts):
+            num = Hist3(grid, track_errors=True)
+            den = Hist3(grid, track_errors=True)
+            num.push(0.25, 0.25, 0.5, counts, err_sq=counts)
+            den.push(0.25, 0.25, 0.5, 10.0, err_sq=0.0)
+            out = num.divide(den)
+            return np.sqrt(out.error_sq[0, 0, 0]) / out.signal[0, 0, 0]
+
+        assert ratio_rel_err(10000.0) < ratio_rel_err(100.0)
+
+
+class TestVanadiumMask:
+    def test_mask_zeroes_weights(self):
+        from repro.nexus.corrections import VanadiumData
+
+        van = VanadiumData(detector_weights=np.ones(10))
+        masked = van.with_mask(np.array([2, 5]))
+        assert masked.n_masked == 2
+        assert masked.detector_weights[2] == 0.0
+        assert masked.detector_weights[5] == 0.0
+        assert van.detector_weights[2] == 1.0  # original untouched
+
+    def test_mask_out_of_range_rejected(self):
+        from repro.nexus.corrections import VanadiumData
+
+        van = VanadiumData(detector_weights=np.ones(4))
+        with pytest.raises(Exception):
+            van.with_mask(np.array([7]))
+
+    def test_masked_detectors_contribute_nothing(self, tiny_experiment):
+        """Masking every detector kills the normalization entirely."""
+        from repro.core.hist3 import Hist3 as H
+        from repro.core.mdnorm import mdnorm
+
+        exp = tiny_experiment
+        ws = exp.workspaces[0]
+        traj = exp.grid.transforms_for(ws.ub_matrix, exp.point_group,
+                                       goniometer=ws.goniometer)
+        masked = exp.vanadium.with_mask(
+            np.arange(exp.instrument.n_pixels)
+        )
+        h = H(exp.grid)
+        mdnorm(h, traj, exp.instrument.directions, masked.detector_weights,
+               exp.flux, ws.momentum_band, backend="vectorized")
+        assert h.total() == 0.0
+
+    def test_partial_mask_reduces_normalization(self, tiny_experiment):
+        from repro.core.hist3 import Hist3 as H
+        from repro.core.mdnorm import mdnorm
+
+        exp = tiny_experiment
+        ws = exp.workspaces[0]
+        traj = exp.grid.transforms_for(ws.ub_matrix, exp.point_group,
+                                       goniometer=ws.goniometer)
+        full = H(exp.grid)
+        mdnorm(full, traj, exp.instrument.directions,
+               exp.vanadium.detector_weights, exp.flux, ws.momentum_band,
+               backend="vectorized")
+        masked = exp.vanadium.with_mask(np.arange(0, exp.instrument.n_pixels, 2))
+        half = H(exp.grid)
+        mdnorm(half, traj, exp.instrument.directions, masked.detector_weights,
+               exp.flux, ws.momentum_band, backend="vectorized")
+        assert 0 < half.total() < full.total()

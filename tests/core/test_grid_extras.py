@@ -1,0 +1,60 @@
+"""Additional grid coverage: slice thickness, transposed layouts, repr."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import HKLGrid
+from repro.core.hist3 import Hist3
+
+
+class TestSliceThickness:
+    def test_l_half_width_parameter(self):
+        thin = HKLGrid.benzil_grid(bins=(11, 11, 1), l_half_width=0.05)
+        thick = HKLGrid.benzil_grid(bins=(11, 11, 1), l_half_width=0.5)
+        assert thin.minimum[2] == -0.05 and thin.maximum[2] == 0.05
+        assert thick.minimum[2] == -0.5 and thick.maximum[2] == 0.5
+
+    def test_thicker_slice_catches_more_events(self):
+        rng = np.random.default_rng(0)
+        coords = rng.uniform(-1, 1, size=(2000, 3))
+        thin = HKLGrid(basis=np.eye(3), minimum=(-2, -2, -0.05),
+                       maximum=(2, 2, 0.05), bins=(5, 5, 1))
+        thick = HKLGrid(basis=np.eye(3), minimum=(-2, -2, -0.5),
+                        maximum=(2, 2, 0.5), bins=(5, 5, 1))
+        _, in_thin = thin.bin_index(coords)
+        _, in_thick = thick.bin_index(coords)
+        assert in_thick.sum() > in_thin.sum()
+
+    def test_bixbyite_l_half_width(self):
+        g = HKLGrid.bixbyite_grid(bins=(5, 5, 1), l_half_width=0.25)
+        assert g.maximum[2] == 0.25
+
+
+class TestExtent:
+    def test_extent_parameter(self):
+        g = HKLGrid.benzil_grid(bins=(5, 5, 1), extent=3.0)
+        assert g.minimum[0] == -3.0 and g.maximum[1] == 3.0
+
+    def test_widths_follow_extent(self):
+        g = HKLGrid.benzil_grid(bins=(6, 6, 1), extent=3.0)
+        assert g.widths[0] == pytest.approx(1.0)
+
+
+class TestMisc:
+    def test_repr_mentions_names(self):
+        text = repr(HKLGrid.benzil_grid(bins=(5, 5, 1)))
+        assert "[H,H,0]" in text
+
+    def test_hist_repr(self):
+        h = Hist3(HKLGrid.benzil_grid(bins=(5, 5, 1)))
+        assert "coverage" in repr(h)
+
+    def test_frozen(self):
+        g = HKLGrid.benzil_grid(bins=(5, 5, 1))
+        with pytest.raises(Exception):
+            g.bins = (1, 1, 1)
+
+    def test_custom_names_survive(self):
+        g = HKLGrid(basis=np.eye(3), minimum=(0, 0, 0), maximum=(1, 1, 1),
+                    bins=(2, 2, 2), names=("a", "b", "c"))
+        assert g.names == ("a", "b", "c")

@@ -1,0 +1,173 @@
+"""Unit + property tests for the atomic 3-D histogram."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.grid import HKLGrid
+from repro.core.hist3 import Hist3
+from repro.util.validation import ValidationError
+
+
+@pytest.fixture()
+def grid():
+    return HKLGrid(
+        basis=np.eye(3), minimum=(-1.0, -1.0, -1.0), maximum=(1.0, 1.0, 1.0),
+        bins=(4, 4, 4),
+    )
+
+
+class TestPush:
+    def test_inside_accumulates(self, grid):
+        h = Hist3(grid)
+        assert h.push(0.1, 0.1, 0.1, 2.0)
+        assert h.total() == 2.0
+
+    def test_outside_rejected(self, grid):
+        h = Hist3(grid)
+        assert not h.push(1.5, 0.0, 0.0, 1.0)
+        assert not h.push(0.0, -1.1, 0.0, 1.0)
+        assert h.total() == 0.0
+
+    def test_upper_boundary_outside(self, grid):
+        h = Hist3(grid)
+        assert not h.push(1.0, 0.0, 0.0, 1.0)
+
+    def test_lower_boundary_inside(self, grid):
+        h = Hist3(grid)
+        assert h.push(-1.0, -1.0, -1.0, 1.0)
+        assert h.signal[0, 0, 0] == 1.0
+
+    def test_error_tracking(self, grid):
+        h = Hist3(grid, track_errors=True)
+        h.push(0.0, 0.0, 0.0, 1.0, err_sq=4.0)
+        assert h.error_sq.sum() == 4.0
+
+    def test_same_bin_accumulates(self, grid):
+        h = Hist3(grid)
+        h.push(0.1, 0.1, 0.1, 1.0)
+        h.push(0.11, 0.12, 0.13, 2.0)
+        assert np.count_nonzero(h.signal) == 1
+        assert h.total() == 3.0
+
+
+class TestPushMany:
+    def test_matches_scalar_pushes(self, grid):
+        rng = np.random.default_rng(0)
+        coords = rng.uniform(-1.2, 1.2, size=(500, 3))
+        weights = rng.random(500)
+        a = Hist3(grid)
+        n_in = a.push_many(coords, weights)
+        b = Hist3(grid)
+        count = sum(b.push(*c, w) for c, w in zip(coords, weights))
+        assert n_in == count
+        assert np.allclose(a.signal, b.signal)
+
+    def test_scatter_impls_agree(self, grid):
+        rng = np.random.default_rng(1)
+        coords = rng.uniform(-1, 1, size=(300, 3))
+        weights = rng.random(300)
+        a = Hist3(grid)
+        a.push_many(coords, weights, scatter_impl="atomic")
+        b = Hist3(grid)
+        b.push_many(coords, weights, scatter_impl="buffered")
+        assert np.allclose(a.signal, b.signal)
+
+    def test_unknown_scatter_rejected(self, grid):
+        h = Hist3(grid)
+        with pytest.raises(ValidationError, match="scatter_impl"):
+            h.push_many(np.zeros((1, 3)), np.ones(1), scatter_impl="magic")
+
+    def test_scalar_weight_broadcast(self, grid):
+        h = Hist3(grid)
+        h.push_many(np.zeros((5, 3)), 2.0)
+        assert h.total() == 10.0
+
+    def test_duplicate_bins_counted(self, grid):
+        h = Hist3(grid)
+        coords = np.tile([[0.1, 0.1, 0.1]], (7, 1))
+        h.push_many(coords, np.ones(7))
+        assert h.total() == 7.0
+
+    def test_errors_accumulated(self, grid):
+        h = Hist3(grid, track_errors=True)
+        h.push_many(np.zeros((3, 3)), np.ones(3), err_sq=np.full(3, 2.0))
+        assert h.error_sq.sum() == 6.0
+
+    @given(n=st.integers(0, 100), seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_total_preserved_for_inside_points(self, n, seed):
+        g = HKLGrid(basis=np.eye(3), minimum=(-1, -1, -1), maximum=(1, 1, 1),
+                    bins=(5, 5, 5))
+        rng = np.random.default_rng(seed)
+        coords = rng.uniform(-0.99, 0.99, size=(n, 3))
+        w = rng.random(n)
+        h = Hist3(g)
+        n_in = h.push_many(coords, w)
+        assert n_in == n
+        assert h.total() == pytest.approx(w.sum())
+
+
+class TestAlgebra:
+    def test_add(self, grid):
+        a = Hist3(grid)
+        b = Hist3(grid)
+        a.push(0, 0, 0, 1.0)
+        b.push(0, 0, 0, 2.0)
+        a.add(b)
+        assert a.total() == 3.0
+
+    def test_add_grid_mismatch(self, grid):
+        other = HKLGrid(basis=np.eye(3), minimum=(-1, -1, -1), maximum=(1, 1, 1),
+                        bins=(2, 2, 2))
+        with pytest.raises(ValidationError, match="grids differ"):
+            Hist3(grid).add(Hist3(other))
+
+    def test_divide_guards_zero(self, grid):
+        num = Hist3(grid)
+        den = Hist3(grid)
+        num.push(0, 0, 0, 6.0)
+        den.push(0, 0, 0, 2.0)
+        out = num.divide(den)
+        idx = np.nonzero(~np.isnan(out.signal))
+        assert out.signal[idx][0] == 3.0
+        # all other bins had 0 denominator -> NaN fill
+        assert np.isnan(out.signal).sum() == out.signal.size - 1
+
+    def test_divide_custom_fill(self, grid):
+        out = Hist3(grid).divide(Hist3(grid), fill=0.0)
+        assert out.total() == 0.0
+
+    def test_copy_is_deep(self, grid):
+        a = Hist3(grid, track_errors=True)
+        a.push(0, 0, 0, 1.0)
+        b = a.copy()
+        b.push(0, 0, 0, 1.0)
+        assert a.total() == 1.0 and b.total() == 2.0
+
+    def test_reset(self, grid):
+        a = Hist3(grid, track_errors=True)
+        a.push(0, 0, 0, 1.0, err_sq=1.0)
+        a.reset()
+        assert a.total() == 0.0 and a.error_sq.sum() == 0.0
+
+
+class TestInspection:
+    def test_nonzero_fraction(self, grid):
+        h = Hist3(grid)
+        assert h.nonzero_fraction() == 0.0
+        h.push(0, 0, 0, 1.0)
+        assert h.nonzero_fraction() == pytest.approx(1 / 64)
+
+    def test_slice2d(self, grid):
+        h = Hist3(grid)
+        h.push(0.1, 0.1, -0.9, 5.0)  # lands in i2 == 0
+        sl = h.slice2d(axis=2, index=0)
+        assert sl.shape == (4, 4)
+        assert sl.sum() == 5.0
+        assert h.slice2d(axis=2, index=1).sum() == 0.0
+
+    def test_signal_shape_validation(self, grid):
+        with pytest.raises(ValidationError):
+            Hist3(grid, signal=np.zeros((2, 2, 2)))

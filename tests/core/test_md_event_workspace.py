@@ -1,0 +1,141 @@
+"""Unit tests for MDEvent conversion and SaveMD/LoadMD."""
+
+import numpy as np
+import pytest
+
+from repro.core.md_event_workspace import (
+    MDEventWorkspace,
+    convert_to_md,
+    load_md,
+    save_md,
+)
+from repro.instruments.conversion import momentum_from_q_elastic
+from repro.nexus.events import (
+    COL_DETECTOR_ID,
+    COL_Q,
+    COL_RUN_INDEX,
+    COL_SIGNAL,
+    EventTable,
+    RunData,
+)
+from repro.nexus.h5lite import File
+from repro.util.validation import ValidationError
+
+
+class TestConvertToMd:
+    def test_basic_conversion(self, tiny_experiment):
+        run = tiny_experiment.runs[0]
+        ws = convert_to_md(run, tiny_experiment.instrument, run_index=4)
+        assert ws.n_events == run.n_events
+        assert np.all(ws.events.data[:, COL_RUN_INDEX] == 4)
+        assert np.array_equal(
+            ws.events.data[:, COL_DETECTOR_ID], run.detector_ids.astype(float)
+        )
+        assert np.array_equal(ws.events.data[:, COL_SIGNAL],
+                              run.weights.astype(np.float64))
+
+    def test_q_sample_is_goniometer_corrected(self, tiny_experiment):
+        """Rotating Q_sample by the goniometer must give elastic Q_lab."""
+        run = tiny_experiment.runs[1]  # omega = 40 deg
+        ws = convert_to_md(run, tiny_experiment.instrument)
+        q_lab = ws.events.q_sample @ run.goniometer.T
+        k = momentum_from_q_elastic(q_lab)
+        assert np.all(np.isfinite(k))
+        k_lo, k_hi = ws.momentum_band
+        assert np.all(k >= k_lo * (1 - 1e-9))
+        assert np.all(k <= k_hi * (1 + 1e-9))
+
+    def test_momentum_band_from_wavelength_band(self, tiny_experiment):
+        run = tiny_experiment.runs[0]
+        ws = convert_to_md(run, tiny_experiment.instrument)
+        lam_lo, lam_hi = run.wavelength_band
+        assert ws.momentum_band[0] == pytest.approx(2 * np.pi / lam_hi)
+        assert ws.momentum_band[1] == pytest.approx(2 * np.pi / lam_lo)
+
+    def test_invalid_pixel_rejected(self, tiny_experiment):
+        run = tiny_experiment.runs[0]
+        bad = RunData(
+            run_number=0,
+            detector_ids=np.array([10**6], dtype=np.uint32),
+            tof=np.array([1000.0]),
+            weights=np.array([1.0], dtype=np.float32),
+            goniometer=np.eye(3),
+            proton_charge=1.0,
+            wavelength_band=run.wavelength_band,
+        )
+        with pytest.raises(ValidationError, match="references pixel"):
+            convert_to_md(bad, tiny_experiment.instrument)
+
+
+class TestWorkspaceValidation:
+    def _ws(self, **over):
+        kwargs = dict(
+            events=EventTable.empty(),
+            run_number=0,
+            goniometer=np.eye(3),
+            proton_charge=1.0,
+            momentum_band=(2.0, 10.0),
+        )
+        kwargs.update(over)
+        return MDEventWorkspace(**kwargs)
+
+    def test_ok(self):
+        assert self._ws().n_events == 0
+
+    def test_bad_band(self):
+        with pytest.raises(ValidationError, match="momentum_band"):
+            self._ws(momentum_band=(10.0, 2.0))
+
+    def test_bad_charge(self):
+        with pytest.raises(ValidationError, match="proton_charge"):
+            self._ws(proton_charge=-1.0)
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tiny_experiment, tmp_path):
+        ws = tiny_experiment.workspaces[0]
+        path = str(tmp_path / "ws.md.h5")
+        save_md(path, ws)
+        back = load_md(path)
+        assert back.run_number == ws.run_number
+        assert back.proton_charge == ws.proton_charge
+        assert back.momentum_band == ws.momentum_band
+        assert np.allclose(back.goniometer, ws.goniometer)
+        assert np.allclose(back.ub_matrix, ws.ub_matrix)
+        assert np.array_equal(back.events.data, ws.events.data)
+
+    def test_on_disk_layout_is_transposed(self, tiny_experiment, tmp_path):
+        """The file stores (8, n); loading performs the measured transpose."""
+        ws = tiny_experiment.workspaces[0]
+        path = str(tmp_path / "ws.md.h5")
+        save_md(path, ws)
+        with File(path, "r") as f:
+            raw = f["MDEventWorkspace/event_data"]
+            assert raw.shape == (8, ws.n_events)
+
+    def test_loaded_table_is_c_contiguous(self, tiny_experiment, tmp_path):
+        ws = tiny_experiment.workspaces[0]
+        path = str(tmp_path / "ws.md.h5")
+        save_md(path, ws)
+        back = load_md(path)
+        assert back.events.data.flags.c_contiguous
+
+    def test_wrong_shape_rejected(self, tmp_path):
+        path = str(tmp_path / "bad.md.h5")
+        with File(path, "w") as f:
+            grp = f.create_group("MDEventWorkspace")
+            grp.create_dataset("event_data", data=np.zeros((5, 7)))
+        with pytest.raises(ValidationError, match="event_data"):
+            load_md(path)
+
+    def test_roundtrip_without_ub(self, tmp_path):
+        ws = MDEventWorkspace(
+            events=EventTable.empty(),
+            run_number=3,
+            goniometer=np.eye(3),
+            proton_charge=2.0,
+            momentum_band=(1.0, 5.0),
+        )
+        path = str(tmp_path / "noub.md.h5")
+        save_md(path, ws)
+        assert load_md(path).ub_matrix is None

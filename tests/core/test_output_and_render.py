@@ -1,0 +1,118 @@
+"""Tests for reduced-data output files and terminal rendering."""
+
+import numpy as np
+import pytest
+
+from repro.core.cross_section import compute_cross_section
+from repro.core.hist3 import Hist3
+from repro.core.md_event_workspace import load_md
+from repro.core.output import load_reduced, save_reduced
+from repro.core.render import SHADES, ascii_map, render_hist
+from repro.nexus.h5lite import File, H5LiteError
+from repro.util.validation import ValidationError
+
+
+@pytest.fixture(scope="module")
+def result(tiny_experiment):
+    exp = tiny_experiment
+    return compute_cross_section(
+        load_run=lambda i: load_md(exp.md_paths[i]),
+        n_runs=len(exp.md_paths),
+        grid=exp.grid,
+        point_group=exp.point_group,
+        flux=exp.flux,
+        det_directions=exp.instrument.directions,
+        solid_angles=exp.vanadium.detector_weights,
+        backend="vectorized",
+    )
+
+
+class TestSaveLoadReduced:
+    def test_roundtrip(self, result, tmp_path):
+        path = str(tmp_path / "reduced.h5")
+        save_reduced(path, result, notes="unit test")
+        back = load_reduced(path)
+        a = result.cross_section.signal
+        b = back.cross_section.signal
+        mask = ~np.isnan(a)
+        assert np.array_equal(mask, ~np.isnan(b))
+        assert np.allclose(a[mask], b[mask])
+        assert np.allclose(back.binmd.signal, result.binmd.signal)
+        assert np.allclose(back.mdnorm.signal, result.mdnorm.signal)
+
+    def test_grid_restored(self, result, tmp_path):
+        path = str(tmp_path / "reduced.h5")
+        save_reduced(path, result)
+        back = load_reduced(path)
+        assert back.cross_section.grid.bins == result.cross_section.grid.bins
+        assert back.cross_section.grid.names == result.cross_section.grid.names
+        assert np.allclose(back.cross_section.grid.basis,
+                           result.cross_section.grid.basis)
+
+    def test_provenance_recorded(self, result, tmp_path):
+        import repro
+
+        path = str(tmp_path / "reduced.h5")
+        save_reduced(path, result, notes="session 42")
+        back = load_reduced(path)
+        assert back.extras["package_version"] == repro.__version__
+        assert back.extras["notes"] == "session 42"
+        assert back.backend == result.backend
+        assert back.n_runs == result.n_runs
+        assert back.timings.seconds("MDNorm") > 0
+
+    def test_non_root_result_rejected(self, result, tmp_path):
+        from dataclasses import replace
+
+        non_root = replace(result, cross_section=None)
+        with pytest.raises(ValidationError, match="root rank"):
+            save_reduced(str(tmp_path / "x.h5"), non_root)
+
+    def test_wrong_file_rejected(self, tmp_path):
+        path = str(tmp_path / "other.h5")
+        with File(path, "w") as f:
+            f.create_group("unrelated")
+        with pytest.raises(H5LiteError, match="reduced"):
+            load_reduced(path)
+
+    def test_compression_shrinks_file(self, result, tmp_path):
+        a = tmp_path / "compressed.h5"
+        b = tmp_path / "raw.h5"
+        save_reduced(str(a), result, compression="zlib")
+        save_reduced(str(b), result, compression=None)
+        assert a.stat().st_size < b.stat().st_size
+
+
+class TestRender:
+    def test_map_dimensions(self):
+        data = np.random.default_rng(0).random((100, 100))
+        art = ascii_map(data, width=40)
+        lines = art.splitlines()
+        assert 10 <= len(lines[0]) <= 60
+        assert all(set(line) <= set(SHADES) for line in lines)
+
+    def test_empty_and_nan_render_blank(self):
+        art = ascii_map(np.full((20, 20), np.nan), width=20)
+        assert set(art.replace("\n", "")) == {" "}
+
+    def test_bright_spot_renders_bright(self):
+        data = np.zeros((40, 40))
+        data[20, 20] = 100.0
+        art = ascii_map(data, width=40)
+        assert "@" in art
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            ascii_map(np.zeros(10))
+
+    def test_parameter_validation(self):
+        with pytest.raises(Exception):
+            ascii_map(np.zeros((4, 4)), width=1)
+        with pytest.raises(Exception):
+            ascii_map(np.zeros((4, 4)), percentile=0.0)
+
+    def test_render_hist_banner(self, result):
+        art = render_hist(result.binmd)
+        first = art.splitlines()[0]
+        assert "[H,H,0]" in first
+        assert "coverage" in first

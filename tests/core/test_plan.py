@@ -1,0 +1,121 @@
+"""Tests for reduction-plan files."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.plan import ReductionPlan, load_plan, run_plan, save_plan
+from repro.instruments.idf import write_instrument
+from repro.util.validation import ValidationError
+
+
+@pytest.fixture()
+def plan_dir(tiny_experiment, tmp_path):
+    """A self-contained dataset directory with a plan file."""
+    exp = tiny_experiment
+    idf = tmp_path / "instrument.h5"
+    write_instrument(str(idf), exp.instrument)
+    doc = {
+        "runs": exp.md_paths,
+        "flux": exp.flux_path,
+        "vanadium": exp.vanadium_path,
+        "instrument": str(idf),
+        "point_group": "321",
+        "grid": {
+            "projections": [[1, 1, 0], [1, -1, 0], [0, 0, 1]],
+            "minimum": [-6.0, -6.0, -0.5],
+            "maximum": [6.0, 6.0, 0.5],
+            "bins": [41, 41, 1],
+        },
+        "implementation": "minivates",
+    }
+    path = tmp_path / "plan.json"
+    path.write_text(json.dumps(doc))
+    return path
+
+
+class TestLoadPlan:
+    def test_loads_and_validates(self, plan_dir):
+        plan = load_plan(plan_dir)
+        assert plan.implementation == "minivates"
+        assert plan.point_group_symbol == "321"
+        assert plan.grid.bins == (41, 41, 1)
+        assert len(plan.runs) == 3
+
+    def test_projections_become_basis_columns(self, plan_dir):
+        plan = load_plan(plan_dir)
+        assert np.allclose(plan.grid.basis[:, 0], [1, 1, 0])
+        assert np.allclose(plan.grid.basis[:, 1], [1, -1, 0])
+
+    def test_relative_paths_resolve_against_plan(self, plan_dir, tmp_path):
+        doc = json.loads(plan_dir.read_text())
+        doc["flux"] = "flux_rel.h5"
+        p2 = tmp_path / "plan2.json"
+        p2.write_text(json.dumps(doc))
+        plan = load_plan(p2)
+        assert plan.flux == str(tmp_path / "flux_rel.h5")
+
+    def test_missing_keys_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"runs": ["a"]}))
+        with pytest.raises(ValidationError, match="missing required key"):
+            load_plan(path)
+
+    def test_malformed_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ValidationError, match="cannot read plan"):
+            load_plan(path)
+
+    def test_bad_projections_rejected(self, plan_dir, tmp_path):
+        doc = json.loads(plan_dir.read_text())
+        doc["grid"]["projections"] = [[1, 0], [0, 1]]
+        p2 = tmp_path / "bad.json"
+        p2.write_text(json.dumps(doc))
+        with pytest.raises(ValidationError, match="projections"):
+            load_plan(p2)
+
+    def test_unknown_implementation_rejected(self, plan_dir, tmp_path):
+        doc = json.loads(plan_dir.read_text())
+        doc["implementation"] = "fortran"
+        p2 = tmp_path / "bad.json"
+        p2.write_text(json.dumps(doc))
+        with pytest.raises(ValidationError, match="implementation"):
+            load_plan(p2)
+
+
+class TestSavePlan:
+    def test_roundtrip(self, plan_dir, tmp_path):
+        plan = load_plan(plan_dir)
+        out = tmp_path / "resaved.json"
+        save_plan(out, plan)
+        back = load_plan(out)
+        assert back.runs == plan.runs
+        assert back.grid.bins == plan.grid.bins
+        assert np.allclose(back.grid.basis, plan.grid.basis)
+        assert back.implementation == plan.implementation
+
+
+class TestRunPlan:
+    @pytest.mark.parametrize("impl", ["core", "cpp", "minivates"])
+    def test_all_implementations_agree(self, plan_dir, tmp_path, impl):
+        doc = json.loads(plan_dir.read_text())
+        doc["implementation"] = impl
+        if impl == "core":
+            doc["backend_options"] = {"backend": "vectorized"}
+        path = tmp_path / f"{impl}.json"
+        path.write_text(json.dumps(doc))
+        result = run_plan(load_plan(path))
+        if not hasattr(TestRunPlan, "_reference"):
+            TestRunPlan._reference = result.binmd.signal
+        assert np.allclose(result.binmd.signal, TestRunPlan._reference)
+
+    def test_backend_options_forwarded(self, plan_dir, tmp_path):
+        doc = json.loads(plan_dir.read_text())
+        doc["backend_options"] = {"sort_impl": "library", "cold_start": False}
+        path = tmp_path / "opt.json"
+        path.write_text(json.dumps(doc))
+        result = run_plan(load_plan(path))
+        assert result.backend == "minivates"
+        assert result.binmd.total() > 0

@@ -1,0 +1,118 @@
+"""Tests for the dynamic rebinning extension (and 3-D volumes)."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import HKLGrid
+from repro.core.rebin import InMemoryReducer
+from repro.core.workflow import ReductionWorkflow, WorkflowConfig
+from repro.util.validation import ValidationError
+
+
+@pytest.fixture()
+def reducer(tiny_experiment):
+    exp = tiny_experiment
+    return InMemoryReducer(
+        md_paths=exp.md_paths,
+        flux=exp.flux,
+        instrument=exp.instrument,
+        solid_angles=exp.vanadium.detector_weights,
+        point_group=exp.point_group,
+        backend="vectorized",
+    )
+
+
+class TestRebinning:
+    def test_matches_file_workflow(self, tiny_experiment, reducer):
+        exp = tiny_experiment
+        res = reducer.reduce(exp.grid)
+        wf = ReductionWorkflow(
+            WorkflowConfig(
+                md_paths=exp.md_paths,
+                flux_path=exp.flux_path,
+                vanadium_path=exp.vanadium_path,
+                instrument=exp.instrument,
+                grid=exp.grid,
+                point_group=exp.point_group,
+                backend="vectorized",
+            )
+        ).run()
+        assert np.allclose(res.binmd.signal, wf.binmd.signal)
+        assert np.allclose(res.mdnorm.signal, wf.mdnorm.signal, rtol=1e-10)
+
+    def test_rebin_without_reloading(self, tiny_experiment, reducer):
+        """The paper's data-movement claim: new bins, zero file reads."""
+        loads_before = reducer.load_count
+        coarse = reducer.reduce(HKLGrid.benzil_grid(bins=(21, 21, 1)))
+        fine = reducer.reduce(HKLGrid.benzil_grid(bins=(81, 81, 1)))
+        assert reducer.load_count == loads_before
+        assert coarse.timings.seconds("UpdateEvents") == 0.0
+        assert fine.timings.seconds("UpdateEvents") == 0.0
+        # total signal is grid-independent for a fixed projection basis
+        assert coarse.binmd.total() == pytest.approx(fine.binmd.total(), rel=0.05)
+
+    def test_coarse_grid_is_aggregate_of_fine(self, tiny_experiment, reducer):
+        """Halving the bin count must exactly merge neighbouring bins
+        (BinMD is a pure histogram)."""
+        fine = reducer.reduce(HKLGrid.benzil_grid(bins=(40, 40, 1)))
+        coarse = reducer.reduce(HKLGrid.benzil_grid(bins=(20, 20, 1)))
+        merged = fine.binmd.signal.reshape(20, 2, 20, 2, 1).sum(axis=(1, 3))
+        assert np.allclose(merged, coarse.binmd.signal)
+
+    def test_change_projection_basis(self, tiny_experiment, reducer):
+        """Rebinning to a different reciprocal basis, still no reload."""
+        hk_grid = HKLGrid(
+            basis=np.eye(3),
+            minimum=(-6.0, -6.0, -0.5),
+            maximum=(6.0, 6.0, 0.5),
+            bins=(41, 41, 1),
+            names=("[H,0,0]", "[0,K,0]", "[0,0,L]"),
+        )
+        res = reducer.reduce(hk_grid)
+        assert res.binmd.total() > 0
+        assert res.cross_section.grid.names[0] == "[H,0,0]"
+
+
+class TestVolumes:
+    def test_3d_volume_reduction(self, reducer):
+        """lBins > 1: the '3D volumes' option the paper motivates."""
+        res = reducer.reduce_volume(bins=(24, 24, 24))
+        assert res.binmd.signal.shape == (24, 24, 24)
+        assert res.binmd.total() > 0
+        assert res.mdnorm.total() > 0
+        # the volume must contain more signal than any single L slice
+        slice_totals = res.binmd.signal.sum(axis=(0, 1))
+        assert res.binmd.total() > slice_totals.max()
+
+    def test_volume_consistent_with_slice(self, tiny_experiment, reducer):
+        """Summing the volume's central L bins reproduces the 2-D slice."""
+        slice_res = reducer.reduce(
+            HKLGrid(basis=np.eye(3), minimum=(-6, -6, -0.5),
+                    maximum=(6, 6, 0.5), bins=(30, 30, 1))
+        )
+        vol_res = reducer.reduce(
+            HKLGrid(basis=np.eye(3), minimum=(-6, -6, -0.5),
+                    maximum=(6, 6, 0.5), bins=(30, 30, 4))
+        )
+        collapsed = vol_res.binmd.signal.sum(axis=2, keepdims=True)
+        assert np.allclose(collapsed, slice_res.binmd.signal)
+
+
+class TestValidation:
+    def test_requires_paths(self, tiny_experiment):
+        exp = tiny_experiment
+        with pytest.raises(Exception):
+            InMemoryReducer(
+                md_paths=[],
+                flux=exp.flux,
+                instrument=exp.instrument,
+                solid_angles=exp.vanadium.detector_weights,
+                point_group=exp.point_group,
+            )
+
+    def test_counts(self, tiny_experiment, reducer):
+        assert reducer.n_runs == 3
+        assert reducer.total_events == sum(
+            ws.n_events for ws in tiny_experiment.workspaces
+        )
+        assert reducer.load_count == 3

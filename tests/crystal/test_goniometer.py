@@ -1,0 +1,95 @@
+"""Unit tests for goniometer rotations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crystal.goniometer import (
+    Goniometer,
+    goniometer_omega_chi_phi,
+    rotation_about_axis,
+)
+from repro.util.validation import ValidationError
+
+
+class TestRotationAboutAxis:
+    def test_identity_at_zero(self):
+        assert np.allclose(rotation_about_axis([0, 1, 0], 0.0), np.eye(3))
+
+    def test_90_about_y_maps_z_to_x(self):
+        r = rotation_about_axis([0, 1, 0], 90.0)
+        assert np.allclose(r @ [0, 0, 1], [1, 0, 0], atol=1e-12)
+
+    def test_90_about_z_maps_x_to_y(self):
+        r = rotation_about_axis([0, 0, 1], 90.0)
+        assert np.allclose(r @ [1, 0, 0], [0, 1, 0], atol=1e-12)
+
+    def test_axis_is_fixed(self):
+        axis = np.array([1.0, 2.0, 3.0])
+        r = rotation_about_axis(axis, 123.0)
+        assert np.allclose(r @ axis, axis)
+
+    def test_normalizes_axis(self):
+        assert np.allclose(
+            rotation_about_axis([0, 2, 0], 30.0), rotation_about_axis([0, 1, 0], 30.0)
+        )
+
+    def test_zero_axis_rejected(self):
+        with pytest.raises(ValidationError, match="non-zero"):
+            rotation_about_axis([0, 0, 0], 10.0)
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValidationError):
+            rotation_about_axis([1, 0], 10.0)
+
+    @given(angle=st.floats(-360.0, 360.0))
+    @settings(max_examples=50, deadline=None)
+    def test_always_proper_rotation(self, angle):
+        r = rotation_about_axis(np.array([1.0, -2.0, 0.5]), angle)
+        assert np.allclose(r @ r.T, np.eye(3), atol=1e-12)
+        assert np.linalg.det(r) == pytest.approx(1.0)
+
+    @given(angle=st.floats(-180.0, 180.0))
+    @settings(max_examples=30, deadline=None)
+    def test_inverse_is_negative_angle(self, angle):
+        axis = np.array([0.3, 1.0, -0.2])
+        forward = rotation_about_axis(axis, angle)
+        backward = rotation_about_axis(axis, -angle)
+        assert np.allclose(forward @ backward, np.eye(3), atol=1e-12)
+
+
+class TestOmegaChiPhi:
+    def test_composition_order(self):
+        r = goniometer_omega_chi_phi(30.0, 20.0, 10.0)
+        expected = (
+            rotation_about_axis([0, 1, 0], 30.0)
+            @ rotation_about_axis([0, 0, 1], 20.0)
+            @ rotation_about_axis([0, 1, 0], 10.0)
+        )
+        assert np.allclose(r, expected)
+
+    def test_pure_omega(self):
+        assert np.allclose(
+            goniometer_omega_chi_phi(45.0), rotation_about_axis([0, 1, 0], 45.0)
+        )
+
+    def test_is_rotation(self):
+        r = goniometer_omega_chi_phi(33.0, -12.0, 71.0)
+        assert np.allclose(r.T @ r, np.eye(3), atol=1e-12)
+        assert np.linalg.det(r) == pytest.approx(1.0)
+
+
+class TestGoniometer:
+    def test_rotation_matches_function(self):
+        g = Goniometer(omega=15.0, chi=5.0, phi=-20.0)
+        assert np.allclose(g.rotation, goniometer_omega_chi_phi(15.0, 5.0, -20.0))
+
+    def test_inverse_is_transpose(self):
+        g = Goniometer(omega=77.0, chi=13.0)
+        assert np.allclose(g.inverse @ g.rotation, np.eye(3), atol=1e-12)
+
+    def test_frozen(self):
+        g = Goniometer(omega=1.0)
+        with pytest.raises(AttributeError):
+            g.omega = 2.0

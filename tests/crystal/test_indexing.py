@@ -1,0 +1,156 @@
+"""Tests for peak indexing and UB refinement."""
+
+import numpy as np
+import pytest
+
+from repro.crystal.goniometer import rotation_about_axis
+from repro.crystal.indexing import (
+    IndexingResult,
+    index_peaks,
+    indexing_error,
+    refine_ub,
+)
+from repro.crystal.lattice import UnitCell
+from repro.crystal.structures import benzil
+from repro.crystal.ub import UBMatrix
+from repro.util.validation import ValidationError
+
+
+def _oriented_ub(cell, axis=(1.0, 2.0, 0.5), angle=33.0):
+    u = rotation_about_axis(np.array(axis), angle)
+    return UBMatrix(cell=cell, u=u)
+
+
+def _peaks_from(ub, hkls, noise=0.0, rng=None):
+    q = ub.hkl_to_q_sample(np.asarray(hkls, dtype=float))
+    if noise:
+        q = q + rng.normal(scale=noise, size=q.shape)
+    return q
+
+
+CUBIC = UnitCell(5.0, 5.0, 5.0)
+HKLS = np.array(
+    [[1, 0, 0], [0, 1, 0], [0, 0, 1], [1, 1, 0], [2, -1, 1], [1, 2, 3],
+     [-2, 0, 1], [3, 1, -1]]
+)
+
+
+class TestIndexPeaks:
+    def test_exact_peaks_all_indexed(self):
+        ub = _oriented_ub(CUBIC)
+        q = _peaks_from(ub, HKLS)
+        result = index_peaks(q, ub)
+        assert result.fraction_indexed == 1.0
+        assert np.array_equal(result.hkl, HKLS)
+        assert np.all(result.residual < 1e-10)
+
+    def test_noisy_peaks_mostly_indexed(self, rng):
+        ub = _oriented_ub(CUBIC)
+        q = _peaks_from(ub, HKLS, noise=0.02, rng=rng)
+        result = index_peaks(q, ub, tolerance=0.2)
+        assert result.fraction_indexed >= 0.8
+
+    def test_wrong_orientation_fails_to_index(self):
+        ub = _oriented_ub(CUBIC, angle=0.0)
+        wrong = _oriented_ub(CUBIC, angle=25.0)
+        q = _peaks_from(ub, HKLS)
+        result = index_peaks(q, wrong, tolerance=0.1)
+        assert result.fraction_indexed < 0.5
+
+    def test_validation(self):
+        ub = _oriented_ub(CUBIC)
+        with pytest.raises(ValidationError):
+            index_peaks(np.zeros(3), ub)
+        with pytest.raises(Exception):
+            index_peaks(np.zeros((2, 3)), ub, tolerance=0.9)
+
+    def test_result_counts(self):
+        r = IndexingResult(
+            hkl=np.zeros((4, 3), dtype=np.int64),
+            indexed=np.array([True, True, False, True]),
+            residual=np.zeros(4),
+        )
+        assert r.n_indexed == 3
+        assert r.fraction_indexed == 0.75
+
+
+class TestRefineUb:
+    @pytest.mark.parametrize("angle", [5.0, 45.0, 120.0, -60.0])
+    def test_recovers_known_orientation(self, angle):
+        ub_true = _oriented_ub(CUBIC, angle=angle)
+        q = _peaks_from(ub_true, HKLS)
+        ub_fit = refine_ub(q, HKLS, CUBIC)
+        assert np.allclose(ub_fit.matrix, ub_true.matrix, atol=1e-10)
+        assert indexing_error(ub_fit, q, HKLS) < 1e-10
+
+    def test_recovers_orientation_for_trigonal_cell(self):
+        cell = benzil().cell
+        ub_true = _oriented_ub(cell, axis=(0.2, 1.0, 0.7), angle=77.0)
+        q = _peaks_from(ub_true, HKLS)
+        ub_fit = refine_ub(q, HKLS, cell)
+        assert np.allclose(ub_fit.matrix, ub_true.matrix, atol=1e-9)
+
+    def test_noise_robustness(self, rng):
+        ub_true = _oriented_ub(CUBIC, angle=30.0)
+        q = _peaks_from(ub_true, HKLS, noise=0.01, rng=rng)
+        ub_fit = refine_ub(q, HKLS, CUBIC)
+        # orientation recovered to well under a degree:
+        # |U_fit U_true^T - I| small
+        delta = ub_fit.u @ ub_true.u.T
+        angle = np.degrees(np.arccos(np.clip((np.trace(delta) - 1) / 2, -1, 1)))
+        assert angle < 1.0
+
+    def test_result_is_proper_rotation(self, rng):
+        ub_true = _oriented_ub(CUBIC, angle=64.0)
+        q = _peaks_from(ub_true, HKLS, noise=0.05, rng=rng)
+        ub_fit = refine_ub(q, HKLS, CUBIC)
+        assert np.allclose(ub_fit.u @ ub_fit.u.T, np.eye(3), atol=1e-10)
+        assert np.linalg.det(ub_fit.u) == pytest.approx(1.0)
+
+    def test_collinear_peaks_rejected(self):
+        with pytest.raises(ValidationError, match="collinear"):
+            refine_ub(
+                np.array([[1.0, 0, 0], [2.0, 0, 0]]),
+                np.array([[1, 0, 0], [2, 0, 0]]),
+                CUBIC,
+            )
+
+    def test_too_few_peaks_rejected(self):
+        with pytest.raises(ValidationError):
+            refine_ub(np.array([[1.0, 0, 0]]), np.array([[1, 0, 0]]), CUBIC)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValidationError):
+            refine_ub(np.zeros((3, 3)), np.zeros((2, 3)), CUBIC)
+
+
+class TestEndToEndIndexing:
+    def test_recover_ub_from_reduced_peaks(self, tiny_experiment):
+        """The final loop closure: reduce the synthetic measurement,
+        find peaks, index them with the known UB, refine, and land on
+        (a symmetry-equivalent of) the generation orientation."""
+        from repro.core.cross_section import compute_cross_section
+        from repro.core.md_event_workspace import load_md
+        from repro.core.peaks import find_peaks
+
+        exp = tiny_experiment
+        reduced = compute_cross_section(
+            load_run=lambda i: load_md(exp.md_paths[i]),
+            n_runs=len(exp.md_paths),
+            grid=exp.grid,
+            point_group=exp.point_group,
+            flux=exp.flux,
+            det_directions=exp.instrument.directions,
+            solid_angles=exp.vanadium.detector_weights,
+            backend="vectorized",
+        )
+        peaks = find_peaks(reduced.binmd).strongest(8)
+        assert peaks.n_peaks >= 3
+        # grid coords -> q_sample through the generation UB's lattice
+        q_sample = exp.ub.hkl_to_q_sample(peaks.hkl)
+        result = index_peaks(q_sample, exp.ub, tolerance=0.45)
+        good = result.indexed
+        if good.sum() >= 3:
+            ub_fit = refine_ub(q_sample[good], result.hkl[good], exp.structure.cell)
+            err = indexing_error(ub_fit, q_sample[good], result.hkl[good])
+            assert err < 0.3

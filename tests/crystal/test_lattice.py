@@ -1,0 +1,110 @@
+"""Unit tests for unit cells and the Busing-Levy B matrix."""
+
+import numpy as np
+import pytest
+
+from repro.crystal.lattice import UnitCell
+from repro.util.validation import ValidationError
+
+
+class TestCubic:
+    cell = UnitCell(4.0, 4.0, 4.0)
+
+    def test_volume(self):
+        assert self.cell.volume == pytest.approx(64.0)
+
+    def test_metric_tensor_is_diagonal(self):
+        assert np.allclose(self.cell.metric_tensor(), 16.0 * np.eye(3))
+
+    def test_reciprocal_lengths(self):
+        rec = self.cell.reciprocal()
+        assert rec.a == pytest.approx(0.25)
+        assert rec.alpha == pytest.approx(90.0)
+
+    def test_b_matrix_is_diagonal(self):
+        assert np.allclose(self.cell.b_matrix(), 0.25 * np.eye(3))
+
+    def test_d_spacing_known_values(self):
+        assert self.cell.d_spacing([1, 0, 0]) == pytest.approx(4.0)
+        assert self.cell.d_spacing([1, 1, 0]) == pytest.approx(4.0 / np.sqrt(2))
+        assert self.cell.d_spacing([1, 1, 1]) == pytest.approx(4.0 / np.sqrt(3))
+
+    def test_q_magnitude(self):
+        assert self.cell.q_magnitude([2, 0, 0]) == pytest.approx(2 * 2 * np.pi / 4.0)
+
+    def test_d_spacing_vectorized(self):
+        hkl = np.array([[1, 0, 0], [2, 0, 0]])
+        d = self.cell.d_spacing(hkl)
+        assert d.shape == (2,)
+        assert d[0] == pytest.approx(2 * d[1])
+
+
+class TestHexagonal:
+    """Benzil's trigonal cell (hexagonal axes)."""
+
+    cell = UnitCell(8.376, 8.376, 13.700, 90.0, 90.0, 120.0)
+
+    def test_volume_formula(self):
+        expected = 8.376**2 * 13.700 * np.sqrt(3) / 2
+        assert self.cell.volume == pytest.approx(expected)
+
+    def test_d100_hexagonal(self):
+        # d(100) = a * sqrt(3)/2 for hexagonal
+        assert self.cell.d_spacing([1, 0, 0]) == pytest.approx(
+            8.376 * np.sqrt(3) / 2
+        )
+
+    def test_d001(self):
+        assert self.cell.d_spacing([0, 0, 1]) == pytest.approx(13.700)
+
+    def test_symmetry_equivalents_share_d(self):
+        # {100} family in a hexagonal lattice: (100), (010), (-110)
+        d = self.cell.d_spacing(np.array([[1, 0, 0], [0, 1, 0], [-1, 1, 0]]))
+        assert np.allclose(d, d[0])
+
+    def test_b_matrix_consistent_with_metric(self):
+        # B^T B must equal the reciprocal metric tensor
+        b = self.cell.b_matrix()
+        g_star = np.linalg.inv(self.cell.metric_tensor())
+        assert np.allclose(b.T @ b, g_star, atol=1e-12)
+
+
+class TestTriclinic:
+    cell = UnitCell(5.0, 6.0, 7.0, 80.0, 95.0, 105.0)
+
+    def test_reciprocal_of_reciprocal_is_identity(self):
+        rec2 = self.cell.reciprocal().reciprocal()
+        assert rec2.a == pytest.approx(self.cell.a)
+        assert rec2.b == pytest.approx(self.cell.b)
+        assert rec2.c == pytest.approx(self.cell.c)
+        assert rec2.alpha == pytest.approx(self.cell.alpha)
+        assert rec2.beta == pytest.approx(self.cell.beta)
+        assert rec2.gamma == pytest.approx(self.cell.gamma)
+
+    def test_b_matrix_consistent_with_metric(self):
+        b = self.cell.b_matrix()
+        g_star = np.linalg.inv(self.cell.metric_tensor())
+        assert np.allclose(b.T @ b, g_star, atol=1e-12)
+
+    def test_d_spacing_matches_metric_formula(self):
+        hkl = np.array([2.0, -1.0, 3.0])
+        g_star = np.linalg.inv(self.cell.metric_tensor())
+        expected = 1.0 / np.sqrt(hkl @ g_star @ hkl)
+        assert self.cell.d_spacing(hkl) == pytest.approx(expected)
+
+
+class TestValidation:
+    def test_negative_edge_rejected(self):
+        with pytest.raises(ValidationError, match="positive"):
+            UnitCell(-1.0, 4.0, 4.0)
+
+    def test_bad_angle_rejected(self):
+        with pytest.raises(ValidationError, match="angle"):
+            UnitCell(4, 4, 4, alpha=0.0)
+        with pytest.raises(ValidationError, match="angle"):
+            UnitCell(4, 4, 4, beta=180.0)
+
+    def test_degenerate_angles_rejected(self):
+        # alpha + beta + gamma constraint violated -> no valid cell
+        with pytest.raises(ValidationError, match="degenerate"):
+            UnitCell(4, 4, 4, 170.0, 170.0, 170.0)

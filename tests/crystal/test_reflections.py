@@ -1,0 +1,87 @@
+"""Unit tests for reflection enumeration and the intensity model."""
+
+import numpy as np
+import pytest
+
+from repro.crystal.reflections import generate_reflections
+from repro.crystal.structures import benzil, bixbyite
+from repro.util.validation import ValidationError
+
+
+class TestEnumeration:
+    def test_all_within_q_range(self):
+        s = bixbyite()
+        refl = generate_reflections(s, q_max=5.0, q_min=0.5)
+        assert refl.n_reflections > 0
+        assert np.all(refl.q_mag <= 5.0 + 1e-12)
+        assert np.all(refl.q_mag >= 0.5 - 1e-12)
+
+    def test_centering_respected(self):
+        s = bixbyite()
+        refl = generate_reflections(s, q_max=5.0)
+        sums = refl.hkl.sum(axis=1)
+        assert np.all(sums % 2 == 0), "Ia-3 forbids odd h+k+l"
+
+    def test_no_000(self):
+        refl = generate_reflections(benzil(), q_max=4.0)
+        assert not np.any(np.all(refl.hkl == 0, axis=1))
+
+    def test_friedel_pairs_present(self):
+        """If hkl is enumerated, so is -hkl (the sphere is symmetric)."""
+        refl = generate_reflections(bixbyite(), q_max=4.0)
+        keys = {tuple(h) for h in refl.hkl}
+        for h in list(keys)[:50]:
+            assert tuple(-np.array(h)) in keys
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValidationError):
+            generate_reflections(benzil(), q_max=0.4, q_min=0.5)
+
+    def test_larger_sphere_has_more_reflections(self):
+        s = benzil()
+        small = generate_reflections(s, q_max=3.0)
+        large = generate_reflections(s, q_max=6.0)
+        assert large.n_reflections > small.n_reflections
+
+
+class TestIntensityModel:
+    def test_orbit_constant_intensity(self):
+        """Symmetry-equivalent reflections must share one intensity —
+        otherwise symmetrization in the reduction would be unphysical."""
+        s = bixbyite()
+        refl = generate_reflections(s, q_max=5.0)
+        lookup = {tuple(h): i for h, i in zip(map(tuple, refl.hkl), refl.intensity)}
+        pg = s.point_group
+        checked = 0
+        for hkl, intensity in list(lookup.items())[:100]:
+            for image in pg.apply(np.array(hkl, dtype=float)):
+                key = tuple(int(round(x)) for x in image)
+                if key in lookup:
+                    assert lookup[key] == pytest.approx(intensity, rel=1e-12)
+                    checked += 1
+        assert checked > 100
+
+    def test_deterministic(self):
+        a = generate_reflections(benzil(), q_max=4.0)
+        b = generate_reflections(benzil(), q_max=4.0)
+        assert np.array_equal(a.hkl, b.hkl)
+        assert np.array_equal(a.intensity, b.intensity)
+
+    def test_different_samples_different_intensities(self):
+        """The per-material seed decorrelates the patterns."""
+        a = generate_reflections(benzil(), q_max=4.0)
+        sprime = bixbyite()
+        b = generate_reflections(sprime, q_max=4.0)
+        shared = set(map(tuple, a.hkl)) & set(map(tuple, b.hkl))
+        la = {tuple(h): i for h, i in zip(map(tuple, a.hkl), a.intensity)}
+        lb = {tuple(h): i for h, i in zip(map(tuple, b.hkl), b.intensity)}
+        diffs = [abs(la[h] - lb[h]) for h in shared]
+        assert max(diffs) > 1e-6
+
+    def test_normalized_to_count(self):
+        refl = generate_reflections(benzil(), q_max=5.0)
+        assert refl.intensity.sum() == pytest.approx(refl.n_reflections)
+
+    def test_intensities_positive(self):
+        refl = generate_reflections(bixbyite(), q_max=5.0)
+        assert np.all(refl.intensity > 0)

@@ -1,0 +1,80 @@
+"""Unit tests for the published sample definitions."""
+
+import numpy as np
+import pytest
+
+from repro.crystal.structures import CrystalStructure, benzil, bixbyite
+from repro.crystal.lattice import UnitCell
+from repro.util.validation import ValidationError
+
+
+class TestBenzil:
+    s = benzil()
+
+    def test_cell_parameters(self):
+        assert self.s.cell.a == pytest.approx(8.376)
+        assert self.s.cell.c == pytest.approx(13.700)
+        assert self.s.cell.gamma == pytest.approx(120.0)
+
+    def test_point_group_is_321(self):
+        assert self.s.point_group.order == 6
+
+    def test_primitive_allows_everything(self):
+        hkl = np.array([[1, 0, 0], [1, 1, 1], [2, 1, 0]])
+        assert np.all(self.s.allowed(hkl))
+
+    def test_diffuse_heavy(self):
+        """Benzil is the diffuse-scattering use case."""
+        assert self.s.diffuse_fraction > bixbyite().diffuse_fraction
+
+
+class TestBixbyite:
+    s = bixbyite()
+
+    def test_cubic_cell(self):
+        assert self.s.cell.a == self.s.cell.b == self.s.cell.c
+        assert self.s.cell.a == pytest.approx(9.4118)
+
+    def test_point_group_is_m3(self):
+        assert self.s.point_group.order == 24
+
+    def test_body_centering_rule(self):
+        """Ia-3: h+k+l must be even."""
+        allowed = self.s.allowed(np.array([[1, 1, 0], [2, 0, 0], [1, 1, 1], [1, 0, 0]]))
+        assert list(allowed) == [True, True, False, False]
+
+
+class TestCenteringRules:
+    cell = UnitCell(5, 5, 5)
+
+    def _structure(self, centering):
+        return CrystalStructure(
+            name="x", cell=self.cell, point_group_symbol="1", centering=centering
+        )
+
+    def test_face_centering(self):
+        s = self._structure("F")
+        # F: h,k,l all even or all odd
+        allowed = s.allowed(np.array([[1, 1, 1], [2, 2, 2], [1, 2, 3], [2, 1, 1]]))
+        assert list(allowed) == [True, True, False, False]
+
+    def test_a_b_c_centering(self):
+        assert self._structure("A").allowed(np.array([[0, 1, 1]]))[0]
+        assert not self._structure("A").allowed(np.array([[0, 1, 2]]))[0]
+        assert self._structure("B").allowed(np.array([[1, 0, 1]]))[0]
+        assert self._structure("C").allowed(np.array([[1, 1, 5]]))[0]
+
+    def test_rhombohedral_obverse(self):
+        s = self._structure("R")
+        assert s.allowed(np.array([[1, 0, 1]]))[0]  # -1+0+1 = 0
+        assert not s.allowed(np.array([[1, 0, 0]]))[0]  # -1 % 3 != 0
+
+    def test_unknown_centering_rejected(self):
+        with pytest.raises(ValidationError, match="centering"):
+            self._structure("Q")
+
+    def test_unknown_point_group_rejected_eagerly(self):
+        with pytest.raises(ValidationError, match="point group"):
+            CrystalStructure(
+                name="x", cell=self.cell, point_group_symbol="nope", centering="P"
+            )

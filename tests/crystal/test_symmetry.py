@@ -1,0 +1,132 @@
+"""Unit + property tests for point-group generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crystal.symmetry import _EXPECTED_ORDER, PointGroup, point_group
+from repro.util.validation import ValidationError
+
+ALL_GROUPS = sorted(_EXPECTED_ORDER)
+
+
+class TestGroupOrders:
+    @pytest.mark.parametrize("name", ALL_GROUPS)
+    def test_expected_order(self, name):
+        assert point_group(name).order == _EXPECTED_ORDER[name]
+
+    def test_paper_trip_counts(self):
+        """Benzil: 6 ops (321); Bixbyite: 24 ops (m-3) — Table II."""
+        assert point_group("321").order == 6
+        assert point_group("m-3").order == 24
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValidationError, match="unknown point group"):
+            point_group("fancy")
+
+    def test_cache_returns_same_object(self):
+        assert point_group("m-3m") is point_group("m-3m")
+
+
+class TestGroupAxioms:
+    @pytest.mark.parametrize("name", ["-1", "2/m", "321", "m-3", "4/mmm", "m-3m"])
+    def test_identity_present(self, name):
+        pg = point_group(name)
+        assert pg.contains(np.eye(3, dtype=np.int64))
+
+    @pytest.mark.parametrize("name", ["321", "m-3", "6/mmm"])
+    def test_closure(self, name):
+        pg = point_group(name)
+        for a in pg.operations:
+            for b in pg.operations:
+                assert pg.contains(a @ b), f"{a} @ {b} escapes {name}"
+
+    @pytest.mark.parametrize("name", ["321", "m-3", "mmm"])
+    def test_inverses_present(self, name):
+        pg = point_group(name)
+        for op in pg.operations:
+            inv = np.rint(np.linalg.inv(op)).astype(np.int64)
+            assert pg.contains(inv)
+
+    @pytest.mark.parametrize("name", ["-3", "m-3", "m-3m", "mmm"])
+    def test_centrosymmetric_groups_contain_inversion(self, name):
+        assert point_group(name).contains(-np.eye(3, dtype=np.int64))
+
+    def test_321_not_centrosymmetric(self):
+        assert not point_group("321").contains(-np.eye(3, dtype=np.int64))
+
+    @pytest.mark.parametrize("name", ALL_GROUPS)
+    def test_all_dets_are_unit(self, name):
+        dets = np.linalg.det(point_group(name).operations.astype(float))
+        assert np.allclose(np.abs(dets), 1.0)
+
+    @pytest.mark.parametrize("name", ALL_GROUPS)
+    def test_operations_are_unique(self, name):
+        ops = point_group(name).operations
+        keys = {tuple(op.ravel()) for op in ops}
+        assert len(keys) == ops.shape[0]
+
+
+class TestApply:
+    def test_apply_shape(self):
+        pg = point_group("m-3")
+        out = pg.apply(np.ones((5, 3)))
+        assert out.shape == (24, 5, 3)
+
+    def test_apply_single(self):
+        pg = point_group("-1")
+        out = pg.apply([1.0, 2.0, 3.0])
+        assert out.shape == (2, 3)
+        assert {tuple(v) for v in out} == {(1.0, 2.0, 3.0), (-1.0, -2.0, -3.0)}
+
+    def test_cubic_orbit_of_100(self):
+        """m-3m sends (100) to all 6 axis directions."""
+        pg = point_group("m-3m")
+        images = pg.apply([1.0, 0.0, 0.0])
+        unique = {tuple(np.rint(v).astype(int)) for v in images}
+        assert unique == {
+            (1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1),
+        }
+
+    @given(
+        h=st.integers(-6, 6), k=st.integers(-6, 6), l=st.integers(-6, 6),
+        name=st.sampled_from(["321", "m-3", "mmm", "6/mmm"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_orbit_representative_is_orbit_invariant(self, h, k, l, name):
+        """Every image of hkl must map to the same representative."""
+        pg = point_group(name)
+        hkl = np.array([h, k, l], dtype=float)
+        rep = pg.orbit_representative(hkl)
+        for image in pg.apply(hkl):
+            assert np.allclose(pg.orbit_representative(image), rep)
+
+    def test_transforms_float_contiguous(self):
+        t = point_group("321").transforms_float()
+        assert t.dtype == np.float64
+        assert t.flags.c_contiguous
+        assert t.shape == (6, 3, 3)
+
+
+class TestHexagonalAction:
+    def test_threefold_preserves_hexagonal_q(self):
+        """The 3-fold op must preserve |Q| in the hexagonal metric."""
+        from repro.crystal.lattice import UnitCell
+
+        cell = UnitCell(8.376, 8.376, 13.7, 90, 90, 120)
+        pg = point_group("321")
+        hkl = np.array([2.0, 1.0, 3.0])
+        q0 = cell.q_magnitude(hkl)
+        for image in pg.apply(hkl):
+            assert cell.q_magnitude(image) == pytest.approx(q0)
+
+    def test_m3_preserves_cubic_q(self):
+        from repro.crystal.lattice import UnitCell
+
+        cell = UnitCell(9.4118, 9.4118, 9.4118)
+        pg = point_group("m-3")
+        hkl = np.array([3.0, -1.0, 2.0])
+        q0 = cell.q_magnitude(hkl)
+        for image in pg.apply(hkl):
+            assert cell.q_magnitude(image) == pytest.approx(q0)

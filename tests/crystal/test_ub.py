@@ -1,0 +1,120 @@
+"""Unit + property tests for UB matrices."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crystal.lattice import UnitCell
+from repro.crystal.ub import TWO_PI, UBMatrix
+from repro.util.validation import ValidationError
+
+
+@pytest.fixture()
+def cubic_ub():
+    return UBMatrix(cell=UnitCell(4.0, 4.0, 4.0))
+
+
+class TestBasics:
+    def test_identity_orientation_q(self, cubic_ub):
+        q = cubic_ub.hkl_to_q_sample([1, 0, 0])
+        assert np.allclose(q, [TWO_PI / 4.0, 0, 0])
+
+    def test_roundtrip(self, cubic_ub):
+        hkl = np.array([1.0, -2.0, 3.0])
+        assert np.allclose(cubic_ub.q_sample_to_hkl(cubic_ub.hkl_to_q_sample(hkl)), hkl)
+
+    def test_roundtrip_batch(self, cubic_ub):
+        hkl = np.random.default_rng(0).normal(size=(20, 3))
+        q = cubic_ub.hkl_to_q_sample(hkl)
+        assert q.shape == (20, 3)
+        assert np.allclose(cubic_ub.q_sample_to_hkl(q), hkl)
+
+    def test_q_magnitude_matches_cell(self, cubic_ub):
+        q = cubic_ub.hkl_to_q_sample([1, 1, 0])
+        assert np.linalg.norm(q) == pytest.approx(
+            cubic_ub.cell.q_magnitude([1, 1, 0])
+        )
+
+    def test_non_orthogonal_u_rejected(self):
+        with pytest.raises(ValidationError, match="orthogonal"):
+            UBMatrix(cell=UnitCell(4, 4, 4), u=np.ones((3, 3)))
+
+    def test_improper_rotation_rejected(self):
+        with pytest.raises(ValidationError, match="proper"):
+            UBMatrix(cell=UnitCell(4, 4, 4), u=np.diag([1.0, 1.0, -1.0]))
+
+
+class TestFromUVectors:
+    def test_u_along_maps_to_beam_axis(self):
+        cell = UnitCell(4.0, 5.0, 6.0)
+        ub = UBMatrix.from_u_vectors(cell, [0, 0, 1], [1, 0, 0])
+        q = ub.hkl_to_q_sample([0, 0, 1])
+        direction = q / np.linalg.norm(q)
+        assert np.allclose(direction, [0, 0, 1], atol=1e-12)
+
+    def test_v_lies_in_xz_plane(self):
+        cell = UnitCell(4.0, 5.0, 6.0)
+        ub = UBMatrix.from_u_vectors(cell, [0, 0, 1], [1, 0, 0])
+        q = ub.hkl_to_q_sample([1, 0, 0])
+        assert q[1] == pytest.approx(0.0, abs=1e-12)
+        assert q[0] > 0
+
+    def test_parallel_uv_rejected(self):
+        cell = UnitCell(4, 4, 4)
+        with pytest.raises(ValidationError, match="parallel"):
+            UBMatrix.from_u_vectors(cell, [0, 0, 1], [0, 0, 2])
+
+    def test_zero_u_rejected(self):
+        cell = UnitCell(4, 4, 4)
+        with pytest.raises(ValidationError, match="zero"):
+            UBMatrix.from_u_vectors(cell, [0, 0, 0], [1, 0, 0])
+
+    def test_preserves_magnitudes(self):
+        """U is a rotation: |Q(hkl)| must match the cell's 2 pi / d."""
+        cell = UnitCell(8.376, 8.376, 13.7, 90, 90, 120)
+        ub = UBMatrix.from_u_vectors(cell, [1, 1, 0], [0, 0, 1])
+        for hkl in ([1, 0, 0], [1, 1, 0], [2, -1, 3]):
+            q = ub.hkl_to_q_sample(hkl)
+            assert np.linalg.norm(q) == pytest.approx(cell.q_magnitude(hkl))
+
+
+class TestFromMatrix:
+    def test_recovers_cell_and_orientation(self):
+        cell = UnitCell(5.0, 6.0, 7.0, 80.0, 95.0, 105.0)
+        original = UBMatrix.from_u_vectors(cell, [1, 0, 0], [0, 1, 0])
+        recovered = UBMatrix.from_matrix(original.matrix)
+        assert recovered.cell.a == pytest.approx(cell.a)
+        assert recovered.cell.gamma == pytest.approx(cell.gamma)
+        assert np.allclose(recovered.matrix, original.matrix, atol=1e-10)
+
+    @given(
+        a=st.floats(3.0, 12.0),
+        c=st.floats(3.0, 12.0),
+        angle=st.floats(-170.0, 170.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, a, c, angle):
+        from repro.crystal.goniometer import rotation_about_axis
+
+        cell = UnitCell(a, a, c)
+        u = rotation_about_axis(np.array([1.0, 2.0, 3.0]), angle)
+        original = UBMatrix(cell=cell, u=u)
+        recovered = UBMatrix.from_matrix(original.matrix)
+        assert np.allclose(recovered.matrix, original.matrix, atol=1e-9)
+
+
+class TestHklTransform:
+    def test_without_goniometer(self, cubic_ub):
+        m = cubic_ub.hkl_transform()
+        q = cubic_ub.hkl_to_q_sample([1, 2, 3])
+        assert np.allclose(m @ q, [1, 2, 3])
+
+    def test_with_goniometer(self, cubic_ub):
+        from repro.crystal.goniometer import goniometer_omega_chi_phi
+
+        r = goniometer_omega_chi_phi(30.0, 10.0, 5.0)
+        m = cubic_ub.hkl_transform(goniometer=r)
+        q_sample = cubic_ub.hkl_to_q_sample([1, -1, 2])
+        q_lab = r @ q_sample
+        assert np.allclose(m @ q_lab, [1, -1, 2])

@@ -1,0 +1,128 @@
+"""Tests for the simulated vanadium calibration pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.instruments.calibration import (
+    calibrate_from_counts,
+    calibration_residual,
+    simulate_vanadium_run,
+)
+from repro.instruments.corelli import make_corelli
+from repro.instruments.synth import make_vanadium
+from repro.nexus.corrections import VanadiumData
+
+
+@pytest.fixture(scope="module")
+def instrument():
+    return make_corelli(n_pixels=400)
+
+
+class TestSimulateRun:
+    def test_counts_shape_and_sign(self, instrument, rng):
+        counts = simulate_vanadium_run(instrument, rng, total_counts=1e5)
+        assert counts.shape == (instrument.n_pixels,)
+        assert np.all(counts >= 0)
+
+    def test_total_counts_approximately_requested(self, instrument, rng):
+        counts = simulate_vanadium_run(instrument, rng, total_counts=2e5)
+        assert counts.sum() == pytest.approx(2e5, rel=0.05)
+
+    def test_rate_follows_solid_angle(self, instrument, rng):
+        """With flat solid angles (CORELLI pixels are uniform) and a
+        gradient efficiency, counts follow the efficiency."""
+        eff = np.linspace(0.5, 1.5, instrument.n_pixels)
+        counts = simulate_vanadium_run(instrument, rng, total_counts=5e6,
+                                       efficiency=eff)
+        corr = np.corrcoef(counts, instrument.solid_angles * eff)[0, 1]
+        assert corr > 0.9
+
+    def test_validation(self, instrument, rng):
+        with pytest.raises(Exception):
+            simulate_vanadium_run(instrument, rng, total_counts=0)
+        with pytest.raises(Exception):
+            simulate_vanadium_run(instrument, rng, efficiency=np.ones(3))
+
+
+class TestCalibrate:
+    def test_converges_to_reference_with_statistics(self, instrument):
+        """More vanadium counts -> smaller residual against the analytic
+        solid-angle reference."""
+        reference = make_vanadium(instrument)
+        residuals = []
+        for total in (1e4, 1e6, 1e8):
+            rng = np.random.default_rng(42)
+            counts = simulate_vanadium_run(instrument, rng, total_counts=total)
+            measured = calibrate_from_counts(counts)
+            residuals.append(calibration_residual(measured, reference))
+        assert residuals[0] > residuals[1] > residuals[2]
+        assert residuals[2] < 0.02  # 1e8 counts pins the response to ~1%
+
+    def test_dead_pixels_masked(self):
+        counts = np.array([100.0, 0.0, 250.0, 0.5])
+        van = calibrate_from_counts(counts, min_counts=1.0)
+        assert van.detector_weights[1] == 0.0
+        assert van.detector_weights[3] == 0.0
+        assert van.n_masked == 2
+
+    def test_unit_mean_normalization(self):
+        counts = np.array([10.0, 20.0, 30.0])
+        van = calibrate_from_counts(counts)
+        assert van.detector_weights.mean() == pytest.approx(1.0)
+
+    def test_all_dead(self):
+        van = calibrate_from_counts(np.zeros(5))
+        assert van.n_masked == 5
+
+    def test_1d_required(self):
+        with pytest.raises(Exception):
+            calibrate_from_counts(np.zeros((2, 2)))
+
+
+class TestResidual:
+    def test_identical_calibrations_zero(self):
+        v = VanadiumData(detector_weights=np.linspace(0.5, 1.5, 10))
+        assert calibration_residual(v, v) == pytest.approx(0.0)
+
+    def test_scale_invariant(self):
+        a = VanadiumData(detector_weights=np.linspace(0.5, 1.5, 10))
+        b = VanadiumData(detector_weights=7.0 * np.linspace(0.5, 1.5, 10))
+        assert calibration_residual(a, b) == pytest.approx(0.0)
+
+    def test_disjoint_live_sets_inf(self):
+        a = VanadiumData(detector_weights=np.array([1.0, 0.0]))
+        b = VanadiumData(detector_weights=np.array([0.0, 1.0]))
+        assert calibration_residual(a, b) == np.inf
+
+    def test_shape_mismatch(self):
+        a = VanadiumData(detector_weights=np.ones(3))
+        b = VanadiumData(detector_weights=np.ones(4))
+        with pytest.raises(Exception):
+            calibration_residual(a, b)
+
+    def test_measured_calibration_reduces_like_reference(self, instrument,
+                                                         tiny_experiment):
+        """Plugging a high-statistics measured calibration into MDNorm
+        gives (nearly) the same normalization as the analytic one."""
+        from repro.core.hist3 import Hist3
+        from repro.core.mdnorm import mdnorm
+
+        exp = tiny_experiment
+        rng = np.random.default_rng(7)
+        counts = simulate_vanadium_run(exp.instrument, rng, total_counts=1e8)
+        measured = calibrate_from_counts(counts)
+        ws = exp.workspaces[0]
+        traj = exp.grid.transforms_for(ws.ub_matrix, exp.point_group,
+                                       goniometer=ws.goniometer)
+
+        def norm_with(weights):
+            h = Hist3(exp.grid)
+            mdnorm(h, traj, exp.instrument.directions, weights, exp.flux,
+                   ws.momentum_band, backend="vectorized")
+            return h.signal
+
+        a = norm_with(measured.detector_weights)
+        b = norm_with(exp.vanadium.detector_weights
+                      / exp.vanadium.detector_weights.mean())
+        live = b > 0
+        assert np.allclose(a[live], b[live], rtol=0.05)

@@ -1,0 +1,114 @@
+"""Unit + property tests for TOF kinematics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.instruments.conversion import (
+    H_OVER_MN,
+    momentum_from_q_elastic,
+    momentum_to_wavelength,
+    q_lab_from_events,
+    scattering_direction_from_q,
+    tof_to_wavelength,
+    wavelength_to_momentum,
+    wavelength_to_tof,
+)
+
+
+class TestWavelengthTof:
+    def test_known_value(self):
+        # lambda = (h/m_n) * t / L; 1 Angstrom over 20 m -> t in seconds
+        t_us = wavelength_to_tof(1.0, 20.0)
+        assert t_us == pytest.approx(20.0 / H_OVER_MN * 1e6)
+
+    @given(lam=st.floats(0.3, 5.0), path=st.floats(1.0, 30.0))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip(self, lam, path):
+        assert tof_to_wavelength(wavelength_to_tof(lam, path), path) == pytest.approx(lam)
+
+    def test_vectorized(self):
+        lam = np.array([0.5, 1.0, 2.0])
+        paths = np.array([10.0, 20.0, 30.0])
+        t = wavelength_to_tof(lam, paths)
+        assert t.shape == (3,)
+        assert np.allclose(tof_to_wavelength(t, paths), lam)
+
+
+class TestMomentum:
+    def test_k_of_2pi_angstrom(self):
+        assert wavelength_to_momentum(2 * np.pi) == pytest.approx(1.0)
+
+    @given(lam=st.floats(0.3, 5.0))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip(self, lam):
+        assert momentum_to_wavelength(wavelength_to_momentum(lam)) == pytest.approx(lam)
+
+
+class TestQLab:
+    def test_forward_scattering_gives_zero_q(self):
+        q = q_lab_from_events(
+            np.array([1000.0]), np.array([[0.0, 0.0, 1.0]]), np.array([20.0])
+        )
+        assert np.allclose(q, 0.0, atol=1e-12)
+
+    def test_90_degree_scattering(self):
+        lam = 2.0
+        tof = wavelength_to_tof(lam, 21.0)
+        q = q_lab_from_events(np.array([tof]), np.array([[1.0, 0.0, 0.0]]), np.array([21.0]))
+        k = 2 * np.pi / lam
+        assert np.allclose(q[0], [-k, 0.0, k])
+
+    def test_elastic_condition(self):
+        """|k_f| must equal |k_i| for every event."""
+        rng = np.random.default_rng(3)
+        d = rng.normal(size=(100, 3))
+        d /= np.linalg.norm(d, axis=1, keepdims=True)
+        tof = rng.uniform(1000, 10000, 100)
+        path = rng.uniform(15, 25, 100)
+        q = q_lab_from_events(tof, d, path)
+        k = wavelength_to_momentum(tof_to_wavelength(tof, path))
+        k_f = np.zeros_like(q)
+        k_f[:, 2] = k
+        k_f -= q  # k_f = k_i - q
+        assert np.allclose(np.linalg.norm(k_f, axis=1), k)
+
+    def test_bad_direction_shape_rejected(self):
+        with pytest.raises(Exception):
+            q_lab_from_events(np.array([1.0]), np.array([1.0, 0.0, 0.0]), np.array([20.0]))
+
+
+class TestElasticInverse:
+    @given(
+        tt=st.floats(5.0, 170.0),
+        az=st.floats(0.0, 360.0),
+        lam=st.floats(0.4, 3.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_momentum_from_q_inverts_q_from_direction(self, tt, az, lam):
+        """Generate Q from a scattering geometry, recover k and d_hat."""
+        k = 2 * np.pi / lam
+        tt_r, az_r = np.radians(tt), np.radians(az)
+        d_hat = np.array(
+            [np.sin(tt_r) * np.cos(az_r), np.sin(tt_r) * np.sin(az_r), np.cos(tt_r)]
+        )
+        q = k * (np.array([0.0, 0.0, 1.0]) - d_hat)
+        assert momentum_from_q_elastic(q) == pytest.approx(k, rel=1e-9)
+        d_back = scattering_direction_from_q(q, np.array(k))
+        assert np.allclose(d_back, d_hat, atol=1e-9)
+
+    def test_unreachable_q_returns_inf(self):
+        q = np.array([[0.0, 0.0, -1.0], [1.0, 0.0, 0.0]])
+        k = momentum_from_q_elastic(q)
+        assert np.isinf(k[0])
+        assert np.isinf(k[1])  # q_z == 0 also unreachable
+
+    def test_batch_shapes(self):
+        q = np.random.default_rng(0).normal(size=(10, 3))
+        q[:, 2] = np.abs(q[:, 2]) + 0.1
+        k = momentum_from_q_elastic(q)
+        d = scattering_direction_from_q(q, k)
+        assert k.shape == (10,)
+        assert d.shape == (10, 3)
+        assert np.allclose(np.linalg.norm(d, axis=1), 1.0)

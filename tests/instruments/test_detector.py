@@ -1,0 +1,99 @@
+"""Unit tests for the generic detector array."""
+
+import numpy as np
+import pytest
+
+from repro.instruments.detector import DetectorArray
+from repro.util.validation import ValidationError
+
+
+def _array(n=9):
+    """Pixels on a small ring at 2 m, plus one backscattering pixel."""
+    angles = np.linspace(0.2, 2.4, n - 1)
+    pos = np.column_stack(
+        [2.0 * np.sin(angles), np.zeros(n - 1), 2.0 * np.cos(angles)]
+    )
+    pos = np.vstack([pos, [0.0, 0.0, -2.0]])
+    return DetectorArray(
+        name="RING",
+        positions=pos,
+        pixel_area=np.full(n, 1e-4),
+        l1=20.0,
+        wavelength_band=(0.5, 3.0),
+    )
+
+
+class TestGeometry:
+    def test_l2_and_directions(self):
+        det = _array()
+        assert np.allclose(det.l2, 2.0)
+        assert np.allclose(np.linalg.norm(det.directions, axis=1), 1.0)
+
+    def test_two_theta_range(self):
+        det = _array()
+        assert det.two_theta.min() == pytest.approx(0.2)
+        assert det.two_theta.max() == pytest.approx(np.pi)
+
+    def test_solid_angles(self):
+        det = _array()
+        assert np.allclose(det.solid_angles, 1e-4 / 4.0)
+
+    def test_flight_paths(self):
+        det = _array()
+        assert np.allclose(det.flight_paths, 22.0)
+
+    def test_momentum_band(self):
+        det = _array()
+        k_min, k_max = det.momentum_band()
+        assert k_min == pytest.approx(2 * np.pi / 3.0)
+        assert k_max == pytest.approx(2 * np.pi / 0.5)
+
+
+class TestNearestPixel:
+    def test_exact_hits(self):
+        det = _array()
+        idx, hit = det.nearest_pixel(det.directions)
+        assert np.all(hit)
+        assert np.array_equal(idx, np.arange(det.n_pixels))
+
+    def test_miss_far_from_coverage(self):
+        det = _array()
+        # a direction pointing at y has no pixel anywhere near it
+        idx, hit = det.nearest_pixel(np.array([[0.0, 1.0, 0.0]]))
+        assert not hit[0]
+
+    def test_custom_max_angle(self):
+        det = _array()
+        d = det.directions[0].copy()
+        # everything misses with a zero acceptance cone
+        _, hit = det.nearest_pixel(d[None, :], max_angle=0.0)
+        # chord 0 still accepts exact matches
+        assert hit[0]
+
+    def test_shape_validation(self):
+        det = _array()
+        with pytest.raises(ValidationError):
+            det.nearest_pixel(np.zeros(3))
+
+
+class TestValidation:
+    def test_positions_shape(self):
+        with pytest.raises(ValidationError, match="positions"):
+            DetectorArray("X", np.zeros((3, 2)), np.ones(3), 20.0, (0.5, 3.0))
+
+    def test_area_length(self):
+        with pytest.raises(ValidationError, match="pixel_area"):
+            DetectorArray("X", np.ones((3, 3)), np.ones(2), 20.0, (0.5, 3.0))
+
+    def test_l1_positive(self):
+        with pytest.raises(ValidationError, match="l1"):
+            DetectorArray("X", np.ones((3, 3)), np.ones(3), -1.0, (0.5, 3.0))
+
+    def test_band_order(self):
+        with pytest.raises(ValidationError, match="wavelength_band"):
+            DetectorArray("X", np.ones((3, 3)), np.ones(3), 20.0, (3.0, 0.5))
+
+    def test_pixel_at_sample_rejected(self):
+        pos = np.array([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]])
+        with pytest.raises(ValidationError, match="sample position"):
+            DetectorArray("X", pos, np.ones(2), 20.0, (0.5, 3.0))

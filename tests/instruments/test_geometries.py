@@ -1,0 +1,92 @@
+"""Unit tests for the CORELLI and TOPAZ geometry builders."""
+
+import numpy as np
+import pytest
+
+from repro.instruments.corelli import (
+    FULL_PIXELS as CORELLI_FULL,
+    L1_M as CORELLI_L1,
+    RADIUS_M,
+    TWO_THETA_MAX_DEG,
+    make_corelli,
+)
+from repro.instruments.topaz import (
+    FULL_PIXELS as TOPAZ_FULL,
+    L1_M as TOPAZ_L1,
+    N_PANELS,
+    PANEL_DISTANCE_M,
+    make_topaz,
+)
+from repro.util.validation import ValidationError
+
+
+class TestCorelli:
+    def test_paper_full_scale(self):
+        assert CORELLI_FULL == 372_000  # Table II
+
+    def test_pixel_count_close_to_request(self):
+        det = make_corelli(n_pixels=5000)
+        assert 0.8 * 5000 <= det.n_pixels <= 1.2 * 5000
+
+    def test_scale_argument(self):
+        det = make_corelli(scale=0.001)
+        assert 250 <= det.n_pixels <= 450
+
+    def test_cylindrical_radius(self):
+        det = make_corelli(n_pixels=2000)
+        radial = np.sqrt(det.positions[:, 0] ** 2 + det.positions[:, 2] ** 2)
+        assert np.allclose(radial, RADIUS_M)
+
+    def test_angular_coverage(self):
+        det = make_corelli(n_pixels=5000)
+        tt = np.degrees(det.two_theta)
+        assert tt.max() == pytest.approx(TWO_THETA_MAX_DEG, abs=2.0)
+        # the beam gap: no pixel within 2.5 degrees of the direct beam
+        assert tt.min() > 2.4
+
+    def test_l1(self):
+        assert make_corelli(n_pixels=100).l1 == CORELLI_L1
+
+    def test_too_few_pixels_rejected(self):
+        with pytest.raises(ValidationError):
+            make_corelli(n_pixels=4)
+
+    def test_deterministic(self):
+        a = make_corelli(n_pixels=1000)
+        b = make_corelli(n_pixels=1000)
+        assert np.array_equal(a.positions, b.positions)
+
+
+class TestTopaz:
+    def test_paper_full_scale(self):
+        assert TOPAZ_FULL == 1_600_000  # Table II
+
+    def test_panel_structure(self):
+        det = make_topaz(n_pixels=2400)
+        per_panel = det.n_pixels // N_PANELS
+        assert det.n_pixels == per_panel * N_PANELS
+
+    def test_panel_centers_on_sphere(self):
+        det = make_topaz(n_pixels=N_PANELS * 4)
+        # panel centers sit at PANEL_DISTANCE; pixel corners slightly further
+        assert det.l2.min() == pytest.approx(PANEL_DISTANCE_M, rel=0.2)
+        assert det.l2.max() < PANEL_DISTANCE_M * 1.2
+
+    def test_short_flight_paths_vs_corelli(self):
+        """TOPAZ's compact geometry is what makes its bins/events heavy."""
+        topaz = make_topaz(n_pixels=500)
+        corelli = make_corelli(n_pixels=500)
+        assert topaz.l2.mean() < corelli.l2.mean() / 4
+
+    def test_l1(self):
+        assert make_topaz(n_pixels=200).l1 == TOPAZ_L1
+
+    def test_wide_two_theta_coverage(self):
+        det = make_topaz(n_pixels=5000)
+        tt = np.degrees(det.two_theta)
+        assert tt.min() < 30.0
+        assert tt.max() > 130.0
+
+    def test_too_few_pixels_rejected(self):
+        with pytest.raises(ValidationError):
+            make_topaz(n_pixels=10)

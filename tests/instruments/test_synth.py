@@ -1,0 +1,156 @@
+"""Unit + integration tests for synthetic event generation."""
+
+import numpy as np
+import pytest
+
+from repro.crystal.goniometer import Goniometer
+from repro.crystal.structures import benzil
+from repro.crystal.ub import UBMatrix
+from repro.instruments.conversion import (
+    momentum_from_q_elastic,
+    q_lab_from_events,
+    wavelength_to_momentum,
+    tof_to_wavelength,
+)
+from repro.instruments.corelli import make_corelli
+from repro.instruments.synth import (
+    SynthesisConfig,
+    SynthesisError,
+    instrument_q_window,
+    make_flux,
+    make_vanadium,
+    synthesize_run,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    structure = benzil()
+    instrument = make_corelli(n_pixels=600)
+    ub = UBMatrix.from_u_vectors(structure.cell, [0, 0, 1], [1, 0, 0])
+    return structure, instrument, ub
+
+
+def _synth(setup, n=2000, seed=5, omega=25.0, **kw):
+    structure, instrument, ub = setup
+    return synthesize_run(
+        instrument=instrument,
+        structure=structure,
+        ub=ub,
+        goniometer=Goniometer(omega).rotation,
+        n_events=n,
+        rng=np.random.default_rng(seed),
+        **kw,
+    )
+
+
+class TestQWindow:
+    def test_window_shape(self, setup):
+        _, instrument, _ = setup
+        q_min, q_max = instrument_q_window(instrument)
+        k_min, k_max = instrument.momentum_band()
+        assert 0 < q_min < q_max
+        assert q_max <= 2 * k_max
+
+    def test_unreachable_q_min_rejected(self, setup):
+        _, instrument, _ = setup
+        with pytest.raises(Exception):
+            instrument_q_window(instrument, q_min=1e6)
+
+
+class TestSynthesizedEvents:
+    def test_requested_count(self, setup):
+        run = _synth(setup, n=1234)
+        assert run.n_events == 1234
+        assert run.detector_ids.shape == (1234,)
+        assert run.tof.shape == (1234,)
+
+    def test_determinism(self, setup):
+        a = _synth(setup, seed=11)
+        b = _synth(setup, seed=11)
+        assert np.array_equal(a.detector_ids, b.detector_ids)
+        assert np.array_equal(a.tof, b.tof)
+
+    def test_different_seeds_differ(self, setup):
+        a = _synth(setup, seed=1)
+        b = _synth(setup, seed=2)
+        assert not np.array_equal(a.detector_ids, b.detector_ids)
+
+    def test_detector_ids_valid(self, setup):
+        _, instrument, _ = setup
+        run = _synth(setup)
+        assert run.detector_ids.max() < instrument.n_pixels
+
+    def test_tof_within_band(self, setup):
+        """Every event's wavelength must lie in the chopper band."""
+        _, instrument, _ = setup
+        run = _synth(setup)
+        path = instrument.flight_paths[run.detector_ids]
+        lam = tof_to_wavelength(run.tof, path)
+        lo, hi = instrument.wavelength_band
+        assert lam.min() >= lo - 1e-9
+        assert lam.max() <= hi + 1e-9
+
+    def test_events_decode_to_elastic_q(self, setup):
+        """Reducing the synthetic events must recover kinematically
+        consistent Q (the inverse round trip of the generator)."""
+        _, instrument, _ = setup
+        run = _synth(setup)
+        ids = run.detector_ids
+        q_lab = q_lab_from_events(
+            run.tof, instrument.directions[ids], instrument.flight_paths[ids]
+        )
+        k_event = wavelength_to_momentum(
+            tof_to_wavelength(run.tof, instrument.flight_paths[ids])
+        )
+        k_recovered = momentum_from_q_elastic(q_lab)
+        assert np.allclose(k_recovered, k_event, rtol=1e-9)
+
+    def test_q_within_instrument_window(self, setup):
+        _, instrument, _ = setup
+        run = _synth(setup)
+        ids = run.detector_ids
+        q_lab = q_lab_from_events(
+            run.tof, instrument.directions[ids], instrument.flight_paths[ids]
+        )
+        q_min, q_max = instrument_q_window(instrument)
+        qmag = np.linalg.norm(q_lab, axis=1)
+        # pixel snapping moves |Q| slightly; allow a few percent
+        assert qmag.min() > q_min * 0.8
+        assert qmag.max() < q_max * 1.05
+
+    def test_metadata_propagated(self, setup):
+        run = _synth(setup, run_number=99, proton_charge=3.5)
+        assert run.run_number == 99
+        assert run.proton_charge == 3.5
+        assert run.instrument == "CORELLI"
+        assert run.sample == "benzil"
+        assert run.ub_matrix is not None
+
+    def test_impossible_config_raises(self, setup):
+        cfg = SynthesisConfig(max_batches=1, oversample=0.01)
+        with pytest.raises(SynthesisError, match="accepted"):
+            _synth(setup, n=100000, config=cfg)
+
+    def test_zero_events_rejected(self, setup):
+        with pytest.raises(Exception):
+            _synth(setup, n=0)
+
+
+class TestCorrectionsFactories:
+    def test_vanadium_matches_solid_angles(self, setup):
+        _, instrument, _ = setup
+        van = make_vanadium(instrument, efficiency=0.5)
+        assert np.allclose(van.detector_weights, instrument.solid_angles * 0.5)
+
+    def test_vanadium_efficiency_validated(self, setup):
+        _, instrument, _ = setup
+        with pytest.raises(Exception):
+            make_vanadium(instrument, efficiency=0.0)
+
+    def test_flux_covers_band(self, setup):
+        _, instrument, _ = setup
+        flux = make_flux(instrument)
+        k_min, k_max = instrument.momentum_band()
+        assert flux.k_min == pytest.approx(k_min)
+        assert flux.k_max == pytest.approx(k_max)

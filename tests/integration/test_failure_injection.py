@@ -1,0 +1,131 @@
+"""Failure injection: corrupted inputs fail loudly, degenerate inputs
+produce well-defined results."""
+
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.core.binmd import bin_events
+from repro.core.cross_section import compute_cross_section
+from repro.core.grid import HKLGrid
+from repro.core.hist3 import Hist3
+from repro.core.md_event_workspace import MDEventWorkspace, load_md, save_md
+from repro.core.mdnorm import mdnorm
+from repro.nexus.corrections import FluxSpectrum
+from repro.nexus.events import EventTable
+from repro.nexus.h5lite import H5LiteError
+from repro.util.validation import ValidationError
+
+
+class TestCorruptedFiles:
+    def test_flipped_payload_byte_detected(self, tiny_experiment, tmp_path):
+        victim = tmp_path / "corrupt.md.h5"
+        shutil.copy(tiny_experiment.md_paths[0], victim)
+        raw = bytearray(victim.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        victim.write_bytes(raw)
+        with pytest.raises(H5LiteError):
+            load_md(str(victim))
+
+    def test_truncated_file_detected(self, tiny_experiment, tmp_path):
+        victim = tmp_path / "trunc.md.h5"
+        raw = open(tiny_experiment.md_paths[0], "rb").read()
+        victim.write_bytes(raw[: len(raw) // 3])
+        with pytest.raises(H5LiteError):
+            load_md(str(victim))
+
+    def test_workflow_surfaces_load_error(self, tiny_experiment, tmp_path):
+        victim = tmp_path / "bad.md.h5"
+        victim.write_bytes(b"not a file at all")
+        with pytest.raises(H5LiteError):
+            compute_cross_section(
+                load_run=lambda i: load_md(str(victim)),
+                n_runs=1,
+                grid=tiny_experiment.grid,
+                point_group=tiny_experiment.point_group,
+                flux=tiny_experiment.flux,
+                det_directions=tiny_experiment.instrument.directions,
+                solid_angles=tiny_experiment.vanadium.detector_weights,
+            )
+
+
+class TestDegenerateInputs:
+    def test_empty_run_contributes_nothing(self, tiny_experiment, tmp_path):
+        """A run with zero events is legal: BinMD adds nothing, MDNorm
+        still adds its trajectories."""
+        empty = MDEventWorkspace(
+            events=EventTable.empty(),
+            run_number=99,
+            goniometer=np.eye(3),
+            proton_charge=1.0,
+            momentum_band=tiny_experiment.workspaces[0].momentum_band,
+            ub_matrix=tiny_experiment.workspaces[0].ub_matrix,
+        )
+        path = str(tmp_path / "empty.md.h5")
+        save_md(path, empty)
+        res = compute_cross_section(
+            load_run=lambda i: load_md(path),
+            n_runs=1,
+            grid=tiny_experiment.grid,
+            point_group=tiny_experiment.point_group,
+            flux=tiny_experiment.flux,
+            det_directions=tiny_experiment.instrument.directions,
+            solid_angles=tiny_experiment.vanadium.detector_weights,
+            backend="vectorized",
+        )
+        assert res.binmd.total() == 0.0
+        assert res.mdnorm.total() > 0.0
+        assert np.all(np.isnan(res.cross_section.signal) |
+                      (res.cross_section.signal == 0.0))
+
+    def test_all_events_outside_grid(self):
+        grid = HKLGrid(basis=np.eye(3), minimum=(-0.1, -0.1, -0.1),
+                       maximum=(0.1, 0.1, 0.1), bins=(2, 2, 2))
+        events = EventTable.from_columns(
+            signal=np.ones(10), q_sample=np.full((10, 3), 5.0)
+        )
+        h = Hist3(grid)
+        bin_events(h, events, np.eye(3)[None], backend="vectorized")
+        assert h.total() == 0.0
+
+    def test_zero_flux_gives_zero_normalization(self):
+        grid = HKLGrid(basis=np.eye(3), minimum=(-2, -2, -1), maximum=(2, 2, 1),
+                       bins=(4, 4, 2))
+        flux = FluxSpectrum(momentum=np.array([1.0, 10.0]),
+                            density=np.array([0.0, 0.0]))
+        dets = np.array([[0.6, 0.0, 0.8], [0.0, 0.6, 0.8]])
+        h = Hist3(grid)
+        mdnorm(h, np.eye(3)[None], dets, np.ones(2), flux, (2.0, 8.0),
+               backend="vectorized")
+        assert h.total() == 0.0
+
+    def test_band_entirely_outside_grid(self):
+        """Momentum band too high: no trajectory enters the tiny box."""
+        grid = HKLGrid(basis=np.eye(3), minimum=(-0.01, -0.01, -0.01),
+                       maximum=(0.01, 0.01, 0.01), bins=(2, 2, 2))
+        flux = FluxSpectrum(momentum=np.array([1.0, 100.0]),
+                            density=np.array([1.0, 1.0]))
+        dets = np.array([[0.6, 0.0, 0.8]])
+        h = Hist3(grid)
+        mdnorm(h, np.eye(3)[None], dets, np.ones(1), flux, (50.0, 90.0),
+               backend="vectorized")
+        assert h.total() == 0.0
+
+    def test_non_rotation_goniometer_rejected_at_construction(self):
+        with pytest.raises(ValidationError):
+            MDEventWorkspace(
+                events=EventTable.empty(),
+                run_number=0,
+                goniometer=np.full((3, 3), np.nan),
+                proton_charge=1.0,
+                momentum_band=(1.0, 2.0),
+            )
+
+    def test_division_by_empty_normalization_is_all_nan(self):
+        grid = HKLGrid(basis=np.eye(3), minimum=(-1, -1, -1), maximum=(1, 1, 1),
+                       bins=(2, 2, 2))
+        num = Hist3(grid)
+        num.push(0, 0, 0, 5.0)
+        out = num.divide(Hist3(grid))
+        assert np.isnan(out.signal).all()

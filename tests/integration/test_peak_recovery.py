@@ -1,0 +1,113 @@
+"""End-to-end physics validation: the reduction recovers the lattice.
+
+The synthetic events were sampled from benzil's reciprocal lattice; a
+correct reduction must therefore produce a cross-section whose strong
+peaks sit on allowed (H, K, L) nodes.  This closes the full loop:
+lattice -> events -> NeXus -> MDEvents -> BinMD/MDNorm -> peaks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cross_section import compute_cross_section
+from repro.core.md_event_workspace import load_md
+from repro.core.peaks import PeakList, find_peaks, match_to_reflections
+from repro.crystal.reflections import generate_reflections
+
+
+@pytest.fixture(scope="module")
+def reduced(tiny_experiment):
+    exp = tiny_experiment
+    return compute_cross_section(
+        load_run=lambda i: load_md(exp.md_paths[i]),
+        n_runs=len(exp.md_paths),
+        grid=exp.grid,
+        point_group=exp.point_group,
+        flux=exp.flux,
+        det_directions=exp.instrument.directions,
+        solid_angles=exp.vanadium.detector_weights,
+        backend="vectorized",
+    )
+
+
+class TestFindPeaks:
+    def test_finds_peaks_in_binmd(self, reduced):
+        peaks = find_peaks(reduced.binmd)
+        assert peaks.n_peaks > 0
+        assert np.all(peaks.intensity > 0)
+        # returned sorted by intensity, strongest first
+        assert np.all(np.diff(peaks.intensity) <= 0)
+
+    def test_empty_histogram(self, tiny_experiment):
+        from repro.core.hist3 import Hist3
+
+        peaks = find_peaks(Hist3(tiny_experiment.grid))
+        assert peaks.n_peaks == 0
+
+    def test_threshold_filters(self, reduced):
+        loose = find_peaks(reduced.binmd, min_intensity=1e-9)
+        tight = find_peaks(reduced.binmd,
+                           min_intensity=float(reduced.binmd.signal.max()))
+        assert loose.n_peaks >= tight.n_peaks
+        assert tight.n_peaks >= 1  # the global maximum always qualifies
+
+    def test_strongest_subset(self, reduced):
+        peaks = find_peaks(reduced.binmd)
+        if peaks.n_peaks >= 3:
+            top = peaks.strongest(3)
+            assert top.n_peaks == 3
+            assert top.intensity[0] == peaks.intensity[0]
+
+    def test_grid_coords_within_grid(self, reduced):
+        peaks = find_peaks(reduced.binmd)
+        grid = reduced.binmd.grid
+        for axis in range(3):
+            assert np.all(peaks.grid_coords[:, axis] >= grid.minimum[axis])
+            assert np.all(peaks.grid_coords[:, axis] <= grid.maximum[axis])
+
+    def test_hkl_mapping_uses_basis(self, reduced):
+        """grid coords (c0, c1, 0) on the benzil basis map to
+        (c0+c1, c0-c1, 0) in HKL."""
+        peaks = find_peaks(reduced.binmd)
+        if peaks.n_peaks:
+            c = peaks.grid_coords[0]
+            hkl = peaks.hkl[0]
+            assert hkl[0] == pytest.approx(c[0] + c[1])
+            assert hkl[1] == pytest.approx(c[0] - c[1])
+
+
+class TestPhysicsRecovery:
+    def test_strong_peaks_sit_on_lattice_nodes(self, tiny_experiment, reduced):
+        """The majority of the strongest BinMD peaks must be within half
+        a bin of an allowed benzil reflection — the generated physics
+        survives the full pipeline."""
+        exp = tiny_experiment
+        refl = generate_reflections(exp.structure, q_max=8.0, q_min=0.3)
+        # symmetrize the reflection list the same way the reduction does
+        images = exp.point_group.apply(refl.hkl.astype(float))
+        all_nodes = images.reshape(-1, 3)
+
+        peaks = find_peaks(reduced.binmd).strongest(10)
+        assert peaks.n_peaks >= 3
+        # tolerance: one bin width in the H/K directions (grid coords ->
+        # HKL stretches by the basis; use a generous half-r.l.u.)
+        matched = match_to_reflections(peaks, all_nodes, tolerance=0.5)
+        assert matched.mean() >= 0.7, (
+            f"only {matched.sum()}/{peaks.n_peaks} strong peaks match "
+            f"lattice nodes"
+        )
+
+    def test_match_tolerance_monotone(self, tiny_experiment, reduced):
+        exp = tiny_experiment
+        refl = generate_reflections(exp.structure, q_max=8.0)
+        peaks = find_peaks(reduced.binmd).strongest(10)
+        tight = match_to_reflections(peaks, refl.hkl, tolerance=0.05)
+        loose = match_to_reflections(peaks, refl.hkl, tolerance=1.0)
+        assert loose.sum() >= tight.sum()
+
+    def test_empty_inputs(self):
+        empty = PeakList(
+            grid_coords=np.empty((0, 3)), hkl=np.empty((0, 3)),
+            intensity=np.empty(0),
+        )
+        assert match_to_reflections(empty, np.empty((0, 3)), tolerance=0.1).shape == (0,)

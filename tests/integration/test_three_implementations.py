@@ -1,0 +1,123 @@
+"""The paper's artifact promise: all three implementations reproduce the
+same cross-section from the same measurement."""
+
+import numpy as np
+import pytest
+
+from repro.baseline.garnet import GarnetConfig, GarnetWorkflow
+from repro.mpi import run_world
+from repro.proxy.cpp_proxy import CppProxyConfig, CppProxyWorkflow
+from repro.proxy.minivates import MiniVatesConfig, MiniVatesWorkflow
+
+
+@pytest.fixture(scope="module")
+def all_results(tiny_experiment):
+    exp = tiny_experiment
+    garnet = GarnetWorkflow(
+        GarnetConfig(
+            nexus_paths=exp.nexus_paths,
+            instrument=exp.instrument,
+            grid=exp.grid,
+            point_group_symbol="321",
+            flux=exp.flux,
+            solid_angles=exp.vanadium.detector_weights,
+        )
+    ).run()
+    cpp = CppProxyWorkflow(
+        CppProxyConfig(
+            md_paths=exp.md_paths,
+            flux_path=exp.flux_path,
+            vanadium_path=exp.vanadium_path,
+            instrument=exp.instrument,
+            grid=exp.grid,
+            point_group=exp.point_group,
+        )
+    ).run()
+    minivates = MiniVatesWorkflow(
+        MiniVatesConfig(
+            md_paths=exp.md_paths,
+            flux_path=exp.flux_path,
+            vanadium_path=exp.vanadium_path,
+            instrument=exp.instrument,
+            grid=exp.grid,
+            point_group=exp.point_group,
+        )
+    ).run()
+    return garnet, cpp, minivates
+
+
+class TestAgreement:
+    def test_binmd_identical(self, all_results):
+        garnet, cpp, minivates = all_results
+        assert np.allclose(garnet.binmd.signal, cpp.binmd.signal)
+        assert np.allclose(garnet.binmd.signal, minivates.binmd.signal)
+
+    def test_mdnorm_identical(self, all_results):
+        garnet, cpp, minivates = all_results
+        assert np.allclose(garnet.mdnorm.signal, cpp.mdnorm.signal, rtol=1e-9)
+        assert np.allclose(garnet.mdnorm.signal, minivates.mdnorm.signal, rtol=1e-9)
+
+    def test_cross_sections_identical_where_defined(self, all_results):
+        garnet, cpp, minivates = all_results
+        mask = ~np.isnan(garnet.cross_section.signal)
+        assert mask.any()
+        for other in (cpp, minivates):
+            other_mask = ~np.isnan(other.cross_section.signal)
+            assert np.array_equal(mask, other_mask)
+            assert np.allclose(
+                garnet.cross_section.signal[mask], other.cross_section.signal[mask],
+                rtol=1e-8,
+            )
+
+    def test_physics_sanity(self, all_results):
+        """Signal exists, normalization is positive where there is signal
+        coverage, and the cross-section is non-negative."""
+        garnet, _, _ = all_results
+        assert garnet.binmd.total() > 0
+        assert garnet.mdnorm.total() > 0
+        finite = garnet.cross_section.signal[~np.isnan(garnet.cross_section.signal)]
+        assert np.all(finite >= 0)
+
+
+class TestMpiAgreement:
+    def test_minivates_under_mpi(self, tiny_experiment, all_results):
+        exp = tiny_experiment
+        _, _, single = all_results
+
+        def spmd(comm):
+            res = MiniVatesWorkflow(
+                MiniVatesConfig(
+                    md_paths=exp.md_paths,
+                    flux_path=exp.flux_path,
+                    vanadium_path=exp.vanadium_path,
+                    instrument=exp.instrument,
+                    grid=exp.grid,
+                    point_group=exp.point_group,
+                    cold_start=False,  # JIT cache is shared across rank threads
+                )
+            ).run(comm=comm)
+            return res.binmd.signal if res.is_root else None
+
+        outs = run_world(3, spmd)
+        assert np.allclose(outs[0], single.binmd.signal)
+
+    def test_cpp_proxy_under_mpi(self, tiny_experiment, all_results):
+        exp = tiny_experiment
+        _, single, _ = all_results
+
+        def spmd(comm):
+            res = CppProxyWorkflow(
+                CppProxyConfig(
+                    md_paths=exp.md_paths,
+                    flux_path=exp.flux_path,
+                    vanadium_path=exp.vanadium_path,
+                    instrument=exp.instrument,
+                    grid=exp.grid,
+                    point_group=exp.point_group,
+                    n_threads=1,
+                )
+            ).run(comm=comm)
+            return res.mdnorm.signal if res.is_root else None
+
+        outs = run_world(2, spmd)
+        assert np.allclose(outs[0], single.mdnorm.signal, rtol=1e-9)

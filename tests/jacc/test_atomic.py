@@ -1,0 +1,47 @@
+"""Unit + property tests for atomic accumulation."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.jacc.atomic import atomic_add, atomic_add_scalar
+
+
+def test_duplicate_indices_all_counted():
+    """The defining difference from fancy-index +=, which drops dups."""
+    target = np.zeros(4)
+    idx = np.array([1, 1, 1, 2])
+    atomic_add(target, idx, np.ones(4))
+    assert np.array_equal(target, [0.0, 3.0, 1.0, 0.0])
+
+    naive = np.zeros(4)
+    naive[idx] += np.ones(4)  # the broken pattern
+    assert naive[1] == 1.0  # demonstrates why atomic_add exists
+
+
+def test_scalar_values_broadcast():
+    target = np.zeros(3)
+    atomic_add(target, np.array([0, 0, 2]), 2.0)
+    assert np.array_equal(target, [4.0, 0.0, 2.0])
+
+
+def test_atomic_add_scalar():
+    target = np.zeros(2)
+    atomic_add_scalar(target, 1, 5.0)
+    atomic_add_scalar(target, 1, 2.0)
+    assert target[1] == 7.0
+
+
+@given(
+    indices=st.lists(st.integers(0, 19), min_size=0, max_size=200),
+)
+@settings(max_examples=50, deadline=None)
+def test_matches_serial_accumulation(indices):
+    idx = np.array(indices, dtype=np.int64)
+    vals = np.arange(1.0, len(indices) + 1.0)
+    target = np.zeros(20)
+    atomic_add(target, idx, vals)
+    expected = np.zeros(20)
+    for i, v in zip(indices, vals):
+        expected[i] += v
+    assert np.allclose(target, expected)

@@ -1,0 +1,116 @@
+"""Unit tests for the JIT specialization cache."""
+
+import numpy as np
+import pytest
+
+from repro.jacc import Kernel, parallel_for
+from repro.jacc.jit import GLOBAL_JIT, JITCache
+from repro.jacc.kernels import make_captures
+
+
+class TestJITCache:
+    def test_first_specialization_records_event(self):
+        cache = JITCache()
+        cache.loop_for("k1", "serial", 1)
+        assert len(cache.compile_events) == 1
+        ev = cache.compile_events[0]
+        assert ev.kernel == "k1" and ev.backend == "serial"
+        assert ev.seconds > 0.0
+
+    def test_cache_hit_does_not_recompile(self):
+        cache = JITCache()
+        a = cache.loop_for("k1", "serial", 1)
+        b = cache.loop_for("k1", "serial", 1)
+        assert a is b
+        assert len(cache.compile_events) == 1
+
+    def test_variants_are_distinct(self):
+        cache = JITCache()
+        cache.loop_for("k1", "serial", 1)
+        cache.loop_for("k1", "serial", 2)
+        cache.loop_for("k1", "serial", 1, ranged=True)
+        cache.loop_reduce("k1", "serial", 1)
+        assert len(cache.compile_events) == 4
+
+    def test_backends_are_distinct(self):
+        cache = JITCache()
+        cache.loop_for("k1", "serial", 1)
+        cache.loop_for("k1", "threads", 1)
+        assert len(cache.compile_events) == 2
+
+    def test_clear_forgets_everything(self):
+        cache = JITCache()
+        cache.loop_for("k1", "serial", 1)
+        cache.clear()
+        assert not cache.is_compiled("k1", "serial")
+        assert cache.compile_events == []
+        cache.loop_for("k1", "serial", 1)
+        assert len(cache.compile_events) == 1
+
+    def test_is_compiled(self):
+        cache = JITCache()
+        assert not cache.is_compiled("k1", "serial")
+        cache.loop_for("k1", "serial", 1)
+        assert cache.is_compiled("k1", "serial")
+        assert not cache.is_compiled("k1", "vectorized")
+
+    def test_total_compile_seconds(self):
+        cache = JITCache()
+        cache.loop_for("a", "serial", 1)
+        cache.loop_for("b", "serial", 2)
+        assert cache.total_compile_seconds() == pytest.approx(
+            sum(e.seconds for e in cache.compile_events)
+        )
+
+
+class TestGeneratedLoops:
+    def test_1d_loop_semantics(self):
+        cache = JITCache()
+        loop = cache.loop_for("k", "serial", 1)
+        seen = []
+        loop(lambda ctx, i: seen.append(i), None, (4,))
+        assert seen == [0, 1, 2, 3]
+
+    def test_2d_loop_semantics(self):
+        cache = JITCache()
+        loop = cache.loop_for("k", "serial", 2)
+        seen = []
+        loop(lambda ctx, n, i: seen.append((n, i)), None, (2, 3))
+        assert seen == [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+
+    def test_ranged_loop_respects_bounds(self):
+        cache = JITCache()
+        loop = cache.loop_for("k", "threads", 1, ranged=True)
+        seen = []
+        loop(lambda ctx, i: seen.append(i), None, (10,), 3, 6)
+        assert seen == [3, 4, 5]
+
+    def test_ranged_2d_covers_inner_dim(self):
+        cache = JITCache()
+        loop = cache.loop_for("k", "threads", 2, ranged=True)
+        seen = []
+        loop(lambda ctx, n, i: seen.append((n, i)), None, (5, 2), 1, 3)
+        assert seen == [(1, 0), (1, 1), (2, 0), (2, 1)]
+
+    def test_reduce_loop_accumulates(self):
+        cache = JITCache()
+        loop = cache.loop_reduce("k", "serial", 1)
+        out = loop(lambda ctx, i: float(i), None, (5,), lambda a, b: a + b, 0.0)
+        assert out == 10.0
+
+
+class TestGlobalCacheIntegration:
+    def test_first_launch_compiles_then_reuses(self):
+        GLOBAL_JIT.clear()
+        k = Kernel(
+            name="test_jit_integration",
+            element=lambda ctx, i: None,
+            batch=lambda ctx, dims: None,
+        )
+        before = len(GLOBAL_JIT.compile_events)
+        parallel_for(4, k, make_captures(), backend="serial")
+        after_first = len(GLOBAL_JIT.compile_events)
+        parallel_for(4, k, make_captures(), backend="serial")
+        after_second = len(GLOBAL_JIT.compile_events)
+        assert after_first == before + 1
+        assert after_second == after_first

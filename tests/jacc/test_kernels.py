@@ -1,0 +1,58 @@
+"""Unit tests for the portable kernel abstraction."""
+
+import pytest
+
+from repro.jacc.kernels import Captures, Kernel, make_captures, normalize_dims
+from repro.util.validation import ValidationError
+
+
+class TestKernel:
+    def test_valid_construction(self):
+        k = Kernel(name="k", element=lambda ctx, i: None)
+        assert not k.device_capable
+
+    def test_device_capable_with_batch(self):
+        k = Kernel(name="k", element=lambda ctx, i: None, batch=lambda ctx, d: None)
+        assert k.device_capable
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError, match="name"):
+            Kernel(name="", element=lambda ctx, i: None)
+
+    def test_non_callable_element_rejected(self):
+        with pytest.raises(ValidationError, match="callable"):
+            Kernel(name="k", element=42)
+
+    def test_non_callable_batch_rejected(self):
+        with pytest.raises(ValidationError, match="callable"):
+            Kernel(name="k", element=lambda ctx, i: None, batch=42)
+
+    def test_kernel_is_frozen(self):
+        k = Kernel(name="k", element=lambda ctx, i: None)
+        with pytest.raises(AttributeError):
+            k.name = "other"
+
+
+class TestNormalizeDims:
+    def test_int_becomes_1d(self):
+        assert normalize_dims(5) == (5,)
+
+    def test_tuple_passthrough(self):
+        assert normalize_dims((3, 4)) == (3, 4)
+
+    def test_zero_allowed(self):
+        assert normalize_dims(0) == (0,)
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValidationError, match="1-D or 2-D"):
+            normalize_dims((2, 2, 2))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError, match="negative"):
+            normalize_dims((-1, 3))
+
+
+def test_captures_namespace():
+    c = make_captures(a=1, b="x")
+    assert isinstance(c, Captures)
+    assert c.a == 1 and c.b == "x"

@@ -1,0 +1,117 @@
+"""Unit tests for the extended (custom-op) device reduction."""
+
+import numpy as np
+import pytest
+
+from repro.jacc import BackendError, Kernel, get_backend, parallel_reduce
+from repro.jacc.kernels import make_captures
+from repro.jacc.reduction import device_reduce
+
+
+def _value_kernel():
+    return Kernel(
+        name="test_ext_values",
+        element=lambda ctx, i: float(ctx.x[i]),
+        batch=lambda ctx, dims: ctx.x,
+    )
+
+
+def _matrix_kernel():
+    return Kernel(
+        name="test_ext_matrix",
+        element=lambda ctx, n, i: float(ctx.m[n, i]),
+        batch=lambda ctx, dims: ctx.m,
+    )
+
+
+class TestDeviceReduce:
+    def test_max(self):
+        x = np.array([3.0, -7.0, 42.0, 11.0])
+        out = device_reduce(4, _value_kernel(), make_captures(x=x), op="max")
+        assert out == 42.0
+
+    def test_min(self):
+        x = np.array([3.0, -7.0, 42.0])
+        out = device_reduce(3, _value_kernel(), make_captures(x=x), op="min")
+        assert out == -7.0
+
+    def test_sum_matches_core_reduce(self):
+        x = np.random.default_rng(0).random(257)
+        ext = device_reduce(257, _value_kernel(), make_captures(x=x), op="+")
+        core = parallel_reduce(257, _value_kernel(), make_captures(x=x),
+                               backend="vectorized")
+        assert ext == pytest.approx(core)
+
+    def test_2d_index_space(self):
+        m = np.arange(12.0).reshape(3, 4)
+        assert device_reduce((3, 4), _matrix_kernel(), make_captures(m=m),
+                             op="max") == 11.0
+
+    def test_matches_cpu_max(self):
+        """The extension gives the device the answer the CPU back ends
+        already had — the exact gap the paper describes."""
+        x = np.random.default_rng(1).normal(size=500)
+        cpu = parallel_reduce(500, _value_kernel(), make_captures(x=x),
+                              op="max", backend="serial")
+        dev = device_reduce(500, _value_kernel(), make_captures(x=x), op="max")
+        assert dev == cpu
+
+    def test_empty_space_identities(self):
+        k = _value_kernel()
+        assert device_reduce(0, k, make_captures(x=np.ones(0)), op="+") == 0.0
+        assert device_reduce(0, k, make_captures(x=np.ones(0)), op="max") == -np.inf
+        assert device_reduce(0, k, make_captures(x=np.ones(0)), op="min") == np.inf
+
+    def test_unsupported_op(self):
+        with pytest.raises(BackendError, match="unsupported"):
+            device_reduce(2, _value_kernel(), make_captures(x=np.ones(2)), op="xor")
+
+    def test_kernel_without_batch_rejected(self):
+        k = Kernel(name="test_ext_nobatch", element=lambda ctx, i: 0.0)
+        with pytest.raises(BackendError, match="no batch"):
+            device_reduce(2, k, make_captures(), op="max")
+
+    def test_core_backend_still_rejects_max(self):
+        """The deliberate reproduction of the JACC limitation stays."""
+        with pytest.raises(BackendError, match="only op"):
+            parallel_reduce(2, _value_kernel(), make_captures(x=np.ones(2)),
+                            op="max", backend="vectorized")
+
+
+class TestPrePassIntegration:
+    def test_extended_prepass_matches_workaround(self, tiny_experiment):
+        """max_intersections via device_reduce == the D2H workaround ==
+        the CPU reduce — and moves no per-lane data to the host."""
+        from repro.core.mdnorm import max_intersections
+
+        exp = tiny_experiment
+        ws = exp.workspaces[0]
+        transforms = exp.grid.transforms_for(
+            ws.ub_matrix, exp.point_group, goniometer=ws.goniometer
+        )
+        args = (exp.grid, transforms, exp.instrument.directions, ws.momentum_band)
+        workaround = max_intersections(*args, backend="vectorized")
+        extended = max_intersections(*args, backend="vectorized",
+                                     use_extended_reduce=True)
+        cpu = max_intersections(*args, backend="serial")
+        assert workaround == extended == cpu
+
+    def test_extended_prepass_avoids_d2h(self, tiny_experiment):
+        from repro.core.mdnorm import max_intersections
+
+        exp = tiny_experiment
+        ws = exp.workspaces[0]
+        transforms = exp.grid.transforms_for(
+            ws.ub_matrix, exp.point_group, goniometer=ws.goniometer
+        )
+        device = get_backend("vectorized")
+        device.reset_counters()
+        max_intersections(exp.grid, transforms, exp.instrument.directions,
+                          ws.momentum_band, backend="vectorized")
+        workaround_d2h = device.bytes_d2h
+        device.reset_counters()
+        max_intersections(exp.grid, transforms, exp.instrument.directions,
+                          ws.momentum_band, backend="vectorized",
+                          use_extended_reduce=True)
+        assert workaround_d2h > 0
+        assert device.bytes_d2h == 0

@@ -1,0 +1,77 @@
+"""Unit tests specific to the threads back end."""
+
+import numpy as np
+import pytest
+
+from repro.jacc.backend import BackendError
+from repro.jacc.kernels import Kernel, make_captures
+from repro.jacc.threads import ThreadsBackend
+
+
+def _fill_kernel():
+    return Kernel(
+        name="test_fill",
+        element=lambda ctx, i: ctx.out.__setitem__(i, i + 1),
+    )
+
+
+class TestChunking:
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 16, 17, 100])
+    @pytest.mark.parametrize("workers", [1, 2, 4, 7])
+    def test_every_index_covered_exactly_once(self, n, workers):
+        be = ThreadsBackend(n_workers=workers)
+        out = np.zeros(n)
+        be.parallel_for(n, _fill_kernel(), make_captures(out=out))
+        assert np.allclose(out, np.arange(1, n + 1))
+
+    def test_chunks_partition(self):
+        be = ThreadsBackend(n_workers=4)
+        chunks = be._chunks(10)
+        covered = [i for start, stop in chunks for i in range(start, stop)]
+        assert covered == list(range(10))
+
+    def test_empty_chunks(self):
+        assert ThreadsBackend(n_workers=4)._chunks(0) == []
+
+
+class TestReduction:
+    @pytest.mark.parametrize("workers", [1, 3, 8])
+    def test_partials_combine(self, workers):
+        be = ThreadsBackend(n_workers=workers)
+        k = Kernel(name="test_sum_i", element=lambda ctx, i: float(i))
+        assert be.parallel_reduce(100, k, make_captures()) == pytest.approx(4950.0)
+
+    def test_max_across_chunks(self):
+        be = ThreadsBackend(n_workers=4)
+        x = np.array([1.0, 9.0, 2.0, 8.0, 3.0, 7.0, 4.0, 6.0])
+        k = Kernel(name="test_max_chunks", element=lambda ctx, i: float(ctx.x[i]))
+        assert be.parallel_reduce(8, k, make_captures(x=x), op="max") == 9.0
+
+    def test_unknown_op(self):
+        be = ThreadsBackend(n_workers=2)
+        k = Kernel(name="test_op", element=lambda ctx, i: 0.0)
+        with pytest.raises(BackendError):
+            be.parallel_reduce(4, k, make_captures(), op="median")
+
+
+class TestErrorPropagation:
+    def test_worker_exception_reraised(self):
+        be = ThreadsBackend(n_workers=4)
+
+        def boom(ctx, i):
+            if i == 5:
+                raise RuntimeError("worker exploded")
+
+        k = Kernel(name="test_boom", element=boom)
+        with pytest.raises(RuntimeError, match="worker exploded"):
+            be.parallel_for(16, k, make_captures())
+
+
+class TestWorkerCount:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NUM_THREADS", "3")
+        assert ThreadsBackend().n_workers == 3
+
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NUM_THREADS", "3")
+        assert ThreadsBackend(n_workers=2).n_workers == 2

@@ -1,0 +1,195 @@
+"""Unit tests for the simulated MPI communicator and collectives."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import MAX, MIN, PROD, SUM, Comm, MPIError, SequentialComm, run_world
+from repro.mpi.comm import World
+
+
+class TestIntrospection:
+    def test_rank_and_size(self):
+        world = World(3)
+        comms = [Comm(world, r) for r in range(3)]
+        assert [c.rank for c in comms] == [0, 1, 2]
+        assert all(c.size == 3 for c in comms)
+        assert comms[1].Get_rank() == 1
+        assert comms[1].Get_size() == 3
+
+    def test_invalid_rank_rejected(self):
+        with pytest.raises(MPIError):
+            Comm(World(2), 5)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(MPIError):
+            World(0)
+
+
+class TestSequentialComm:
+    def test_degenerate_collectives(self):
+        comm = SequentialComm()
+        assert comm.size == 1 and comm.rank == 0
+        assert comm.bcast("hello") == "hello"
+        assert comm.allreduce(5, SUM) == 5
+        assert comm.gather("x") == ["x"]
+        assert comm.allgather(1) == [1]
+        assert comm.scatter(["only"]) == "only"
+
+    def test_buffer_reduce(self):
+        comm = SequentialComm()
+        send = np.arange(4.0)
+        recv = np.empty(4)
+        comm.Reduce(send, recv, op=SUM, root=0)
+        assert np.array_equal(recv, send)
+
+
+class TestObjectCollectives:
+    def test_bcast(self):
+        def fn(comm):
+            value = {"payload": 42} if comm.rank == 0 else None
+            return comm.bcast(value, root=0)
+
+        results = run_world(4, fn)
+        assert all(r == {"payload": 42} for r in results)
+
+    def test_gather_only_root_receives(self):
+        def fn(comm):
+            return comm.gather(comm.rank * 10, root=1)
+
+        results = run_world(3, fn)
+        assert results[0] is None and results[2] is None
+        assert results[1] == [0, 10, 20]
+
+    def test_allgather(self):
+        results = run_world(3, lambda comm: comm.allgather(comm.rank))
+        assert results == [[0, 1, 2]] * 3
+
+    def test_scatter(self):
+        def fn(comm):
+            chunks = ["a", "b", "c"] if comm.rank == 0 else None
+            return comm.scatter(chunks, root=0)
+
+        assert run_world(3, fn) == ["a", "b", "c"]
+
+    def test_scatter_wrong_length_rejected(self):
+        def fn(comm):
+            chunks = ["a"] if comm.rank == 0 else None
+            return comm.scatter(chunks, root=0)
+
+        with pytest.raises(MPIError, match="scatter"):
+            run_world(2, fn)
+
+    @pytest.mark.parametrize(
+        "op,expected", [(SUM, 6), (PROD, 0), (MAX, 3), (MIN, 0)]
+    )
+    def test_allreduce_ops(self, op, expected):
+        results = run_world(4, lambda comm: comm.allreduce(comm.rank, op))
+        assert results == [expected] * 4
+
+    def test_reduce_root_only(self):
+        results = run_world(3, lambda comm: comm.reduce(comm.rank + 1, SUM, root=2))
+        assert results == [None, None, 6]
+
+
+class TestBufferCollectives:
+    def test_Reduce_sums_arrays(self):
+        def fn(comm):
+            send = np.full(5, float(comm.rank + 1))
+            recv = np.empty(5) if comm.rank == 0 else None
+            comm.Reduce(send, recv, op=SUM, root=0)
+            return recv
+
+        results = run_world(3, fn)
+        assert np.array_equal(results[0], np.full(5, 6.0))
+        assert results[1] is None
+
+    def test_Reduce_needs_recvbuf_on_root(self):
+        def fn(comm):
+            comm.Reduce(np.ones(2), None, op=SUM, root=0)
+
+        with pytest.raises(MPIError, match="recvbuf"):
+            run_world(2, fn)
+
+    def test_Reduce_shape_mismatch(self):
+        def fn(comm):
+            recv = np.empty(3) if comm.rank == 0 else None
+            comm.Reduce(np.ones(2), recv, op=SUM, root=0)
+
+        with pytest.raises(MPIError, match="shape"):
+            run_world(2, fn)
+
+    def test_Allreduce(self):
+        def fn(comm):
+            recv = np.empty(4)
+            comm.Allreduce(np.full(4, 2.0), recv, op=SUM)
+            return recv
+
+        for r in run_world(3, fn):
+            assert np.array_equal(r, np.full(4, 6.0))
+
+    def test_Allreduce_max(self):
+        def fn(comm):
+            recv = np.empty(2)
+            comm.Allreduce(np.array([comm.rank, -comm.rank], dtype=float), recv, op=MAX)
+            return recv
+
+        for r in run_world(4, fn):
+            assert np.array_equal(r, [3.0, 0.0])
+
+    def test_Bcast_overwrites_non_root(self):
+        def fn(comm):
+            buf = np.arange(3.0) if comm.rank == 0 else np.zeros(3)
+            comm.Bcast(buf, root=0)
+            return buf
+
+        for r in run_world(3, fn):
+            assert np.array_equal(r, [0.0, 1.0, 2.0])
+
+
+class TestPointToPoint:
+    def test_send_recv(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send("ping", dest=1, tag=7)
+                return comm.recv(source=1, tag=8)
+            comm.send("pong", dest=0, tag=8)
+            return comm.recv(source=0, tag=7)
+
+        assert run_world(2, fn) == ["pong", "ping"]
+
+    def test_tag_matching_holds_unmatched(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send("late", dest=1, tag=2)
+                comm.send("early", dest=1, tag=1)
+                return None
+            first = comm.recv(source=0, tag=1)
+            second = comm.recv(source=0, tag=2)
+            return (first, second)
+
+        assert run_world(2, fn)[1] == ("early", "late")
+
+    def test_any_source_any_tag(self):
+        def fn(comm):
+            if comm.rank == 0:
+                return comm.recv()
+            comm.send(f"from{comm.rank}", dest=0)
+            return None
+
+        out = run_world(2, fn)
+        assert out[0] == "from1"
+
+    def test_invalid_dest(self):
+        comm = SequentialComm()
+        with pytest.raises(MPIError, match="destination"):
+            comm.send("x", dest=5)
+
+    def test_recv_timeout(self):
+        comm = SequentialComm()
+        with pytest.raises(MPIError, match="timed out"):
+            comm.recv(timeout=0.05)
+
+    def test_barrier_alias(self):
+        comm = SequentialComm()
+        comm.Barrier()
+        comm.barrier()

@@ -1,0 +1,48 @@
+"""Unit + property tests for the Algorithm-1 rank decomposition."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import MPIError, rank_range
+
+
+class TestRankRange:
+    def test_even_split(self):
+        assert [rank_range(8, r, 4) for r in range(4)] == [
+            (0, 2), (2, 4), (4, 6), (6, 8),
+        ]
+
+    def test_remainder_goes_to_low_ranks(self):
+        ranges = [rank_range(10, r, 4) for r in range(4)]
+        sizes = [e - s for s, e in ranges]
+        assert sizes == [3, 3, 2, 2]
+
+    def test_more_ranks_than_items(self):
+        ranges = [rank_range(2, r, 4) for r in range(4)]
+        sizes = [e - s for s, e in ranges]
+        assert sizes == [1, 1, 0, 0]
+
+    def test_zero_items(self):
+        assert rank_range(0, 0, 3) == (0, 0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(MPIError):
+            rank_range(-1, 0, 2)
+        with pytest.raises(MPIError):
+            rank_range(5, 2, 2)
+        with pytest.raises(MPIError):
+            rank_range(5, 0, 0)
+
+    @given(n=st.integers(0, 500), size=st.integers(1, 32))
+    @settings(max_examples=100, deadline=None)
+    def test_partition_properties(self, n, size):
+        """Every item assigned exactly once; block sizes differ by <= 1."""
+        ranges = [rank_range(n, r, size) for r in range(size)]
+        covered = [i for s, e in ranges for i in range(s, e)]
+        assert covered == list(range(n))
+        sizes = [e - s for s, e in ranges]
+        assert max(sizes) - min(sizes) <= 1
+        # blocks are contiguous and ordered
+        for (s1, e1), (s2, _) in zip(ranges, ranges[1:]):
+            assert e1 == s2

@@ -1,0 +1,49 @@
+"""Unit tests for the SPMD world launcher."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import MPIError, SUM, run_world
+
+
+class TestRunWorld:
+    def test_results_in_rank_order(self):
+        assert run_world(4, lambda comm: comm.rank * 2) == [0, 2, 4, 6]
+
+    def test_single_rank(self):
+        assert run_world(1, lambda comm: comm.size) == [1]
+
+    def test_args_forwarded(self):
+        out = run_world(2, lambda comm, a, b=0: a + b + comm.rank, 10, b=5)
+        assert out == [15, 16]
+
+    def test_invalid_size(self):
+        with pytest.raises(MPIError):
+            run_world(0, lambda comm: None)
+
+    def test_exception_propagates(self):
+        def fn(comm):
+            if comm.rank == 1:
+                raise ValueError("rank 1 failed")
+            return comm.rank
+
+        with pytest.raises(ValueError, match="rank 1 failed"):
+            run_world(3, fn)
+
+    def test_failing_rank_does_not_deadlock_collectives(self):
+        """A rank that dies mid-collective must not hang the world."""
+
+        def fn(comm):
+            if comm.rank == 0:
+                raise RuntimeError("dead before the barrier")
+            return comm.allreduce(1, SUM)
+
+        with pytest.raises(RuntimeError, match="dead before the barrier"):
+            run_world(3, fn)
+
+    def test_concurrent_ranks_see_consistent_world(self):
+        def fn(comm):
+            gathered = comm.allgather(comm.rank**2)
+            return sum(gathered)
+
+        assert run_world(4, fn) == [14, 14, 14, 14]

@@ -1,0 +1,117 @@
+"""Unit + property tests for the flux and vanadium corrections."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nexus.corrections import (
+    FluxSpectrum,
+    VanadiumData,
+    read_flux_file,
+    read_vanadium_file,
+    write_flux_file,
+    write_vanadium_file,
+)
+from repro.util.validation import ValidationError
+
+
+@pytest.fixture()
+def flux():
+    k = np.linspace(2.0, 10.0, 64)
+    return FluxSpectrum(momentum=k, density=np.exp(-((k - 5.0) ** 2)))
+
+
+class TestFluxSpectrum:
+    def test_cumulative_starts_at_zero_and_is_monotone(self, flux):
+        cum = flux.cumulative(flux.momentum)
+        assert cum[0] == 0.0
+        assert np.all(np.diff(cum) >= 0)
+
+    def test_total_equals_full_integral(self, flux):
+        assert flux.integral(flux.k_min, flux.k_max) == pytest.approx(flux.total)
+
+    def test_integral_additivity(self, flux):
+        a, b, c = 2.5, 5.0, 9.0
+        assert flux.integral(a, b) + flux.integral(b, c) == pytest.approx(
+            flux.integral(a, c)
+        )
+
+    def test_integral_clamps_outside_band(self, flux):
+        assert flux.integral(0.0, 1.0) == 0.0
+        assert flux.integral(11.0, 20.0) == 0.0
+        assert flux.integral(0.0, 20.0) == pytest.approx(flux.total)
+
+    def test_vectorized_integral(self, flux):
+        lo = np.array([2.0, 3.0, 4.0])
+        hi = np.array([3.0, 4.0, 5.0])
+        out = flux.integral(lo, hi)
+        assert out.shape == (3,)
+        assert np.all(out >= 0)
+
+    def test_descending_grid_rejected(self):
+        with pytest.raises(ValidationError, match="ascending"):
+            FluxSpectrum(momentum=np.array([3.0, 2.0, 1.0]), density=np.ones(3))
+
+    def test_negative_density_rejected(self):
+        with pytest.raises(ValidationError, match="non-negative"):
+            FluxSpectrum(momentum=np.array([1.0, 2.0]), density=np.array([1.0, -1.0]))
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValidationError, match="2 points"):
+            FluxSpectrum(momentum=np.array([1.0]), density=np.array([1.0]))
+
+    def test_from_wavelength_band(self):
+        f = FluxSpectrum.from_wavelength_band(0.6, 2.6)
+        assert f.k_min == pytest.approx(2 * np.pi / 2.6)
+        assert f.k_max == pytest.approx(2 * np.pi / 0.6)
+        assert f.total > 0
+
+    def test_from_wavelength_band_validates(self):
+        with pytest.raises(ValidationError):
+            FluxSpectrum.from_wavelength_band(2.6, 0.6)
+
+    @given(
+        lo=st.floats(2.0, 10.0),
+        hi=st.floats(2.0, 10.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_integral_sign_property(self, lo, hi):
+        """integral(lo, hi) = -integral(hi, lo), and >= 0 for lo <= hi."""
+        k = np.linspace(2.0, 10.0, 64)
+        spectrum = FluxSpectrum(momentum=k, density=np.exp(-((k - 5.0) ** 2)))
+        fwd = spectrum.integral(lo, hi)
+        assert fwd == pytest.approx(-spectrum.integral(hi, lo))
+        if lo <= hi:
+            assert fwd >= 0
+
+
+class TestVanadium:
+    def test_basic(self):
+        v = VanadiumData(detector_weights=np.ones(10))
+        assert v.n_detectors == 10
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValidationError, match="non-negative"):
+            VanadiumData(detector_weights=np.array([1.0, -0.5]))
+
+    def test_non_1d_rejected(self):
+        with pytest.raises(ValidationError, match="1-D"):
+            VanadiumData(detector_weights=np.ones((2, 2)))
+
+
+class TestFileRoundtrips:
+    def test_flux_file(self, tmp_path, flux):
+        path = str(tmp_path / "flux.h5")
+        write_flux_file(path, flux)
+        back = read_flux_file(path)
+        assert np.array_equal(back.momentum, flux.momentum)
+        assert np.array_equal(back.density, flux.density)
+        assert back.total == pytest.approx(flux.total)
+
+    def test_vanadium_file(self, tmp_path):
+        v = VanadiumData(detector_weights=np.linspace(0, 1, 20))
+        path = str(tmp_path / "van.h5")
+        write_vanadium_file(path, v)
+        back = read_vanadium_file(path)
+        assert np.array_equal(back.detector_weights, v.detector_weights)

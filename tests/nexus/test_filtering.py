@@ -1,0 +1,181 @@
+"""Unit + physics tests for event filtering by pulse time."""
+
+import numpy as np
+import pytest
+
+from repro.nexus.events import RunData
+from repro.nexus.filtering import filter_time_window, run_duration, split_by_time
+from repro.util.validation import ValidationError
+
+
+def _run(n=1000, duration=100.0, seed=0):
+    rng = np.random.default_rng(seed)
+    return RunData(
+        run_number=5,
+        detector_ids=rng.integers(0, 50, n).astype(np.uint32),
+        tof=rng.uniform(1000, 8000, n),
+        weights=np.ones(n, dtype=np.float32),
+        goniometer=np.eye(3),
+        proton_charge=4.0,
+        wavelength_band=(0.5, 3.0),
+        pulse_times=np.sort(rng.uniform(0, duration, n)),
+    )
+
+
+class TestRunDataPulseTimes:
+    def test_length_checked(self):
+        with pytest.raises(ValidationError, match="pulse_times"):
+            _run().__class__(
+                run_number=0,
+                detector_ids=np.zeros(3, dtype=np.uint32),
+                tof=np.zeros(3),
+                weights=np.zeros(3, dtype=np.float32),
+                goniometer=np.eye(3),
+                proton_charge=1.0,
+                wavelength_band=(0.5, 3.0),
+                pulse_times=np.zeros(2),
+            )
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError, match="non-negative"):
+            RunData(
+                run_number=0,
+                detector_ids=np.zeros(1, dtype=np.uint32),
+                tof=np.zeros(1),
+                weights=np.zeros(1, dtype=np.float32),
+                goniometer=np.eye(3),
+                proton_charge=1.0,
+                wavelength_band=(0.5, 3.0),
+                pulse_times=np.array([-1.0]),
+            )
+
+    def test_optional(self):
+        run = RunData(
+            run_number=0,
+            detector_ids=np.zeros(1, dtype=np.uint32),
+            tof=np.zeros(1),
+            weights=np.zeros(1, dtype=np.float32),
+            goniometer=np.eye(3),
+            proton_charge=1.0,
+            wavelength_band=(0.5, 3.0),
+        )
+        assert run.pulse_times is None
+
+    def test_nexus_roundtrip_keeps_pulses(self, tmp_path):
+        from repro.nexus.schema import read_event_nexus, write_event_nexus
+
+        run = _run()
+        path = str(tmp_path / "r.nxs.h5")
+        write_event_nexus(path, run)
+        back = read_event_nexus(path)
+        assert np.allclose(back.pulse_times, run.pulse_times)
+
+
+class TestFilterTimeWindow:
+    def test_keeps_only_window_events(self):
+        run = _run(duration=100.0)
+        sub = filter_time_window(run, 20.0, 40.0)
+        assert np.all(sub.pulse_times >= 20.0)
+        assert np.all(sub.pulse_times < 40.0)
+        assert sub.n_events < run.n_events
+
+    def test_charge_scaled_by_covered_fraction(self):
+        run = _run(duration=100.0)
+        duration = run_duration(run)
+        sub = filter_time_window(run, 0.0, duration / 2)
+        assert sub.proton_charge == pytest.approx(run.proton_charge / 2, rel=1e-6)
+
+    def test_window_beyond_duration_clamped(self):
+        run = _run(duration=100.0)
+        sub = filter_time_window(run, 0.0, 1e9)
+        assert sub.proton_charge == pytest.approx(run.proton_charge)
+        assert sub.n_events == run.n_events
+
+    def test_empty_coverage_rejected(self):
+        run = _run(duration=100.0)
+        with pytest.raises(ValidationError, match="covers no beam"):
+            filter_time_window(run, 500.0, 600.0)
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(Exception):
+            filter_time_window(_run(), 10.0, 5.0)
+
+    def test_run_without_pulses_rejected(self):
+        run = _run()
+        run.pulse_times = None
+        with pytest.raises(ValidationError, match="pulse_times"):
+            filter_time_window(run, 0.0, 1.0)
+
+    def test_metadata_preserved(self):
+        run = _run()
+        sub = filter_time_window(run, 10.0, 20.0)
+        assert sub.run_number == run.run_number
+        assert sub.wavelength_band == run.wavelength_band
+        assert np.array_equal(sub.goniometer, run.goniometer)
+
+
+class TestSplitByTime:
+    def test_partition_is_exact(self):
+        run = _run(n=2000, duration=60.0)
+        slices = split_by_time(run, 4)
+        assert len(slices) == 4
+        assert sum(s.n_events for s in slices) == run.n_events
+        total_charge = sum(s.proton_charge for s in slices)
+        assert total_charge == pytest.approx(run.proton_charge, rel=1e-6)
+
+    def test_single_slice_is_identity(self):
+        run = _run()
+        (only,) = split_by_time(run, 1)
+        assert only.n_events == run.n_events
+        assert only.proton_charge == pytest.approx(run.proton_charge)
+
+    def test_slices_are_disjoint_in_time(self):
+        run = _run(n=500, duration=30.0)
+        slices = split_by_time(run, 3)
+        for a, b in zip(slices, slices[1:]):
+            if a.n_events and b.n_events:
+                assert a.pulse_times.max() <= b.pulse_times.min()
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            split_by_time(_run(), 0)
+
+
+class TestPhysics:
+    def test_slices_reduce_to_the_full_run(self, tiny_experiment):
+        """Re-slicing conservation: the time slices' BinMD histograms
+        sum exactly to the full run's, and their MDNorm contributions
+        (each scaled by its slice charge) sum to the full run's —
+        so any time-sliced analysis is consistent with the unsliced one."""
+        from repro.core.binmd import bin_events
+        from repro.core.hist3 import Hist3
+        from repro.core.md_event_workspace import convert_to_md
+        from repro.core.mdnorm import mdnorm
+
+        exp = tiny_experiment
+        run = exp.runs[1]
+
+        def reduce_one(part):
+            ws = convert_to_md(part, exp.instrument)
+            binmd_h = Hist3(exp.grid)
+            bin_events(binmd_h, ws.events,
+                       exp.grid.transforms_for(ws.ub_matrix, exp.point_group),
+                       backend="vectorized")
+            norm_h = Hist3(exp.grid)
+            mdnorm(norm_h,
+                   exp.grid.transforms_for(ws.ub_matrix, exp.point_group,
+                                           goniometer=ws.goniometer),
+                   exp.instrument.directions, exp.vanadium.detector_weights,
+                   exp.flux, ws.momentum_band, charge=ws.proton_charge,
+                   backend="vectorized")
+            return binmd_h, norm_h
+
+        full_binmd, full_norm = reduce_one(run)
+        slice_binmd = Hist3(exp.grid)
+        slice_norm = Hist3(exp.grid)
+        for part in split_by_time(run, 3):
+            b, n = reduce_one(part)
+            slice_binmd.add(b)
+            slice_norm.add(n)
+        assert np.allclose(slice_binmd.signal, full_binmd.signal)
+        assert np.allclose(slice_norm.signal, full_norm.signal, rtol=1e-9)

@@ -1,0 +1,84 @@
+"""Unit tests for h5lite's zlib dataset compression."""
+
+import numpy as np
+import pytest
+
+from repro.nexus.h5lite import File, H5LiteError
+
+
+@pytest.fixture()
+def path(tmp_path):
+    return str(tmp_path / "c.h5")
+
+
+class TestCompression:
+    def test_roundtrip(self, path):
+        data = np.tile(np.arange(64, dtype=np.float64), 128).reshape(128, 64)
+        with File(path, "w") as f:
+            f.create_dataset("x", data=data, compression="zlib")
+        with File(path, "r") as f:
+            ds = f["x"]
+            assert ds.compression == "zlib"
+            assert np.array_equal(ds.read(), data)
+
+    def test_actually_shrinks_redundant_data(self, path):
+        data = np.zeros((1024, 8))
+        with File(path, "w") as f:
+            f.create_dataset("x", data=data, compression="zlib")
+        import os
+
+        compressed_size = os.path.getsize(path)
+        path2 = path + ".raw"
+        with File(path2, "w") as f:
+            f.create_dataset("x", data=data)
+        assert compressed_size < os.path.getsize(path2) / 10
+
+    def test_mixed_compressed_and_raw(self, path):
+        with File(path, "w") as f:
+            f.create_dataset("a", data=np.arange(100.0), compression="zlib")
+            f.create_dataset("b", data=np.arange(50.0))
+        with File(path, "r") as f:
+            assert np.array_equal(f.read("a"), np.arange(100.0))
+            assert np.array_equal(f.read("b"), np.arange(50.0))
+
+    def test_slicing_compressed_dataset(self, path):
+        data = np.arange(200.0).reshape(40, 5)
+        with File(path, "w") as f:
+            f.create_dataset("x", data=data, compression="zlib")
+        with File(path, "r") as f:
+            ds = f["x"]
+            ds.read()  # verify checksum
+            assert np.array_equal(ds[3:7], data[3:7])
+
+    def test_appended_dataset_compresses(self, path):
+        with File(path, "w") as f:
+            ds = f.create_dataset("x", dtype="<f8", shape=(0, 4),
+                                  compression="zlib")
+            ds.append(np.ones((10, 4)))
+            ds.append(np.full((5, 4), 2.0))
+        with File(path, "r") as f:
+            out = f.read("x")
+            assert out.shape == (15, 4)
+            assert np.all(out[10:] == 2.0)
+
+    def test_unknown_compression_rejected(self, path):
+        with File(path, "w") as f:
+            with pytest.raises(H5LiteError, match="compression"):
+                f.create_dataset("x", data=np.zeros(4), compression="lz77")
+
+    def test_corrupt_compressed_payload_detected(self, path):
+        with File(path, "w") as f:
+            f.create_dataset("x", data=np.random.default_rng(0).random(256),
+                             compression="zlib")
+        raw = bytearray(open(path, "rb").read())
+        raw[40] ^= 0xFF
+        open(path, "wb").write(raw)
+        with File(path, "r") as f:
+            with pytest.raises(H5LiteError):
+                f.read("x")
+
+    def test_compressed_unicode_string(self, path):
+        with File(path, "w") as f:
+            f.create_dataset("s", data=np.array("TOPAZ"), compression="zlib")
+        with File(path, "r") as f:
+            assert str(f.read("s")[()]) == "TOPAZ"

@@ -1,0 +1,80 @@
+"""Property-based tests: arbitrary trees survive the h5lite round trip."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.nexus.h5lite import File
+
+_DTYPES = st.sampled_from(
+    [np.float64, np.float32, np.int64, np.int32, np.uint32, np.uint8, np.bool_]
+)
+
+_arrays = _DTYPES.flatmap(
+    lambda dt: npst.arrays(
+        dtype=dt,
+        shape=npst.array_shapes(min_dims=0, max_dims=3, max_side=8),
+        elements=npst.from_dtype(
+            np.dtype(dt), allow_nan=False, allow_infinity=False
+        ),
+    )
+)
+
+_names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"), max_codepoint=127),
+    min_size=1,
+    max_size=10,
+)
+
+
+@given(tree=st.dictionaries(_names, _arrays, min_size=1, max_size=8))
+@settings(max_examples=40, deadline=None)
+def test_flat_tree_roundtrip(tmp_path_factory, tree):
+    path = str(tmp_path_factory.mktemp("h5prop") / "t.h5")
+    with File(path, "w") as f:
+        for name, arr in tree.items():
+            f.create_dataset(name, data=arr)
+    with File(path, "r") as f:
+        for name, arr in tree.items():
+            out = f.read(name)
+            assert out.dtype == arr.dtype
+            assert out.shape == arr.shape
+            assert np.array_equal(out, arr)
+
+
+@given(
+    arrays=st.lists(_arrays, min_size=1, max_size=5),
+    depth_names=st.lists(_names, min_size=1, max_size=3, unique=True),
+)
+@settings(max_examples=30, deadline=None)
+def test_nested_tree_roundtrip(tmp_path_factory, arrays, depth_names):
+    path = str(tmp_path_factory.mktemp("h5prop") / "t.h5")
+    prefix = "/".join(depth_names)
+    with File(path, "w") as f:
+        for i, arr in enumerate(arrays):
+            f.create_dataset(f"{prefix}/ds{i}", data=arr)
+    with File(path, "r") as f:
+        for i, arr in enumerate(arrays):
+            assert np.array_equal(f.read(f"{prefix}/ds{i}"), arr)
+
+
+@given(
+    data=npst.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(0, 30), st.integers(1, 5)),
+        elements=st.floats(allow_nan=False, allow_infinity=False, width=32),
+    ),
+    cut=st.integers(0, 30),
+)
+@settings(max_examples=40, deadline=None)
+def test_append_equals_concat(tmp_path_factory, data, cut):
+    """Appending in two blocks stores the same bytes as one write."""
+    path = str(tmp_path_factory.mktemp("h5prop") / "t.h5")
+    cut = min(cut, data.shape[0])
+    with File(path, "w") as f:
+        ds = f.create_dataset("x", dtype="<f8", shape=(0, data.shape[1]))
+        ds.append(data[:cut])
+        ds.append(data[cut:])
+    with File(path, "r") as f:
+        assert np.array_equal(f.read("x"), data)

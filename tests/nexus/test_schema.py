@@ -1,0 +1,83 @@
+"""Unit tests for the NeXus event schema."""
+
+import numpy as np
+import pytest
+
+from repro.nexus.events import RunData
+from repro.nexus.h5lite import File, H5LiteError
+from repro.nexus.schema import (
+    NXEntryInfo,
+    read_entry_info,
+    read_event_nexus,
+    write_event_nexus,
+)
+
+
+@pytest.fixture()
+def sample_run():
+    n = 50
+    return RunData(
+        run_number=77,
+        detector_ids=np.arange(n, dtype=np.uint32),
+        tof=np.linspace(500.0, 9000.0, n),
+        weights=np.full(n, 1.0, dtype=np.float32),
+        goniometer=np.array([[0.0, 0.0, 1.0], [0.0, 1.0, 0.0], [-1.0, 0.0, 0.0]]),
+        proton_charge=2.5,
+        wavelength_band=(0.6, 2.6),
+        instrument="CORELLI",
+        sample="benzil",
+        ub_matrix=0.1 * np.eye(3),
+    )
+
+
+def test_roundtrip_preserves_everything(tmp_path, sample_run):
+    path = str(tmp_path / "run.nxs.h5")
+    write_event_nexus(path, sample_run)
+    back = read_event_nexus(path)
+    assert back.run_number == 77
+    assert back.instrument == "CORELLI"
+    assert back.sample == "benzil"
+    assert back.proton_charge == 2.5
+    assert back.wavelength_band == (0.6, 2.6)
+    assert np.array_equal(back.detector_ids, sample_run.detector_ids)
+    assert np.allclose(back.tof, sample_run.tof)
+    assert np.allclose(back.weights, sample_run.weights)
+    assert np.allclose(back.goniometer, sample_run.goniometer)
+    assert np.allclose(back.ub_matrix, sample_run.ub_matrix)
+
+
+def test_roundtrip_without_ub(tmp_path, sample_run):
+    sample_run.ub_matrix = None
+    path = str(tmp_path / "run.nxs.h5")
+    write_event_nexus(path, sample_run)
+    assert read_event_nexus(path).ub_matrix is None
+
+
+def test_nx_class_attributes_written(tmp_path, sample_run):
+    path = str(tmp_path / "run.nxs.h5")
+    write_event_nexus(path, sample_run)
+    with File(path, "r") as f:
+        assert f["entry"].attrs["NX_class"] == "NXentry"
+        assert f["entry/events"].attrs["NX_class"] == "NXevent_data"
+        assert f["entry/events/time_of_flight"].attrs["units"] == "microsecond"
+
+
+def test_entry_info_reads_metadata_only(tmp_path, sample_run):
+    path = str(tmp_path / "run.nxs.h5")
+    write_event_nexus(path, sample_run)
+    info = read_entry_info(path)
+    assert info == NXEntryInfo(
+        run_number=77,
+        n_events=50,
+        instrument="CORELLI",
+        sample="benzil",
+        proton_charge=2.5,
+    )
+
+
+def test_missing_entry_group_raises(tmp_path):
+    path = str(tmp_path / "bad.h5")
+    with File(path, "w") as f:
+        f.create_group("not_entry")
+    with pytest.raises(H5LiteError, match="no /entry"):
+        read_event_nexus(path)

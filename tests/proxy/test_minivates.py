@@ -1,0 +1,90 @@
+"""Unit tests for the MiniVATES device-back-end proxy."""
+
+import numpy as np
+import pytest
+
+from repro.core.workflow import ReductionWorkflow, WorkflowConfig
+from repro.jacc.jit import GLOBAL_JIT
+from repro.proxy.minivates import MiniVatesConfig, MiniVatesWorkflow
+from repro.util.validation import ValidationError
+
+
+def _config(exp, **over):
+    kwargs = dict(
+        md_paths=exp.md_paths,
+        flux_path=exp.flux_path,
+        vanadium_path=exp.vanadium_path,
+        instrument=exp.instrument,
+        grid=exp.grid,
+        point_group=exp.point_group,
+    )
+    kwargs.update(over)
+    return MiniVatesConfig(**kwargs)
+
+
+class TestEquality:
+    def test_matches_core_workflow(self, tiny_experiment):
+        mv = MiniVatesWorkflow(_config(tiny_experiment)).run()
+        core = ReductionWorkflow(
+            WorkflowConfig(
+                md_paths=tiny_experiment.md_paths,
+                flux_path=tiny_experiment.flux_path,
+                vanadium_path=tiny_experiment.vanadium_path,
+                instrument=tiny_experiment.instrument,
+                grid=tiny_experiment.grid,
+                point_group=tiny_experiment.point_group,
+                backend="serial",
+            )
+        ).run()
+        assert np.allclose(mv.binmd.signal, core.binmd.signal)
+        assert np.allclose(mv.mdnorm.signal, core.mdnorm.signal, rtol=1e-10)
+        assert mv.backend == "minivates"
+
+    @pytest.mark.parametrize("sort_impl", ["comb", "library"])
+    @pytest.mark.parametrize("scatter_impl", ["atomic", "buffered"])
+    def test_device_profiles_agree(self, tiny_experiment, sort_impl, scatter_impl):
+        """MI100-like and A100-like configurations differ only in speed."""
+        base = MiniVatesWorkflow(_config(tiny_experiment)).run()
+        other = MiniVatesWorkflow(
+            _config(tiny_experiment, sort_impl=sort_impl, scatter_impl=scatter_impl)
+        ).run()
+        assert np.allclose(base.binmd.signal, other.binmd.signal)
+        assert np.allclose(base.mdnorm.signal, other.mdnorm.signal, rtol=1e-10)
+
+
+class TestJITAccounting:
+    def test_cold_start_recompiles(self, tiny_experiment):
+        MiniVatesWorkflow(_config(tiny_experiment, cold_start=True)).run()
+        first = len(GLOBAL_JIT.compile_events)
+        assert first > 0
+        res = MiniVatesWorkflow(_config(tiny_experiment, cold_start=True)).run()
+        assert res.extras["jit_compile_events"] > 0
+
+    def test_warm_start_reuses_cache(self, tiny_experiment):
+        MiniVatesWorkflow(_config(tiny_experiment, cold_start=True)).run()
+        res = MiniVatesWorkflow(_config(tiny_experiment, cold_start=False)).run()
+        assert res.extras["jit_compile_events"] == len(GLOBAL_JIT.compile_events)
+
+    def test_first_call_stage_times_recorded(self, tiny_experiment):
+        res = MiniVatesWorkflow(_config(tiny_experiment)).run()
+        for stage in ("UpdateEvents", "MDNorm", "BinMD"):
+            assert stage in res.timings.first_call
+
+
+class TestDeviceDiscipline:
+    def test_transfers_counted(self, tiny_experiment):
+        res = MiniVatesWorkflow(_config(tiny_experiment)).run()
+        # events + geometry went host->device
+        event_bytes = sum(ws.events.data.nbytes for ws in tiny_experiment.workspaces)
+        assert res.extras["bytes_h2d"] >= event_bytes
+        # the MAX-workaround pre-pass copied counts device->host
+        assert res.extras["bytes_d2h"] > 0
+        assert res.extras["kernel_launches"] >= 3 * len(tiny_experiment.md_paths)
+
+    def test_config_validation(self, tiny_experiment):
+        with pytest.raises(ValidationError):
+            _config(tiny_experiment, sort_impl="bogo")
+        with pytest.raises(ValidationError):
+            _config(tiny_experiment, scatter_impl="hope")
+        with pytest.raises(ValidationError):
+            _config(tiny_experiment, md_paths=[])

@@ -1,0 +1,45 @@
+"""Unit tests for the logging facade."""
+
+import logging
+
+from repro.util.logging import get_logger
+
+
+def test_namespaced_under_repro():
+    logger = get_logger("core.mdnorm")
+    assert logger.name == "repro.core.mdnorm"
+
+
+def test_already_prefixed_names_kept():
+    logger = get_logger("repro.jacc")
+    assert logger.name == "repro.jacc"
+
+
+def test_root_handler_installed_once():
+    get_logger("a")
+    get_logger("b")
+    root = logging.getLogger("repro")
+    assert len(root.handlers) == 1
+    assert root.propagate is False
+
+
+def test_level_from_env(monkeypatch):
+    monkeypatch.setenv("REPRO_LOG", "DEBUG")
+    # the root level is set at first-handler install; a fresh root shows it
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    get_logger("fresh")
+    assert root.level == logging.DEBUG
+
+
+def test_messages_flow(caplog):
+    logger = get_logger("test.flow")
+    root = logging.getLogger("repro")
+    root.propagate = True  # let caplog's root handler capture
+    try:
+        with caplog.at_level(logging.WARNING, logger="repro.test.flow"):
+            logger.warning("detector bank offline")
+    finally:
+        root.propagate = False
+    assert "detector bank offline" in caplog.text

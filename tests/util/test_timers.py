@@ -1,0 +1,154 @@
+"""Unit tests for wall-clock timers and stage accounting."""
+
+import time
+
+import pytest
+
+from repro.util.timers import CANONICAL_STAGES, StageTimings, Timer, timed
+
+
+class TestTimer:
+    def test_accumulates_across_cycles(self):
+        t = Timer()
+        for _ in range(3):
+            t.start()
+            t.stop()
+        assert t.ncalls == 3
+        assert t.elapsed >= 0.0
+
+    def test_elapsed_measures_wall_clock(self):
+        t = Timer()
+        with t.timing():
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_double_start_raises(self):
+        t = Timer().start()
+        with pytest.raises(RuntimeError, match="already running"):
+            t.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError, match="not running"):
+            Timer().stop()
+
+    def test_running_flag(self):
+        t = Timer()
+        assert not t.running
+        t.start()
+        assert t.running
+        t.stop()
+        assert not t.running
+
+    def test_reset(self):
+        t = Timer()
+        with t.timing():
+            pass
+        t.reset()
+        assert t.elapsed == 0.0 and t.ncalls == 0 and not t.running
+
+    def test_stop_returns_last_interval(self):
+        t = Timer()
+        t.start()
+        dt = t.stop()
+        assert dt == pytest.approx(t.elapsed)
+
+    def test_timing_context_stops_on_exception(self):
+        t = Timer()
+        with pytest.raises(ValueError):
+            with t.timing():
+                raise ValueError("boom")
+        assert not t.running
+        assert t.ncalls == 1
+
+
+class TestStageTimings:
+    def test_lazy_stage_creation(self):
+        st = StageTimings()
+        with st.stage("MDNorm"):
+            pass
+        assert "MDNorm" in st.stages
+        assert st.seconds("MDNorm") >= 0.0
+
+    def test_unknown_stage_is_zero(self):
+        assert StageTimings().seconds("BinMD") == 0.0
+
+    def test_derived_mdnorm_plus_binmd(self):
+        st = StageTimings()
+        with st.stage("MDNorm"):
+            time.sleep(0.005)
+        with st.stage("BinMD"):
+            time.sleep(0.005)
+        combined = st.seconds("MDNorm + BinMD")
+        assert combined == pytest.approx(st.seconds("MDNorm") + st.seconds("BinMD"))
+
+    def test_first_call_recorded_once(self):
+        st = StageTimings()
+        for _ in range(3):
+            with st.stage("BinMD"):
+                pass
+        assert st.first_call["BinMD"] <= st.seconds("BinMD")
+        assert st.timer("BinMD").ncalls == 3
+
+    def test_warm_excludes_first_call(self):
+        st = StageTimings()
+        with st.stage("MDNorm"):
+            time.sleep(0.02)
+        with st.stage("MDNorm"):
+            pass
+        warm = st.warm_seconds("MDNorm")
+        assert warm < st.seconds("MDNorm")
+        assert warm == pytest.approx(st.seconds("MDNorm") - st.first_call["MDNorm"])
+
+    def test_mean_warm_needs_two_calls(self):
+        st = StageTimings()
+        with st.stage("MDNorm"):
+            pass
+        assert st.mean_warm_seconds("MDNorm") == 0.0
+
+    def test_mean_warm_averages_non_first(self):
+        st = StageTimings()
+        for _ in range(4):
+            with st.stage("X"):
+                pass
+        t = st.timer("X")
+        expected = (t.elapsed - st.first_call["X"]) / 3
+        assert st.mean_warm_seconds("X") == pytest.approx(expected)
+
+    def test_merge_sums_stages(self):
+        a = StageTimings()
+        b = StageTimings()
+        with a.stage("BinMD"):
+            pass
+        with b.stage("BinMD"):
+            pass
+        with b.stage("MDNorm"):
+            pass
+        total_binmd = a.seconds("BinMD") + b.seconds("BinMD")
+        a.merge(b)
+        assert a.seconds("BinMD") == pytest.approx(total_binmd)
+        assert "MDNorm" in a.stages
+
+    def test_summary_mentions_stages(self):
+        st = StageTimings(label="demo")
+        with st.stage("UpdateEvents"):
+            pass
+        text = st.summary()
+        assert "demo" in text and "UpdateEvents" in text
+
+    def test_as_row_order(self):
+        st = StageTimings()
+        with st.stage("UpdateEvents"):
+            pass
+        row = st.as_row(["UpdateEvents", "MDNorm + BinMD"])
+        assert list(row) == ["UpdateEvents", "MDNorm + BinMD"]
+
+    def test_canonical_stage_names(self):
+        assert CANONICAL_STAGES[0] == "UpdateEvents"
+        assert "MDNorm + BinMD" in CANONICAL_STAGES
+
+
+def test_timed_calls_back_with_elapsed():
+    holder = []
+    with timed(holder.append):
+        time.sleep(0.005)
+    assert holder and holder[0] >= 0.004

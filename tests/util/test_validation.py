@@ -1,0 +1,59 @@
+"""Unit tests for validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.util.validation import (
+    ReproError,
+    ValidationError,
+    as_float_array,
+    as_matrix3,
+    require,
+)
+
+
+def test_require_passes_and_fails():
+    require(True, "never shown")
+    with pytest.raises(ValidationError, match="bad thing"):
+        require(False, "bad thing")
+
+
+def test_validation_error_is_repro_and_value_error():
+    assert issubclass(ValidationError, ReproError)
+    assert issubclass(ValidationError, ValueError)
+
+
+class TestAsFloatArray:
+    def test_coerces_lists(self):
+        arr = as_float_array([1, 2, 3], "x")
+        assert arr.dtype == np.float64 and arr.shape == (3,)
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValidationError, match="2-dimensional"):
+            as_float_array([1.0, 2.0], "x", ndim=2)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError, match="non-finite"):
+            as_float_array([1.0, np.nan], "x")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValidationError, match="non-finite"):
+            as_float_array([np.inf], "x")
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ValidationError, match="not numeric"):
+            as_float_array(object(), "x")
+
+
+class TestAsMatrix3:
+    def test_accepts_3x3(self):
+        m = as_matrix3(np.eye(3), "m")
+        assert m.shape == (3, 3)
+
+    def test_rejects_other_shapes(self):
+        with pytest.raises(ValidationError, match="3x3"):
+            as_matrix3(np.eye(4), "m")
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValidationError):
+            as_matrix3(np.ones(9), "m")

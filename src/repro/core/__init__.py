@@ -25,7 +25,10 @@ decomposition of the "monolithic closed-box" Mantid workflow):
   the max-intersections pre-pass;
 * :mod:`repro.core.cross_section` — Algorithm 1 over a communicator;
 * :mod:`repro.core.workflow` — file-driven end-to-end reduction with
-  per-stage timing.
+  per-stage timing;
+* :mod:`repro.core.geom_cache` — the memoized geometry/flux cache
+  behind the MDNorm/BinMD hot path (LRU byte budget, content-digest
+  keys, hit/miss counters).
 """
 
 from repro.core.grid import HKLGrid
@@ -37,8 +40,15 @@ from repro.core.md_event_workspace import (
     load_md,
 )
 from repro.core.combsort import comb_sort, comb_sort_rows
+from repro.core.geom_cache import (
+    DISABLED,
+    CacheStats,
+    GeomCache,
+    default_cache,
+    set_default_cache,
+)
 from repro.core.binmd import bin_events
-from repro.core.mdnorm import mdnorm, max_intersections
+from repro.core.mdnorm import mdnorm, max_intersections, prefetch_geometry
 from repro.core.cross_section import CrossSectionResult, compute_cross_section
 from repro.core.workflow import ReductionWorkflow, WorkflowConfig
 from repro.core.streaming import EventStream, StreamBatch, StreamingReduction
@@ -60,6 +70,12 @@ __all__ = [
     "bin_events",
     "mdnorm",
     "max_intersections",
+    "prefetch_geometry",
+    "GeomCache",
+    "CacheStats",
+    "DISABLED",
+    "default_cache",
+    "set_default_cache",
     "CrossSectionResult",
     "compute_cross_section",
     "ReductionWorkflow",

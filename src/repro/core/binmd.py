@@ -24,6 +24,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core import geom_cache as _gc
+from repro.core.geom_cache import BinMDEntry, GeomCache
 from repro.core.hist3 import Hist3
 from repro.jacc import parallel_for
 from repro.jacc.kernels import Captures, Kernel
@@ -48,24 +50,62 @@ def _bin_events_element(ctx: Captures, n: int, i: int) -> None:
 
 
 def _bin_events_batch(ctx: Captures, dims: tuple[int, int]) -> None:
-    """Device realization: per op, fused transform + scatter over events."""
+    """Device realization: per op, fused transform + scatter over events.
+
+    With a warm :class:`BinMDEntry` the transform and bin search are
+    skipped: the cached flat indices / inside masks are sliced per tile
+    and scatter-added exactly as :meth:`Hist3.push_many` would have —
+    the index arrays are event-independent of the tiling, so the warm
+    scatter sequence is bit-identical to the cold one.
+    """
     n_ops, n_events = dims
     ev = ctx.events
     q = ev[:, COL_QX : COL_QZ + 1]
     weights = ev[:, COL_SIGNAL]
     err_sq = ev[:, COL_ERROR_SQ]
     tile = ctx.tile
+    hist: Hist3 = ctx.hist
+    entry: Optional[BinMDEntry] = getattr(ctx, "binmd_entry", None)
+
+    if entry is not None:
+        flat_signal = hist.flat_signal
+        flat_err = hist.flat_error_sq
+        for n in range(n_ops):
+            op_flat = entry.flat_idx[n]
+            op_inside = entry.inside[n]
+            for start in range(0, n_events, tile):
+                stop = min(start + tile, n_events)
+                inside = op_inside[start:stop]
+                idx = op_flat[start:stop][inside]
+                Hist3._scatter(
+                    flat_signal, idx, weights[start:stop][inside], ctx.scatter_impl
+                )
+                if flat_err is not None:
+                    Hist3._scatter(
+                        flat_err, idx, err_sq[start:stop][inside], ctx.scatter_impl
+                    )
+        return
+
+    collect: Optional[BinMDEntry] = getattr(ctx, "binmd_collect", None)
     for n in range(n_ops):
         op_t = ctx.transforms[n].T
         for start in range(0, n_events, tile):
             stop = min(start + tile, n_events)
             coords = q[start:stop] @ op_t
-            ctx.hist.push_many(
+            if collect is not None:
+                flat, inside = hist.grid.bin_index(coords)
+                collect.flat_idx[n, start:stop] = flat
+                collect.inside[n, start:stop] = inside
+            hist.push_many(
                 coords,
                 weights[start:stop],
                 err_sq[start:stop],
                 scatter_impl=ctx.scatter_impl,
             )
+    if collect is not None:
+        collect.flat_idx = _gc.freeze(collect.flat_idx)
+        collect.inside = _gc.freeze(collect.inside)
+        ctx.binmd_cache.put(collect)
 
 
 BIN_EVENTS_KERNEL = Kernel(
@@ -83,6 +123,8 @@ def bin_events(
     backend: Optional[str] = None,
     tile: int = DEFAULT_TILE,
     scatter_impl: str = "atomic",
+    cache: Optional[GeomCache] = None,
+    cache_tag: Optional[str] = None,
 ) -> Hist3:
     """Accumulate ``events`` into ``hist`` under every transform.
 
@@ -100,18 +142,48 @@ def bin_events(
     scatter_impl:
         "atomic" (per-lane atomicAdd analogue) or "buffered"
         (bincount-based) — see :meth:`Hist3.push_many`.
+    cache:
+        Geometry cache holding/receiving the per-(op, event) flat bin
+        indices (:class:`~repro.core.geom_cache.BinMDEntry`).  None uses
+        the process default; pass
+        :data:`~repro.core.geom_cache.DISABLED` to opt out.  The warm
+        path replays the exact cold scatter sequence, so cached and
+        uncached histograms are bit-identical.
+    cache_tag:
+        Optional lifecycle tag recorded on inserted entries (see
+        :meth:`GeomCache.invalidate`).
     """
     data = events.data if isinstance(events, EventTable) else np.asarray(events)
     transforms = np.asarray(transforms, dtype=np.float64)
     require(transforms.ndim == 3 and transforms.shape[1:] == (3, 3),
             "transforms must be (n_ops, 3, 3)")
     require(tile > 0, "tile must be positive")
+
+    cache = _gc.resolve(cache)
+    entry: Optional[BinMDEntry] = None
+    collect: Optional[BinMDEntry] = None
+    if cache.enabled:
+        n_ops, n_events = transforms.shape[0], data.shape[0]
+        key = GeomCache.binmd_key(hist.grid, transforms, data)
+        entry = cache.get(key)
+        if entry is None and cache.accepts(n_ops * n_events * 9):
+            # int64 flat index + bool inside mask per (op, event) lane
+            collect = BinMDEntry(
+                key=key,
+                tag=cache_tag,
+                flat_idx=np.empty((n_ops, n_events), dtype=np.int64),
+                inside=np.empty((n_ops, n_events), dtype=bool),
+            )
+
     captures = Captures(
         hist=hist,
         events=data,
         transforms=transforms,
         tile=int(tile),
         scatter_impl=scatter_impl,
+        binmd_entry=entry,
+        binmd_collect=collect,
+        binmd_cache=cache,
     )
     parallel_for(
         (transforms.shape[0], data.shape[0]),

@@ -24,7 +24,9 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from repro.core import geom_cache as _gc
 from repro.core.binmd import bin_events
+from repro.core.geom_cache import GeomCache
 from repro.core.grid import HKLGrid
 from repro.core.hist3 import Hist3
 from repro.core.md_event_workspace import MDEventWorkspace
@@ -74,6 +76,7 @@ def compute_cross_section(
     timings: Optional[StageTimings] = None,
     binmd_impl: Optional[Callable] = None,
     mdnorm_impl: Optional[Callable] = None,
+    cache: Optional[GeomCache] = None,
 ) -> CrossSectionResult:
     """Run Algorithm 1.
 
@@ -98,8 +101,15 @@ def compute_cross_section(
         :func:`repro.core.mdnorm.mdnorm` — this is how the proxy
         applications plug their optimized kernels into the identical
         Algorithm-1 loop.
+    cache:
+        Geometry cache shared by the MDNorm/BinMD hot path; None uses
+        the process default, :data:`repro.core.geom_cache.DISABLED`
+        opts out.  Entries are tagged ``"run:<i>"`` for targeted
+        invalidation.  Cache statistics are reported in
+        ``result.extras["geom_cache"]`` on the root rank.
     """
     require(n_runs >= 1, "need at least one run")
+    cache = _gc.resolve(cache)
     comm = comm or SequentialComm()
     timings = timings or StageTimings(label=f"cross-section[{backend or 'default'}]")
 
@@ -142,6 +152,8 @@ def compute_cross_section(
                         backend=backend,
                         sort_impl=sort_impl,
                         scatter_impl=scatter_impl,
+                        cache=cache,
+                        cache_tag=f"run:{i}",
                     )
             with timings.stage("BinMD"):
                 if binmd_impl is not None:
@@ -153,6 +165,8 @@ def compute_cross_section(
                         event_transforms,
                         backend=backend,
                         scatter_impl=scatter_impl,
+                        cache=cache,
+                        cache_tag=f"run:{i}",
                     )
 
         # MPI_Reduce of both histograms onto the root
@@ -174,6 +188,7 @@ def compute_cross_section(
         binmd_out = Hist3(grid, signal=binmd_total)
         mdnorm_out = Hist3(grid, signal=mdnorm_total)
         cross = binmd_out.divide(mdnorm_out)
+    extras = {"geom_cache": cache.stats.snapshot()} if cache.enabled else None
     return CrossSectionResult(
         cross_section=cross,
         binmd=binmd_out,
@@ -181,4 +196,5 @@ def compute_cross_section(
         timings=timings,
         n_runs=n_runs,
         backend=backend or "default",
+        extras=extras,
     )

@@ -29,6 +29,7 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.core.combsort import comb_sort_rows
 from repro.core.grid import HKLGrid
 
 #: trajectory directions with |D_i| below this are treated as parallel
@@ -232,4 +233,30 @@ def fill_crossings_batch(
         flat[pos] = vals
         cursor += cnt
 
+    return padded
+
+
+def sorted_crossings_batch(
+    directions: np.ndarray,
+    grid: HKLGrid,
+    k_lo: np.ndarray,
+    k_hi: np.ndarray,
+    width: int,
+    *,
+    sort_impl: str = "comb",
+) -> np.ndarray:
+    """Fill + row-sort in one step: the packed per-trajectory buffer.
+
+    This is the array the geometry cache's deposit plan is derived
+    from.  Rows are fully independent (fill and sort never look across
+    rows), so sorting the whole live set at once, a tile of it, or a
+    cached copy of it yields bit-identical values — the property that
+    lets the cache layer slice a stored buffer wherever a kernel would
+    have recomputed a tile.
+    """
+    padded = fill_crossings_batch(directions, grid, k_lo, k_hi, width)
+    if sort_impl == "comb":
+        comb_sort_rows(padded)
+    else:
+        padded.sort(axis=1)
     return padded

@@ -27,15 +27,17 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.combsort import comb_sort, comb_sort_rows
+from repro.core import geom_cache as _gc
+from repro.core.combsort import comb_sort
+from repro.core.geom_cache import DepositPlan, GeomCache, GeomEntry
 from repro.core.grid import HKLGrid
 from repro.core.hist3 import Hist3
 from repro.core.intersections import (
     count_crossings_batch,
     count_crossings_scalar,
-    fill_crossings_batch,
     fill_crossings_scalar,
     k_window,
+    sorted_crossings_batch,
     trajectory_directions,
 )
 from repro.jacc import get_backend, parallel_for
@@ -50,15 +52,26 @@ DEFAULT_TILE_ROWS = 8192
 
 class _Scratch:
     """Per-thread preallocated intersection buffers (no allocation in
-    the kernel body, as in MiniVATES)."""
+    the kernel body, as in MiniVATES).
+
+    Cross-call reuse safety: a ``_Scratch`` must never be stored in the
+    geometry cache or any other structure that outlives one ``mdnorm``
+    call — its buffers are *uninitialized working memory*, not results.
+    ``mdnorm`` constructs a fresh instance per call, and ``get``
+    re-allocates whenever a thread's existing buffer is narrower than
+    the requested width, so even an (incorrectly) retained instance can
+    never hand a kernel a buffer too small for the current grid — the
+    latent overflow this guarded against is exercised by
+    ``tests/core/test_geom_cache.py::TestScratchSafety``.
+    """
 
     def __init__(self, width: int) -> None:
-        self.width = width
+        self.width = int(width)
         self._local = threading.local()
 
     def get(self) -> np.ndarray:
         buf = getattr(self._local, "buf", None)
-        if buf is None:
+        if buf is None or buf.size < self.width:
             buf = np.empty(self.width, dtype=np.float64)
             self._local.buf = buf
         return buf
@@ -114,6 +127,9 @@ def max_intersections(
     *,
     backend: Optional[str] = None,
     use_extended_reduce: bool = False,
+    directions: Optional[np.ndarray] = None,
+    k_lo: Optional[np.ndarray] = None,
+    k_hi: Optional[np.ndarray] = None,
 ) -> int:
     """Upper bound on per-trajectory intersections (+2 endpoints).
 
@@ -128,10 +144,17 @@ def max_intersections(
     :func:`repro.jacc.reduction.device_reduce` — the custom-operator
     device reduction the paper lists as hoped-for future work — which
     removes the per-lane device->host copy entirely.
+
+    ``directions`` / ``k_lo`` / ``k_hi`` may be supplied when the
+    caller (or the geometry cache) has already computed them; they must
+    be exactly ``trajectory_directions(transforms, det_directions)``
+    and ``k_window(directions, grid, *momentum_band)``.
     """
     be = get_backend(backend) if backend else default_backend()
-    directions = trajectory_directions(transforms, det_directions)
-    k_lo, k_hi = k_window(directions, grid, *momentum_band)
+    if directions is None:
+        directions = trajectory_directions(transforms, det_directions)
+    if k_lo is None or k_hi is None:
+        k_lo, k_hi = k_window(directions, grid, *momentum_band)
     dims = directions.shape[:2]
     if be.device_kind == "device" and use_extended_reduce:
         from repro.jacc.reduction import device_reduce
@@ -187,15 +210,47 @@ def _mdnorm_element(ctx: Captures, n: int, d: int) -> None:
 
 def _mdnorm_batch(ctx: Captures, dims: tuple[int, int]) -> None:
     """Device realization: stream-compacted rows, lane-parallel comb
-    sort, vectorized flux interpolation, atomic scatter-add."""
+    sort, vectorized flux interpolation, atomic scatter-add.
+
+    When the geometry cache holds a :class:`DepositPlan` for this
+    configuration the fill/sort/interpolate/bin-search pipeline is
+    skipped entirely: the warm path multiplies the cached per-segment
+    fluxes by ``solid_angle x charge`` and scatter-adds.  The plan
+    arrays are row-independent, so slicing them per tile reproduces the
+    cold path's scatter sequence bit for bit.
+    """
     n_ops, n_det = dims
-    directions = ctx.directions.reshape(-1, 3)
-    k_lo = ctx.k_lo.reshape(-1)
-    k_hi = ctx.k_hi.reshape(-1)
     grid: HKLGrid = ctx.grid
     target = ctx.hist.flat_signal
     # per-trajectory weight: solid angle of the detector (tiled over ops)
     det_w = np.broadcast_to(ctx.solid_angles, (n_ops, n_det)).reshape(-1) * ctx.charge
+    tile = ctx.tile_rows
+    width = ctx.width
+
+    entry: Optional[GeomEntry] = getattr(ctx, "geom_entry", None)
+    use_plan: bool = getattr(ctx, "use_plan", False)
+    plan = entry.deposit if (entry is not None and use_plan) else None
+    if plan is not None and plan.width != width:
+        plan = None  # caller forced a different buffer width
+
+    if plan is not None:
+        # ---- warm path: cached segment fluxes + bin indices ----------
+        det_w_live = det_w[plan.live]
+        n_rows = plan.n_rows
+        for start in range(0, n_rows, tile):
+            stop = min(start + tile, n_rows)
+            seg_flux = plan.seg_flux[start:stop]
+            weights = seg_flux * det_w_live[start:stop, None]
+            deposit = plan.seg_ok[start:stop] & (weights != 0.0)
+            Hist3._scatter(
+                target, plan.flat_idx[start:stop][deposit],
+                weights[deposit], ctx.scatter_impl,
+            )
+        return
+
+    directions = ctx.directions.reshape(-1, 3)
+    k_lo = ctx.k_lo.reshape(-1)
+    k_hi = ctx.k_hi.reshape(-1)
 
     # stream compaction: trajectories that never enter the grid box (or
     # carry zero weight) do no work — drop their lanes up front instead
@@ -208,18 +263,26 @@ def _mdnorm_batch(ctx: Captures, dims: tuple[int, int]) -> None:
     k_hi = k_hi[live]
     det_w = det_w[live]
     n_rows = directions.shape[0]
-    width = ctx.width
 
-    tile = ctx.tile_rows
+    # collect the deposit plan alongside the cold pass when it can fit
+    collect = None
+    if use_plan and entry is not None:
+        plan_bytes = live.nbytes + n_rows * (width - 1) * (8 + 8 + 1)
+        if ctx.geom_cache.accepts(plan_bytes):
+            collect = DepositPlan(
+                width=width,
+                live=live,
+                seg_flux=np.empty((n_rows, width - 1), dtype=np.float64),
+                flat_idx=np.empty((n_rows, width - 1), dtype=np.int64),
+                seg_ok=np.empty((n_rows, width - 1), dtype=bool),
+            )
+
     for start in range(0, n_rows, tile):
         stop = min(start + tile, n_rows)
-        padded = fill_crossings_batch(
-            directions[start:stop], grid, k_lo[start:stop], k_hi[start:stop], width
+        padded = sorted_crossings_batch(
+            directions[start:stop], grid, k_lo[start:stop], k_hi[start:stop],
+            width, sort_impl=ctx.sort_impl,
         )
-        if ctx.sort_impl == "comb":
-            comb_sort_rows(padded)
-        else:
-            padded.sort(axis=1)
         phi = np.interp(padded, ctx.flux_k, ctx.flux_cum)
         seg_lo = padded[:, :-1]
         seg_hi = padded[:, 1:]
@@ -228,8 +291,19 @@ def _mdnorm_batch(ctx: Captures, dims: tuple[int, int]) -> None:
         coords = mid[:, :, None] * directions[start:stop, None, :]
         flat_idx, inside = grid.bin_index(coords)
         weights = seg_flux * det_w[start:stop, None]
-        live = inside & (seg_hi > seg_lo) & (weights != 0.0)
-        Hist3._scatter(target, flat_idx[live], weights[live], ctx.scatter_impl)
+        seg_ok = inside & (seg_hi > seg_lo)
+        deposit = seg_ok & (weights != 0.0)
+        if collect is not None:
+            collect.seg_flux[start:stop] = seg_flux
+            collect.flat_idx[start:stop] = flat_idx
+            collect.seg_ok[start:stop] = seg_ok
+        Hist3._scatter(target, flat_idx[deposit], weights[deposit], ctx.scatter_impl)
+
+    if collect is not None:
+        for name in ("live", "seg_flux", "flat_idx", "seg_ok"):
+            getattr(collect, name).flags.writeable = False
+        entry.deposit = collect
+        ctx.geom_cache.note_update(entry)
 
 
 MDNORM_KERNEL = Kernel(name="mdnorm", element=_mdnorm_element, batch=_mdnorm_batch)
@@ -249,6 +323,8 @@ def mdnorm(
     scatter_impl: str = "atomic",
     tile_rows: int = DEFAULT_TILE_ROWS,
     width: Optional[int] = None,
+    cache: Optional[GeomCache] = None,
+    cache_tag: Optional[str] = None,
 ) -> Hist3:
     """Accumulate the normalization for one run into ``hist``.
 
@@ -279,6 +355,14 @@ def mdnorm(
         only; see :meth:`Hist3.push_many`).
     width:
         Padded intersection-buffer width; None runs the pre-pass.
+    cache:
+        Geometry cache; None uses the process default
+        (:func:`repro.core.geom_cache.default_cache`), pass
+        :data:`repro.core.geom_cache.DISABLED` to opt out.  Cached and
+        uncached calls are bit-identical on every back end.
+    cache_tag:
+        Optional lifecycle tag recorded on new cache entries (e.g.
+        ``"run:42"``) for targeted invalidation.
     """
     transforms = np.asarray(transforms, dtype=np.float64)
     det_directions = np.asarray(det_directions, dtype=np.float64)
@@ -292,14 +376,57 @@ def mdnorm(
     require(sort_impl in ("comb", "library"), "sort_impl must be comb|library")
 
     grid = hist.grid
-    if width is None:
-        width = max_intersections(
-            grid, transforms, det_directions, momentum_band, backend=backend
+    cache = _gc.resolve(cache)
+    entry: Optional[GeomEntry] = None
+    key = None
+    if cache.enabled:
+        key = GeomCache.geometry_key(
+            grid, transforms, det_directions, momentum_band, solid_angles, flux
         )
+        entry = cache.get(key)
+
+    if entry is not None:
+        directions = entry.directions
+        k_lo, k_hi = entry.k_lo, entry.k_hi
+        raw_width = entry.width
+    else:
+        directions = trajectory_directions(transforms, det_directions)
+        k_lo, k_hi = k_window(directions, grid, *momentum_band)
+        raw_width = None
+
+    explicit_width = width is not None
+    if width is None:
+        if raw_width is None:
+            raw_width = max_intersections(
+                grid, transforms, det_directions, momentum_band,
+                backend=backend, directions=directions, k_lo=k_lo, k_hi=k_hi,
+            )
+        width = raw_width
     width = min(width, grid.max_plane_crossings)
 
-    directions = trajectory_directions(transforms, det_directions)
-    k_lo, k_hi = k_window(directions, grid, *momentum_band)
+    if cache.enabled:
+        if entry is None:
+            entry = GeomEntry(
+                key=key,
+                tag=cache_tag,
+                directions=_gc.freeze(directions),
+                k_lo=_gc.freeze(k_lo),
+                k_hi=_gc.freeze(k_hi),
+                width=raw_width,
+            )
+            cache.put(entry)
+            directions, k_lo, k_hi = entry.directions, entry.k_lo, entry.k_hi
+        elif entry.width is None and raw_width is not None:
+            entry.width = raw_width
+            cache.note_update(entry)
+
+    flux_k, flux_cum = cache.flux_table(flux)
+
+    # The deposit plan is only built/used for the canonical (pre-pass)
+    # width, and never when charge is 0 (the stream-compaction mask
+    # would degenerate and no longer be charge-independent).
+    use_plan = cache.enabled and entry is not None and not explicit_width \
+        and charge != 0.0
     captures = Captures(
         hist=hist,
         grid=grid,
@@ -308,14 +435,66 @@ def mdnorm(
         k_hi=k_hi,
         solid_angles=solid_angles,
         charge=float(charge),
-        flux_k=flux.momentum,
-        flux_cum=flux._cumulative,
+        flux_k=flux_k,
+        flux_cum=flux_cum,
         scratch=_Scratch(width),
         fill=fill_crossings_scalar,
         width=int(width),
         tile_rows=int(tile_rows),
         sort_impl=sort_impl,
         scatter_impl=scatter_impl,
+        geom_entry=entry,
+        geom_cache=cache,
+        use_plan=use_plan,
     )
     parallel_for(directions.shape[:2], MDNORM_KERNEL, captures, backend=backend)
     return hist
+
+
+def prefetch_geometry(
+    grid: HKLGrid,
+    transforms: np.ndarray,
+    det_directions: np.ndarray,
+    momentum_band: tuple[float, float],
+    solid_angles: np.ndarray,
+    flux,
+    *,
+    backend: Optional[str] = None,
+    cache: Optional[GeomCache] = None,
+    cache_tag: Optional[str] = None,
+) -> bool:
+    """Warm the geometry cache for one run without depositing anything.
+
+    Runs the trajectory/window/pre-pass stages and stores the results
+    (plus the flux table) so a later :func:`mdnorm` on the same
+    configuration starts warm.  Returns True when a new entry was
+    inserted, False when the key was already cached or caching is off.
+    """
+    transforms = np.asarray(transforms, dtype=np.float64)
+    det_directions = np.asarray(det_directions, dtype=np.float64)
+    solid_angles = np.asarray(solid_angles, dtype=np.float64)
+    cache = _gc.resolve(cache)
+    if not cache.enabled:
+        return False
+    key = GeomCache.geometry_key(
+        grid, transforms, det_directions, momentum_band, solid_angles, flux
+    )
+    if cache.peek(key) is not None:
+        return False
+    directions = trajectory_directions(transforms, det_directions)
+    k_lo, k_hi = k_window(directions, grid, *momentum_band)
+    raw_width = max_intersections(
+        grid, transforms, det_directions, momentum_band,
+        backend=backend, directions=directions, k_lo=k_lo, k_hi=k_hi,
+    )
+    cache.flux_table(flux)
+    return cache.put(
+        GeomEntry(
+            key=key,
+            tag=cache_tag,
+            directions=_gc.freeze(directions),
+            k_lo=_gc.freeze(k_lo),
+            k_hi=_gc.freeze(k_hi),
+            width=raw_width,
+        )
+    )

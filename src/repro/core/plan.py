@@ -40,6 +40,7 @@ from typing import Any, Dict, List, Optional, Union
 import numpy as np
 
 from repro.core.cross_section import CrossSectionResult
+from repro.core.geom_cache import GeomCache
 from repro.core.grid import HKLGrid
 from repro.core.workflow import ReductionWorkflow, WorkflowConfig
 from repro.crystal.symmetry import point_group
@@ -135,11 +136,33 @@ def save_plan(path: Union[str, os.PathLike], plan: ReductionPlan) -> None:
     Path(os.fspath(path)).write_text(json.dumps(doc, indent=2) + "\n")
 
 
-def run_plan(plan: ReductionPlan, *, comm=None) -> CrossSectionResult:
-    """Execute a plan with its chosen implementation."""
+def run_plan(
+    plan: ReductionPlan,
+    *,
+    comm=None,
+    cache: Optional[GeomCache] = None,
+    prefetch: bool = False,
+) -> CrossSectionResult:
+    """Execute a plan with its chosen implementation.
+
+    Parameters
+    ----------
+    cache:
+        Geometry cache shared across plan executions (cross-panel
+        reuse); None uses the process default.  Plans may instead set
+        ``backend_options["geom_cache_bytes"]`` to get a plan-private
+        cache of that budget.
+    prefetch:
+        Warm the cache (trajectory geometry + pre-pass + flux table for
+        every run) before reducing — only meaningful for the ``core``
+        implementation.
+    """
     instrument = read_instrument(plan.instrument)
     pg = point_group(plan.point_group_symbol)
     opts = dict(plan.backend_options)
+    budget = opts.pop("geom_cache_bytes", None)
+    if budget is not None and cache is None:
+        cache = GeomCache(byte_budget=int(budget))
 
     if plan.implementation == "minivates":
         from repro.proxy.minivates import MiniVatesConfig, MiniVatesWorkflow
@@ -151,6 +174,7 @@ def run_plan(plan: ReductionPlan, *, comm=None) -> CrossSectionResult:
             instrument=instrument,
             grid=plan.grid,
             point_group=pg,
+            geom_cache=cache,
             **opts,
         )
         return MiniVatesWorkflow(cfg).run(comm=comm)
@@ -175,6 +199,10 @@ def run_plan(plan: ReductionPlan, *, comm=None) -> CrossSectionResult:
         instrument=instrument,
         grid=plan.grid,
         point_group=pg,
+        geom_cache=cache,
         **opts,
     )
-    return ReductionWorkflow(cfg).run(comm=comm)
+    workflow = ReductionWorkflow(cfg)
+    if prefetch:
+        workflow.prefetch_geometry()
+    return workflow.run(comm=comm)

@@ -29,7 +29,9 @@ from typing import Iterator, Optional
 
 import numpy as np
 
+from repro.core import geom_cache as _gc
 from repro.core.binmd import bin_events
+from repro.core.geom_cache import GeomCache
 from repro.core.grid import HKLGrid
 from repro.core.hist3 import Hist3
 from repro.core.md_event_workspace import convert_to_md
@@ -87,6 +89,7 @@ class StreamingReduction:
         solid_angles: np.ndarray,
         *,
         backend: Optional[str] = None,
+        geom_cache: Optional[GeomCache] = None,
     ) -> None:
         self.grid = grid
         self.point_group = point_group
@@ -96,6 +99,9 @@ class StreamingReduction:
         require(self.solid_angles.shape == (instrument.n_pixels,),
                 "solid_angles / instrument pixel count mismatch")
         self.backend = backend
+        #: geometry cache reused across every batch (and re-stream) of a
+        #: run — the per-run MDNorm geometry is computed at most once
+        self.geom_cache = _gc.resolve(geom_cache)
         self._binmd = Hist3(grid, track_errors=True)
         self._mdnorm = Hist3(grid)
         self._open_runs: dict[int, RunData] = {}
@@ -135,6 +141,8 @@ class StreamingReduction:
             band,
             charge=run_metadata.proton_charge,
             backend=self.backend,
+            cache=self.geom_cache,
+            cache_tag=f"run:{rn}",
         )
 
     def consume(self, batch: StreamBatch) -> None:
@@ -157,9 +165,11 @@ class StreamingReduction:
             ub_matrix=run.ub_matrix,
         )
         ws = convert_to_md(partial, self.instrument)
+        # per-batch event tables are unique — caching their BinMD
+        # indices would only churn the LRU, so opt out explicitly
         bin_events(
             self._binmd, ws.events, self._event_transforms[batch.run_number],
-            backend=self.backend,
+            backend=self.backend, cache=_gc.DISABLED,
         )
         self._events_seen += batch.detector_ids.shape[0]
 
@@ -188,6 +198,11 @@ class StreamingReduction:
     @property
     def runs_opened(self) -> int:
         return self._runs_opened
+
+    @property
+    def cache_stats(self) -> dict:
+        """Snapshot of the geometry cache's hit/miss/eviction counters."""
+        return self.geom_cache.stats.snapshot()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

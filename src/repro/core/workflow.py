@@ -15,9 +15,12 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.core import geom_cache as _gc
 from repro.core.cross_section import CrossSectionResult, compute_cross_section
+from repro.core.geom_cache import GeomCache
 from repro.core.grid import HKLGrid
 from repro.core.md_event_workspace import load_md
+from repro.core.mdnorm import prefetch_geometry
 from repro.crystal.symmetry import PointGroup
 from repro.instruments.detector import DetectorArray
 from repro.mpi import Comm
@@ -43,6 +46,9 @@ class WorkflowConfig:
     backend: Optional[str] = None
     #: in-kernel sort: "comb" (paper) or "library" (ablation)
     sort_impl: str = "comb"
+    #: geometry cache shared across runs/panels/re-reductions; None =
+    #: the process default, ``repro.core.geom_cache.DISABLED`` opts out
+    geom_cache: Optional[GeomCache] = None
 
     def __post_init__(self) -> None:
         require(len(self.md_paths) >= 1, "need at least one run file")
@@ -82,4 +88,40 @@ class ReductionWorkflow:
             backend=cfg.backend,
             sort_impl=cfg.sort_impl,
             timings=timings,
+            cache=cfg.geom_cache,
         )
+
+    def prefetch_geometry(self) -> int:
+        """Warm the geometry cache for every run before reducing.
+
+        Loads each run's metadata, computes its trajectory geometry and
+        pre-pass bound and stores them (plus the flux table), so the
+        subsequent :meth:`run` — or a re-reduction of the same panel —
+        starts warm.  Returns the number of newly inserted entries.
+        """
+        cfg = self.config
+        cache = _gc.resolve(cfg.geom_cache)
+        if not cache.enabled:
+            return 0
+        inserted = 0
+        for i, path in enumerate(cfg.md_paths):
+            ws = load_md(path)
+            if ws.ub_matrix is None:
+                raise ValidationError(f"run file {path} carries no UB matrix")
+            traj_transforms = cfg.grid.transforms_for(
+                ws.ub_matrix, cfg.point_group, goniometer=ws.goniometer
+            )
+            inserted += int(
+                prefetch_geometry(
+                    cfg.grid,
+                    traj_transforms,
+                    cfg.instrument.directions,
+                    ws.momentum_band,
+                    self.solid_angles,
+                    self.flux,
+                    backend=cfg.backend,
+                    cache=cache,
+                    cache_tag=f"run:{i}",
+                )
+            )
+        return inserted

@@ -27,8 +27,10 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.core import geom_cache as _gc
 from repro.core.binmd import bin_events
 from repro.core.cross_section import CrossSectionResult, compute_cross_section
+from repro.core.geom_cache import DISABLED, GeomCache
 from repro.core.grid import HKLGrid
 from repro.core.md_event_workspace import MDEventWorkspace, load_md
 from repro.core.mdnorm import mdnorm
@@ -61,8 +63,13 @@ class MiniVatesConfig:
     #: MI100-like) or "buffered" (efficient device atomics, A100-like)
     scatter_impl: str = "atomic"
     #: clear the kernel-specialization cache first, so the first file
-    #: pays JIT like a fresh Julia session
+    #: pays JIT like a fresh Julia session.  A cold start also bypasses
+    #: the geometry cache — the whole point is to measure the
+    #: from-scratch pipeline (pre-pass D2H copy included).
     cold_start: bool = True
+    #: geometry cache for warm (``cold_start=False``) runs; None uses
+    #: the process default (ignored entirely when ``cold_start=True``)
+    geom_cache: Optional[GeomCache] = None
 
     def __post_init__(self) -> None:
         require(len(self.md_paths) >= 1, "need at least one run file")
@@ -94,6 +101,9 @@ class MiniVatesWorkflow:
         device = get_backend(DEVICE_BACKEND)
         if cfg.cold_start:
             GLOBAL_JIT.clear()
+        # a cold start measures the from-scratch pipeline: no memoized
+        # geometry, the pre-pass D2H workaround really runs
+        cache = DISABLED if cfg.cold_start else _gc.resolve(cfg.geom_cache)
         device.reset_counters()
 
         # static geometry lives on the device for the whole run
@@ -119,13 +129,16 @@ class MiniVatesWorkflow:
             sort_impl=cfg.sort_impl,
             scatter_impl=cfg.scatter_impl,
             timings=timings or StageTimings(label="minivates"),
+            cache=cache,
         )
         result.backend = "minivates"
-        result.extras = {
+        extras = dict(result.extras or {})
+        extras.update({
             "bytes_h2d": device.bytes_h2d,
             "bytes_d2h": device.bytes_d2h,
             "kernel_launches": device.launches,
             "jit_compile_seconds": GLOBAL_JIT.total_compile_seconds(),
             "jit_compile_events": len(GLOBAL_JIT.compile_events),
-        }
+        })
+        result.extras = extras
         return result

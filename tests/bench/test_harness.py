@@ -6,11 +6,13 @@ import pytest
 from repro.bench.harness import (
     A100_PROFILE,
     MI100_PROFILE,
+    ColdWarmSplit,
     MeasuredRun,
     assert_results_match,
     run_cpp_proxy,
     run_garnet,
     run_minivates,
+    run_repeated_panel,
 )
 from repro.bench.workloads import benzil_corelli, build_workload
 from repro.core.cross_section import CrossSectionResult
@@ -65,6 +67,41 @@ class TestDrivers:
         b = run_cpp_proxy(data, files=3)
         with pytest.raises(Exception):
             assert_results_match(a, b)
+
+
+class TestRepeatedPanel:
+    def test_warm_pass_is_exact_and_hits(self, data):
+        split = run_repeated_panel(data)
+        assert isinstance(split, ColdWarmSplit)
+        # warm histograms are bit-identical to the cold pass
+        assert np.array_equal(
+            split.cold.result.binmd.signal, split.warm.result.binmd.signal
+        )
+        assert np.array_equal(
+            split.cold.result.mdnorm.signal, split.warm.result.mdnorm.signal
+        )
+        assert_results_match(split.cold, split.warm)
+        # the second pass really hit the cache
+        assert split.cache_stats["hits"] > 0
+        assert split.cache_stats["misses"] > 0
+        assert split.warm.extras["geom_cache"]["hits"] > 0
+
+    def test_stage_table_shape(self, data):
+        split = run_repeated_panel(data, files=2)
+        table = split.stage_table()
+        assert set(table) == {"UpdateEvents", "MDNorm", "BinMD", "Total"}
+        for row in table.values():
+            assert row["cold_s"] >= 0.0
+            assert row["warm_s"] >= 0.0
+            assert row["speedup"] > 0.0
+        assert split.speedup("MDNorm") == table["MDNorm"]["speedup"]
+
+    def test_private_cache_isolated_from_process_default(self, data):
+        from repro.core.geom_cache import default_cache
+
+        before = len(default_cache())
+        run_repeated_panel(data, files=1)
+        assert len(default_cache()) == before
 
 
 class TestMeasuredRunMath:

@@ -4,12 +4,13 @@ import numpy as np
 import pytest
 
 from repro.core.cross_section import compute_cross_section
+from repro.core.geom_cache import DISABLED, GeomCache
 from repro.core.md_event_workspace import load_md
 from repro.core.streaming import EventStream, StreamBatch, StreamingReduction
 from repro.util.validation import ReproError, ValidationError
 
 
-def _reduction(exp, backend="vectorized"):
+def _reduction(exp, backend="vectorized", geom_cache=None):
     return StreamingReduction(
         grid=exp.grid,
         point_group=exp.point_group,
@@ -17,6 +18,7 @@ def _reduction(exp, backend="vectorized"):
         instrument=exp.instrument,
         solid_angles=exp.vanadium.detector_weights,
         backend=backend,
+        geom_cache=geom_cache,
     )
 
 
@@ -84,6 +86,53 @@ class TestStreamingReduction:
                     streaming.consume(batch)
             results.append(streaming.binmd.signal.copy())
         assert np.allclose(results[0], results[1])
+
+    @pytest.mark.parametrize("cached", [False, True], ids=["nocache", "cache"])
+    def test_batch_size_invariance_with_and_without_cache(
+        self, tiny_experiment, cached
+    ):
+        """Results are independent of batch size (1 vs 4096), with and
+        without the geometry cache — no batch-boundary state may leak
+        into (or out of) cached geometry."""
+        exp = tiny_experiment
+        run = exp.runs[0]
+        signals = {}
+        norms = {}
+        for batch_size in (1, 4096):
+            cache = GeomCache() if cached else DISABLED
+            streaming = _reduction(exp, geom_cache=cache)
+            streaming.open_run(run)
+            for batch in EventStream(run, batch_size=batch_size):
+                streaming.consume(batch)
+            signals[batch_size] = streaming.binmd.signal.copy()
+            norms[batch_size] = streaming.mdnorm_hist.signal.copy()
+            if cached:
+                # one geometry computation at open_run; consuming event
+                # batches must never insert per-batch entries
+                assert streaming.cache_stats["hits"] == 0
+                assert len(cache) >= 1
+        assert np.array_equal(signals[1], signals[4096])
+        assert np.array_equal(norms[1], norms[4096])
+
+    def test_cache_shared_across_restreams(self, tiny_experiment):
+        """Re-streaming the same run against one cache hits warm
+        geometry and reproduces the cold stream bit for bit."""
+        exp = tiny_experiment
+        run = exp.runs[0]
+        cache = GeomCache()
+        results = []
+        for _ in range(2):
+            streaming = _reduction(exp, geom_cache=cache)
+            streaming.open_run(run)
+            for batch in EventStream(run, batch_size=256):
+                streaming.consume(batch)
+            results.append(
+                (streaming.binmd.signal.copy(),
+                 streaming.mdnorm_hist.signal.copy())
+            )
+        assert cache.stats.hits > 0
+        assert np.array_equal(results[0][0], results[1][0])
+        assert np.array_equal(results[0][1], results[1][1])
 
     def test_arbitrary_batch_sizes_property(self, tiny_experiment):
         """hypothesis: any batch size yields the reference histogram."""

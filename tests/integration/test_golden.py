@@ -15,12 +15,11 @@ import numpy as np
 import pytest
 
 from repro.core.cross_section import compute_cross_section
+from repro.core.geom_cache import GeomCache
 from repro.core.md_event_workspace import load_md
 
 
-@pytest.fixture(scope="module")
-def reduced(tiny_experiment):
-    exp = tiny_experiment
+def _reduce(exp, *, cache=None, solid_angles=None):
     return compute_cross_section(
         load_run=lambda i: load_md(exp.md_paths[i]),
         n_runs=len(exp.md_paths),
@@ -28,9 +27,17 @@ def reduced(tiny_experiment):
         point_group=exp.point_group,
         flux=exp.flux,
         det_directions=exp.instrument.directions,
-        solid_angles=exp.vanadium.detector_weights,
+        solid_angles=(
+            exp.vanadium.detector_weights if solid_angles is None else solid_angles
+        ),
         backend="vectorized",
+        cache=cache,
     )
+
+
+@pytest.fixture(scope="module")
+def reduced(tiny_experiment):
+    return _reduce(tiny_experiment)
 
 
 class TestDatasetGolden:
@@ -77,3 +84,41 @@ class TestReductionGolden:
     def test_cross_section_scale(self, reduced):
         finite = reduced.cross_section.signal[~np.isnan(reduced.cross_section.signal)]
         assert finite.max() == pytest.approx(53921.18, rel=1e-4)
+
+
+class TestCacheGolden:
+    """Warm-cache reruns must reproduce the committed golden numbers
+    exactly, and calibration changes must invalidate, never stale-hit."""
+
+    def test_warm_rerun_reproduces_golden_exactly(self, tiny_experiment, reduced):
+        cache = GeomCache()
+        cold = _reduce(tiny_experiment, cache=cache)
+        warm = _reduce(tiny_experiment, cache=cache)
+        # cold == warm == the golden (cache-independent) reduction
+        for res in (cold, warm):
+            assert np.array_equal(res.binmd.signal, reduced.binmd.signal)
+            assert np.array_equal(res.mdnorm.signal, reduced.mdnorm.signal)
+            assert res.binmd.total() == pytest.approx(344.0)
+            assert res.mdnorm.total() == pytest.approx(1.6378145, rel=1e-5)
+        # and the warm pass really was warm
+        assert warm.extras["geom_cache"]["hits"] > cold.extras["geom_cache"]["hits"]
+        assert cache.stats.hits > 0
+
+    def test_calibration_mutation_invalidates(self, tiny_experiment):
+        """Mutating the vanadium weights changes the content-digest key:
+        the rerun misses and recomputes a genuinely different result."""
+        exp = tiny_experiment
+        cache = GeomCache()
+        base = _reduce(exp, cache=cache)
+        misses_after_base = cache.stats.misses
+
+        mutated = exp.vanadium.detector_weights.copy()
+        mutated[: mutated.size // 2] *= 0.5  # re-calibrate half the array
+        fresh = _reduce(exp, cache=cache, solid_angles=mutated)
+        # every mdnorm lookup missed (no stale reuse of the old geometry)
+        assert cache.stats.misses > misses_after_base
+        # and the result reflects the new calibration, not the cached one
+        assert not np.array_equal(fresh.mdnorm.signal, base.mdnorm.signal)
+        reference = _reduce(exp, solid_angles=mutated)  # uncached truth
+        assert np.array_equal(fresh.mdnorm.signal, reference.mdnorm.signal)
+        assert np.array_equal(fresh.binmd.signal, reference.binmd.signal)

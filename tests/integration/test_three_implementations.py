@@ -5,6 +5,7 @@ import numpy as np
 import pytest
 
 from repro.baseline.garnet import GarnetConfig, GarnetWorkflow
+from repro.core.geom_cache import GeomCache
 from repro.mpi import run_world
 from repro.proxy.cpp_proxy import CppProxyConfig, CppProxyWorkflow
 from repro.proxy.minivates import MiniVatesConfig, MiniVatesWorkflow
@@ -77,6 +78,57 @@ class TestAgreement:
         assert garnet.mdnorm.total() > 0
         finite = garnet.cross_section.signal[~np.isnan(garnet.cross_section.signal)]
         assert np.all(finite >= 0)
+
+
+class TestGeometryCacheAcrossImplementations:
+    def test_minivates_warm_cache_matches_cold(self, tiny_experiment, all_results):
+        """Two MiniVATES passes over one shared cache: the warm pass
+        hits and reproduces the canonical result bit for bit."""
+        exp = tiny_experiment
+        _, _, canonical = all_results
+        cache = GeomCache()
+
+        def one():
+            return MiniVatesWorkflow(
+                MiniVatesConfig(
+                    md_paths=exp.md_paths,
+                    flux_path=exp.flux_path,
+                    vanadium_path=exp.vanadium_path,
+                    instrument=exp.instrument,
+                    grid=exp.grid,
+                    point_group=exp.point_group,
+                    cold_start=False,  # warm runs may use the cache
+                    geom_cache=cache,
+                )
+            ).run()
+
+        first = one()
+        second = one()
+        assert cache.stats.hits > 0
+        assert second.extras["geom_cache"]["hits"] > first.extras["geom_cache"]["hits"]
+        for res in (first, second):
+            assert np.array_equal(res.binmd.signal, canonical.binmd.signal)
+            assert np.array_equal(res.mdnorm.signal, canonical.mdnorm.signal)
+
+    def test_cold_start_ignores_cache(self, tiny_experiment):
+        """cold_start=True measures the from-scratch pipeline: the
+        pre-pass D2H copy happens even with a populated cache supplied."""
+        exp = tiny_experiment
+        cache = GeomCache()
+        cfg = MiniVatesConfig(
+            md_paths=exp.md_paths[:1],
+            flux_path=exp.flux_path,
+            vanadium_path=exp.vanadium_path,
+            instrument=exp.instrument,
+            grid=exp.grid,
+            point_group=exp.point_group,
+            cold_start=True,
+            geom_cache=cache,
+        )
+        MiniVatesWorkflow(cfg).run()
+        res = MiniVatesWorkflow(cfg).run()
+        assert len(cache) == 0  # nothing was stored
+        assert res.extras["bytes_d2h"] > 0  # the pre-pass really ran
 
 
 class TestMpiAgreement:

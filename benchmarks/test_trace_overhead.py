@@ -1,0 +1,97 @@
+"""Tracing overhead: enabled tracing must cost < 5% on the hot path.
+
+The observability acceptance bar: running the fig2 smoke workload (one
+Benzil file, BinMD + MDNorm on the vectorized back end) under an
+enabled :class:`~repro.util.trace.Tracer` may add at most 5% wall-clock
+over the identical run with tracing disabled.  Min-of-repeats on both
+sides keeps scheduler noise out of the ratio; the measured ratio is
+recorded in the bench report.
+"""
+
+import time
+
+import numpy as np
+
+from conftest import record_report
+from repro.bench.report import format_table
+from repro.core.binmd import bin_events
+from repro.core.geom_cache import DISABLED as CACHE_DISABLED
+from repro.core.hist3 import Hist3
+from repro.core.md_event_workspace import load_md
+from repro.core.mdnorm import mdnorm
+from repro.nexus.corrections import read_flux_file, read_vanadium_file
+from repro.util import trace as trace_mod
+
+MAX_OVERHEAD = 0.05
+REPEATS = 5
+
+
+def _workload(benzil_data):
+    ws = load_md(benzil_data.md_paths[0])
+    grid = benzil_data.grid
+    pg = benzil_data.point_group
+    event_t = grid.transforms_for(ws.ub_matrix, pg)
+    traj_t = grid.transforms_for(ws.ub_matrix, pg, goniometer=ws.goniometer)
+    flux = read_flux_file(benzil_data.flux_path)
+    van = read_vanadium_file(benzil_data.vanadium_path)
+
+    def reduce_one():
+        binmd_h = Hist3(grid)
+        bin_events(binmd_h, ws.events, event_t, backend="vectorized",
+                   cache=CACHE_DISABLED)
+        norm_h = Hist3(grid)
+        mdnorm(
+            norm_h, traj_t, benzil_data.instrument.directions,
+            van.detector_weights, flux, ws.momentum_band,
+            backend="vectorized", cache=CACHE_DISABLED,
+        )
+        return binmd_h, norm_h
+
+    return reduce_one
+
+
+def _min_time(fn, tracer, repeats=REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        with trace_mod.use_tracer(tracer):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_trace_overhead_under_five_percent(benzil_data):
+    reduce_one = _workload(benzil_data)
+    reduce_one()  # warm JIT/specialization once, outside both measurements
+
+    t_off = _min_time(reduce_one, trace_mod.DISABLED)
+    tracer = trace_mod.Tracer(label="overhead")
+    t_on = _min_time(reduce_one, tracer)
+
+    assert tracer.n_spans > 0, "the enabled run must actually trace"
+    ratio = t_on / t_off
+    rows = [
+        ("tracing off", f"{t_off:.4f}", "1.00"),
+        ("tracing on", f"{t_on:.4f}", f"{ratio:.3f}"),
+        ("spans/run", str(tracer.n_spans // REPEATS), "-"),
+    ]
+    report = format_table(
+        title="Tracing overhead on the fig2 smoke workload (min of "
+              f"{REPEATS}, vectorized back end)",
+        headers=("configuration", "seconds", "ratio"),
+        rows=rows,
+    )
+    record_report("trace_overhead", report)
+    print(report)
+
+    # min-of-repeats on a quiet path; 5% is the acceptance bar
+    assert ratio < 1.0 + MAX_OVERHEAD, (
+        f"enabled tracing costs {100 * (ratio - 1):.1f}% "
+        f"(> {100 * MAX_OVERHEAD:.0f}% budget): {t_on:.4f}s vs {t_off:.4f}s"
+    )
+
+
+def test_disabled_tracer_is_process_default():
+    """The overhead everyone else pays is the NullTracer, by default."""
+    assert trace_mod.active_tracer() is trace_mod.DISABLED
+    assert not trace_mod.active_tracer().enabled

@@ -1,0 +1,10 @@
+"""``python -m repro``: the umbrella CLI (``reduce`` / ``trace``)."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cli import repro_main
+
+if __name__ == "__main__":
+    sys.exit(repro_main())

@@ -32,6 +32,7 @@ from repro.crystal.symmetry import PointGroup, point_group
 from repro.instruments.detector import DetectorArray
 from repro.nexus.corrections import FluxSpectrum
 from repro.nexus.schema import read_event_nexus
+from repro.util import trace as _trace
 from repro.util.timers import StageTimings
 from repro.util.validation import ValidationError, require
 
@@ -106,28 +107,36 @@ class GarnetWorkflow:
         timings = timings or StageTimings(label="garnet-baseline")
         tasks = [(path, cfg) for path in cfg.nexus_paths]
 
-        total_t0 = time.perf_counter()
-        if cfg.n_workers == 1:
-            outputs = [_reduce_one_run(task) for task in tasks]
-        else:
-            with multiprocessing.Pool(processes=cfg.n_workers) as pool:
-                outputs = pool.map(_reduce_one_run, tasks)
+        with _trace.active_tracer().span(
+            "workflow",
+            kind="workflow",
+            implementation="garnet",
+            n_runs=len(tasks),
+            backend="garnet-multiprocess",
+            n_workers=int(cfg.n_workers),
+        ):
+            total_t0 = time.perf_counter()
+            if cfg.n_workers == 1:
+                outputs = [_reduce_one_run(task) for task in tasks]
+            else:
+                with multiprocessing.Pool(processes=cfg.n_workers) as pool:
+                    outputs = pool.map(_reduce_one_run, tasks)
 
-        binmd_total = Hist3(cfg.grid)
-        mdnorm_total = Hist3(cfg.grid)
-        for binmd_signal, mdnorm_signal, stage in outputs:
-            binmd_total.signal += binmd_signal
-            mdnorm_total.signal += mdnorm_signal
-            for name, seconds in stage.items():
-                t = timings.timer(name)
-                t.elapsed += seconds
-                t.ncalls += 1
-                timings.first_call.setdefault(name, seconds)
+            binmd_total = Hist3(cfg.grid)
+            mdnorm_total = Hist3(cfg.grid)
+            for binmd_signal, mdnorm_signal, stage in outputs:
+                binmd_total.signal += binmd_signal
+                mdnorm_total.signal += mdnorm_signal
+                for name, seconds in stage.items():
+                    t = timings.timer(name)
+                    t.elapsed += seconds
+                    t.ncalls += 1
+                    timings.first_call.setdefault(name, seconds)
 
-        cross = binmd_total.divide(mdnorm_total)
-        total = timings.timer("Total")
-        total.elapsed += time.perf_counter() - total_t0
-        total.ncalls += 1
+            cross = binmd_total.divide(mdnorm_total)
+            total = timings.timer("Total")
+            total.elapsed += time.perf_counter() - total_t0
+            total.ncalls += 1
         return CrossSectionResult(
             cross_section=cross,
             binmd=binmd_total,

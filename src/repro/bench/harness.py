@@ -21,6 +21,7 @@ stand-ins for the paper's two GPUs (DESIGN.md section 2).
 
 from __future__ import annotations
 
+from contextlib import nullcontext as _nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -34,6 +35,7 @@ from repro.core.workflow import ReductionWorkflow, WorkflowConfig
 from repro.nexus.corrections import read_flux_file, read_vanadium_file
 from repro.proxy.cpp_proxy import CppProxyConfig, CppProxyWorkflow
 from repro.proxy.minivates import MiniVatesConfig, MiniVatesWorkflow
+from repro.util import trace as _trace
 from repro.util.timers import StageTimings
 from repro.util.validation import require
 
@@ -105,8 +107,17 @@ def _subset(data: WorkloadData, files: Optional[int]) -> tuple[list, list, int]:
     return data.nexus_paths[:n], data.md_paths[:n], n
 
 
+def _maybe_trace(tracer: Optional[_trace.Tracer]):
+    """``use_tracer(tracer)`` when given one, otherwise a no-op context."""
+    return _trace.use_tracer(tracer) if tracer is not None else _nullcontext()
+
+
 def run_garnet(
-    data: WorkloadData, *, files: Optional[int] = None, n_workers: int = 1
+    data: WorkloadData,
+    *,
+    files: Optional[int] = None,
+    n_workers: int = 1,
+    tracer: Optional[_trace.Tracer] = None,
 ) -> MeasuredRun:
     """Measure the Garnet/Mantid production baseline."""
     nexus_paths, _, n = _subset(data, files)
@@ -121,7 +132,8 @@ def run_garnet(
         solid_angles=vanadium.detector_weights,
         n_workers=n_workers,
     )
-    result = GarnetWorkflow(cfg).run()
+    with _maybe_trace(tracer):
+        result = GarnetWorkflow(cfg).run()
     return MeasuredRun(
         label=f"Garnet/Mantid baseline (x{n_workers} proc)",
         workload_key=data.spec.key,
@@ -133,7 +145,11 @@ def run_garnet(
 
 
 def run_cpp_proxy(
-    data: WorkloadData, *, files: Optional[int] = None, n_threads: Optional[int] = None
+    data: WorkloadData,
+    *,
+    files: Optional[int] = None,
+    n_threads: Optional[int] = None,
+    tracer: Optional[_trace.Tracer] = None,
 ) -> MeasuredRun:
     """Measure the C++ proxy (optimized CPU kernels, threaded)."""
     _, md_paths, n = _subset(data, files)
@@ -146,7 +162,8 @@ def run_cpp_proxy(
         point_group=data.point_group,
         n_threads=n_threads,
     )
-    result = CppProxyWorkflow(cfg).run()
+    with _maybe_trace(tracer):
+        result = CppProxyWorkflow(cfg).run()
     return MeasuredRun(
         label="C++ proxy (CPU)",
         workload_key=data.spec.key,
@@ -163,6 +180,7 @@ def run_minivates(
     files: Optional[int] = None,
     profile: DeviceProfile = A100_PROFILE,
     cold_start: bool = True,
+    tracer: Optional[_trace.Tracer] = None,
 ) -> MeasuredRun:
     """Measure the MiniVATES proxy under a device profile."""
     _, md_paths, n = _subset(data, files)
@@ -177,7 +195,8 @@ def run_minivates(
         scatter_impl=profile.scatter_impl,
         cold_start=cold_start,
     )
-    result = MiniVatesWorkflow(cfg).run()
+    with _maybe_trace(tracer):
+        result = MiniVatesWorkflow(cfg).run()
     return MeasuredRun(
         label=f"MiniVATES ({profile.name})",
         workload_key=data.spec.key,
@@ -277,6 +296,7 @@ def run_repeated_panel(
     backend: str = "vectorized",
     cache: Optional[GeomCache] = None,
     byte_budget: int = DEFAULT_BYTE_BUDGET,
+    tracer: Optional[_trace.Tracer] = None,
 ) -> ColdWarmSplit:
     """Reduce the same panel twice against one geometry cache.
 
@@ -302,7 +322,8 @@ def run_repeated_panel(
 
     def one(label: str) -> MeasuredRun:
         timings = StageTimings(label=label)
-        result = workflow.run(timings=timings)
+        with _maybe_trace(tracer):
+            result = workflow.run(timings=timings)
         return MeasuredRun(
             label=f"core[{backend}] ({label} cache)",
             workload_key=data.spec.key,

@@ -1,13 +1,19 @@
-"""``repro-reduce``: command-line entry point.
+"""``repro-reduce`` / ``repro``: command-line entry points.
 
-Synthesizes (or reuses) a workload and runs a chosen implementation of
-the cross-section reduction, printing the paper-style stage timings.
+``repro-reduce`` (also ``repro reduce``) synthesizes (or reuses) a
+workload and runs a chosen implementation of the cross-section
+reduction, printing the paper-style stage timings.  ``repro trace``
+runs a reduction under the structured tracer and writes the JSON-lines
+trace (optionally a Chrome-trace file), then prints the paper-style
+WCT summary derived from the trace alone.
 
 Examples::
 
     repro-reduce --workload benzil --impl minivates --scale 0.001
     repro-reduce --workload bixbyite --impl garnet --files 2
     repro-reduce --workload benzil --impl all --files 6
+    repro trace --workload benzil --impl core --ranks 2 \\
+        --out trace.jsonl --chrome trace_chrome.json --validate
 """
 
 from __future__ import annotations
@@ -156,6 +162,145 @@ def main(argv: Optional[List[str]] = None) -> int:
             json.dump(payload, fh, indent=2)
         print(f"\nwrote {args.json}")
     return 0
+
+
+def _trace_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Run a reduction under the structured tracer and "
+                    "export the trace.",
+    )
+    p.add_argument("--workload", choices=("benzil", "bixbyite"), default="benzil",
+                   help="use case: Benzil/CORELLI or Bixbyite/TOPAZ")
+    p.add_argument("--impl", choices=("core", "garnet", "cpp", "minivates"),
+                   default="core", help="implementation to trace")
+    p.add_argument("--scale", type=float, default=None,
+                   help="event/detector scale vs the paper (default REPRO_SCALE or 0.002)")
+    p.add_argument("--files", type=int, default=None,
+                   help="number of run files to synthesize/measure")
+    p.add_argument("--backend", default=None,
+                   help="jacc back end for --impl core (serial|threads|vectorized)")
+    p.add_argument("--ranks", type=int, default=1,
+                   help="simulated MPI world size (core/cpp/minivates)")
+    p.add_argument("--out", metavar="PATH", default="trace.jsonl",
+                   help="JSON-lines trace output path")
+    p.add_argument("--chrome", metavar="PATH", default=None,
+                   help="also write a chrome://tracing / Perfetto file")
+    p.add_argument("--label", default=None, help="trace label (meta record)")
+    p.add_argument("--validate", action="store_true",
+                   help="validate the written file against the schema")
+    p.add_argument("--summary", dest="summary", action="store_true",
+                   default=True, help="print the WCT summary (default)")
+    p.add_argument("--no-summary", dest="summary", action="store_false")
+    return p
+
+
+def trace_main(argv: Optional[List[str]] = None) -> int:
+    """``repro trace``: one traced reduction -> JSON-lines (+ summary)."""
+    from repro.bench.workloads import benzil_corelli, bixbyite_topaz, build_workload
+    from repro.util import trace as trace_mod
+
+    args = _trace_parser().parse_args(argv)
+    make_spec = benzil_corelli if args.workload == "benzil" else bixbyite_topaz
+    spec = make_spec(scale=args.scale, n_files=args.files)
+    print(spec.describe())
+    data = build_workload(spec)
+
+    tracer = trace_mod.Tracer(
+        label=args.label or f"{args.workload}/{args.impl}"
+    )
+
+    def run_one(comm=None) -> None:
+        if args.impl == "core":
+            from repro.core.workflow import ReductionWorkflow, WorkflowConfig
+
+            cfg = WorkflowConfig(
+                md_paths=data.md_paths,
+                flux_path=data.flux_path,
+                vanadium_path=data.vanadium_path,
+                instrument=data.instrument,
+                grid=data.grid,
+                point_group=data.point_group,
+                backend=args.backend,
+            )
+            ReductionWorkflow(cfg).run(comm)
+        elif args.impl == "cpp":
+            from repro.proxy.cpp_proxy import CppProxyConfig, CppProxyWorkflow
+
+            cfg = CppProxyConfig(
+                md_paths=data.md_paths,
+                flux_path=data.flux_path,
+                vanadium_path=data.vanadium_path,
+                instrument=data.instrument,
+                grid=data.grid,
+                point_group=data.point_group,
+            )
+            CppProxyWorkflow(cfg).run(comm)
+        elif args.impl == "minivates":
+            from repro.proxy.minivates import MiniVatesConfig, MiniVatesWorkflow
+
+            cfg = MiniVatesConfig(
+                md_paths=data.md_paths,
+                flux_path=data.flux_path,
+                vanadium_path=data.vanadium_path,
+                instrument=data.instrument,
+                grid=data.grid,
+                point_group=data.point_group,
+            )
+            MiniVatesWorkflow(cfg).run(comm)
+        else:  # garnet (no simulated-MPI support: multiprocess model)
+            from repro.bench.harness import run_garnet
+
+            run_garnet(data)
+
+    with trace_mod.use_tracer(tracer):
+        if args.ranks > 1 and args.impl != "garnet":
+            from repro.mpi.runner import run_world
+
+            run_world(args.ranks, run_one)
+        else:
+            run_one()
+
+    n = tracer.write_jsonl(args.out)
+    print(f"\nwrote {n} records to {args.out}")
+    if args.chrome:
+        n_events = tracer.write_chrome_trace(args.chrome)
+        print(f"wrote {n_events} trace events to {args.chrome} "
+              f"(load in chrome://tracing or ui.perfetto.dev)")
+    if args.validate:
+        from repro.util.trace import validate_file
+
+        inventory = validate_file(args.out)
+        print(f"validated {args.out}: schema {inventory['schema']}, "
+              f"{inventory['n_spans']} spans, ranks {inventory['ranks']}, "
+              f"{len(inventory['counters'])} counters")
+    if args.summary:
+        print()
+        print(tracer.summary())
+    return 0
+
+
+def repro_main(argv: Optional[List[str]] = None) -> int:
+    """``repro <subcommand>``: the umbrella entry point.
+
+    Subcommands: ``reduce`` (the classic ``repro-reduce`` CLI) and
+    ``trace`` (traced reduction + JSON-lines/Chrome export).
+    """
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print("usage: repro {reduce,trace} [options]\n"
+              "  reduce  run a reduction and print stage timings\n"
+              "  trace   run a traced reduction and export the trace\n"
+              "run `repro <subcommand> --help` for options")
+        return 0 if argv else 2
+    cmd, rest = argv[0], argv[1:]
+    if cmd == "reduce":
+        return main(rest)
+    if cmd == "trace":
+        return trace_main(rest)
+    print(f"repro: unknown subcommand {cmd!r} (expected reduce|trace)",
+          file=sys.stderr)
+    return 2
 
 
 if __name__ == "__main__":

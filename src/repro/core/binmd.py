@@ -30,6 +30,7 @@ from repro.core.hist3 import Hist3
 from repro.jacc import parallel_for
 from repro.jacc.kernels import Captures, Kernel
 from repro.nexus.events import COL_ERROR_SQ, COL_QX, COL_QY, COL_QZ, COL_SIGNAL, EventTable
+from repro.util import trace as _trace
 from repro.util.validation import require
 
 #: events per device tile; bounds the (tile, 3) coordinate scratch
@@ -160,35 +161,46 @@ def bin_events(
     require(tile > 0, "tile must be positive")
 
     cache = _gc.resolve(cache)
-    entry: Optional[BinMDEntry] = None
-    collect: Optional[BinMDEntry] = None
-    if cache.enabled:
-        n_ops, n_events = transforms.shape[0], data.shape[0]
-        key = GeomCache.binmd_key(hist.grid, transforms, data)
-        entry = cache.get(key)
-        if entry is None and cache.accepts(n_ops * n_events * 9):
-            # int64 flat index + bool inside mask per (op, event) lane
-            collect = BinMDEntry(
-                key=key,
-                tag=cache_tag,
-                flat_idx=np.empty((n_ops, n_events), dtype=np.int64),
-                inside=np.empty((n_ops, n_events), dtype=bool),
-            )
+    tracer = _trace.active_tracer()
+    with tracer.span(
+        "binmd",
+        kind="op",
+        backend=backend or "default",
+        n_ops=int(transforms.shape[0]),
+        n_events=int(data.shape[0]),
+    ) as op_span:
+        entry: Optional[BinMDEntry] = None
+        collect: Optional[BinMDEntry] = None
+        if cache.enabled:
+            n_ops, n_events = transforms.shape[0], data.shape[0]
+            key = GeomCache.binmd_key(hist.grid, transforms, data)
+            entry = cache.get(key)
+            if entry is None and cache.accepts(n_ops * n_events * 9):
+                # int64 flat index + bool inside mask per (op, event) lane
+                collect = BinMDEntry(
+                    key=key,
+                    tag=cache_tag,
+                    flat_idx=np.empty((n_ops, n_events), dtype=np.int64),
+                    inside=np.empty((n_ops, n_events), dtype=bool),
+                )
+        op_span.set(cache_hit=entry is not None)
 
-    captures = Captures(
-        hist=hist,
-        events=data,
-        transforms=transforms,
-        tile=int(tile),
-        scatter_impl=scatter_impl,
-        binmd_entry=entry,
-        binmd_collect=collect,
-        binmd_cache=cache,
-    )
-    parallel_for(
-        (transforms.shape[0], data.shape[0]),
-        BIN_EVENTS_KERNEL,
-        captures,
-        backend=backend,
-    )
+        captures = Captures(
+            hist=hist,
+            events=data,
+            transforms=transforms,
+            tile=int(tile),
+            scatter_impl=scatter_impl,
+            binmd_entry=entry,
+            binmd_collect=collect,
+            binmd_cache=cache,
+        )
+        parallel_for(
+            (transforms.shape[0], data.shape[0]),
+            BIN_EVENTS_KERNEL,
+            captures,
+            backend=backend,
+        )
+        tracer.count("binmd.events",
+                      int(transforms.shape[0]) * int(data.shape[0]))
     return hist

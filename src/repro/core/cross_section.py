@@ -34,6 +34,7 @@ from repro.core.mdnorm import mdnorm
 from repro.crystal.symmetry import PointGroup
 from repro.mpi import SUM, Comm, SequentialComm, rank_range
 from repro.nexus.corrections import FluxSpectrum
+from repro.util import trace as _trace
 from repro.util.timers import StageTimings
 from repro.util.validation import ValidationError, require
 
@@ -112,68 +113,79 @@ def compute_cross_section(
     cache = _gc.resolve(cache)
     comm = comm or SequentialComm()
     timings = timings or StageTimings(label=f"cross-section[{backend or 'default'}]")
+    tracer = _trace.active_tracer()
 
     binmd_hist = Hist3(grid, track_errors=True)
     mdnorm_hist = Hist3(grid)
 
     start, end = rank_range(n_runs, comm.rank, comm.size)
-    with timings.stage("Total"):
+    with tracer.span(
+        "cross_section",
+        kind="algorithm",
+        backend=backend or "default",
+        n_runs=int(n_runs),
+        mpi_rank=int(comm.rank),
+        mpi_size=int(comm.size),
+    ), timings.stage("Total"):
         for i in range(start, end):
-            with timings.stage("UpdateEvents"):
-                ws = load_run(i)
-            if ws.ub_matrix is None:
-                raise ValidationError(
-                    f"run index {i} carries no UB matrix; Algorithm 1 needs it"
+            with tracer.span("run", kind="run", run=int(i)):
+                with timings.stage("UpdateEvents"):
+                    ws = load_run(i)
+                if ws.ub_matrix is None:
+                    raise ValidationError(
+                        f"run index {i} carries no UB matrix; Algorithm 1 needs it"
+                    )
+                event_transforms = grid.transforms_for(ws.ub_matrix, point_group)
+                traj_transforms = grid.transforms_for(
+                    ws.ub_matrix, point_group, goniometer=ws.goniometer
                 )
-            event_transforms = grid.transforms_for(ws.ub_matrix, point_group)
-            traj_transforms = grid.transforms_for(
-                ws.ub_matrix, point_group, goniometer=ws.goniometer
-            )
-            with timings.stage("MDNorm"):
-                if mdnorm_impl is not None:
-                    mdnorm_impl(
-                        mdnorm_hist,
-                        traj_transforms,
-                        det_directions,
-                        solid_angles,
-                        flux,
-                        ws.momentum_band,
-                        charge=ws.proton_charge,
-                    )
-                else:
-                    mdnorm(
-                        mdnorm_hist,
-                        traj_transforms,
-                        det_directions,
-                        solid_angles,
-                        flux,
-                        ws.momentum_band,
-                        charge=ws.proton_charge,
-                        backend=backend,
-                        sort_impl=sort_impl,
-                        scatter_impl=scatter_impl,
-                        cache=cache,
-                        cache_tag=f"run:{i}",
-                    )
-            with timings.stage("BinMD"):
-                if binmd_impl is not None:
-                    binmd_impl(binmd_hist, ws.events, event_transforms)
-                else:
-                    bin_events(
-                        binmd_hist,
-                        ws.events,
-                        event_transforms,
-                        backend=backend,
-                        scatter_impl=scatter_impl,
-                        cache=cache,
-                        cache_tag=f"run:{i}",
-                    )
+                with timings.stage("MDNorm"):
+                    if mdnorm_impl is not None:
+                        mdnorm_impl(
+                            mdnorm_hist,
+                            traj_transforms,
+                            det_directions,
+                            solid_angles,
+                            flux,
+                            ws.momentum_band,
+                            charge=ws.proton_charge,
+                        )
+                    else:
+                        mdnorm(
+                            mdnorm_hist,
+                            traj_transforms,
+                            det_directions,
+                            solid_angles,
+                            flux,
+                            ws.momentum_band,
+                            charge=ws.proton_charge,
+                            backend=backend,
+                            sort_impl=sort_impl,
+                            scatter_impl=scatter_impl,
+                            cache=cache,
+                            cache_tag=f"run:{i}",
+                        )
+                with timings.stage("BinMD"):
+                    if binmd_impl is not None:
+                        binmd_impl(binmd_hist, ws.events, event_transforms)
+                    else:
+                        bin_events(
+                            binmd_hist,
+                            ws.events,
+                            event_transforms,
+                            backend=backend,
+                            scatter_impl=scatter_impl,
+                            cache=cache,
+                            cache_tag=f"run:{i}",
+                        )
 
         # MPI_Reduce of both histograms onto the root
-        binmd_total = np.empty_like(binmd_hist.signal) if comm.rank == 0 else None
-        mdnorm_total = np.empty_like(mdnorm_hist.signal) if comm.rank == 0 else None
-        comm.Reduce(binmd_hist.signal, binmd_total, op=SUM, root=0)
-        comm.Reduce(mdnorm_hist.signal, mdnorm_total, op=SUM, root=0)
+        with tracer.span("mpi_reduce", kind="mpi",
+                         mpi_rank=int(comm.rank), mpi_size=int(comm.size)):
+            binmd_total = np.empty_like(binmd_hist.signal) if comm.rank == 0 else None
+            mdnorm_total = np.empty_like(mdnorm_hist.signal) if comm.rank == 0 else None
+            comm.Reduce(binmd_hist.signal, binmd_total, op=SUM, root=0)
+            comm.Reduce(mdnorm_hist.signal, mdnorm_total, op=SUM, root=0)
 
         if comm.rank != 0:
             return CrossSectionResult(

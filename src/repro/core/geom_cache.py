@@ -56,6 +56,7 @@ from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.util import trace as _trace
 from repro.util.validation import require
 
 #: default LRU byte budget of the process-wide cache
@@ -305,9 +306,11 @@ class GeomCache:
             entry = self._entries.get(key)
             if entry is None:
                 self.stats.misses += 1
+                _trace.active_tracer().count("geom_cache.miss", 1)
                 return None
             self._entries.move_to_end(key)
             self.stats.hits += 1
+            _trace.active_tracer().count("geom_cache.hit", 1)
             return entry
 
     def peek(self, key: Tuple[Any, ...]):
@@ -328,6 +331,7 @@ class GeomCache:
             self._entries[entry.key] = entry
             self._bytes += nbytes
             self.stats.inserts += 1
+            _trace.active_tracer().count("geom_cache.insert", 1)
             self._evict_to_budget()
             return True
 
@@ -431,15 +435,20 @@ class GeomCache:
         self._bytes = sum(e.nbytes for e in self._entries.values())
 
     def _evict_to_budget(self) -> None:
+        evicted = 0
         while self._bytes > self.byte_budget and len(self._entries) > 1:
             _, victim = self._entries.popitem(last=False)
             self._bytes -= victim.nbytes
             self.stats.evictions += 1
+            evicted += 1
         if self._bytes > self.byte_budget and self._entries:
             # a lone entry over budget (can only happen via note_update)
             self._entries.popitem(last=False)
             self._bytes = 0
             self.stats.evictions += 1
+            evicted += 1
+        if evicted:
+            _trace.active_tracer().count("geom_cache.eviction", evicted)
 
 
 class NullCache(GeomCache):

@@ -44,6 +44,7 @@ from repro.jacc import get_backend, parallel_for
 from repro.jacc.api import default_backend
 from repro.jacc.kernels import Captures, Kernel
 from repro.nexus.corrections import FluxSpectrum
+from repro.util import trace as _trace
 from repro.util.validation import require
 
 #: trajectories per device tile in the main MDNorm kernel
@@ -156,23 +157,27 @@ def max_intersections(
     if k_lo is None or k_hi is None:
         k_lo, k_hi = k_window(directions, grid, *momentum_band)
     dims = directions.shape[:2]
-    if be.device_kind == "device" and use_extended_reduce:
-        from repro.jacc.reduction import device_reduce
+    tracer = _trace.active_tracer()
+    with tracer.span("mdnorm.prepass", kind="phase", backend=be.name) as sp:
+        if be.device_kind == "device" and use_extended_reduce:
+            from repro.jacc.reduction import device_reduce
 
-        captures = Captures(directions=directions, grid=grid, k_lo=k_lo, k_hi=k_hi)
-        max_count = int(device_reduce(dims, COUNT_KERNEL, captures, op="max",
-                                      backend=be.name))
-    elif be.device_kind == "device":
-        counts_dev = be.to_device(np.zeros(dims[0] * dims[1], dtype=np.int64))
-        captures = Captures(
-            directions=directions, grid=grid, k_lo=k_lo, k_hi=k_hi, counts=counts_dev
-        )
-        be.parallel_for(dims, COUNT_STORE_KERNEL, captures)
-        counts_host = be.to_host(counts_dev)  # the workaround's D2H copy
-        max_count = int(counts_host.max(initial=0))
-    else:
-        captures = Captures(directions=directions, grid=grid, k_lo=k_lo, k_hi=k_hi)
-        max_count = int(be.parallel_reduce(dims, COUNT_KERNEL, captures, op="max"))
+            captures = Captures(directions=directions, grid=grid, k_lo=k_lo, k_hi=k_hi)
+            max_count = int(device_reduce(dims, COUNT_KERNEL, captures, op="max",
+                                          backend=be.name))
+        elif be.device_kind == "device":
+            counts_dev = be.to_device(np.zeros(dims[0] * dims[1], dtype=np.int64))
+            captures = Captures(
+                directions=directions, grid=grid, k_lo=k_lo, k_hi=k_hi, counts=counts_dev
+            )
+            be.parallel_for(dims, COUNT_STORE_KERNEL, captures)
+            counts_host = be.to_host(counts_dev)  # the workaround's D2H copy
+            max_count = int(counts_host.max(initial=0))
+        else:
+            captures = Captures(directions=directions, grid=grid, k_lo=k_lo, k_hi=k_hi)
+            max_count = int(be.parallel_reduce(dims, COUNT_KERNEL, captures, op="max"))
+        sp.set(max_intersections=max_count + 2)
+    tracer.count("mdnorm.prepass_trajectories", dims[0] * dims[1])
     return max_count + 2
 
 
@@ -377,77 +382,92 @@ def mdnorm(
 
     grid = hist.grid
     cache = _gc.resolve(cache)
-    entry: Optional[GeomEntry] = None
-    key = None
-    if cache.enabled:
-        key = GeomCache.geometry_key(
-            grid, transforms, det_directions, momentum_band, solid_angles, flux
-        )
-        entry = cache.get(key)
-
-    if entry is not None:
-        directions = entry.directions
-        k_lo, k_hi = entry.k_lo, entry.k_hi
-        raw_width = entry.width
-    else:
-        directions = trajectory_directions(transforms, det_directions)
-        k_lo, k_hi = k_window(directions, grid, *momentum_band)
-        raw_width = None
-
-    explicit_width = width is not None
-    if width is None:
-        if raw_width is None:
-            raw_width = max_intersections(
-                grid, transforms, det_directions, momentum_band,
-                backend=backend, directions=directions, k_lo=k_lo, k_hi=k_hi,
-            )
-        width = raw_width
-    width = min(width, grid.max_plane_crossings)
-
-    if cache.enabled:
-        if entry is None:
-            entry = GeomEntry(
-                key=key,
-                tag=cache_tag,
-                directions=_gc.freeze(directions),
-                k_lo=_gc.freeze(k_lo),
-                k_hi=_gc.freeze(k_hi),
-                width=raw_width,
-            )
-            cache.put(entry)
-            directions, k_lo, k_hi = entry.directions, entry.k_lo, entry.k_hi
-        elif entry.width is None and raw_width is not None:
-            entry.width = raw_width
-            cache.note_update(entry)
-
-    flux_k, flux_cum = cache.flux_table(flux)
-
-    # The deposit plan is only built/used for the canonical (pre-pass)
-    # width, and never when charge is 0 (the stream-compaction mask
-    # would degenerate and no longer be charge-independent).
-    use_plan = cache.enabled and entry is not None and not explicit_width \
-        and charge != 0.0
-    captures = Captures(
-        hist=hist,
-        grid=grid,
-        directions=directions,
-        k_lo=k_lo,
-        k_hi=k_hi,
-        solid_angles=solid_angles,
-        charge=float(charge),
-        flux_k=flux_k,
-        flux_cum=flux_cum,
-        scratch=_Scratch(width),
-        fill=fill_crossings_scalar,
-        width=int(width),
-        tile_rows=int(tile_rows),
+    tracer = _trace.active_tracer()
+    with tracer.span(
+        "mdnorm",
+        kind="op",
+        backend=backend or "default",
+        n_ops=int(transforms.shape[0]),
+        n_det=int(det_directions.shape[0]),
         sort_impl=sort_impl,
-        scatter_impl=scatter_impl,
-        geom_entry=entry,
-        geom_cache=cache,
-        use_plan=use_plan,
-    )
-    parallel_for(directions.shape[:2], MDNORM_KERNEL, captures, backend=backend)
+    ) as op_span:
+        entry: Optional[GeomEntry] = None
+        key = None
+        if cache.enabled:
+            key = GeomCache.geometry_key(
+                grid, transforms, det_directions, momentum_band, solid_angles, flux
+            )
+            entry = cache.get(key)
+        op_span.set(cache_hit=entry is not None)
+
+        if entry is not None:
+            directions = entry.directions
+            k_lo, k_hi = entry.k_lo, entry.k_hi
+            raw_width = entry.width
+        else:
+            directions = trajectory_directions(transforms, det_directions)
+            k_lo, k_hi = k_window(directions, grid, *momentum_band)
+            raw_width = None
+
+        explicit_width = width is not None
+        if width is None:
+            if raw_width is None:
+                raw_width = max_intersections(
+                    grid, transforms, det_directions, momentum_band,
+                    backend=backend, directions=directions, k_lo=k_lo, k_hi=k_hi,
+                )
+            width = raw_width
+        width = min(width, grid.max_plane_crossings)
+
+        if cache.enabled:
+            if entry is None:
+                entry = GeomEntry(
+                    key=key,
+                    tag=cache_tag,
+                    directions=_gc.freeze(directions),
+                    k_lo=_gc.freeze(k_lo),
+                    k_hi=_gc.freeze(k_hi),
+                    width=raw_width,
+                )
+                cache.put(entry)
+                directions, k_lo, k_hi = entry.directions, entry.k_lo, entry.k_hi
+            elif entry.width is None and raw_width is not None:
+                entry.width = raw_width
+                cache.note_update(entry)
+
+        flux_k, flux_cum = cache.flux_table(flux)
+
+        # The deposit plan is only built/used for the canonical (pre-pass)
+        # width, and never when charge is 0 (the stream-compaction mask
+        # would degenerate and no longer be charge-independent).
+        use_plan = cache.enabled and entry is not None and not explicit_width \
+            and charge != 0.0
+        op_span.set(width=int(width), warm_plan=bool(
+            use_plan and entry is not None and entry.deposit is not None
+        ))
+        captures = Captures(
+            hist=hist,
+            grid=grid,
+            directions=directions,
+            k_lo=k_lo,
+            k_hi=k_hi,
+            solid_angles=solid_angles,
+            charge=float(charge),
+            flux_k=flux_k,
+            flux_cum=flux_cum,
+            scratch=_Scratch(width),
+            fill=fill_crossings_scalar,
+            width=int(width),
+            tile_rows=int(tile_rows),
+            sort_impl=sort_impl,
+            scatter_impl=scatter_impl,
+            geom_entry=entry,
+            geom_cache=cache,
+            use_plan=use_plan,
+        )
+        parallel_for(directions.shape[:2], MDNORM_KERNEL, captures, backend=backend)
+        tracer.count("mdnorm.trajectories",
+                      int(transforms.shape[0]) * int(det_directions.shape[0]))
     return hist
 
 
@@ -481,20 +501,23 @@ def prefetch_geometry(
     )
     if cache.peek(key) is not None:
         return False
-    directions = trajectory_directions(transforms, det_directions)
-    k_lo, k_hi = k_window(directions, grid, *momentum_band)
-    raw_width = max_intersections(
-        grid, transforms, det_directions, momentum_band,
-        backend=backend, directions=directions, k_lo=k_lo, k_hi=k_hi,
-    )
-    cache.flux_table(flux)
-    return cache.put(
-        GeomEntry(
-            key=key,
-            tag=cache_tag,
-            directions=_gc.freeze(directions),
-            k_lo=_gc.freeze(k_lo),
-            k_hi=_gc.freeze(k_hi),
-            width=raw_width,
+    with _trace.active_tracer().span(
+        "mdnorm.prefetch", kind="phase", tag=cache_tag or ""
+    ):
+        directions = trajectory_directions(transforms, det_directions)
+        k_lo, k_hi = k_window(directions, grid, *momentum_band)
+        raw_width = max_intersections(
+            grid, transforms, det_directions, momentum_band,
+            backend=backend, directions=directions, k_lo=k_lo, k_hi=k_hi,
         )
-    )
+        cache.flux_table(flux)
+        return cache.put(
+            GeomEntry(
+                key=key,
+                tag=cache_tag,
+                directions=_gc.freeze(directions),
+                k_lo=_gc.freeze(k_lo),
+                k_hi=_gc.freeze(k_hi),
+                width=raw_width,
+            )
+        )

@@ -40,6 +40,7 @@ from repro.crystal.symmetry import PointGroup
 from repro.instruments.detector import DetectorArray
 from repro.nexus.corrections import FluxSpectrum
 from repro.nexus.events import RunData
+from repro.util import trace as _trace
 from repro.util.validation import ReproError, ValidationError, require
 
 
@@ -123,27 +124,30 @@ class StreamingReduction:
             raise ValidationError(f"run {rn} carries no UB matrix")
         self._open_runs[rn] = run_metadata
         self._runs_opened += 1
-        self._event_transforms[rn] = self.grid.transforms_for(
-            run_metadata.ub_matrix, self.point_group
-        )
-        traj_transforms = self.grid.transforms_for(
-            run_metadata.ub_matrix, self.point_group,
-            goniometer=run_metadata.goniometer,
-        )
-        lam_lo, lam_hi = run_metadata.wavelength_band
-        band = (2.0 * np.pi / lam_hi, 2.0 * np.pi / lam_lo)
-        mdnorm(
-            self._mdnorm,
-            traj_transforms,
-            self.instrument.directions,
-            self.solid_angles,
-            self.flux,
-            band,
-            charge=run_metadata.proton_charge,
-            backend=self.backend,
-            cache=self.geom_cache,
-            cache_tag=f"run:{rn}",
-        )
+        with _trace.active_tracer().span(
+            "stream.open_run", kind="stream", run=int(rn)
+        ):
+            self._event_transforms[rn] = self.grid.transforms_for(
+                run_metadata.ub_matrix, self.point_group
+            )
+            traj_transforms = self.grid.transforms_for(
+                run_metadata.ub_matrix, self.point_group,
+                goniometer=run_metadata.goniometer,
+            )
+            lam_lo, lam_hi = run_metadata.wavelength_band
+            band = (2.0 * np.pi / lam_hi, 2.0 * np.pi / lam_lo)
+            mdnorm(
+                self._mdnorm,
+                traj_transforms,
+                self.instrument.directions,
+                self.solid_angles,
+                self.flux,
+                band,
+                charge=run_metadata.proton_charge,
+                backend=self.backend,
+                cache=self.geom_cache,
+                cache_tag=f"run:{rn}",
+            )
 
     def consume(self, batch: StreamBatch) -> None:
         """Accumulate one event batch into the live histogram."""
@@ -154,23 +158,31 @@ class StreamingReduction:
             )
         if batch.detector_ids.shape[0] == 0:
             return
-        partial = RunData(
-            run_number=run.run_number,
-            detector_ids=batch.detector_ids,
-            tof=batch.tof,
-            weights=batch.weights,
-            goniometer=run.goniometer,
-            proton_charge=run.proton_charge,
-            wavelength_band=run.wavelength_band,
-            ub_matrix=run.ub_matrix,
-        )
-        ws = convert_to_md(partial, self.instrument)
-        # per-batch event tables are unique — caching their BinMD
-        # indices would only churn the LRU, so opt out explicitly
-        bin_events(
-            self._binmd, ws.events, self._event_transforms[batch.run_number],
-            backend=self.backend, cache=_gc.DISABLED,
-        )
+        tracer = _trace.active_tracer()
+        with tracer.span(
+            "stream.consume",
+            kind="stream",
+            run=int(batch.run_number),
+            n_events=int(batch.detector_ids.shape[0]),
+        ):
+            partial = RunData(
+                run_number=run.run_number,
+                detector_ids=batch.detector_ids,
+                tof=batch.tof,
+                weights=batch.weights,
+                goniometer=run.goniometer,
+                proton_charge=run.proton_charge,
+                wavelength_band=run.wavelength_band,
+                ub_matrix=run.ub_matrix,
+            )
+            ws = convert_to_md(partial, self.instrument)
+            # per-batch event tables are unique — caching their BinMD
+            # indices would only churn the LRU, so opt out explicitly
+            bin_events(
+                self._binmd, ws.events, self._event_transforms[batch.run_number],
+                backend=self.backend, cache=_gc.DISABLED,
+            )
+        tracer.count("stream.events", int(batch.detector_ids.shape[0]))
         self._events_seen += batch.detector_ids.shape[0]
 
     def close_run(self, run_number: int) -> None:

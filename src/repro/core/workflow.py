@@ -25,6 +25,7 @@ from repro.crystal.symmetry import PointGroup
 from repro.instruments.detector import DetectorArray
 from repro.mpi import Comm
 from repro.nexus.corrections import read_flux_file, read_vanadium_file
+from repro.util import trace as _trace
 from repro.util.timers import StageTimings
 from repro.util.validation import ValidationError, require
 
@@ -76,20 +77,27 @@ class ReductionWorkflow:
     ) -> CrossSectionResult:
         cfg = self.config
         paths = list(cfg.md_paths)
-        return compute_cross_section(
-            load_run=lambda i: load_md(paths[i]),
+        with _trace.active_tracer().span(
+            "workflow",
+            kind="workflow",
+            implementation="core",
             n_runs=len(paths),
-            grid=cfg.grid,
-            point_group=cfg.point_group,
-            flux=self.flux,
-            det_directions=cfg.instrument.directions,
-            solid_angles=self.solid_angles,
-            comm=comm,
-            backend=cfg.backend,
-            sort_impl=cfg.sort_impl,
-            timings=timings,
-            cache=cfg.geom_cache,
-        )
+            backend=cfg.backend or "default",
+        ):
+            return compute_cross_section(
+                load_run=lambda i: load_md(paths[i]),
+                n_runs=len(paths),
+                grid=cfg.grid,
+                point_group=cfg.point_group,
+                flux=self.flux,
+                det_directions=cfg.instrument.directions,
+                solid_angles=self.solid_angles,
+                comm=comm,
+                backend=cfg.backend,
+                sort_impl=cfg.sort_impl,
+                timings=timings,
+                cache=cfg.geom_cache,
+            )
 
     def prefetch_geometry(self) -> int:
         """Warm the geometry cache for every run before reducing.
@@ -103,6 +111,16 @@ class ReductionWorkflow:
         cache = _gc.resolve(cfg.geom_cache)
         if not cache.enabled:
             return 0
+        inserted = 0
+        with _trace.active_tracer().span(
+            "workflow.prefetch", kind="phase", n_runs=len(cfg.md_paths)
+        ) as sp:
+            inserted = self._prefetch_all(cache)
+            sp.set(inserted=int(inserted))
+        return inserted
+
+    def _prefetch_all(self, cache: GeomCache) -> int:
+        cfg = self.config
         inserted = 0
         for i, path in enumerate(cfg.md_paths):
             ws = load_md(path)

@@ -14,7 +14,8 @@ from typing import Any, Callable, Dict, Tuple
 
 import numpy as np
 
-from repro.jacc.kernels import Captures, Kernel
+from repro.jacc.kernels import Captures, Kernel, normalize_dims
+from repro.util import trace as _trace
 from repro.util.validation import ReproError
 
 
@@ -54,13 +55,30 @@ class Backend(ABC):
         return device
 
     # -- execution -------------------------------------------------------
-    @abstractmethod
+    # ``parallel_for`` / ``parallel_reduce`` are template methods: the
+    # base class owns the per-launch tracing span (one ``kernel:<name>``
+    # span per launch on the active tracer — the per-kernel attribution
+    # the paper's per-stage WCT tables are built from) and dispatches to
+    # the engine-specific ``run_*`` implementations.
+
     def parallel_for(
         self, dims: int | Tuple[int, ...], kernel: Kernel, captures: Captures
     ) -> None:
         """Run ``kernel`` once per index in ``dims`` (side effects only)."""
+        tracer = _trace.active_tracer()
+        if not tracer.enabled:
+            self.run_parallel_for(dims, kernel, captures)
+            return
+        with tracer.span(
+            f"kernel:{kernel.name}",
+            kind="kernel",
+            backend=self.name,
+            device_kind=self.device_kind,
+            dims=[int(d) for d in normalize_dims(dims)],
+        ):
+            self.run_parallel_for(dims, kernel, captures)
+        tracer.count("jacc.launches", 1)
 
-    @abstractmethod
     def parallel_reduce(
         self,
         dims: int | Tuple[int, ...],
@@ -69,6 +87,36 @@ class Backend(ABC):
         op: str = "+",
     ) -> float:
         """Reduce the kernel's per-index values with ``op``."""
+        tracer = _trace.active_tracer()
+        if not tracer.enabled:
+            return self.run_parallel_reduce(dims, kernel, captures, op)
+        with tracer.span(
+            f"kernel:{kernel.name}",
+            kind="kernel",
+            backend=self.name,
+            device_kind=self.device_kind,
+            dims=[int(d) for d in normalize_dims(dims)],
+            op=op,
+        ):
+            result = self.run_parallel_reduce(dims, kernel, captures, op)
+        tracer.count("jacc.launches", 1)
+        return result
+
+    @abstractmethod
+    def run_parallel_for(
+        self, dims: int | Tuple[int, ...], kernel: Kernel, captures: Captures
+    ) -> None:
+        """Engine-specific ``parallel_for`` body (no tracing concerns)."""
+
+    @abstractmethod
+    def run_parallel_reduce(
+        self,
+        dims: int | Tuple[int, ...],
+        kernel: Kernel,
+        captures: Captures,
+        op: str = "+",
+    ) -> float:
+        """Engine-specific ``parallel_reduce`` body (no tracing concerns)."""
 
     def synchronize(self) -> None:
         """Barrier until queued work completes (no-op for host engines)."""

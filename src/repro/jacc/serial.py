@@ -19,14 +19,14 @@ class SerialBackend(Backend):
     name = "serial"
     device_kind = "cpu"
 
-    def parallel_for(
+    def run_parallel_for(
         self, dims: int | Tuple[int, ...], kernel: Kernel, captures: Captures
     ) -> None:
         dims = normalize_dims(dims)
         loop = GLOBAL_JIT.loop_for(kernel.name, self.name, len(dims))
         loop(kernel.element, captures, dims)
 
-    def parallel_reduce(
+    def run_parallel_reduce(
         self,
         dims: int | Tuple[int, ...],
         kernel: Kernel,

@@ -58,7 +58,7 @@ class ThreadsBackend(Backend):
         step = max(1, (n + workers - 1) // workers)
         return [(start, min(start + step, n)) for start in range(0, n, step)]
 
-    def parallel_for(
+    def run_parallel_for(
         self, dims: int | Tuple[int, ...], kernel: Kernel, captures: Captures
     ) -> None:
         dims = normalize_dims(dims)
@@ -77,7 +77,7 @@ class ThreadsBackend(Backend):
         for f in futures:
             f.result()  # re-raise worker exceptions
 
-    def parallel_reduce(
+    def run_parallel_reduce(
         self,
         dims: int | Tuple[int, ...],
         kernel: Kernel,

@@ -26,6 +26,7 @@ import numpy as np
 from repro.jacc.backend import Backend, BackendError, register_backend
 from repro.jacc.jit import GLOBAL_JIT
 from repro.jacc.kernels import Captures, Kernel, normalize_dims
+from repro.util import trace as _trace
 
 
 class VectorizedBackend(Backend):
@@ -41,11 +42,13 @@ class VectorizedBackend(Backend):
     def to_device(self, host: np.ndarray) -> np.ndarray:
         dev = np.array(host, copy=True, order="C")
         self.bytes_h2d += dev.nbytes
+        _trace.active_tracer().count("jacc.bytes_h2d", dev.nbytes)
         return dev
 
     def to_host(self, device: np.ndarray) -> np.ndarray:
         host = np.array(device, copy=True, order="C")
         self.bytes_d2h += host.nbytes
+        _trace.active_tracer().count("jacc.bytes_d2h", host.nbytes)
         return host
 
     def reset_counters(self) -> None:
@@ -54,7 +57,7 @@ class VectorizedBackend(Backend):
         self.launches = 0
 
     # -- execution -------------------------------------------------------
-    def parallel_for(
+    def run_parallel_for(
         self, dims: int | Tuple[int, ...], kernel: Kernel, captures: Captures
     ) -> None:
         dims = normalize_dims(dims)
@@ -68,7 +71,7 @@ class VectorizedBackend(Backend):
         if all(d > 0 for d in dims):
             launch(kernel.batch, captures, dims)
 
-    def parallel_reduce(
+    def run_parallel_reduce(
         self,
         dims: int | Tuple[int, ...],
         kernel: Kernel,

@@ -6,14 +6,28 @@ import threading
 from typing import Any, Callable, List
 
 from repro.mpi.comm import Comm, MPIError, World
+from repro.util import trace as _trace
 
 
 def run_world(size: int, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> List[Any]:
     """Run ``fn(comm, *args, **kwargs)`` on ``size`` concurrent ranks.
 
-    Returns the per-rank return values in rank order.  If any rank
-    raises, the first exception (by rank) is re-raised after all ranks
-    finish or abort — a deadlock-free analogue of ``MPI_Abort``.
+    Returns the per-rank return values in rank order.  Error semantics
+    (a deadlock-free analogue of ``MPI_Abort``):
+
+    * a failing rank breaks the shared barrier, unblocking peers stuck
+      in collectives (their ``BrokenBarrierError`` is a *consequence*,
+      not a cause);
+    * after all ranks finish, the first **root-cause** exception by
+      rank — the first that is not a ``BrokenBarrierError`` — is
+      re-raised;
+    * if only broken-barrier errors remain (every rank aborted inside a
+      collective simultaneously), an :class:`MPIError` naming the
+      aborting ranks is raised, chained from the first of them.
+
+    Each rank's thread is rank-attributed for tracing: spans opened
+    inside ``fn`` carry ``rank=<i>`` and the whole rank body is wrapped
+    in a ``rank`` span.
     """
     if size < 1:
         raise MPIError(f"world size must be >= 1, got {size}")
@@ -23,11 +37,15 @@ def run_world(size: int, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> L
 
     def entry(rank: int) -> None:
         comm = Comm(world, rank)
-        try:
-            results[rank] = fn(comm, *args, **kwargs)
-        except BaseException as exc:  # noqa: BLE001 - re-raised below
-            errors[rank] = exc
-            world.barrier.abort()  # unblock peers stuck in collectives
+        tracer = _trace.active_tracer()
+        with _trace.rank_scope(rank):
+            try:
+                with tracer.span("rank", kind="rank",
+                                 rank=int(rank), size=int(size)):
+                    results[rank] = fn(comm, *args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                errors[rank] = exc
+                world.barrier.abort()  # unblock peers stuck in collectives
 
     threads = [
         threading.Thread(target=entry, args=(rank,), name=f"mpi-rank-{rank}")
@@ -37,10 +55,18 @@ def run_world(size: int, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> L
         t.start()
     for t in threads:
         t.join()
-    for exc in errors:
-        if exc is not None and not isinstance(exc, threading.BrokenBarrierError):
-            raise exc
-    broken = next((e for e in errors if e is not None), None)
-    if broken is not None:
-        raise broken
+    root_cause = next(
+        (e for e in errors
+         if e is not None and not isinstance(e, threading.BrokenBarrierError)),
+        None,
+    )
+    if root_cause is not None:
+        raise root_cause
+    broken_ranks = [r for r, e in enumerate(errors) if e is not None]
+    if broken_ranks:
+        first = errors[broken_ranks[0]]
+        raise MPIError(
+            f"ranks {broken_ranks} aborted inside a collective "
+            f"(broken barrier) with no root-cause exception"
+        ) from first
     return results

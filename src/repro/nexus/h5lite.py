@@ -42,6 +42,7 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.util import trace as _trace
 from repro.util.validation import ReproError
 
 MAGIC = b"H5LITE01"
@@ -222,6 +223,7 @@ class Dataset(_Node):
         fh.seek(self._offset)
         stored = self._stored_nbytes if self._stored_nbytes is not None else self.nbytes
         raw = fh.read(stored)
+        _trace.active_tracer().count("h5lite.bytes_read", len(raw))
         if len(raw) != stored:
             raise H5LiteError(
                 f"truncated dataset {self.name!r}: wanted {stored} bytes, "
@@ -253,6 +255,7 @@ class Dataset(_Node):
         fh.seek(self._offset + start * row_bytes)
         n = stop - start
         raw = fh.read(n * row_bytes)
+        _trace.active_tracer().count("h5lite.bytes_read", len(raw))
         if len(raw) != n * row_bytes:
             raise H5LiteError(f"truncated dataset {self.name!r}")
         return np.frombuffer(raw, dtype=self.dtype).reshape((n,) + self.shape[1:])

@@ -42,6 +42,7 @@ from repro.instruments.detector import DetectorArray
 from repro.mpi import Comm
 from repro.nexus.corrections import FluxSpectrum, read_flux_file, read_vanadium_file
 from repro.nexus.events import COL_ERROR_SQ, COL_QX, COL_QZ, COL_SIGNAL, EventTable
+from repro.util import trace as _trace
 from repro.util.timers import StageTimings
 from repro.util.validation import ValidationError, require
 
@@ -57,20 +58,29 @@ def cpp_bin_md(hist: Hist3, events: EventTable, transforms: np.ndarray) -> Hist3
     require(transforms.ndim == 3 and transforms.shape[1:] == (3, 3),
             "transforms must be (n_ops, 3, 3)")
     data = events.data if isinstance(events, EventTable) else np.asarray(events)
-    q = data[:, COL_QX : COL_QZ + 1]
-    weights = data[:, COL_SIGNAL]
-    err_sq = data[:, COL_ERROR_SQ]
-    grid = hist.grid
-    n_total = grid.n_bins_total
-    flat_signal = hist.flat_signal
-    flat_err = hist.flat_error_sq
-    for op in transforms:
-        coords = q @ op.T
-        idx, inside = grid.bin_index(coords)
-        idx = idx[inside]
-        flat_signal += np.bincount(idx, weights=weights[inside], minlength=n_total)
-        if flat_err is not None:
-            flat_err += np.bincount(idx, weights=err_sq[inside], minlength=n_total)
+    tracer = _trace.active_tracer()
+    with tracer.span(
+        "cpp.binmd",
+        kind="op",
+        n_ops=int(transforms.shape[0]),
+        n_events=int(data.shape[0]),
+    ):
+        q = data[:, COL_QX : COL_QZ + 1]
+        weights = data[:, COL_SIGNAL]
+        err_sq = data[:, COL_ERROR_SQ]
+        grid = hist.grid
+        n_total = grid.n_bins_total
+        flat_signal = hist.flat_signal
+        flat_err = hist.flat_error_sq
+        for op in transforms:
+            coords = q @ op.T
+            idx, inside = grid.bin_index(coords)
+            idx = idx[inside]
+            flat_signal += np.bincount(idx, weights=weights[inside], minlength=n_total)
+            if flat_err is not None:
+                flat_err += np.bincount(idx, weights=err_sq[inside], minlength=n_total)
+        tracer.count("cpp.binmd.events",
+                     int(transforms.shape[0]) * int(data.shape[0]))
     return hist
 
 
@@ -150,41 +160,51 @@ def cpp_md_norm(
     transforms = np.asarray(transforms, dtype=np.float64)
     det_directions = np.asarray(det_directions, dtype=np.float64)
     solid_angles = np.asarray(solid_angles, dtype=np.float64)
-    grid = hist.grid
-    directions = trajectory_directions(transforms, det_directions).reshape(-1, 3)
-    k_lo, k_hi = k_window(directions, grid, *momentum_band)
-    n_ops = transforms.shape[0]
-    det_weight = np.tile(solid_angles * charge, n_ops)
+    tracer = _trace.active_tracer()
+    with tracer.span(
+        "cpp.mdnorm",
+        kind="op",
+        n_ops=int(transforms.shape[0]),
+        n_det=int(det_directions.shape[0]),
+    ) as op_span:
+        grid = hist.grid
+        directions = trajectory_directions(transforms, det_directions).reshape(-1, 3)
+        k_lo, k_hi = k_window(directions, grid, *momentum_band)
+        n_ops = transforms.shape[0]
+        det_weight = np.tile(solid_angles * charge, n_ops)
 
-    if n_threads is None:
-        env = os.environ.get("REPRO_NUM_THREADS")
-        n_threads = max(1, int(env)) if env else max(1, os.cpu_count() or 1)
-    n_rows = directions.shape[0]
-    flux_k, flux_cum = flux.momentum, flux._cumulative
+        if n_threads is None:
+            env = os.environ.get("REPRO_NUM_THREADS")
+            n_threads = max(1, int(env)) if env else max(1, os.cpu_count() or 1)
+        n_rows = directions.shape[0]
+        flux_k, flux_cum = flux.momentum, flux._cumulative
+        tracer.count("cpp.mdnorm.trajectories", int(n_rows))
 
-    if n_threads == 1 or n_rows < 2 * n_threads:
-        _mdnorm_rows(
-            range(n_rows), directions, k_lo, k_hi, det_weight, grid,
-            flux_k, flux_cum, hist.flat_signal,
-        )
-        return hist
-
-    step = (n_rows + n_threads - 1) // n_threads
-    chunks = [range(s, min(s + step, n_rows)) for s in range(0, n_rows, step)]
-    partials = [np.zeros(grid.n_bins_total) for _ in chunks]
-    with ThreadPoolExecutor(max_workers=n_threads) as pool:
-        futures = [
-            pool.submit(
-                _mdnorm_rows, rows, directions, k_lo, k_hi, det_weight, grid,
-                flux_k, flux_cum, partial,
+        if n_threads == 1 or n_rows < 2 * n_threads:
+            op_span.set(n_threads=1)
+            _mdnorm_rows(
+                range(n_rows), directions, k_lo, k_hi, det_weight, grid,
+                flux_k, flux_cum, hist.flat_signal,
             )
-            for rows, partial in zip(chunks, partials)
-        ]
-        for f in futures:
-            f.result()
-    acc = hist.flat_signal
-    for partial in partials:
-        acc += partial
+            return hist
+
+        op_span.set(n_threads=int(n_threads))
+        step = (n_rows + n_threads - 1) // n_threads
+        chunks = [range(s, min(s + step, n_rows)) for s in range(0, n_rows, step)]
+        partials = [np.zeros(grid.n_bins_total) for _ in chunks]
+        with ThreadPoolExecutor(max_workers=n_threads) as pool:
+            futures = [
+                pool.submit(
+                    _mdnorm_rows, rows, directions, k_lo, k_hi, det_weight, grid,
+                    flux_k, flux_cum, partial,
+                )
+                for rows, partial in zip(chunks, partials)
+            ]
+            for f in futures:
+                f.result()
+        acc = hist.flat_signal
+        for partial in partials:
+            acc += partial
     return hist
 
 
@@ -231,18 +251,25 @@ class CppProxyWorkflow:
                 charge=charge, n_threads=cfg.n_threads,
             )
 
-        result = compute_cross_section(
-            load_run=lambda i: load_md(paths[i]),
+        with _trace.active_tracer().span(
+            "workflow",
+            kind="workflow",
+            implementation="cpp_proxy",
             n_runs=len(paths),
-            grid=cfg.grid,
-            point_group=cfg.point_group,
-            flux=self.flux,
-            det_directions=cfg.instrument.directions,
-            solid_angles=self.solid_angles,
-            comm=comm,
-            timings=timings or StageTimings(label="cpp-proxy"),
-            binmd_impl=cpp_bin_md,
-            mdnorm_impl=mdnorm_impl,
-        )
+            backend="cpp-proxy",
+        ):
+            result = compute_cross_section(
+                load_run=lambda i: load_md(paths[i]),
+                n_runs=len(paths),
+                grid=cfg.grid,
+                point_group=cfg.point_group,
+                flux=self.flux,
+                det_directions=cfg.instrument.directions,
+                solid_angles=self.solid_angles,
+                comm=comm,
+                timings=timings or StageTimings(label="cpp-proxy"),
+                binmd_impl=cpp_bin_md,
+                mdnorm_impl=mdnorm_impl,
+            )
         result.backend = "cpp-proxy"
         return result

@@ -41,6 +41,7 @@ from repro.jacc.jit import GLOBAL_JIT
 from repro.mpi import Comm
 from repro.nexus.corrections import read_flux_file, read_vanadium_file
 from repro.nexus.events import EventTable
+from repro.util import trace as _trace
 from repro.util.timers import StageTimings
 from repro.util.validation import ValidationError, require
 
@@ -106,31 +107,40 @@ class MiniVatesWorkflow:
         cache = DISABLED if cfg.cold_start else _gc.resolve(cfg.geom_cache)
         device.reset_counters()
 
-        # static geometry lives on the device for the whole run
-        det_directions = device.to_device(cfg.instrument.directions)
-        solid_angles = device.to_device(self._host_solid_angles)
-
-        def load_run(i: int) -> MDEventWorkspace:
-            ws = load_md(paths[i])
-            # UpdateEvents ends with the H2D copy of the event table
-            ws.events = EventTable(device.to_device(ws.events.data))
-            return ws
-
-        result = compute_cross_section(
-            load_run=load_run,
+        tracer = _trace.active_tracer()
+        with tracer.span(
+            "workflow",
+            kind="workflow",
+            implementation="minivates",
             n_runs=len(paths),
-            grid=cfg.grid,
-            point_group=cfg.point_group,
-            flux=self.flux,
-            det_directions=det_directions,
-            solid_angles=solid_angles,
-            comm=comm,
             backend=DEVICE_BACKEND,
-            sort_impl=cfg.sort_impl,
-            scatter_impl=cfg.scatter_impl,
-            timings=timings or StageTimings(label="minivates"),
-            cache=cache,
-        )
+            cold_start=bool(cfg.cold_start),
+        ):
+            # static geometry lives on the device for the whole run
+            det_directions = device.to_device(cfg.instrument.directions)
+            solid_angles = device.to_device(self._host_solid_angles)
+
+            def load_run(i: int) -> MDEventWorkspace:
+                ws = load_md(paths[i])
+                # UpdateEvents ends with the H2D copy of the event table
+                ws.events = EventTable(device.to_device(ws.events.data))
+                return ws
+
+            result = compute_cross_section(
+                load_run=load_run,
+                n_runs=len(paths),
+                grid=cfg.grid,
+                point_group=cfg.point_group,
+                flux=self.flux,
+                det_directions=det_directions,
+                solid_angles=solid_angles,
+                comm=comm,
+                backend=DEVICE_BACKEND,
+                sort_impl=cfg.sort_impl,
+                scatter_impl=cfg.scatter_impl,
+                timings=timings or StageTimings(label="minivates"),
+                cache=cache,
+            )
         result.backend = "minivates"
         extras = dict(result.extras or {})
         extras.update({
@@ -141,4 +151,11 @@ class MiniVatesWorkflow:
             "jit_compile_events": len(GLOBAL_JIT.compile_events),
         })
         result.extras = extras
+        tracer.gauge("minivates.bytes_h2d", float(device.bytes_h2d))
+        tracer.gauge("minivates.bytes_d2h", float(device.bytes_d2h))
+        tracer.gauge("minivates.kernel_launches", float(device.launches))
+        tracer.gauge(
+            "minivates.jit_compile_seconds",
+            float(GLOBAL_JIT.total_compile_seconds()),
+        )
         return result

@@ -16,6 +16,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional
 
+from repro.util import trace as _trace
+
 
 class Timer:
     """A restartable stopwatch measuring wall-clock seconds.
@@ -96,12 +98,32 @@ class StageTimings:
 
     @contextmanager
     def stage(self, name: str) -> Iterator[Timer]:
+        """Time one stage invocation (and emit a trace span for it).
+
+        ``StageTimings`` is a *view over spans*: the stage opens a span
+        on the active tracer (``kind="stage"``, ``timings=<label>``)
+        and the timer accumulates exactly the span's duration — one
+        clock read per edge, shared by both — so totals derived from
+        the trace (:func:`repro.util.trace.stage_timings_from_records`)
+        equal this accumulator bit for bit.  With tracing disabled the
+        span is a timestamp-only stub and behaviour is unchanged.
+        """
         t = self.timer(name)
-        t.start()
+        if t.running:
+            raise RuntimeError("Timer already running")
+        tracer = _trace.active_tracer()
+        sp = tracer.begin(name, kind="stage", timings=self.label)
+        # mark the timer running (in perf_counter coordinates, so a
+        # stray manual stop() still behaves sanely)
+        t._t0 = sp.t0 + tracer._epoch
         try:
             yield t
         finally:
-            dt = t.stop()
+            tracer.end(sp)
+            dt = sp.duration
+            t._t0 = None
+            t.elapsed += dt
+            t.ncalls += 1
             self.first_call.setdefault(name, dt)
 
     def seconds(self, stage: str) -> float:

@@ -1,0 +1,763 @@
+"""Structured tracing + metrics for the reduction pipeline.
+
+The paper's entire results section is per-stage wall-clock accounting
+(UpdateEvents / MDNorm / BinMD, first-call vs warm, per backend, per MPI
+rank).  :class:`~repro.util.timers.StageTimings` only carries flat sums;
+this module is the machine-readable record *behind* those sums:
+
+* hierarchical **spans** — ``with tracer.span("mdnorm", run=3): ...`` —
+  with monotonic timestamps, per-span attributes and strict nesting,
+  kept on **thread-local stacks** so the in-process MPI ranks
+  (:func:`repro.mpi.runner.run_world` threads) each produce their own
+  attributed stream;
+* **counters** and **gauges** (events processed, geometry-cache
+  hits/misses, bytes read by :mod:`repro.nexus.h5lite`, device transfer
+  volumes);
+* **exporters**: JSON-lines (one record per line, schema below), a
+  Chrome-trace file loadable in ``chrome://tracing`` / Perfetto, and a
+  plain-text summary table that reproduces the paper's WCT rows from
+  the trace alone;
+* a **derived view**: :func:`stage_timings_from_records` rebuilds an
+  API-compatible ``StageTimings`` from the stage spans — and because
+  ``StageTimings.stage`` itself drives its timers from the span
+  timestamps (one clock read per edge, shared by both), the derived
+  totals equal the legacy accumulator **bit for bit**.
+
+Tracing is **opt-in**: the process default is :data:`DISABLED`, a
+null tracer whose spans still carry timestamps (so ``StageTimings``
+keeps working) but record nothing.  Enable with::
+
+    tracer = Tracer(label="benzil")
+    with use_tracer(tracer):
+        workflow.run()
+    tracer.write_jsonl("trace.jsonl")
+    print(tracer.summary())
+
+JSON-lines schema (``schema`` = :data:`SCHEMA_VERSION`):
+
+* line 1 — ``{"type": "meta", "schema": 1, "label": ..., "pid": ...,
+  "epoch_unix": ...}``
+* span — ``{"type": "span", "name", "span_id", "parent_id", "rank",
+  "thread", "t0", "t1", "dur", "seq", "attrs": {...}}`` (``t0``/``t1``
+  are seconds on the tracer's monotonic clock, 0 at tracer creation)
+* counter — ``{"type": "counter", "name", "value"}``
+* gauge — ``{"type": "gauge", "name", "value"}``
+
+:func:`validate_file` checks a written file against this schema (the CI
+trace-smoke job runs it on every push).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.util.validation import ReproError
+
+#: JSON-lines schema version written to (and required of) trace files
+SCHEMA_VERSION = 1
+
+#: record keys every span record must carry
+SPAN_KEYS = (
+    "type", "name", "span_id", "parent_id", "rank", "thread",
+    "t0", "t1", "dur", "seq", "attrs",
+)
+
+#: valid record types of the JSON-lines stream
+RECORD_TYPES = ("meta", "span", "counter", "gauge")
+
+
+class TraceError(ReproError):
+    """Tracing misuse or a malformed trace file."""
+
+
+# ---------------------------------------------------------------------------
+# per-thread context (rank attribution)
+# ---------------------------------------------------------------------------
+
+_thread_ctx = threading.local()
+
+
+def set_current_rank(rank: Optional[int]) -> None:
+    """Attribute spans opened by this thread to an MPI rank (None clears)."""
+    _thread_ctx.rank = rank
+
+
+def current_rank() -> Optional[int]:
+    """The MPI rank attributed to this thread (None outside ``run_world``)."""
+    return getattr(_thread_ctx, "rank", None)
+
+
+@contextmanager
+def rank_scope(rank: Optional[int]) -> Iterator[None]:
+    """Set the thread's rank attribution for the duration of a block."""
+    prev = current_rank()
+    set_current_rank(rank)
+    try:
+        yield
+    finally:
+        set_current_rank(prev)
+
+
+# ---------------------------------------------------------------------------
+# spans
+# ---------------------------------------------------------------------------
+
+class Span:
+    """One timed region: name + attributes + [t0, t1] on the monotonic
+    clock.  Create via :meth:`Tracer.begin` / :meth:`Tracer.span`."""
+
+    __slots__ = ("name", "attrs", "span_id", "parent_id", "rank", "thread",
+                 "t0", "t1")
+
+    def __init__(
+        self,
+        name: str,
+        attrs: Dict[str, Any],
+        span_id: int,
+        parent_id: Optional[int],
+        rank: Optional[int],
+        thread: str,
+        t0: float,
+    ) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.rank = rank
+        self.thread = thread
+        self.t0 = t0
+        self.t1: Optional[float] = None
+
+    @property
+    def duration(self) -> float:
+        if self.t1 is None:
+            raise TraceError(f"span {self.name!r} has not finished")
+        return self.t1 - self.t0
+
+    @property
+    def finished(self) -> bool:
+        return self.t1 is not None
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach (or overwrite) attributes after the span opened."""
+        self.attrs.update(attrs)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = f"dur={self.duration:.6f}s" if self.finished else "open"
+        return f"Span({self.name!r}, id={self.span_id}, {state})"
+
+
+# ---------------------------------------------------------------------------
+# the tracer
+# ---------------------------------------------------------------------------
+
+class Tracer:
+    """Process-wide structured tracer with thread-local span stacks.
+
+    Thread-safe: each thread nests spans on its own stack (so the
+    simulated MPI ranks and the threads back end cannot corrupt each
+    other's hierarchy); the finished-record list and the counter/gauge
+    tables are guarded by one lock.
+    """
+
+    enabled = True
+
+    def __init__(self, label: str = "") -> None:
+        self.label = label
+        self.epoch_unix = time.time()
+        self._epoch = time.perf_counter()
+        self._lock = threading.Lock()
+        self._records: List[Dict[str, Any]] = []
+        self._counters: "OrderedDict[str, float]" = OrderedDict()
+        self._gauges: "OrderedDict[str, float]" = OrderedDict()
+        self._tls = threading.local()
+        self._next_id = 0
+        self._seq = 0
+
+    # -- span lifecycle ---------------------------------------------------
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def begin(self, name: str, **attrs: Any) -> Span:
+        """Open a span on this thread's stack (prefer :meth:`span`)."""
+        if not name:
+            raise TraceError("span name must be non-empty")
+        stack = self._stack()
+        parent_id = stack[-1].span_id if stack else None
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        span = Span(
+            name=name,
+            attrs=dict(attrs),
+            span_id=span_id,
+            parent_id=parent_id,
+            rank=current_rank(),
+            thread=threading.current_thread().name,
+            t0=time.perf_counter() - self._epoch,
+        )
+        stack.append(span)
+        return span
+
+    def end(self, span: Span) -> Span:
+        """Close a span; it must be the innermost open span of this
+        thread (strict LIFO — this is what makes nesting provable)."""
+        stack = self._stack()
+        if not stack or stack[-1] is not span:
+            if span in stack:
+                raise TraceError(
+                    f"span {span.name!r} closed out of order (strict LIFO)"
+                )
+            raise TraceError(
+                f"span {span.name!r} was not opened by thread "
+                f"{threading.current_thread().name!r} (spans must never "
+                f"cross threads)"
+            )
+        stack.pop()
+        span.t1 = time.perf_counter() - self._epoch
+        self._record(span)
+        return span
+
+    def _record(self, span: Span) -> None:
+        rec = {
+            "type": "span",
+            "name": span.name,
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "rank": span.rank,
+            "thread": span.thread,
+            "t0": span.t0,
+            "t1": span.t1,
+            "dur": span.t1 - span.t0,  # type: ignore[operator]
+            "attrs": span.attrs,
+        }
+        with self._lock:
+            rec["seq"] = self._seq
+            self._seq += 1
+            self._records.append(rec)
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """``with tracer.span("mdnorm", run=3, backend="threads"):``"""
+        sp = self.begin(name, **attrs)
+        try:
+            yield sp
+        finally:
+            self.end(sp)
+
+    def current_span(self) -> Optional[Span]:
+        """The innermost open span of the calling thread."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # -- metrics ----------------------------------------------------------
+    def count(self, name: str, delta: float = 1.0) -> None:
+        """Accumulate a named counter (thread-safe)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + delta
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set a named gauge (last write wins)."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    @property
+    def counters(self) -> Dict[str, float]:
+        with self._lock:
+            return dict(self._counters)
+
+    @property
+    def gauges(self) -> Dict[str, float]:
+        with self._lock:
+            return dict(self._gauges)
+
+    # -- inspection -------------------------------------------------------
+    @property
+    def records(self) -> List[Dict[str, Any]]:
+        """Finished span records in completion order (copies the list)."""
+        with self._lock:
+            return list(self._records)
+
+    @property
+    def n_spans(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def span_names(self) -> List[str]:
+        return sorted({r["name"] for r in self.records})
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+            self._counters.clear()
+            self._gauges.clear()
+
+    # -- exporters --------------------------------------------------------
+    def _meta(self) -> Dict[str, Any]:
+        return {
+            "type": "meta",
+            "schema": SCHEMA_VERSION,
+            "label": self.label,
+            "pid": os.getpid(),
+            "epoch_unix": self.epoch_unix,
+            "tool": "repro.util.trace",
+        }
+
+    def write_jsonl(self, path: str) -> int:
+        """Write the JSON-lines trace file; returns the record count."""
+        records = self.records
+        counters, gauges = self.counters, self.gauges
+        n = 0
+        with open(path, "w") as fh:
+            fh.write(json.dumps(self._meta(), default=_json_default) + "\n")
+            n += 1
+            for rec in records:
+                fh.write(json.dumps(rec, default=_json_default) + "\n")
+                n += 1
+            for name, value in counters.items():
+                fh.write(json.dumps(
+                    {"type": "counter", "name": name, "value": value}) + "\n")
+                n += 1
+            for name, value in gauges.items():
+                fh.write(json.dumps(
+                    {"type": "gauge", "name": name, "value": value}) + "\n")
+                n += 1
+        return n
+
+    def write_chrome_trace(self, path: str) -> int:
+        """Write a ``chrome://tracing`` / Perfetto JSON file."""
+        return write_chrome_trace(path, self.records, meta=self._meta())
+
+    def summary(self, per_rank: bool = True) -> str:
+        """Paper-style WCT table derived from the spans alone."""
+        return summary_from_records(
+            self.records, counters=self.counters, gauges=self.gauges,
+            label=self.label, per_rank=per_rank,
+        )
+
+    def stage_timings(self, *, label: Optional[str] = None,
+                      rank: Optional[int] = None):
+        """Rebuild an API-compatible ``StageTimings`` from the spans."""
+        return stage_timings_from_records(self.records, label=label, rank=rank)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Tracer(label={self.label!r}, spans={self.n_spans}, "
+                f"counters={len(self.counters)})")
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: spans still carry timestamps (so the
+    ``StageTimings`` view keeps working), but nothing is recorded, no
+    stacks are kept, and counters/gauges are dropped."""
+
+    enabled = False
+
+    def begin(self, name: str, **attrs: Any) -> Span:
+        return Span(
+            name=name, attrs=attrs, span_id=-1, parent_id=None,
+            rank=None, thread="", t0=time.perf_counter() - self._epoch,
+        )
+
+    def end(self, span: Span) -> Span:
+        span.t1 = time.perf_counter() - self._epoch
+        return span
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        sp = self.begin(name)
+        try:
+            yield sp
+        finally:
+            sp.t1 = time.perf_counter() - self._epoch
+
+    def current_span(self) -> Optional[Span]:
+        return None
+
+    def count(self, name: str, delta: float = 1.0) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+
+#: the process-default tracer: disabled (tracing is strictly opt-in)
+DISABLED = NullTracer()
+
+_active_lock = threading.Lock()
+_active: Tracer = DISABLED
+
+
+def active_tracer() -> Tracer:
+    """The tracer the instrumented pipeline currently reports into."""
+    return _active
+
+
+def set_tracer(tracer: Optional[Tracer]) -> Tracer:
+    """Install the process-wide tracer (None resets to :data:`DISABLED`)."""
+    global _active
+    with _active_lock:
+        _active = tracer if tracer is not None else DISABLED
+        return _active
+
+
+@contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Install ``tracer`` for a block, restoring the previous one after."""
+    global _active
+    with _active_lock:
+        prev = _active
+        _active = tracer
+    try:
+        yield tracer
+    finally:
+        with _active_lock:
+            _active = prev
+
+
+# ---------------------------------------------------------------------------
+# serialization helpers
+# ---------------------------------------------------------------------------
+
+def _json_default(obj: Any) -> Any:
+    """Best-effort JSON encoding of numpy scalars / arrays in attrs."""
+    import numpy as np
+
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    return str(obj)
+
+
+def load_file(path: str) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    """Read a JSON-lines trace back as ``(meta, records)``.
+
+    ``records`` holds every non-meta record (spans in seq order as
+    written, then counters/gauges).
+    """
+    records: List[Dict[str, Any]] = []
+    meta: Optional[Dict[str, Any]] = None
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceError(f"{path}:{lineno}: not JSON: {exc}") from exc
+            if not isinstance(rec, dict) or "type" not in rec:
+                raise TraceError(f"{path}:{lineno}: record has no 'type'")
+            if rec["type"] == "meta":
+                if meta is not None:
+                    raise TraceError(f"{path}:{lineno}: duplicate meta record")
+                meta = rec
+            else:
+                records.append(rec)
+    if meta is None:
+        raise TraceError(f"{path}: missing meta record")
+    return meta, records
+
+
+def validate_file(path: str) -> Dict[str, Any]:
+    """Validate a JSON-lines trace against the schema.
+
+    Raises :class:`TraceError` on any violation; returns a summary
+    dict (span/rank/counter inventory) on success.  This is the helper
+    the CI trace-smoke job runs.
+    """
+    meta, records = load_file(path)
+    if meta.get("schema") != SCHEMA_VERSION:
+        raise TraceError(
+            f"{path}: schema {meta.get('schema')!r} != {SCHEMA_VERSION}"
+        )
+    span_ids = set()
+    parents = []
+    names = set()
+    ranks = set()
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    n_spans = 0
+    last_seq = -1
+    for i, rec in enumerate(records):
+        rtype = rec.get("type")
+        if rtype not in RECORD_TYPES:
+            raise TraceError(f"{path}: record {i} has unknown type {rtype!r}")
+        if rtype == "span":
+            missing = [k for k in SPAN_KEYS if k not in rec]
+            if missing:
+                raise TraceError(
+                    f"{path}: span record {i} missing keys {missing}"
+                )
+            if not isinstance(rec["name"], str) or not rec["name"]:
+                raise TraceError(f"{path}: span record {i} has empty name")
+            if not isinstance(rec["attrs"], dict):
+                raise TraceError(f"{path}: span record {i} attrs not a dict")
+            t0, t1, dur = rec["t0"], rec["t1"], rec["dur"]
+            if not (isinstance(t0, (int, float)) and isinstance(t1, (int, float))):
+                raise TraceError(f"{path}: span record {i} timestamps not numeric")
+            if t1 < t0 or dur < 0:
+                raise TraceError(f"{path}: span record {i} runs backwards")
+            if abs((t1 - t0) - dur) > 1e-9:
+                raise TraceError(f"{path}: span record {i} dur != t1 - t0")
+            if rec["span_id"] in span_ids:
+                raise TraceError(
+                    f"{path}: duplicate span_id {rec['span_id']}"
+                )
+            if rec["seq"] <= last_seq:
+                raise TraceError(f"{path}: span record {i} out of seq order")
+            last_seq = rec["seq"]
+            span_ids.add(rec["span_id"])
+            if rec["parent_id"] is not None:
+                parents.append((i, rec["parent_id"]))
+            names.add(rec["name"])
+            if rec["rank"] is not None:
+                ranks.add(rec["rank"])
+            n_spans += 1
+        elif rtype in ("counter", "gauge"):
+            if "name" not in rec or not isinstance(rec.get("value"), (int, float)):
+                raise TraceError(
+                    f"{path}: {rtype} record {i} needs a name and numeric value"
+                )
+            (counters if rtype == "counter" else gauges)[rec["name"]] = rec["value"]
+    for i, pid in enumerate(p for _, p in parents):
+        if pid not in span_ids:
+            raise TraceError(
+                f"{path}: span parent_id {pid} references no span in the file"
+            )
+    return {
+        "schema": meta["schema"],
+        "label": meta.get("label", ""),
+        "n_spans": n_spans,
+        "span_names": sorted(names),
+        "ranks": sorted(ranks),
+        "counters": counters,
+        "gauges": gauges,
+    }
+
+
+# ---------------------------------------------------------------------------
+# chrome trace export
+# ---------------------------------------------------------------------------
+
+def write_chrome_trace(
+    path: str,
+    records: Sequence[Dict[str, Any]],
+    *,
+    meta: Optional[Dict[str, Any]] = None,
+) -> int:
+    """Write span records as a Chrome-trace (``chrome://tracing``) file.
+
+    Each (rank, thread) pair becomes one timeline row; spans are
+    complete ("X") events with microsecond timestamps.  Returns the
+    number of trace events written.
+    """
+    pid = (meta or {}).get("pid", os.getpid())
+    label = (meta or {}).get("label", "")
+    events: List[Dict[str, Any]] = [{
+        "ph": "M", "name": "process_name", "pid": pid,
+        "args": {"name": f"repro reduction {label}".strip()},
+    }]
+    tids: Dict[Tuple[Optional[int], str], int] = {}
+    for rec in records:
+        if rec.get("type", "span") != "span":
+            continue
+        key = (rec.get("rank"), rec.get("thread", ""))
+        if key not in tids:
+            tid = len(tids)
+            tids[key] = tid
+            rank, thread = key
+            row = f"rank {rank}" if rank is not None else (thread or "main")
+            events.append({
+                "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                "args": {"name": row},
+            })
+        events.append({
+            "ph": "X",
+            "name": rec["name"],
+            "cat": str(rec.get("attrs", {}).get("kind", "span")),
+            "pid": pid,
+            "tid": tids[key],
+            "ts": rec["t0"] * 1e6,
+            "dur": rec["dur"] * 1e6,
+            "args": rec.get("attrs", {}),
+        })
+    with open(path, "w") as fh:
+        json.dump({"traceEvents": events, "displayTimeUnit": "ms"},
+                  fh, default=_json_default)
+    return len(events)
+
+
+# ---------------------------------------------------------------------------
+# derived views: StageTimings + the paper-style summary table
+# ---------------------------------------------------------------------------
+
+def iter_spans(records: Sequence[Dict[str, Any]]) -> Iterator[Dict[str, Any]]:
+    for rec in records:
+        if rec.get("type", "span") == "span":
+            yield rec
+
+
+def _stage_spans(
+    records: Sequence[Dict[str, Any]],
+    *,
+    label: Optional[str] = None,
+    rank: Optional[int] = None,
+) -> Iterator[Dict[str, Any]]:
+    for rec in iter_spans(records):
+        attrs = rec.get("attrs", {})
+        if attrs.get("kind") != "stage":
+            continue
+        if label is not None and attrs.get("timings") != label:
+            continue
+        if rank is not None and rec.get("rank") != rank:
+            continue
+        yield rec
+
+
+def stage_timings_from_records(
+    records: Sequence[Dict[str, Any]],
+    *,
+    label: Optional[str] = None,
+    rank: Optional[int] = None,
+):
+    """Rebuild a ``StageTimings`` from the trace's stage spans.
+
+    Replays the spans in completion (seq) order, accumulating exactly
+    the float additions the live accumulator performed — so for a
+    single-threaded reduction the result equals the legacy
+    ``StageTimings`` **bit for bit** (the differential tests assert
+    ``==``, not ``approx``).
+
+    ``label`` filters on the originating ``StageTimings.label`` (stage
+    spans carry it as the ``timings`` attribute); ``rank`` filters one
+    MPI rank's stream.
+    """
+    from repro.util.timers import StageTimings
+
+    derived = StageTimings(label=label or "trace-derived")
+    for rec in sorted(_stage_spans(records, label=label, rank=rank),
+                      key=lambda r: r["seq"]):
+        name = rec["name"]
+        timer = derived.timer(name)
+        timer.elapsed += rec["dur"]
+        timer.ncalls += 1
+        derived.first_call.setdefault(name, rec["dur"])
+    return derived
+
+
+def stage_totals(
+    records: Sequence[Dict[str, Any]],
+    *,
+    label: Optional[str] = None,
+    rank: Optional[int] = None,
+) -> "OrderedDict[str, float]":
+    """Per-stage total seconds derived from the trace alone."""
+    timings = stage_timings_from_records(records, label=label, rank=rank)
+    out: "OrderedDict[str, float]" = OrderedDict()
+    for name in timings.stages:
+        out[name] = timings.seconds(name)
+    return out
+
+
+def kernel_totals(
+    records: Sequence[Dict[str, Any]],
+) -> "OrderedDict[str, Dict[str, float]]":
+    """Aggregate per-kernel launch spans (``kernel:*``) by name/backend."""
+    out: "OrderedDict[str, Dict[str, float]]" = OrderedDict()
+    for rec in iter_spans(records):
+        if not rec["name"].startswith("kernel:"):
+            continue
+        backend = rec.get("attrs", {}).get("backend", "?")
+        key = f"{rec['name']} [{backend}]"
+        slot = out.setdefault(key, {"seconds": 0.0, "launches": 0})
+        slot["seconds"] += rec["dur"]
+        slot["launches"] += 1
+    return out
+
+
+def summary_from_records(
+    records: Sequence[Dict[str, Any]],
+    *,
+    counters: Optional[Dict[str, float]] = None,
+    gauges: Optional[Dict[str, float]] = None,
+    label: str = "",
+    per_rank: bool = True,
+) -> str:
+    """The paper-style WCT table, reproduced from the trace alone.
+
+    One block of UpdateEvents / MDNorm / BinMD / MDNorm + BinMD / Total
+    rows (total, calls, first call, warm remainder) for the whole trace
+    and — when the trace carries rank-attributed spans — one per rank,
+    followed by per-kernel launch totals and the counter/gauge tables.
+    """
+    from repro.util.timers import CANONICAL_STAGES
+
+    lines: List[str] = [f"trace summary ({label or 'unlabelled'})"]
+
+    def block(title: str, rank: Optional[int]) -> None:
+        timings = stage_timings_from_records(records, rank=rank)
+        if not timings.stages:
+            return
+        lines.append(f"-- {title}")
+        lines.append(f"  {'stage':<18s} {'total (s)':>12s} {'calls':>7s} "
+                     f"{'first (s)':>12s} {'warm (s)':>12s}")
+        names = [s for s in CANONICAL_STAGES
+                 if s in timings.stages or s == "MDNorm + BinMD"]
+        names += [s for s in timings.stages if s not in names]
+        for name in names:
+            if name == "MDNorm + BinMD" and "MDNorm" not in timings.stages \
+                    and "BinMD" not in timings.stages:
+                continue
+            t = timings.stages.get(name)
+            ncalls = t.ncalls if t is not None else 0
+            first = timings.first_call.get(name, 0.0)
+            if name == "MDNorm + BinMD":
+                ncalls = max(
+                    getattr(timings.stages.get("MDNorm"), "ncalls", 0),
+                    getattr(timings.stages.get("BinMD"), "ncalls", 0),
+                )
+                first = (timings.first_call.get("MDNorm", 0.0)
+                         + timings.first_call.get("BinMD", 0.0))
+            lines.append(
+                f"  {name:<18s} {timings.seconds(name):12.4f} {ncalls:7d} "
+                f"{first:12.4f} {timings.warm_seconds(name):12.4f}"
+            )
+
+    block("all ranks", None)
+    ranks = sorted({r["rank"] for r in iter_spans(records)
+                    if r.get("rank") is not None})
+    if per_rank and len(ranks) > 0:
+        for rank in ranks:
+            block(f"rank {rank}", rank)
+
+    kernels = kernel_totals(records)
+    if kernels:
+        lines.append("-- kernel launches")
+        for key, slot in sorted(kernels.items(),
+                                key=lambda kv: -kv[1]["seconds"]):
+            lines.append(f"  {key:<40s} {slot['seconds']:12.4f} s "
+                         f"x{slot['launches']}")
+    if counters:
+        lines.append("-- counters")
+        for name, value in counters.items():
+            lines.append(f"  {name:<40s} {value:16.6g}")
+    if gauges:
+        lines.append("-- gauges")
+        for name, value in gauges.items():
+            lines.append(f"  {name:<40s} {value:16.6g}")
+    return "\n".join(lines)

@@ -1,0 +1,263 @@
+"""End-to-end trace tests on the tiny Benzil workload.
+
+Four pillars:
+
+* **golden schema** — each implementation's trace carries the required
+  span names and attributes (workflow/cross_section/run/stage/kernel);
+* **per-rank streams** — under ``run_world(size=4)`` every rank
+  produces its own attributed span stream with correct nesting;
+* **bit-identical results** — tracing on vs :data:`Tracer.DISABLED`
+  leaves the cross-section untouched, bit for bit;
+* **differential timings** — the ``StageTimings`` derived from the
+  trace equals the live accumulator exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.geom_cache import GeomCache
+from repro.core.workflow import ReductionWorkflow, WorkflowConfig
+from repro.mpi import run_world
+from repro.proxy.cpp_proxy import CppProxyConfig, CppProxyWorkflow
+from repro.proxy.minivates import MiniVatesConfig, MiniVatesWorkflow
+from repro.util import trace as trace_mod
+from repro.util.timers import StageTimings
+from repro.util.trace import (
+    Tracer,
+    stage_timings_from_records,
+    use_tracer,
+    validate_file,
+)
+
+STAGE_NAMES = {"UpdateEvents", "MDNorm", "BinMD", "Total"}
+
+
+def _core_workflow(exp, backend="serial", cache=None) -> ReductionWorkflow:
+    return ReductionWorkflow(WorkflowConfig(
+        md_paths=exp.md_paths,
+        flux_path=exp.flux_path,
+        vanadium_path=exp.vanadium_path,
+        instrument=exp.instrument,
+        grid=exp.grid,
+        point_group=exp.point_group,
+        backend=backend,
+        geom_cache=cache if cache is not None else GeomCache(),
+    ))
+
+
+def _spans_by_name(records):
+    out = {}
+    for rec in records:
+        out.setdefault(rec["name"], []).append(rec)
+    return out
+
+
+class TestGoldenSchema:
+    def test_core_workflow_trace_schema(self, tiny_experiment):
+        tracer = Tracer(label="core")
+        with use_tracer(tracer):
+            _core_workflow(tiny_experiment).run()
+        spans = _spans_by_name(tracer.records)
+
+        wf = spans["workflow"]
+        assert len(wf) == 1
+        assert wf[0]["attrs"]["implementation"] == "core"
+        assert wf[0]["attrs"]["kind"] == "workflow"
+
+        cs = spans["cross_section"]
+        assert cs[0]["attrs"]["kind"] == "algorithm"
+        assert cs[0]["attrs"]["n_runs"] == 3
+        assert cs[0]["parent_id"] == wf[0]["span_id"]
+
+        runs = spans["run"]
+        assert sorted(r["attrs"]["run"] for r in runs) == [0, 1, 2]
+
+        for name in STAGE_NAMES:
+            assert name in spans, f"missing stage span {name}"
+            for rec in spans[name]:
+                assert rec["attrs"]["kind"] == "stage"
+
+        assert "mdnorm" in spans and "binmd" in spans
+        assert spans["mdnorm"][0]["attrs"]["kind"] == "op"
+        assert "mpi_reduce" in spans
+
+        # kernel spans from the jacc layer, tagged with the backend
+        assert "kernel:mdnorm" in spans
+        assert "kernel:bin_events" in spans
+        for rec in spans["kernel:bin_events"]:
+            assert rec["attrs"]["backend"] == "serial"
+            assert rec["attrs"]["kind"] == "kernel"
+
+        counters = tracer.counters
+        assert counters.get("binmd.events", 0) > 0
+        assert counters.get("mdnorm.trajectories", 0) > 0
+        assert counters.get("h5lite.bytes_read", 0) > 0
+        assert counters.get("jacc.launches", 0) > 0
+
+    def test_cpp_proxy_trace_schema(self, tiny_experiment):
+        exp = tiny_experiment
+        tracer = Tracer(label="cpp")
+        cfg = CppProxyConfig(
+            md_paths=exp.md_paths,
+            flux_path=exp.flux_path,
+            vanadium_path=exp.vanadium_path,
+            instrument=exp.instrument,
+            grid=exp.grid,
+            point_group=exp.point_group,
+            n_threads=1,
+        )
+        with use_tracer(tracer):
+            CppProxyWorkflow(cfg).run()
+        spans = _spans_by_name(tracer.records)
+        assert spans["workflow"][0]["attrs"]["implementation"] == "cpp_proxy"
+        assert len(spans["cpp.mdnorm"]) == 3
+        assert len(spans["cpp.binmd"]) == 3
+        for name in STAGE_NAMES:
+            assert name in spans
+        # the proxy kernels replace the jacc kernels entirely
+        assert not any(n.startswith("kernel:") for n in spans)
+
+    def test_minivates_trace_schema(self, tiny_experiment):
+        exp = tiny_experiment
+        tracer = Tracer(label="mv")
+        cfg = MiniVatesConfig(
+            md_paths=exp.md_paths,
+            flux_path=exp.flux_path,
+            vanadium_path=exp.vanadium_path,
+            instrument=exp.instrument,
+            grid=exp.grid,
+            point_group=exp.point_group,
+        )
+        with use_tracer(tracer):
+            MiniVatesWorkflow(cfg).run()
+        spans = _spans_by_name(tracer.records)
+        wf = spans["workflow"][0]["attrs"]
+        assert wf["implementation"] == "minivates"
+        assert wf["backend"] == "vectorized"
+        kernel_backends = {
+            rec["attrs"]["backend"]
+            for name, recs in spans.items() if name.startswith("kernel:")
+            for rec in recs
+        }
+        assert kernel_backends == {"vectorized"}
+        gauges = tracer.gauges
+        assert gauges["minivates.bytes_h2d"] > 0
+        assert gauges["minivates.kernel_launches"] > 0
+        assert tracer.counters.get("jacc.bytes_h2d", 0) > 0
+
+
+class TestPerRankStreams:
+    def test_run_world_four_ranks(self, tiny_experiment):
+        tracer = Tracer(label="ranks")
+        workflow = _core_workflow(tiny_experiment)
+        with use_tracer(tracer):
+            run_world(4, lambda comm: workflow.run(comm))
+        records = tracer.records
+        spans = _spans_by_name(records)
+        rank_spans = spans["rank"]
+        assert sorted(r["attrs"]["rank"] for r in rank_spans) == [0, 1, 2, 3]
+
+        by_id = {r["span_id"]: r for r in records}
+
+        def root_rank(rec):
+            while rec["parent_id"] is not None:
+                rec = by_id[rec["parent_id"]]
+            return rec
+
+        # every cross_section span sits under its own rank's root span,
+        # and its rank attribution matches
+        for cs in spans["cross_section"]:
+            assert cs["rank"] is not None
+            root = root_rank(cs)
+            assert root["name"] == "rank"
+            assert root["attrs"]["rank"] == cs["rank"]
+            assert cs["attrs"]["mpi_size"] == 4
+
+        # 3 runs over 4 ranks: each run span belongs to exactly one rank
+        run_ranks = [r["rank"] for r in spans["run"]]
+        assert len(run_ranks) == 3
+        for r in spans["run"]:
+            assert r["rank"] is not None
+
+        # the summary renders one block per rank
+        text = tracer.summary()
+        for rank in range(4):
+            assert f"rank {rank}" in text
+
+    def test_per_rank_stage_timings_derivable(self, tiny_experiment):
+        tracer = Tracer()
+        workflow = _core_workflow(tiny_experiment)
+        with use_tracer(tracer):
+            run_world(2, lambda comm: workflow.run(comm))
+        t0 = stage_timings_from_records(tracer.records, rank=0)
+        t1 = stage_timings_from_records(tracer.records, rank=1)
+        # both ranks timed a Total; the per-rank MDNorm call counts sum
+        # to the number of runs
+        assert t0.stages["Total"].ncalls == 1
+        assert t1.stages["Total"].ncalls == 1
+        n_calls = (t0.stages["MDNorm"].ncalls if "MDNorm" in t0.stages else 0) \
+            + (t1.stages["MDNorm"].ncalls if "MDNorm" in t1.stages else 0)
+        assert n_calls == 3
+
+
+class TestBitIdentical:
+    def test_tracing_on_off_identical_cross_section(self, tiny_experiment):
+        # fresh caches so neither run warms the other
+        on = _core_workflow(tiny_experiment, cache=GeomCache()).run
+        off = _core_workflow(tiny_experiment, cache=GeomCache()).run
+
+        tracer = Tracer(label="on")
+        with use_tracer(tracer):
+            res_on = on()
+        with use_tracer(trace_mod.DISABLED):
+            res_off = off()
+
+        assert tracer.n_spans > 0
+        np.testing.assert_array_equal(res_on.cross_section.signal,
+                                      res_off.cross_section.signal)
+        np.testing.assert_array_equal(res_on.binmd.signal,
+                                      res_off.binmd.signal)
+        np.testing.assert_array_equal(res_on.mdnorm.signal,
+                                      res_off.mdnorm.signal)
+
+
+class TestDifferentialTimings:
+    def test_trace_derived_equals_live_stagetimings(self, tiny_experiment):
+        tracer = Tracer(label="diff")
+        timings = StageTimings(label="diff")
+        with use_tracer(tracer):
+            _core_workflow(tiny_experiment).run(timings=timings)
+        derived = stage_timings_from_records(tracer.records, label="diff")
+        for name in ("UpdateEvents", "MDNorm", "BinMD", "Total"):
+            assert derived.seconds(name) == timings.seconds(name)  # exact
+            assert derived.stages[name].ncalls == timings.stages[name].ncalls
+            assert derived.first_call[name] == timings.first_call[name]
+        assert derived.seconds("MDNorm + BinMD") == timings.seconds("MDNorm + BinMD")
+
+
+class TestExportedFile:
+    def test_written_trace_validates_and_summarizes(self, tiny_experiment,
+                                                    tmp_path):
+        tracer = Tracer(label="export")
+        with use_tracer(tracer):
+            _core_workflow(tiny_experiment).run()
+        jsonl = str(tmp_path / "pipeline.jsonl")
+        chrome = str(tmp_path / "pipeline_chrome.json")
+        tracer.write_jsonl(jsonl)
+        tracer.write_chrome_trace(chrome)
+
+        info = validate_file(jsonl)
+        for name in ("workflow", "cross_section", "run", "mdnorm", "binmd",
+                     "UpdateEvents", "MDNorm", "BinMD", "Total"):
+            assert name in info["span_names"]
+        assert info["counters"]["binmd.events"] > 0
+
+        # the summary reproduces the paper's WCT rows from the file alone
+        from repro.util.trace import load_file, summary_from_records
+
+        _, records = load_file(jsonl)
+        text = summary_from_records(records, counters=info["counters"],
+                                    label=info["label"])
+        for row in ("UpdateEvents", "MDNorm", "BinMD", "MDNorm + BinMD",
+                    "Total", "kernel:"):
+            assert row in text

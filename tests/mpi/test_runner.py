@@ -1,9 +1,12 @@
 """Unit tests for the SPMD world launcher."""
 
+import threading
+
 import numpy as np
 import pytest
 
 from repro.mpi import MPIError, SUM, run_world
+from repro.util import trace as trace_mod
 
 
 class TestRunWorld:
@@ -47,3 +50,87 @@ class TestRunWorld:
             return sum(gathered)
 
         assert run_world(4, fn) == [14, 14, 14, 14]
+
+
+class TestAbortAttribution:
+    """Error semantics of the MPI_Abort analogue."""
+
+    def test_single_rank_failure_is_root_cause(self):
+        """The failing rank's exception comes back, not its peers'
+        broken-barrier fallout."""
+
+        def fn(comm):
+            if comm.rank == 2:
+                raise KeyError("rank 2 root cause")
+            return comm.allreduce(comm.rank, SUM)
+
+        with pytest.raises(KeyError, match="rank 2 root cause"):
+            run_world(4, fn)
+
+    def test_first_failing_rank_by_rank_order_wins(self):
+        """Two root causes -> the lowest rank's exception is raised."""
+        gate = threading.Barrier(2)
+
+        def fn(comm):
+            if comm.rank in (1, 3):
+                gate.wait(timeout=10)  # both fail, deterministically
+                raise ValueError(f"rank {comm.rank} failed")
+            return comm.rank
+
+        with pytest.raises(ValueError, match="rank 1 failed"):
+            run_world(4, fn)
+
+    def test_all_rank_barrier_abort_raises_mpierror(self):
+        """When only broken-barrier errors remain (no root cause survived
+        as a regular exception), the launcher raises an attributed
+        MPIError instead of a bare BrokenBarrierError."""
+
+        def fn(comm):
+            if comm.rank == 0:
+                # break the collective machinery directly: peers see
+                # BrokenBarrierError, and so does this rank
+                comm._world.barrier.abort()
+            return comm.barrier()
+
+        with pytest.raises(MPIError, match="aborted inside a collective"):
+            run_world(3, fn)
+
+    def test_mpierror_chains_first_broken_barrier(self):
+        def fn(comm):
+            comm._world.barrier.abort()
+            return comm.barrier()
+
+        with pytest.raises(MPIError) as excinfo:
+            run_world(2, fn)
+        assert isinstance(excinfo.value.__cause__, threading.BrokenBarrierError)
+
+
+class TestRankAttribution:
+    """run_world attributes each rank's spans to its rank stream."""
+
+    def test_ranks_carry_rank_spans(self):
+        tracer = trace_mod.Tracer(label="runner-test")
+
+        def fn(comm):
+            with trace_mod.active_tracer().span("work", kind="test"):
+                pass
+            return comm.rank
+
+        with trace_mod.use_tracer(tracer):
+            run_world(3, fn)
+
+        spans = tracer.records
+        rank_spans = [r for r in spans if r["name"] == "rank"]
+        assert sorted(r["attrs"]["rank"] for r in rank_spans) == [0, 1, 2]
+        work = [r for r in spans if r["name"] == "work"]
+        assert sorted(r["rank"] for r in work) == [0, 1, 2]
+        # every work span nests inside its own rank's 'rank' span
+        by_id = {r["span_id"]: r for r in spans}
+        for w in work:
+            parent = by_id[w["parent_id"]]
+            assert parent["name"] == "rank"
+            assert parent["rank"] == w["rank"]
+
+    def test_rank_context_cleared_after_world(self):
+        run_world(2, lambda comm: comm.rank)
+        assert trace_mod.current_rank() is None

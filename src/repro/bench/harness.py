@@ -31,6 +31,7 @@ from repro.baseline.garnet import GarnetConfig, GarnetWorkflow
 from repro.bench.workloads import WorkloadData
 from repro.core.cross_section import CrossSectionResult
 from repro.core.geom_cache import DEFAULT_BYTE_BUDGET, GeomCache
+from repro.core.checkpoint import RecoveryConfig
 from repro.core.workflow import ReductionWorkflow, WorkflowConfig
 from repro.nexus.corrections import read_flux_file, read_vanadium_file
 from repro.proxy.cpp_proxy import CppProxyConfig, CppProxyWorkflow
@@ -150,6 +151,7 @@ def run_cpp_proxy(
     files: Optional[int] = None,
     n_threads: Optional[int] = None,
     tracer: Optional[_trace.Tracer] = None,
+    recovery: Optional["RecoveryConfig"] = None,
 ) -> MeasuredRun:
     """Measure the C++ proxy (optimized CPU kernels, threaded)."""
     _, md_paths, n = _subset(data, files)
@@ -161,6 +163,7 @@ def run_cpp_proxy(
         grid=data.grid,
         point_group=data.point_group,
         n_threads=n_threads,
+        recovery=recovery,
     )
     with _maybe_trace(tracer):
         result = CppProxyWorkflow(cfg).run()
@@ -181,6 +184,7 @@ def run_minivates(
     profile: DeviceProfile = A100_PROFILE,
     cold_start: bool = True,
     tracer: Optional[_trace.Tracer] = None,
+    recovery: Optional["RecoveryConfig"] = None,
 ) -> MeasuredRun:
     """Measure the MiniVATES proxy under a device profile."""
     _, md_paths, n = _subset(data, files)
@@ -194,6 +198,7 @@ def run_minivates(
         sort_impl=profile.sort_impl,
         scatter_impl=profile.scatter_impl,
         cold_start=cold_start,
+        recovery=recovery,
     )
     with _maybe_trace(tracer):
         result = MiniVatesWorkflow(cfg).run()

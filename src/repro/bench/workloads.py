@@ -43,6 +43,7 @@ from repro.instruments.synth import make_flux, make_vanadium, synthesize_run
 from repro.instruments.topaz import make_topaz
 from repro.nexus.corrections import write_flux_file, write_vanadium_file
 from repro.nexus.schema import write_event_nexus
+from repro.util import atomic_io
 from repro.util.rng import RunStreams
 from repro.util.validation import require
 
@@ -238,18 +239,27 @@ def build_workload(spec: WorkloadSpec) -> WorkloadData:
     ub = UBMatrix.from_u_vectors(structure.cell, [0.0, 0.0, 1.0], [1.0, 0.0, 0.0])
 
     directory = _cache_root() / f"{spec.key}-{_spec_digest(spec)}"
-    marker = directory / "COMPLETE"
     nexus_paths = [str(directory / f"run_{i:04d}.nxs.h5") for i in range(spec.n_files)]
     md_paths = [str(directory / f"run_{i:04d}.md.h5") for i in range(spec.n_files)]
     flux_path = str(directory / "flux.h5")
     vanadium_path = str(directory / "vanadium.h5")
     instrument_path = str(directory / "instrument.h5")
 
-    if not marker.exists():
+    # Crash-safe fixture publication: every member file is written to a
+    # temporary sibling and atomically renamed into place, and the
+    # directory is only trusted once its COMPLETE sentinel (written
+    # strictly last) exists.  A synthesis killed at any instant leaves a
+    # directory without the sentinel, which the next call rebuilds.
+    if not atomic_io.is_complete(directory):
         directory.mkdir(parents=True, exist_ok=True)
         streams = RunStreams(spec.seed)
         goniometers = _goniometers(spec)
         per_file = spec.n_events_per_file
+
+        def publish(path: str, writer, *payload) -> None:
+            with atomic_io.atomic_path(path) as tmp:
+                writer(tmp, *payload)
+
         for i in range(spec.n_files):
             run = synthesize_run(
                 instrument=instrument,
@@ -260,13 +270,13 @@ def build_workload(spec: WorkloadSpec) -> WorkloadData:
                 rng=streams.for_run(i),
                 run_number=i,
             )
-            write_event_nexus(nexus_paths[i], run)
+            publish(nexus_paths[i], write_event_nexus, run)
             ws = convert_to_md(run, instrument, run_index=i)
-            save_md(md_paths[i], ws)
-        write_flux_file(flux_path, make_flux(instrument))
-        write_vanadium_file(vanadium_path, make_vanadium(instrument))
-        write_instrument(instrument_path, instrument)
-        marker.write_text(spec.describe() + "\n")
+            publish(md_paths[i], save_md, ws)
+        publish(flux_path, write_flux_file, make_flux(instrument))
+        publish(vanadium_path, write_vanadium_file, make_vanadium(instrument))
+        publish(instrument_path, write_instrument, instrument)
+        atomic_io.mark_complete(directory, spec.describe() + "\n")
 
     return WorkloadData(
         spec=spec,

@@ -19,6 +19,8 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import contextlib
+import os
 import sys
 from typing import List, Optional
 
@@ -63,7 +65,60 @@ def _parser() -> argparse.ArgumentParser:
     p.add_argument("--plan", metavar="PLAN_JSON", default=None,
                    help="run a reduction plan file instead of a synthetic "
                         "workload (ignores --workload/--impl/--scale/--files)")
+    _add_recovery_flags(p)
     return p
+
+
+def _add_recovery_flags(p: argparse.ArgumentParser) -> None:
+    g = p.add_argument_group("resilience")
+    g.add_argument("--faults", metavar="PLAN_JSON", default=None,
+                   help="inject faults per this JSON fault plan "
+                        "(see repro.util.faults.FaultPlan)")
+    g.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                   help="persist per-run deltas under DIR/<impl> so an "
+                        "interrupted campaign can --resume")
+    g.add_argument("--resume", action="store_true",
+                   help="resume from --checkpoint-dir (completed runs "
+                        "replay from disk, bit-identically)")
+
+
+def _fault_plan_context(args):
+    """``use_fault_plan`` context for ``--faults`` (no-op without it)."""
+    if not getattr(args, "faults", None):
+        return contextlib.nullcontext(), None
+    from repro.util import faults as faults_mod
+
+    plan = faults_mod.FaultPlan.from_file(args.faults)
+    return faults_mod.use_fault_plan(plan), plan
+
+
+def _recovery_for(args, impl: str, data):
+    """Build the RecoveryConfig the resilience flags ask for (or None)."""
+    if not (getattr(args, "faults", None) or getattr(args, "checkpoint_dir", None)
+            or getattr(args, "resume", False)):
+        return None
+    from repro.core.checkpoint import (
+        CheckpointManager,
+        RecoveryConfig,
+        campaign_digest,
+    )
+
+    if args.resume and not args.checkpoint_dir:
+        raise SystemExit("--resume requires --checkpoint-dir")
+    ckpt = None
+    if args.checkpoint_dir:
+        digest = campaign_digest(
+            impl=impl,
+            workload=data.spec.key,
+            n_files=len(data.md_paths),
+            grid_bins=list(data.grid.bins),
+        )
+        ckpt = CheckpointManager(
+            os.path.join(args.checkpoint_dir, impl),
+            config_digest=digest,
+            grid=data.grid,
+        )
+    return RecoveryConfig(checkpoint=ckpt, resume=bool(args.resume))
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -92,13 +147,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     data = build_workload(spec)
     profile = A100_PROFILE if args.device_profile == "a100" else MI100_PROFILE
 
+    fault_ctx, fault_plan = _fault_plan_context(args)
     runs: List[MeasuredRun] = []
-    if args.impl in ("garnet", "all"):
-        runs.append(run_garnet(data))
-    if args.impl in ("cpp", "all"):
-        runs.append(run_cpp_proxy(data))
-    if args.impl in ("minivates", "all"):
-        runs.append(run_minivates(data, profile=profile))
+    with fault_ctx:
+        if args.impl in ("garnet", "all"):
+            if args.impl == "garnet" and (args.faults or args.checkpoint_dir):
+                print("note: the garnet baseline runs without the recovery "
+                      "layer (--faults/--checkpoint-dir ignored)")
+            runs.append(run_garnet(data))
+        if args.impl in ("cpp", "all"):
+            runs.append(run_cpp_proxy(
+                data, recovery=_recovery_for(args, "cpp", data)))
+        if args.impl in ("minivates", "all"):
+            runs.append(run_minivates(
+                data, profile=profile,
+                recovery=_recovery_for(args, "minivates", data)))
 
     for run in runs:
         print()
@@ -106,8 +169,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(run.timings.summary())
         if run.result.cross_section is not None:
             print(f"cross-section: {run.result.cross_section!r}")
+        if run.result.degraded:
+            print(f"DEGRADED: quarantined runs {run.result.quarantined_runs}")
+        rec_info = (run.result.extras or {}).get("recovery")
+        if rec_info:
+            print(f"recovery: {rec_info}")
         if run.extras:
             print(f"device stats: {run.extras}")
+    if fault_plan is not None:
+        print(f"\nfault plan {fault_plan.label or args.faults}: "
+              f"{fault_plan.stats()}")
 
     if args.peaks > 0 and runs and runs[-1].result.cross_section is not None:
         from repro.core.peaks import find_peaks
@@ -192,6 +263,7 @@ def _trace_parser() -> argparse.ArgumentParser:
     p.add_argument("--summary", dest="summary", action="store_true",
                    default=True, help="print the WCT summary (default)")
     p.add_argument("--no-summary", dest="summary", action="store_false")
+    _add_recovery_flags(p)
     return p
 
 
@@ -210,6 +282,9 @@ def trace_main(argv: Optional[List[str]] = None) -> int:
         label=args.label or f"{args.workload}/{args.impl}"
     )
 
+    recovery = (None if args.impl == "garnet"
+                else _recovery_for(args, args.impl, data))
+
     def run_one(comm=None) -> None:
         if args.impl == "core":
             from repro.core.workflow import ReductionWorkflow, WorkflowConfig
@@ -222,6 +297,7 @@ def trace_main(argv: Optional[List[str]] = None) -> int:
                 grid=data.grid,
                 point_group=data.point_group,
                 backend=args.backend,
+                recovery=recovery,
             )
             ReductionWorkflow(cfg).run(comm)
         elif args.impl == "cpp":
@@ -234,6 +310,7 @@ def trace_main(argv: Optional[List[str]] = None) -> int:
                 instrument=data.instrument,
                 grid=data.grid,
                 point_group=data.point_group,
+                recovery=recovery,
             )
             CppProxyWorkflow(cfg).run(comm)
         elif args.impl == "minivates":
@@ -246,6 +323,7 @@ def trace_main(argv: Optional[List[str]] = None) -> int:
                 instrument=data.instrument,
                 grid=data.grid,
                 point_group=data.point_group,
+                recovery=recovery,
             )
             MiniVatesWorkflow(cfg).run(comm)
         else:  # garnet (no simulated-MPI support: multiprocess model)
@@ -253,13 +331,17 @@ def trace_main(argv: Optional[List[str]] = None) -> int:
 
             run_garnet(data)
 
-    with trace_mod.use_tracer(tracer):
+    fault_ctx, fault_plan = _fault_plan_context(args)
+    with trace_mod.use_tracer(tracer), fault_ctx:
         if args.ranks > 1 and args.impl != "garnet":
             from repro.mpi.runner import run_world
 
             run_world(args.ranks, run_one)
         else:
             run_one()
+    if fault_plan is not None:
+        print(f"fault plan {fault_plan.label or args.faults}: "
+              f"{fault_plan.stats()}")
 
     n = tracer.write_jsonl(args.out)
     print(f"\nwrote {n} records to {args.out}")

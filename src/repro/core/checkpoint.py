@@ -1,0 +1,325 @@
+"""Checkpoint/resume for the multi-run reduction campaign.
+
+A campaign over N run files accumulates two histograms (Σ BinMD,
+Σ MDNorm).  This module persists the campaign's progress so an
+interrupted reduction — a dead rank, a killed job, a lost allocation —
+resumes from the last completed run **bit-identically** instead of
+re-reducing hundreds of GB from scratch:
+
+* after each run ``i`` completes, its *per-run partial histograms*
+  (the run's own MDNorm/BinMD contributions, not the running total)
+  are written to ``run_<i>.ckpt.h5`` — an :mod:`repro.nexus.h5lite`
+  file published crash-safely via
+  :func:`repro.util.atomic_io.atomic_path` (write-then-rename);
+* a schema-versioned JSON **manifest** records, per run: the delta
+  file, BLAKE2b content digests of each array, the disposition
+  (``done`` / ``quarantined``), attempts and owning rank.  The manifest
+  itself is rewritten atomically after every update, so a crash at any
+  instant leaves either the pre-run or post-run manifest — never a torn
+  one;
+* on resume, completed runs' deltas are **digest-verified** and summed
+  in ascending run order — exactly the float-addition order of the
+  uninterrupted loop, which is what makes resumption bit-identical;
+* quarantined runs stay quarantined across resumes (the manifest is
+  the campaign's durable disposition record).
+
+A manifest is bound to its campaign by a ``config_digest`` (inputs,
+grid, symmetry, backend); resuming against a checkpoint directory
+written by a different campaign raises :class:`CheckpointMismatchError`
+instead of silently mixing histograms.
+
+:class:`RecoveryConfig` bundles the whole failure policy — retry
+budget, quarantine switch, checkpoint manager, resume flag — and is
+what the drivers (:mod:`repro.core.workflow`, the proxies, streaming)
+thread into :func:`repro.core.cross_section.compute_cross_section`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.grid import HKLGrid
+from repro.core.hist3 import Hist3
+from repro.nexus.h5lite import CorruptFileError, File, H5LiteError
+from repro.util import atomic_io
+from repro.util import trace as _trace
+from repro.util.faults import RetryPolicy
+from repro.util.validation import ReproError, require
+
+#: manifest schema version (bump on any layout change)
+MANIFEST_SCHEMA = 1
+
+MANIFEST_NAME = "manifest.json"
+
+
+class CheckpointError(ReproError):
+    """Checkpoint machinery failure (I/O, schema, digest)."""
+
+
+class CheckpointMismatchError(CheckpointError):
+    """The checkpoint directory belongs to a different campaign."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """A persisted run delta failed digest verification."""
+
+
+def _digest(arr: np.ndarray) -> str:
+    a = np.ascontiguousarray(arr)
+    h = hashlib.blake2b(digest_size=16)
+    h.update(str(a.dtype).encode())
+    h.update(repr(a.shape).encode())
+    h.update(a.data)
+    return h.hexdigest()
+
+
+def campaign_digest(**fields: Any) -> str:
+    """Stable digest of a campaign configuration (order-insensitive)."""
+    def default(obj: Any) -> Any:
+        if isinstance(obj, np.ndarray):
+            return obj.tolist()
+        if isinstance(obj, (np.integer,)):
+            return int(obj)
+        if isinstance(obj, (np.floating,)):
+            return float(obj)
+        return repr(obj)
+
+    payload = json.dumps(fields, sort_keys=True, default=default)
+    return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+
+@dataclass
+class RunDelta:
+    """One run's own MDNorm/BinMD contribution (the checkpoint unit)."""
+
+    run_index: int
+    binmd_signal: np.ndarray
+    binmd_error_sq: Optional[np.ndarray]
+    mdnorm_signal: np.ndarray
+
+
+class CheckpointManager:
+    """Per-run delta persistence + the crash-safe campaign manifest.
+
+    Thread-safe: the in-process MPI ranks share one manager, so all
+    manifest mutation happens under one lock and every write is
+    published atomically (see :mod:`repro.util.atomic_io`).
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        *,
+        config_digest: str = "",
+        grid: Optional[HKLGrid] = None,
+    ) -> None:
+        self.directory = os.fspath(directory)
+        self.config_digest = config_digest
+        os.makedirs(self.directory, exist_ok=True)
+        self._lock = threading.Lock()
+        self._manifest: Dict[str, Any] = {
+            "schema": MANIFEST_SCHEMA,
+            "config_digest": config_digest,
+            "runs": {},
+            "quarantined": {},
+        }
+        self._load_manifest(grid)
+
+    # -- manifest ---------------------------------------------------------
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.directory, MANIFEST_NAME)
+
+    def _load_manifest(self, grid: Optional[HKLGrid]) -> None:
+        path = self.manifest_path
+        if not os.path.exists(path):
+            return
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(
+                f"unreadable checkpoint manifest {path!r}: {exc}"
+            ) from exc
+        if doc.get("schema") != MANIFEST_SCHEMA:
+            raise CheckpointError(
+                f"checkpoint manifest schema {doc.get('schema')!r} != "
+                f"{MANIFEST_SCHEMA} ({path!r})"
+            )
+        if self.config_digest and doc.get("config_digest") \
+                and doc["config_digest"] != self.config_digest:
+            raise CheckpointMismatchError(
+                f"checkpoint {self.directory!r} was written by a different "
+                f"campaign (config digest {doc['config_digest']!r} != "
+                f"{self.config_digest!r})"
+            )
+        doc.setdefault("runs", {})
+        doc.setdefault("quarantined", {})
+        self._manifest = doc
+
+    def _write_manifest(self) -> None:
+        atomic_io.atomic_write_text(
+            self.manifest_path,
+            json.dumps(self._manifest, indent=1, sort_keys=True) + "\n",
+        )
+
+    # -- queries ----------------------------------------------------------
+    def has_run(self, i: int) -> bool:
+        with self._lock:
+            return str(i) in self._manifest["runs"]
+
+    def is_quarantined(self, i: int) -> bool:
+        with self._lock:
+            return str(i) in self._manifest["quarantined"]
+
+    def completed_runs(self) -> List[int]:
+        with self._lock:
+            return sorted(int(k) for k in self._manifest["runs"])
+
+    def quarantined_runs(self) -> List[int]:
+        with self._lock:
+            return sorted(int(k) for k in self._manifest["quarantined"])
+
+    def run_record(self, i: int) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            rec = self._manifest["runs"].get(str(i))
+            return dict(rec) if rec is not None else None
+
+    # -- persistence ------------------------------------------------------
+    def _run_file(self, i: int) -> str:
+        return os.path.join(self.directory, f"run_{i:04d}.ckpt.h5")
+
+    def save_run(
+        self,
+        i: int,
+        binmd: Hist3,
+        mdnorm: Hist3,
+        *,
+        attempts: int = 1,
+        rank: Optional[int] = None,
+    ) -> None:
+        """Atomically persist run ``i``'s delta + update the manifest.
+
+        The delta file is fully written and renamed into place *before*
+        the manifest names it, so a crash between the two leaves a
+        manifest that simply does not know about the run yet.
+        """
+        tracer = _trace.active_tracer()
+        path = self._run_file(i)
+        with tracer.span("checkpoint.write", kind="checkpoint", run=int(i)):
+            digests = {
+                "binmd": _digest(binmd.signal),
+                "mdnorm": _digest(mdnorm.signal),
+            }
+            if binmd.error_sq is not None:
+                digests["binmd_error_sq"] = _digest(binmd.error_sq)
+            with atomic_io.atomic_path(path) as tmp:
+                with File(tmp, "w") as f:
+                    grp = f.create_group("checkpoint")
+                    grp.attrs["schema"] = MANIFEST_SCHEMA
+                    grp.attrs["run_index"] = int(i)
+                    grp.create_dataset("binmd_signal", data=binmd.signal)
+                    if binmd.error_sq is not None:
+                        grp.create_dataset("binmd_error_sq", data=binmd.error_sq)
+                    grp.create_dataset("mdnorm_signal", data=mdnorm.signal)
+            with self._lock:
+                self._manifest["runs"][str(i)] = {
+                    "file": os.path.basename(path),
+                    "digests": digests,
+                    "status": "done",
+                    "attempts": int(attempts),
+                    "rank": None if rank is None else int(rank),
+                }
+                self._manifest["quarantined"].pop(str(i), None)
+                self._write_manifest()
+        tracer.count("checkpoint.write")
+
+    def load_run(self, i: int, grid: HKLGrid) -> RunDelta:
+        """Load + digest-verify run ``i``'s persisted delta."""
+        with self._lock:
+            rec = self._manifest["runs"].get(str(i))
+        if rec is None:
+            raise CheckpointError(f"run {i} is not checkpointed")
+        path = os.path.join(self.directory, rec["file"])
+        tracer = _trace.active_tracer()
+        with tracer.span("checkpoint.read", kind="checkpoint", run=int(i)):
+            try:
+                with File(path, "r") as f:
+                    grp = f["checkpoint"]
+                    binmd = grp.read("binmd_signal")
+                    mdnorm = grp.read("mdnorm_signal")
+                    err = (grp.read("binmd_error_sq")
+                           if "binmd_error_sq" in grp else None)
+            except (OSError, H5LiteError) as exc:
+                raise CheckpointCorruptError(
+                    f"checkpoint delta for run {i} is unreadable: {exc}"
+                ) from exc
+            digests = rec.get("digests", {})
+            checks = [("binmd", binmd), ("mdnorm", mdnorm)]
+            if err is not None:
+                checks.append(("binmd_error_sq", err))
+            for name, arr in checks:
+                want = digests.get(name)
+                if want is not None and _digest(arr) != want:
+                    raise CheckpointCorruptError(
+                        f"checkpoint delta for run {i}: {name} digest mismatch"
+                    )
+            shape = tuple(grid.bins)
+            if binmd.shape != shape or mdnorm.shape != shape:
+                raise CheckpointMismatchError(
+                    f"checkpoint delta for run {i} has shape {binmd.shape}, "
+                    f"campaign grid is {shape}"
+                )
+        tracer.count("checkpoint.read")
+        return RunDelta(run_index=i, binmd_signal=binmd,
+                        binmd_error_sq=err, mdnorm_signal=mdnorm)
+
+    def quarantine_run(self, i: int, reason: str) -> None:
+        """Durably record run ``i`` as quarantined."""
+        with self._lock:
+            self._manifest["quarantined"][str(i)] = {"reason": reason}
+            self._write_manifest()
+        _trace.active_tracer().count("checkpoint.quarantine")
+
+    def mark_campaign_complete(self, text: str = "") -> None:
+        """Write the COMPLETE sentinel once the final reduce happened."""
+        atomic_io.mark_complete(self.directory, text)
+
+    @property
+    def campaign_complete(self) -> bool:
+        return atomic_io.is_complete(self.directory)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"CheckpointManager({self.directory!r}, "
+                f"runs={len(self._manifest['runs'])}, "
+                f"quarantined={len(self._manifest['quarantined'])})")
+
+
+# ---------------------------------------------------------------------------
+# the bundled failure policy
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RecoveryConfig:
+    """Everything the run loop needs to survive faults.
+
+    ``retry`` shapes per-run retry/backoff; ``quarantine`` lets runs
+    that exhaust retries be dropped (the campaign completes degraded on
+    the survivors) instead of aborting; ``checkpoint`` persists per-run
+    deltas; ``resume`` replays completed runs from the checkpoint.
+    """
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    quarantine: bool = True
+    checkpoint: Optional[CheckpointManager] = None
+    resume: bool = False
+    #: exception types treated as retryable (None = defaults:
+    #: OSError / H5LiteError / InjectedKernelError)
+    retryable: Optional[Tuple[type, ...]] = None

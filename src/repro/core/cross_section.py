@@ -19,13 +19,17 @@ paper's stage names (UpdateEvents / MDNorm / BinMD / Total).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core import geom_cache as _gc
 from repro.core.binmd import bin_events
+from repro.core.checkpoint import (
+    CheckpointCorruptError,
+    RecoveryConfig,
+)
 from repro.core.geom_cache import GeomCache
 from repro.core.grid import HKLGrid
 from repro.core.hist3 import Hist3
@@ -34,6 +38,7 @@ from repro.core.mdnorm import mdnorm
 from repro.crystal.symmetry import PointGroup
 from repro.mpi import SUM, Comm, SequentialComm, rank_range
 from repro.nexus.corrections import FluxSpectrum
+from repro.util import faults as _faults
 from repro.util import trace as _trace
 from repro.util.timers import StageTimings
 from repro.util.validation import ValidationError, require
@@ -55,10 +60,25 @@ class CrossSectionResult:
     backend: str
     #: implementation-specific diagnostics (e.g. device transfer bytes)
     extras: Optional[dict] = None
+    #: True when runs were quarantined — the result is built from the
+    #: surviving runs only (recovery mode)
+    degraded: bool = False
+    #: per-run outcome (recovery mode, root rank): run index ->
+    #: ``{"status": done|resumed|quarantined|lost, "attempts", "rank"}``
+    dispositions: Optional[Dict[int, Dict[str, Any]]] = None
 
     @property
     def is_root(self) -> bool:
         return self.cross_section is not None
+
+    @property
+    def quarantined_runs(self) -> Tuple[int, ...]:
+        if not self.dispositions:
+            return ()
+        return tuple(sorted(
+            i for i, d in self.dispositions.items()
+            if d.get("status") == "quarantined"
+        ))
 
 
 def compute_cross_section(
@@ -78,6 +98,7 @@ def compute_cross_section(
     binmd_impl: Optional[Callable] = None,
     mdnorm_impl: Optional[Callable] = None,
     cache: Optional[GeomCache] = None,
+    recovery: Optional[RecoveryConfig] = None,
 ) -> CrossSectionResult:
     """Run Algorithm 1.
 
@@ -108,7 +129,23 @@ def compute_cross_section(
         opts out.  Entries are tagged ``"run:<i>"`` for targeted
         invalidation.  Cache statistics are reported in
         ``result.extras["geom_cache"]`` on the root rank.
+    recovery:
+        When given, the loop runs under the fault-tolerant protocol
+        (see :func:`_compute_cross_section_recovering`): per-run
+        retry/backoff, quarantine of runs that exhaust their retry
+        budget, checkpoint/resume of per-run deltas, and redistribution
+        of a crashed rank's unfinished runs to the survivors.  ``None``
+        keeps the historical fail-fast loop byte-for-byte.
     """
+    if recovery is not None:
+        return _compute_cross_section_recovering(
+            load_run, n_runs, grid, point_group, flux,
+            det_directions, solid_angles,
+            comm=comm, backend=backend, sort_impl=sort_impl,
+            scatter_impl=scatter_impl, timings=timings,
+            binmd_impl=binmd_impl, mdnorm_impl=mdnorm_impl,
+            cache=cache, recovery=recovery,
+        )
     require(n_runs >= 1, "need at least one run")
     cache = _gc.resolve(cache)
     comm = comm or SequentialComm()
@@ -210,3 +247,333 @@ def compute_cross_section(
         backend=backend or "default",
         extras=extras,
     )
+
+
+# ---------------------------------------------------------------------------
+# the fault-tolerant loop (PR 3)
+# ---------------------------------------------------------------------------
+
+def _compute_cross_section_recovering(
+    load_run: Callable[[int], MDEventWorkspace],
+    n_runs: int,
+    grid: HKLGrid,
+    point_group: PointGroup,
+    flux: FluxSpectrum,
+    det_directions: np.ndarray,
+    solid_angles: np.ndarray,
+    *,
+    comm: Optional[Comm],
+    backend: Optional[str],
+    sort_impl: str,
+    scatter_impl: str,
+    timings: Optional[StageTimings],
+    binmd_impl: Optional[Callable],
+    mdnorm_impl: Optional[Callable],
+    cache: Optional[GeomCache],
+    recovery: RecoveryConfig,
+) -> CrossSectionResult:
+    """Algorithm 1 under the failure model.
+
+    Differences from the fail-fast loop:
+
+    * each run's contribution is computed into **fresh scratch
+      histograms** and only added to the rank's running totals on
+      success, so a failed attempt never leaves a partial deposit
+      (retry safety);
+    * each run is wrapped in :func:`repro.util.faults.retry_call` —
+      transient failures (I/O, corrupt payloads, kernel errors) are
+      retried with backoff, and every retry invalidates the run's
+      geometry-cache entries first (a corrupt read may have populated
+      the cache from a corrupt source);
+    * a run that exhausts its retry budget is **quarantined** (when
+      ``recovery.quarantine``): its disposition is durably recorded and
+      the campaign completes *degraded* on the survivors;
+    * with a checkpoint manager, each completed run's delta is
+      persisted; with ``recovery.resume`` completed runs replay from
+      disk (digest-verified) instead of recomputing.  The final
+      histograms are then rebuilt by summing the per-run deltas in
+      **ascending run order** — the float-addition order is therefore
+      independent of rank layout, crashes and resume points, which is
+      what makes kill-and-resume bit-identical;
+    * an injected :class:`~repro.util.faults.RankCrashError` marks the
+      rank dead: its unfinished runs are published to the world
+      (``Comm.mark_failed``), the survivors' next barrier completes
+      with the remaining parties, and the dead rank's backlog is
+      redistributed round-robin over the alive ranks.  A second crash
+      during the takeover phase is *not* re-redistributed — it fails
+      loudly through the runner (double-fault policy).
+    """
+    require(n_runs >= 1, "need at least one run")
+    cache = _gc.resolve(cache)
+    comm = comm or SequentialComm()
+    timings = timings or StageTimings(label=f"cross-section[{backend or 'default'}]")
+    tracer = _trace.active_tracer()
+    ckpt = recovery.checkpoint
+
+    binmd_hist = Hist3(grid, track_errors=True)
+    mdnorm_hist = Hist3(grid)
+    dispositions: Dict[int, Dict[str, Any]] = {}
+    done_local: set = set()
+
+    def compute_delta(i: int) -> Tuple[Hist3, Hist3, int]:
+        """One run's contribution in scratch histograms (with retry)."""
+        attempts_used = [0]
+
+        def attempt(attempt_no: int) -> Tuple[Hist3, Hist3]:
+            attempts_used[0] = attempt_no
+            _faults.fault_point("run", run=i)
+            scratch_b = Hist3(grid, track_errors=True)
+            scratch_m = Hist3(grid)
+            with timings.stage("UpdateEvents"):
+                ws = load_run(i)
+            if ws.ub_matrix is None:
+                raise ValidationError(
+                    f"run index {i} carries no UB matrix; Algorithm 1 needs it"
+                )
+            event_transforms = grid.transforms_for(ws.ub_matrix, point_group)
+            traj_transforms = grid.transforms_for(
+                ws.ub_matrix, point_group, goniometer=ws.goniometer
+            )
+            with timings.stage("MDNorm"):
+                _faults.fault_point("kernel.mdnorm", run=i)
+                if mdnorm_impl is not None:
+                    mdnorm_impl(
+                        scratch_m, traj_transforms, det_directions,
+                        solid_angles, flux, ws.momentum_band,
+                        charge=ws.proton_charge,
+                    )
+                else:
+                    mdnorm(
+                        scratch_m, traj_transforms, det_directions,
+                        solid_angles, flux, ws.momentum_band,
+                        charge=ws.proton_charge, backend=backend,
+                        sort_impl=sort_impl, scatter_impl=scatter_impl,
+                        cache=cache, cache_tag=f"run:{i}",
+                    )
+            with timings.stage("BinMD"):
+                _faults.fault_point("kernel.binmd", run=i)
+                if binmd_impl is not None:
+                    binmd_impl(scratch_b, ws.events, event_transforms)
+                else:
+                    bin_events(
+                        scratch_b, ws.events, event_transforms,
+                        backend=backend, scatter_impl=scatter_impl,
+                        cache=cache, cache_tag=f"run:{i}",
+                    )
+            return scratch_b, scratch_m
+
+        def on_retry(exc: BaseException, attempt_no: int) -> None:
+            # a corrupt read may have seeded the cache from bad bytes
+            cache.invalidate(f"run:{i}")
+
+        scratch_b, scratch_m = _faults.retry_call(
+            attempt,
+            site=f"run[{i}]",
+            policy=recovery.retry,
+            retryable=recovery.retryable,
+            on_retry=on_retry,
+        )
+        return scratch_b, scratch_m, attempts_used[0]
+
+    def process_run(i: int) -> None:
+        """Resume-or-compute run ``i``; quarantine on exhausted retries."""
+        with tracer.span("run", kind="run", run=int(i)):
+            if ckpt is not None and recovery.resume:
+                if ckpt.is_quarantined(i):
+                    dispositions[i] = {"status": "quarantined",
+                                       "rank": int(comm.rank),
+                                       "resumed": True}
+                    done_local.add(i)
+                    return
+                if ckpt.has_run(i):
+                    try:
+                        delta = ckpt.load_run(i, grid)
+                    except CheckpointCorruptError:
+                        tracer.count("checkpoint.corrupt")
+                        cache.invalidate(f"run:{i}")
+                    else:
+                        binmd_hist.signal += delta.binmd_signal
+                        if (binmd_hist.error_sq is not None
+                                and delta.binmd_error_sq is not None):
+                            binmd_hist.error_sq += delta.binmd_error_sq
+                        mdnorm_hist.signal += delta.mdnorm_signal
+                        rec = ckpt.run_record(i) or {}
+                        dispositions[i] = {
+                            "status": "resumed",
+                            "rank": int(comm.rank),
+                            "attempts": int(rec.get("attempts", 1)),
+                        }
+                        tracer.count("checkpoint.resumed")
+                        done_local.add(i)
+                        return
+            try:
+                scratch_b, scratch_m, attempts = compute_delta(i)
+            except _faults.RetryExhaustedError as exc:
+                if not recovery.quarantine:
+                    raise
+                reason = repr(exc.last)
+                if ckpt is not None:
+                    ckpt.quarantine_run(i, reason)
+                dispositions[i] = {"status": "quarantined",
+                                   "rank": int(comm.rank),
+                                   "attempts": int(exc.attempts),
+                                   "reason": reason}
+                tracer.count("quarantine.runs")
+                done_local.add(i)
+                return
+            binmd_hist.add(scratch_b)
+            mdnorm_hist.add(scratch_m)
+            if ckpt is not None:
+                ckpt.save_run(i, scratch_b, scratch_m,
+                              attempts=attempts, rank=comm.rank)
+            dispositions[i] = {"status": "done", "rank": int(comm.rank),
+                               "attempts": int(attempts)}
+            done_local.add(i)
+
+    start, end = rank_range(n_runs, comm.rank, comm.size)
+    my_runs = list(range(start, end))
+    with tracer.span(
+        "cross_section",
+        kind="algorithm",
+        backend=backend or "default",
+        n_runs=int(n_runs),
+        mpi_rank=int(comm.rank),
+        mpi_size=int(comm.size),
+        recovery=True,
+    ), timings.stage("Total"):
+        crashed = False
+        for pos, i in enumerate(my_runs):
+            try:
+                process_run(i)
+            except _faults.RankCrashError:
+                if comm.size == 1:
+                    raise  # a lone rank cannot recover from its own death
+                # durable work survives; everything else is the backlog
+                if ckpt is not None:
+                    leftover = [j for j in my_runs if j not in done_local]
+                else:
+                    leftover = list(my_runs)  # in-memory partials die with us
+                comm.mark_failed({"runs": leftover})
+                tracer.count("rank.crash")
+                crashed = True
+                break
+        if crashed:
+            return CrossSectionResult(
+                cross_section=None, binmd=None, mdnorm=None,
+                timings=timings, n_runs=n_runs,
+                backend=backend or "default",
+            )
+
+        # -- rendezvous: learn who died, adopt their backlog ---------------
+        if comm.size > 1:
+            comm.Barrier()
+            failed = comm.failed_ranks()
+            if failed:
+                backlog = sorted({
+                    int(r) for info in failed.values()
+                    for r in info.get("runs", ())
+                })
+                alive = comm.alive_ranks()
+                pos_in_alive = alive.index(comm.rank)
+                takeover = [r for idx, r in enumerate(backlog)
+                            if idx % len(alive) == pos_in_alive]
+                for i in takeover:
+                    # a crash here is a double fault: fail loudly
+                    process_run(i)
+
+        # -- final combine --------------------------------------------------
+        alive = comm.alive_ranks()
+        eff_root = alive[0]
+        merged = _merge_dispositions(comm, dispositions, eff_root)
+
+        if ckpt is not None:
+            # every completed run's delta is durable: the effective root
+            # rebuilds the totals by summing deltas in ascending run
+            # order — bit-identical regardless of rank layout/crashes.
+            comm.Barrier()
+            if comm.rank != eff_root:
+                return CrossSectionResult(
+                    cross_section=None, binmd=None, mdnorm=None,
+                    timings=timings, n_runs=n_runs,
+                    backend=backend or "default",
+                )
+            binmd_total = np.zeros(tuple(grid.bins), dtype=np.float64)
+            err_total = np.zeros(tuple(grid.bins), dtype=np.float64)
+            mdnorm_total = np.zeros(tuple(grid.bins), dtype=np.float64)
+            have_err = True
+            for i in ckpt.completed_runs():
+                delta = ckpt.load_run(i, grid)
+                binmd_total += delta.binmd_signal
+                if delta.binmd_error_sq is not None:
+                    err_total += delta.binmd_error_sq
+                else:
+                    have_err = False
+                mdnorm_total += delta.mdnorm_signal
+            binmd_out = Hist3(grid, signal=binmd_total,
+                              error_sq=err_total if have_err else None)
+            mdnorm_out = Hist3(grid, signal=mdnorm_total)
+            ckpt.mark_campaign_complete(
+                f"runs={len(ckpt.completed_runs())} "
+                f"quarantined={len(ckpt.quarantined_runs())}\n"
+            )
+        else:
+            with tracer.span("mpi_reduce", kind="mpi",
+                             mpi_rank=int(comm.rank), mpi_size=int(comm.size)):
+                is_root = comm.rank == eff_root
+                binmd_total = (np.empty_like(binmd_hist.signal)
+                               if is_root else None)
+                mdnorm_total = (np.empty_like(mdnorm_hist.signal)
+                                if is_root else None)
+                comm.Reduce(binmd_hist.signal, binmd_total,
+                            op=SUM, root=eff_root)
+                comm.Reduce(mdnorm_hist.signal, mdnorm_total,
+                            op=SUM, root=eff_root)
+            if comm.rank != eff_root:
+                return CrossSectionResult(
+                    cross_section=None, binmd=None, mdnorm=None,
+                    timings=timings, n_runs=n_runs,
+                    backend=backend or "default",
+                )
+            binmd_out = Hist3(grid, signal=binmd_total)
+            mdnorm_out = Hist3(grid, signal=mdnorm_total)
+
+        cross = binmd_out.divide(mdnorm_out)
+    quarantined = sorted(
+        i for i, d in merged.items() if d.get("status") == "quarantined"
+    )
+    extras: Dict[str, Any] = {"recovery": {
+        "quarantined": quarantined,
+        "failed_ranks": sorted(comm.failed_ranks()),
+        "resumed": sorted(
+            i for i, d in merged.items() if d.get("status") == "resumed"
+        ),
+    }}
+    if cache.enabled:
+        extras["geom_cache"] = cache.stats.snapshot()
+    return CrossSectionResult(
+        cross_section=cross,
+        binmd=binmd_out,
+        mdnorm=mdnorm_out,
+        timings=timings,
+        n_runs=n_runs,
+        backend=backend or "default",
+        extras=extras,
+        degraded=bool(quarantined),
+        dispositions=merged,
+    )
+
+
+def _merge_dispositions(
+    comm: Comm,
+    local: Dict[int, Dict[str, Any]],
+    eff_root: int,
+) -> Dict[int, Dict[str, Any]]:
+    """Allgather + merge per-rank run dispositions (dead ranks excluded)."""
+    if comm.size == 1:
+        return dict(local)
+    gathered = comm.allgather(local)
+    merged: Dict[int, Dict[str, Any]] = {}
+    for part in gathered:
+        if part:
+            merged.update(part)
+    return merged

@@ -36,6 +36,7 @@ from repro.nexus.events import (
     RunData,
 )
 from repro.nexus.h5lite import File
+from repro.util import faults as _faults
 from repro.util.validation import ValidationError, as_matrix3, require
 
 
@@ -146,6 +147,7 @@ def save_md(
 def load_md(path: Union[str, os.PathLike]) -> MDEventWorkspace:
     """LoadMD / UpdateEvents: read the 8-column table and transpose it
     into the row-major kernel layout."""
+    _faults.fault_point("nexus.read_events", path=os.fspath(path))
     with File(path, "r") as f:
         grp = f["MDEventWorkspace"]
         raw = grp.read("event_data")

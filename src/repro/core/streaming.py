@@ -20,17 +20,26 @@ of the same kernels:
 The invariant (enforced by the tests): after every batch of every run
 has been consumed, the streaming cross-section equals the batch
 workflow's bit for bit.
+
+With a :class:`~repro.core.checkpoint.RecoveryConfig`, the stream
+survives the live-instrument failure modes: ``open_run`` and
+``consume`` retry transient faults with backoff, and a run whose
+retries are exhausted is **quarantined** — its already-accumulated
+MDNorm/BinMD contributions are subtracted back out of the live
+histograms and its later batches are dropped, so the snapshot degrades
+to the surviving runs instead of poisoning the whole stream.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Dict, Iterator, Optional
 
 import numpy as np
 
 from repro.core import geom_cache as _gc
 from repro.core.binmd import bin_events
+from repro.core.checkpoint import RecoveryConfig
 from repro.core.geom_cache import GeomCache
 from repro.core.grid import HKLGrid
 from repro.core.hist3 import Hist3
@@ -40,6 +49,7 @@ from repro.crystal.symmetry import PointGroup
 from repro.instruments.detector import DetectorArray
 from repro.nexus.corrections import FluxSpectrum
 from repro.nexus.events import RunData
+from repro.util import faults as _faults
 from repro.util import trace as _trace
 from repro.util.validation import ReproError, ValidationError, require
 
@@ -91,6 +101,7 @@ class StreamingReduction:
         *,
         backend: Optional[str] = None,
         geom_cache: Optional[GeomCache] = None,
+        recovery: Optional[RecoveryConfig] = None,
     ) -> None:
         self.grid = grid
         self.point_group = point_group
@@ -109,6 +120,13 @@ class StreamingReduction:
         self._event_transforms: dict[int, np.ndarray] = {}
         self._events_seen = 0
         self._runs_opened = 0
+        #: failure policy; None = historical fail-fast stream
+        self.recovery = recovery
+        self._quarantined: Dict[int, str] = {}
+        # per-run accumulated contributions, tracked only under recovery
+        # so a quarantined run can be subtracted back out
+        self._run_binmd: Dict[int, Hist3] = {}
+        self._run_mdnorm: Dict[int, Hist3] = {}
 
     # -- run lifecycle ------------------------------------------------------
     def open_run(self, run_metadata: RunData) -> None:
@@ -136,25 +154,64 @@ class StreamingReduction:
             )
             lam_lo, lam_hi = run_metadata.wavelength_band
             band = (2.0 * np.pi / lam_hi, 2.0 * np.pi / lam_lo)
-            mdnorm(
-                self._mdnorm,
-                traj_transforms,
-                self.instrument.directions,
-                self.solid_angles,
-                self.flux,
-                band,
-                charge=run_metadata.proton_charge,
-                backend=self.backend,
-                cache=self.geom_cache,
-                cache_tag=f"run:{rn}",
-            )
+
+            def _norm_into(target: Hist3) -> Hist3:
+                mdnorm(
+                    target,
+                    traj_transforms,
+                    self.instrument.directions,
+                    self.solid_angles,
+                    self.flux,
+                    band,
+                    charge=run_metadata.proton_charge,
+                    backend=self.backend,
+                    cache=self.geom_cache,
+                    cache_tag=f"run:{rn}",
+                )
+                return target
+
+            if self.recovery is None:
+                _norm_into(self._mdnorm)
+                return
+
+            def attempt(_attempt: int) -> Hist3:
+                _faults.fault_point("stream.open_run", run=rn)
+                return _norm_into(Hist3(self.grid))
+
+            try:
+                scratch = _faults.retry_call(
+                    attempt,
+                    site=f"stream.open_run[{rn}]",
+                    policy=self.recovery.retry,
+                    retryable=self.recovery.retryable,
+                    on_retry=lambda exc, a:
+                        self.geom_cache.invalidate(f"run:{rn}"),
+                )
+            except _faults.RetryExhaustedError as exc:
+                if not self.recovery.quarantine:
+                    raise
+                self._open_runs.pop(rn, None)
+                self._event_transforms.pop(rn, None)
+                self._quarantined[rn] = repr(exc.last)
+                _trace.active_tracer().count("quarantine.runs")
+                return
+            self._mdnorm.add(scratch)
+            self._run_mdnorm[rn] = scratch
+            self._run_binmd[rn] = Hist3(self.grid, track_errors=True)
 
     def consume(self, batch: StreamBatch) -> None:
         """Accumulate one event batch into the live histogram."""
-        run = self._open_runs.get(batch.run_number)
+        rn = batch.run_number
+        run = self._open_runs.get(rn)
         if run is None:
+            if rn in self._quarantined:
+                # the run died earlier; its stream keeps arriving
+                _trace.active_tracer().count(
+                    "stream.dropped", int(batch.detector_ids.shape[0])
+                )
+                return
             raise ReproError(
-                f"batch for run {batch.run_number} arrived before open_run"
+                f"batch for run {rn} arrived before open_run"
             )
         if batch.detector_ids.shape[0] == 0:
             return
@@ -162,33 +219,96 @@ class StreamingReduction:
         with tracer.span(
             "stream.consume",
             kind="stream",
-            run=int(batch.run_number),
+            run=int(rn),
             n_events=int(batch.detector_ids.shape[0]),
         ):
-            partial = RunData(
-                run_number=run.run_number,
-                detector_ids=batch.detector_ids,
-                tof=batch.tof,
-                weights=batch.weights,
-                goniometer=run.goniometer,
-                proton_charge=run.proton_charge,
-                wavelength_band=run.wavelength_band,
-                ub_matrix=run.ub_matrix,
-            )
-            ws = convert_to_md(partial, self.instrument)
-            # per-batch event tables are unique — caching their BinMD
-            # indices would only churn the LRU, so opt out explicitly
-            bin_events(
-                self._binmd, ws.events, self._event_transforms[batch.run_number],
-                backend=self.backend, cache=_gc.DISABLED,
-            )
+            def _bin_into(target: Hist3) -> Hist3:
+                partial = RunData(
+                    run_number=run.run_number,
+                    detector_ids=batch.detector_ids,
+                    tof=batch.tof,
+                    weights=batch.weights,
+                    goniometer=run.goniometer,
+                    proton_charge=run.proton_charge,
+                    wavelength_band=run.wavelength_band,
+                    ub_matrix=run.ub_matrix,
+                )
+                ws = convert_to_md(partial, self.instrument)
+                # per-batch event tables are unique — caching their BinMD
+                # indices would only churn the LRU, so opt out explicitly
+                bin_events(
+                    target, ws.events, self._event_transforms[rn],
+                    backend=self.backend, cache=_gc.DISABLED,
+                )
+                return target
+
+            if self.recovery is None:
+                _bin_into(self._binmd)
+            else:
+                def attempt(_attempt: int) -> Hist3:
+                    _faults.fault_point("stream.consume", run=rn)
+                    return _bin_into(Hist3(self.grid, track_errors=True))
+
+                try:
+                    scratch = _faults.retry_call(
+                        attempt,
+                        site=f"stream.consume[{rn}]",
+                        policy=self.recovery.retry,
+                        retryable=self.recovery.retryable,
+                    )
+                except _faults.RetryExhaustedError as exc:
+                    if not self.recovery.quarantine:
+                        raise
+                    self._quarantine_open_run(rn, repr(exc.last))
+                    return
+                self._binmd.add(scratch)
+                self._run_binmd[rn].add(scratch)
         tracer.count("stream.events", int(batch.detector_ids.shape[0]))
         self._events_seen += batch.detector_ids.shape[0]
 
+    def _quarantine_open_run(self, rn: int, reason: str) -> None:
+        """Evict a live run: subtract its contributions, drop its state."""
+        binmd_part = self._run_binmd.pop(rn, None)
+        mdnorm_part = self._run_mdnorm.pop(rn, None)
+        if binmd_part is not None:
+            self._binmd.signal -= binmd_part.signal
+            if (self._binmd.error_sq is not None
+                    and binmd_part.error_sq is not None):
+                self._binmd.error_sq -= binmd_part.error_sq
+        if mdnorm_part is not None:
+            self._mdnorm.signal -= mdnorm_part.signal
+        self._open_runs.pop(rn, None)
+        self._event_transforms.pop(rn, None)
+        self._quarantined[rn] = reason
+        _trace.active_tracer().count("quarantine.runs")
+
     def close_run(self, run_number: int) -> None:
-        """Retire a finished run (frees its cached transforms)."""
+        """Retire a finished run (frees its cached transforms).
+
+        Under recovery the close itself is a fault site (a real stream's
+        end-of-run packet can be lost); a close that keeps failing
+        quarantines the run like any other exhausted retry.
+        """
+        if self.recovery is not None:
+            def attempt(_attempt: int) -> None:
+                _faults.fault_point("stream.close_run", run=run_number)
+
+            try:
+                _faults.retry_call(
+                    attempt,
+                    site=f"stream.close_run[{run_number}]",
+                    policy=self.recovery.retry,
+                    retryable=self.recovery.retryable,
+                )
+            except _faults.RetryExhaustedError as exc:
+                if not self.recovery.quarantine:
+                    raise
+                self._quarantine_open_run(run_number, repr(exc.last))
+                return
         self._open_runs.pop(run_number, None)
         self._event_transforms.pop(run_number, None)
+        self._run_binmd.pop(run_number, None)
+        self._run_mdnorm.pop(run_number, None)
 
     # -- live output ------------------------------------------------------
     def snapshot(self) -> Hist3:
@@ -210,6 +330,11 @@ class StreamingReduction:
     @property
     def runs_opened(self) -> int:
         return self._runs_opened
+
+    @property
+    def quarantined(self) -> Dict[int, str]:
+        """Runs evicted by the failure policy: run number -> reason."""
+        return dict(self._quarantined)
 
     @property
     def cache_stats(self) -> dict:

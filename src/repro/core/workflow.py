@@ -16,6 +16,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.core import geom_cache as _gc
+from repro.core.checkpoint import RecoveryConfig
 from repro.core.cross_section import CrossSectionResult, compute_cross_section
 from repro.core.geom_cache import GeomCache
 from repro.core.grid import HKLGrid
@@ -50,6 +51,9 @@ class WorkflowConfig:
     #: geometry cache shared across runs/panels/re-reductions; None =
     #: the process default, ``repro.core.geom_cache.DISABLED`` opts out
     geom_cache: Optional[GeomCache] = None
+    #: failure policy (retry/quarantine/checkpoint/resume); None =
+    #: historical fail-fast loop
+    recovery: Optional[RecoveryConfig] = None
 
     def __post_init__(self) -> None:
         require(len(self.md_paths) >= 1, "need at least one run file")
@@ -97,6 +101,7 @@ class ReductionWorkflow:
                 sort_impl=cfg.sort_impl,
                 timings=timings,
                 cache=cfg.geom_cache,
+                recovery=cfg.recovery,
             )
 
     def prefetch_geometry(self) -> int:

@@ -21,13 +21,21 @@ memory) match MPI; wall-clock speedup does not on a single-core host,
 which DESIGN.md documents as part of the hardware substitution.
 """
 
-from repro.mpi.comm import Comm, SequentialComm, MPIError
+from repro.mpi.comm import (
+    BarrierTimeoutError,
+    Comm,
+    FaultTolerantBarrier,
+    MPIError,
+    SequentialComm,
+)
 from repro.mpi.ops import SUM, MAX, MIN, PROD, Op
 from repro.mpi.runner import run_world
 from repro.mpi.decomposition import rank_range
 
 __all__ = [
+    "BarrierTimeoutError",
     "Comm",
+    "FaultTolerantBarrier",
     "SequentialComm",
     "MPIError",
     "SUM",

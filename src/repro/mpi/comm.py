@@ -7,12 +7,29 @@ reusable barriers, which gives MPI's completion semantics (a collective
 returns only when every rank has contributed).  Point-to-point uses one
 FIFO queue per receiving rank with (source, tag) matching and a holding
 area for out-of-order arrivals, like a real unexpected-message queue.
+
+Fault tolerance (PR 3): the shared barrier is a
+:class:`FaultTolerantBarrier` — a reimplementation of
+:class:`threading.Barrier` semantics that additionally supports
+
+* **timeouts** (:meth:`FaultTolerantBarrier.wait` raises
+  :class:`BarrierTimeoutError` instead of hanging forever when a peer
+  never arrives), and
+* **party shrinkage** (:meth:`Comm.mark_failed` removes a dead rank
+  from every future rendezvous, so survivors' collectives complete
+  with the remaining parties instead of deadlocking).
+
+A failed rank's disposition (``World.failed[rank]``) is visible to the
+survivors, which is how the reduction redistributes a dead rank's
+unfinished runs.  Collectives mask dead ranks' stale slots with a
+sentinel so reductions only combine live contributions.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
+import time
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -28,17 +45,124 @@ class MPIError(ReproError):
     """Misuse of the simulated MPI API."""
 
 
+class BarrierTimeoutError(MPIError):
+    """A rank waited longer than the barrier timeout for its peers.
+
+    Raised in the rank whose wait expired; the barrier breaks, so peers
+    blocked in the same rendezvous observe
+    :class:`threading.BrokenBarrierError` (a consequence, not a cause —
+    the runner's abort attribution ranks a timeout above it).
+    """
+
+
+#: slot sentinel masking a dead rank's stale collective contribution
+_DEAD = object()
+
+
+class FaultTolerantBarrier:
+    """A reusable barrier with timeouts and removable parties.
+
+    Mirrors :class:`threading.Barrier`'s generation protocol (including
+    :meth:`abort` raising :class:`threading.BrokenBarrierError` in all
+    current and future waiters) and adds:
+
+    * ``wait(timeout)`` — a bounded wait that *breaks* the barrier on
+      expiry (like ``threading.Barrier``) but raises the more
+      diagnosable :class:`BarrierTimeoutError` in the expiring thread;
+    * ``mark_failed(rank)`` — permanently removes one party.  If the
+      waiters already present satisfy the reduced count, the pending
+      generation releases immediately, which is what un-hangs survivors
+      blocked on a rank that died *before* reaching the rendezvous.
+    """
+
+    def __init__(self, parties: int, *, default_timeout: Optional[float] = None) -> None:
+        self._cond = threading.Condition()
+        self._parties = parties
+        self._alive = parties
+        self._count = 0
+        self._generation = 0
+        self._broken = False
+        self.default_timeout = default_timeout
+
+    @property
+    def parties(self) -> int:
+        return self._parties
+
+    @property
+    def alive(self) -> int:
+        with self._cond:
+            return self._alive
+
+    @property
+    def broken(self) -> bool:
+        with self._cond:
+            return self._broken
+
+    def _release_locked(self) -> None:
+        self._generation += 1
+        self._count = 0
+        self._cond.notify_all()
+
+    def wait(self, timeout: Optional[float] = None) -> int:
+        """Block until every *alive* party arrives (or break/timeout)."""
+        if timeout is None:
+            timeout = self.default_timeout
+        with self._cond:
+            if self._broken:
+                raise threading.BrokenBarrierError
+            gen = self._generation
+            index = self._count
+            self._count += 1
+            if self._count >= self._alive:
+                self._release_locked()
+                return index
+            deadline = None if timeout is None else time.monotonic() + timeout
+            while gen == self._generation and not self._broken:
+                remaining = (None if deadline is None
+                             else deadline - time.monotonic())
+                if remaining is not None and remaining <= 0.0:
+                    self._broken = True
+                    self._cond.notify_all()
+                    raise BarrierTimeoutError(
+                        f"barrier timed out after {timeout:.3g}s waiting for "
+                        f"{self._alive - self._count} of {self._alive} "
+                        f"alive ranks"
+                    )
+                self._cond.wait(remaining)
+            if self._broken and gen == self._generation:
+                raise threading.BrokenBarrierError
+            return index
+
+    def abort(self) -> None:
+        """Break the barrier: all current and future waiters raise
+        :class:`threading.BrokenBarrierError` (MPI_Abort analogue)."""
+        with self._cond:
+            self._broken = True
+            self._cond.notify_all()
+
+    def mark_failed(self, rank: int) -> None:
+        """Remove one party permanently (``rank`` is for diagnostics)."""
+        with self._cond:
+            if self._alive <= 1:
+                return
+            self._alive -= 1
+            if 0 < self._count >= self._alive:
+                self._release_locked()
+
+
 class World:
     """Shared state of one simulated MPI world."""
 
-    def __init__(self, size: int) -> None:
+    def __init__(self, size: int, *, barrier_timeout: Optional[float] = None) -> None:
         if size < 1:
             raise MPIError(f"world size must be >= 1, got {size}")
         self.size = size
-        self.barrier = threading.Barrier(size)
+        self.barrier = FaultTolerantBarrier(size, default_timeout=barrier_timeout)
         self.lock = threading.Lock()
         self.slots: List[Any] = [None] * size
         self.result: Any = None
+        #: disposition of dead ranks: rank -> info dict (e.g. leftover runs)
+        self.failed: Dict[int, Dict[str, Any]] = {}
         self.mailboxes: List["queue.Queue[Tuple[int, int, Any]]"] = [
             queue.Queue() for _ in range(size)
         ]
@@ -71,10 +195,42 @@ class Comm:
         return self._world.size
 
     # -- synchronization ---------------------------------------------------
-    def Barrier(self) -> None:
-        self._world.barrier.wait()
+    def Barrier(self, timeout: Optional[float] = None) -> None:
+        self._world.barrier.wait(timeout)
 
     barrier = Barrier
+
+    # -- fault disposition --------------------------------------------------
+    def mark_failed(self, info: Optional[Dict[str, Any]] = None) -> None:
+        """Declare this rank dead (simulated node failure).
+
+        Records the rank's disposition (e.g. its unfinished run list)
+        in ``World.failed`` for the survivors to read, then removes the
+        rank from every future barrier rendezvous so peers blocked in a
+        collective complete with the remaining parties.  The caller
+        must *return* afterwards without touching the communicator
+        again — a dead rank participating in a collective corrupts the
+        rendezvous count.
+        """
+        w = self._world
+        with w.lock:
+            w.failed[self._rank] = dict(info or {})
+        w.barrier.mark_failed(self._rank)
+
+    def failed_ranks(self) -> Dict[int, Dict[str, Any]]:
+        """Snapshot of dead ranks' dispositions (rank -> info)."""
+        with self._world.lock:
+            return {r: dict(info) for r, info in self._world.failed.items()}
+
+    def alive_ranks(self) -> List[int]:
+        """Sorted ranks not marked failed."""
+        with self._world.lock:
+            dead = set(self._world.failed)
+        return [r for r in range(self.size) if r not in dead]
+
+    def is_alive(self, rank: int) -> bool:
+        with self._world.lock:
+            return rank not in self._world.failed
 
     # -- point-to-point (object mode) --------------------------------------
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
@@ -105,41 +261,56 @@ class Comm:
         w = self._world
         w.slots[self._rank] = value
         w.barrier.wait()
-        snapshot = list(w.slots)
+        with w.lock:
+            dead = set(w.failed)
+        snapshot = [
+            _DEAD if r in dead else v for r, v in enumerate(w.slots)
+        ]
         w.barrier.wait()  # ensure everyone snapshotted before slot reuse
         return snapshot
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
         snapshot = self._deposit_and_wait(obj if self._rank == root else None)
+        if snapshot[root] is _DEAD:
+            raise MPIError(f"bcast root rank {root} is dead")
         return snapshot[root]
 
     def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
         snapshot = self._deposit_and_wait(obj)
-        return snapshot if self._rank == root else None
+        if self._rank != root:
+            return None
+        return [None if v is _DEAD else v for v in snapshot]
 
     def allgather(self, obj: Any) -> List[Any]:
-        return self._deposit_and_wait(obj)
+        return [None if v is _DEAD else v
+                for v in self._deposit_and_wait(obj)]
 
     def scatter(self, objs: Optional[List[Any]], root: int = 0) -> Any:
         if self._rank == root:
             if objs is None or len(objs) != self.size:
                 raise MPIError(f"scatter needs a list of length {self.size} on root")
         snapshot = self._deposit_and_wait(objs if self._rank == root else None)
+        if snapshot[root] is _DEAD:
+            raise MPIError(f"scatter root rank {root} is dead")
         return snapshot[root][self._rank]
 
     def reduce(self, obj: Any, op: Op = SUM, root: int = 0) -> Any:
         snapshot = self._deposit_and_wait(obj)
         if self._rank != root:
             return None
-        acc = snapshot[0]
-        for item in snapshot[1:]:
-            acc = op.scalar(acc, item)
-        return acc
+        return self._combine_scalar(snapshot, op)
 
     def allreduce(self, obj: Any, op: Op = SUM) -> Any:
         snapshot = self._deposit_and_wait(obj)
-        acc = snapshot[0]
-        for item in snapshot[1:]:
+        return self._combine_scalar(snapshot, op)
+
+    @staticmethod
+    def _combine_scalar(snapshot: List[Any], op: Op) -> Any:
+        alive = [v for v in snapshot if v is not _DEAD]
+        if not alive:
+            raise MPIError("reduce with no alive contributions")
+        acc = alive[0]
+        for item in alive[1:]:
             acc = op.scalar(acc, item)
         return acc
 
@@ -166,9 +337,7 @@ class Comm:
             raise MPIError(
                 f"recvbuf shape {recvbuf.shape} != sendbuf shape {send.shape}"
             )
-        np.copyto(recvbuf, snapshot[0])
-        for arr in snapshot[1:]:
-            recvbuf[...] = op.array(recvbuf, arr)
+        self._combine_array(snapshot, recvbuf, op)
 
     def Allreduce(self, sendbuf: np.ndarray, recvbuf: np.ndarray, op: Op = SUM) -> None:
         send = np.asarray(sendbuf)
@@ -177,8 +346,15 @@ class Comm:
             raise MPIError(
                 f"recvbuf shape {recvbuf.shape} != sendbuf shape {send.shape}"
             )
-        np.copyto(recvbuf, snapshot[0])
-        for arr in snapshot[1:]:
+        self._combine_array(snapshot, recvbuf, op)
+
+    @staticmethod
+    def _combine_array(snapshot: List[Any], recvbuf: np.ndarray, op: Op) -> None:
+        alive = [v for v in snapshot if v is not _DEAD]
+        if not alive:
+            raise MPIError("Reduce with no alive contributions")
+        np.copyto(recvbuf, alive[0])
+        for arr in alive[1:]:
             recvbuf[...] = op.array(recvbuf, arr)
 
     def Bcast(self, buf: np.ndarray, root: int = 0) -> None:

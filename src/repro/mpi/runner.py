@@ -3,14 +3,26 @@
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, List
+from typing import Any, Callable, List, Optional
 
-from repro.mpi.comm import Comm, MPIError, World
+from repro.mpi.comm import BarrierTimeoutError, Comm, MPIError, World
 from repro.util import trace as _trace
 
 
-def run_world(size: int, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> List[Any]:
+def run_world(
+    size: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    barrier_timeout: Optional[float] = None,
+    **kwargs: Any,
+) -> List[Any]:
     """Run ``fn(comm, *args, **kwargs)`` on ``size`` concurrent ranks.
+
+    ``barrier_timeout`` bounds every collective rendezvous: a rank whose
+    peers never arrive (e.g. a peer *returned* dead without aborting, or
+    wedged outside the collective) raises
+    :class:`~repro.mpi.comm.BarrierTimeoutError` instead of hanging the
+    world forever.  ``None`` keeps the historical unbounded wait.
 
     Returns the per-rank return values in rank order.  Error semantics
     (a deadlock-free analogue of ``MPI_Abort``):
@@ -19,8 +31,10 @@ def run_world(size: int, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> L
       in collectives (their ``BrokenBarrierError`` is a *consequence*,
       not a cause);
     * after all ranks finish, the first **root-cause** exception by
-      rank — the first that is not a ``BrokenBarrierError`` — is
-      re-raised;
+      rank is re-raised.  Attribution order: a real exception beats a
+      barrier timeout beats a broken barrier — a timeout names the rank
+      that waited, not the rank that failed, and a broken barrier is
+      pure collateral;
     * if only broken-barrier errors remain (every rank aborted inside a
       collective simultaneously), an :class:`MPIError` naming the
       aborting ranks is raised, chained from the first of them.
@@ -31,7 +45,7 @@ def run_world(size: int, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> L
     """
     if size < 1:
         raise MPIError(f"world size must be >= 1, got {size}")
-    world = World(size)
+    world = World(size, barrier_timeout=barrier_timeout)
     results: List[Any] = [None] * size
     errors: List[BaseException | None] = [None] * size
 
@@ -57,9 +71,15 @@ def run_world(size: int, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> L
         t.join()
     root_cause = next(
         (e for e in errors
-         if e is not None and not isinstance(e, threading.BrokenBarrierError)),
+         if e is not None
+         and not isinstance(e, (threading.BrokenBarrierError,
+                                BarrierTimeoutError))),
         None,
     )
+    if root_cause is None:
+        root_cause = next(
+            (e for e in errors if isinstance(e, BarrierTimeoutError)), None
+        )
     if root_cause is not None:
         raise root_cause
     broken_ranks = [r for r, e in enumerate(errors) if e is not None]

@@ -42,6 +42,7 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.util import faults as _faults
 from repro.util import trace as _trace
 from repro.util.validation import ReproError
 
@@ -54,6 +55,20 @@ AttrValue = Union[int, float, str, bool, np.ndarray, list]
 
 class H5LiteError(ReproError, OSError):
     """Raised for malformed files, bad modes, and checksum mismatches."""
+
+
+class CorruptFileError(H5LiteError):
+    """A payload or header failed digest/consistency verification.
+
+    The taxonomy the recovery layer keys on: corrupt reads are
+    *retryable* (the file may be mid-rewrite, the page cache may have
+    been poisoned) and additionally trigger geometry-cache invalidation
+    for the affected run, because any derived entries may be tainted.
+    """
+
+
+class TruncatedFileError(CorruptFileError):
+    """A read came up short (partial write or truncated transfer)."""
 
 
 def _encode_attr(value: AttrValue) -> Any:
@@ -218,6 +233,7 @@ class Dataset(_Node):
     def _read_all(self) -> np.ndarray:
         if self._chunks or self._offset is None:
             return self._staged().reshape(self.shape)
+        _faults.fault_point("h5lite.read", dataset=self.name)
         fh = self._file._fh
         assert fh is not None
         fh.seek(self._offset)
@@ -225,23 +241,25 @@ class Dataset(_Node):
         raw = fh.read(stored)
         _trace.active_tracer().count("h5lite.bytes_read", len(raw))
         if len(raw) != stored:
-            raise H5LiteError(
+            raise TruncatedFileError(
                 f"truncated dataset {self.name!r}: wanted {stored} bytes, "
                 f"got {len(raw)}"
             )
         if not self._crc_checked and self._crc is not None:
             if zlib.crc32(raw) != self._crc:
-                raise H5LiteError(f"checksum mismatch reading dataset {self.name!r}")
+                raise CorruptFileError(
+                    f"checksum mismatch reading dataset {self.name!r}"
+                )
             self._crc_checked = True
         if self.compression == "zlib":
             try:
                 raw = zlib.decompress(raw)
             except zlib.error as exc:
-                raise H5LiteError(
+                raise CorruptFileError(
                     f"corrupt compressed dataset {self.name!r}: {exc}"
                 ) from exc
             if len(raw) != self.nbytes:
-                raise H5LiteError(
+                raise CorruptFileError(
                     f"decompressed size mismatch for dataset {self.name!r}"
                 )
         return np.frombuffer(raw, dtype=self.dtype).reshape(self.shape)
@@ -257,7 +275,7 @@ class Dataset(_Node):
         raw = fh.read(n * row_bytes)
         _trace.active_tracer().count("h5lite.bytes_read", len(raw))
         if len(raw) != n * row_bytes:
-            raise H5LiteError(f"truncated dataset {self.name!r}")
+            raise TruncatedFileError(f"truncated dataset {self.name!r}")
         return np.frombuffer(raw, dtype=self.dtype).reshape((n,) + self.shape[1:])
 
     def __getitem__(self, key: Any) -> Any:
@@ -529,16 +547,20 @@ class File(Group):
         fh.seek(0, os.SEEK_END)
         end = fh.tell()
         if header_off + 8 > end:
-            raise H5LiteError(f"{self.path!r} is truncated (header out of range)")
+            raise TruncatedFileError(
+                f"{self.path!r} is truncated (header out of range)"
+            )
         fh.seek(end - 8)
         (header_len,) = struct.unpack("<Q", fh.read(8))
         if header_off + header_len + 8 != end:
-            raise H5LiteError(f"{self.path!r} header bookkeeping is inconsistent")
+            raise CorruptFileError(
+                f"{self.path!r} header bookkeeping is inconsistent"
+            )
         fh.seek(header_off)
         try:
             doc = json.loads(fh.read(header_len).decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise H5LiteError(f"{self.path!r} header is corrupt: {exc}") from exc
+            raise CorruptFileError(f"{self.path!r} header is corrupt: {exc}") from exc
 
         def build(entry: Dict[str, Any], parent: Group, name: str) -> None:
             if entry["kind"] == "dataset":

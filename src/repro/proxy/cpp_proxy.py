@@ -32,6 +32,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.core.checkpoint import RecoveryConfig
 from repro.core.cross_section import CrossSectionResult, compute_cross_section
 from repro.core.grid import HKLGrid
 from repro.core.hist3 import Hist3
@@ -219,6 +220,9 @@ class CppProxyConfig:
     grid: HKLGrid
     point_group: PointGroup
     n_threads: Optional[int] = None
+    #: failure policy (retry/quarantine/checkpoint/resume); None =
+    #: historical fail-fast loop
+    recovery: Optional[RecoveryConfig] = None
 
     def __post_init__(self) -> None:
         require(len(self.md_paths) >= 1, "need at least one run file")
@@ -270,6 +274,7 @@ class CppProxyWorkflow:
                 timings=timings or StageTimings(label="cpp-proxy"),
                 binmd_impl=cpp_bin_md,
                 mdnorm_impl=mdnorm_impl,
+                recovery=cfg.recovery,
             )
         result.backend = "cpp-proxy"
         return result

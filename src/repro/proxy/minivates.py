@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.core import geom_cache as _gc
 from repro.core.binmd import bin_events
+from repro.core.checkpoint import RecoveryConfig
 from repro.core.cross_section import CrossSectionResult, compute_cross_section
 from repro.core.geom_cache import DISABLED, GeomCache
 from repro.core.grid import HKLGrid
@@ -71,6 +72,9 @@ class MiniVatesConfig:
     #: geometry cache for warm (``cold_start=False``) runs; None uses
     #: the process default (ignored entirely when ``cold_start=True``)
     geom_cache: Optional[GeomCache] = None
+    #: failure policy (retry/quarantine/checkpoint/resume); None =
+    #: historical fail-fast loop
+    recovery: Optional[RecoveryConfig] = None
 
     def __post_init__(self) -> None:
         require(len(self.md_paths) >= 1, "need at least one run file")
@@ -140,6 +144,7 @@ class MiniVatesWorkflow:
                 scatter_impl=cfg.scatter_impl,
                 timings=timings or StageTimings(label="minivates"),
                 cache=cache,
+                recovery=cfg.recovery,
             )
         result.backend = "minivates"
         extras = dict(result.extras or {})

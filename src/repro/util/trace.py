@@ -690,6 +690,43 @@ def kernel_totals(
     return out
 
 
+#: counter prefixes that make up the recovery story of a trace
+RECOVERY_COUNTER_PREFIXES = (
+    "fault.injected", "retry.attempt", "retry.exhausted",
+    "quarantine.", "checkpoint.", "rank.crash", "stream.dropped",
+)
+
+
+def recovery_summary(
+    records: Sequence[Dict[str, Any]],
+    *,
+    counters: Optional[Dict[str, float]] = None,
+) -> Dict[str, float]:
+    """The failure/recovery story of a trace, from its records alone.
+
+    Collects every fault/retry/quarantine/checkpoint counter plus the
+    ``recover.attempt`` / ``recover.backoff`` span totals; empty dict
+    when the trace saw no recovery activity (the common case — the
+    block is omitted from the summary then).
+    """
+    out: Dict[str, float] = {}
+    for name, value in (counters or {}).items():
+        if name.startswith(RECOVERY_COUNTER_PREFIXES):
+            out[name] = float(value)
+    n_attempts = 0
+    backoff_s = 0.0
+    for rec in iter_spans(records):
+        if rec["name"] == "recover.attempt":
+            n_attempts += 1
+        elif rec["name"] == "recover.backoff":
+            backoff_s += float(rec.get("dur", 0.0))
+    if n_attempts:
+        out["recover.attempt.spans"] = float(n_attempts)
+    if backoff_s:
+        out["recover.backoff.seconds"] = backoff_s
+    return dict(sorted(out.items()))
+
+
 def summary_from_records(
     records: Sequence[Dict[str, Any]],
     *,
@@ -752,6 +789,11 @@ def summary_from_records(
                                 key=lambda kv: -kv[1]["seconds"]):
             lines.append(f"  {key:<40s} {slot['seconds']:12.4f} s "
                          f"x{slot['launches']}")
+    recovery = recovery_summary(records, counters=counters)
+    if recovery:
+        lines.append("-- recovery")
+        for name, value in recovery.items():
+            lines.append(f"  {name:<40s} {value:16.6g}")
     if counters:
         lines.append("-- counters")
         for name, value in counters.items():

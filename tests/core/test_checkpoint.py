@@ -1,0 +1,185 @@
+"""Checkpoint manifest + per-run delta persistence."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import (
+    MANIFEST_NAME,
+    MANIFEST_SCHEMA,
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointManager,
+    CheckpointMismatchError,
+    RecoveryConfig,
+    campaign_digest,
+)
+from repro.core.grid import HKLGrid
+from repro.core.hist3 import Hist3
+from repro.util import atomic_io
+from repro.util.faults import RetryPolicy
+
+
+@pytest.fixture
+def grid():
+    return HKLGrid(basis=np.eye(3), minimum=(-1, -1, -1),
+                   maximum=(1, 1, 1), bins=(3, 3, 2))
+
+
+def _delta(grid, seed):
+    rng = np.random.default_rng(seed)
+    binmd = Hist3(grid, track_errors=True)
+    mdnorm = Hist3(grid)
+    binmd.signal[...] = rng.random(binmd.signal.shape)
+    binmd.error_sq[...] = rng.random(binmd.signal.shape)
+    mdnorm.signal[...] = rng.random(mdnorm.signal.shape)
+    return binmd, mdnorm
+
+
+class TestCampaignDigest:
+    def test_order_insensitive(self):
+        assert campaign_digest(a=1, b="x") == campaign_digest(b="x", a=1)
+
+    def test_field_sensitive(self):
+        assert campaign_digest(a=1) != campaign_digest(a=2)
+
+    def test_numpy_values_ok(self):
+        d = campaign_digest(arr=np.arange(3), n=np.int64(5), x=np.float64(0.5))
+        assert isinstance(d, str) and len(d) == 24
+
+
+class TestSaveLoadRoundTrip:
+    def test_round_trip_bit_identical(self, tmp_path, grid):
+        ck = CheckpointManager(tmp_path / "ck", config_digest="cfg")
+        binmd, mdnorm = _delta(grid, 1)
+        ck.save_run(4, binmd, mdnorm, attempts=2, rank=1)
+        delta = ck.load_run(4, grid)
+        assert delta.run_index == 4
+        assert np.array_equal(delta.binmd_signal, binmd.signal)
+        assert np.array_equal(delta.binmd_error_sq, binmd.error_sq)
+        assert np.array_equal(delta.mdnorm_signal, mdnorm.signal)
+
+    def test_manifest_records_disposition(self, tmp_path, grid):
+        ck = CheckpointManager(tmp_path / "ck", config_digest="cfg")
+        binmd, mdnorm = _delta(grid, 2)
+        ck.save_run(0, binmd, mdnorm, attempts=3, rank=2)
+        rec = ck.run_record(0)
+        assert rec["status"] == "done"
+        assert rec["attempts"] == 3
+        assert rec["rank"] == 2
+        assert set(rec["digests"]) == {"binmd", "mdnorm", "binmd_error_sq"}
+        assert ck.has_run(0) and not ck.has_run(1)
+        assert ck.completed_runs() == [0]
+
+    def test_no_error_sq_supported(self, tmp_path, grid):
+        ck = CheckpointManager(tmp_path / "ck")
+        binmd = Hist3(grid)  # no error tracking
+        mdnorm = Hist3(grid)
+        binmd.signal[...] = 1.0
+        ck.save_run(0, binmd, mdnorm)
+        assert ck.load_run(0, grid).binmd_error_sq is None
+
+    def test_quarantine_is_durable(self, tmp_path, grid):
+        path = tmp_path / "ck"
+        ck = CheckpointManager(path, config_digest="cfg")
+        ck.quarantine_run(7, "injected kernel_error")
+        again = CheckpointManager(path, config_digest="cfg")
+        assert again.is_quarantined(7)
+        assert again.quarantined_runs() == [7]
+
+    def test_save_clears_prior_quarantine(self, tmp_path, grid):
+        ck = CheckpointManager(tmp_path / "ck")
+        ck.quarantine_run(1, "flaky")
+        binmd, mdnorm = _delta(grid, 3)
+        ck.save_run(1, binmd, mdnorm)
+        assert not ck.is_quarantined(1)
+        assert ck.has_run(1)
+
+
+class TestResumeSemantics:
+    def test_fresh_manager_sees_prior_progress(self, tmp_path, grid):
+        path = tmp_path / "ck"
+        ck = CheckpointManager(path, config_digest="cfg")
+        for i in (2, 0):
+            binmd, mdnorm = _delta(grid, i)
+            ck.save_run(i, binmd, mdnorm)
+        again = CheckpointManager(path, config_digest="cfg")
+        assert again.completed_runs() == [0, 2]  # ascending
+        d0 = again.load_run(0, grid)
+        assert np.array_equal(d0.binmd_signal, _delta(grid, 0)[0].signal)
+
+    def test_config_digest_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "ck"
+        ck = CheckpointManager(path, config_digest="campaign-A")
+        ck.quarantine_run(0, "write the manifest")
+        with pytest.raises(CheckpointMismatchError):
+            CheckpointManager(path, config_digest="campaign-B")
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "ck"
+        path.mkdir()
+        (path / MANIFEST_NAME).write_text(json.dumps(
+            {"schema": MANIFEST_SCHEMA + 1, "runs": {}, "quarantined": {}}))
+        with pytest.raises(CheckpointError):
+            CheckpointManager(path)
+
+    def test_torn_manifest_rejected(self, tmp_path):
+        path = tmp_path / "ck"
+        path.mkdir()
+        (path / MANIFEST_NAME).write_text('{"schema": 1, "runs"')
+        with pytest.raises(CheckpointError):
+            CheckpointManager(path)
+
+    def test_campaign_complete_sentinel(self, tmp_path, grid):
+        ck = CheckpointManager(tmp_path / "ck")
+        assert not ck.campaign_complete
+        ck.mark_campaign_complete("done\n")
+        assert ck.campaign_complete
+        assert atomic_io.is_complete(ck.directory)
+
+
+class TestCorruptionDetection:
+    def test_bit_flip_in_delta_detected(self, tmp_path, grid):
+        ck = CheckpointManager(tmp_path / "ck")
+        binmd, mdnorm = _delta(grid, 5)
+        ck.save_run(0, binmd, mdnorm)
+        victim = os.path.join(ck.directory, ck.run_record(0)["file"])
+        raw = bytearray(open(victim, "rb").read())
+        raw[len(raw) // 2] ^= 0xFF
+        open(victim, "wb").write(bytes(raw))
+        with pytest.raises(CheckpointCorruptError):
+            ck.load_run(0, grid)
+
+    def test_missing_delta_file_detected(self, tmp_path, grid):
+        ck = CheckpointManager(tmp_path / "ck")
+        binmd, mdnorm = _delta(grid, 6)
+        ck.save_run(0, binmd, mdnorm)
+        os.unlink(os.path.join(ck.directory, ck.run_record(0)["file"]))
+        with pytest.raises(CheckpointCorruptError):
+            ck.load_run(0, grid)
+
+    def test_grid_shape_mismatch_detected(self, tmp_path, grid):
+        ck = CheckpointManager(tmp_path / "ck")
+        binmd, mdnorm = _delta(grid, 7)
+        ck.save_run(0, binmd, mdnorm)
+        other = HKLGrid(basis=np.eye(3), minimum=(-1, -1, -1),
+                        maximum=(1, 1, 1), bins=(5, 5, 5))
+        with pytest.raises(CheckpointMismatchError):
+            ck.load_run(0, other)
+
+    def test_unknown_run_rejected(self, tmp_path, grid):
+        ck = CheckpointManager(tmp_path / "ck")
+        with pytest.raises(CheckpointError):
+            ck.load_run(3, grid)
+
+
+class TestRecoveryConfig:
+    def test_defaults(self):
+        cfg = RecoveryConfig()
+        assert isinstance(cfg.retry, RetryPolicy)
+        assert cfg.quarantine is True
+        assert cfg.checkpoint is None
+        assert cfg.resume is False
+        assert cfg.retryable is None

@@ -1,0 +1,572 @@
+"""Fault-tolerant reduction, end to end (PR 3 acceptance suite).
+
+Covers the failure model's contract on the real pipeline:
+
+* the recovering loop with no faults matches the historical loop;
+* every (fault site x fault kind) pair is survivable: transient faults
+  are retried and the result is bit-identical to the fault-free
+  recovering run;
+* injection is deterministic: the same plan seed reproduces the same
+  schedule, retry counters and quarantine set (seed sweep);
+* runs that exhaust retries are quarantined and the campaign completes
+  degraded;
+* kill-and-resume is bit-identical for the core workflow and both
+  proxies, sequentially and under ``run_world(4)`` with a dead rank
+  whose backlog is redistributed;
+* the streaming reduction retries / quarantines per-run, dropping a
+  dead run's late batches.
+"""
+
+import os
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import CheckpointManager, RecoveryConfig
+from repro.core.cross_section import compute_cross_section
+from repro.core.grid import HKLGrid
+from repro.core.md_event_workspace import convert_to_md, load_md, save_md
+from repro.core.streaming import EventStream, StreamingReduction
+from repro.crystal.goniometer import Goniometer
+from repro.crystal.structures import benzil
+from repro.crystal.symmetry import point_group
+from repro.crystal.ub import UBMatrix
+from repro.instruments.corelli import make_corelli
+from repro.instruments.synth import make_flux, make_vanadium, synthesize_run
+from repro.mpi import run_world
+from repro.nexus.corrections import write_flux_file, write_vanadium_file
+from repro.proxy.cpp_proxy import CppProxyConfig, CppProxyWorkflow
+from repro.proxy.minivates import MiniVatesConfig, MiniVatesWorkflow
+from repro.util import trace as trace_mod
+from repro.util.faults import (
+    FaultPlan,
+    FaultSpec,
+    RankCrashError,
+    RetryExhaustedError,
+    RetryPolicy,
+    use_fault_plan,
+)
+
+N_RUNS = 4
+POLICY = RetryPolicy(max_attempts=3, base_delay_s=0.0)
+
+
+@dataclass
+class MicroExperiment:
+    """A 4-run experiment small enough for dozens of full campaigns."""
+
+    instrument: object
+    grid: HKLGrid
+    point_group: object
+    flux: object
+    vanadium: object
+    runs: List[object]
+    md_paths: List[str]
+    flux_path: str
+    vanadium_path: str
+
+    def loader(self, i):
+        return load_md(self.md_paths[i])
+
+    def kw(self):
+        return dict(
+            n_runs=len(self.md_paths),
+            grid=self.grid,
+            point_group=self.point_group,
+            flux=self.flux,
+            det_directions=self.instrument.directions,
+            solid_angles=self.vanadium.detector_weights,
+        )
+
+
+@pytest.fixture(scope="module")
+def exp(tmp_path_factory) -> MicroExperiment:
+    base = tmp_path_factory.mktemp("fault_recovery")
+    structure = benzil()
+    instrument = make_corelli(n_pixels=120)
+    ub = UBMatrix.from_u_vectors(structure.cell, [0.0, 0.0, 1.0],
+                                 [1.0, 0.0, 0.0])
+    grid = HKLGrid.benzil_grid(bins=(13, 13, 1))
+    pg = point_group("321")
+    flux = make_flux(instrument)
+    vanadium = make_vanadium(instrument)
+    runs, md_paths = [], []
+    for i, omega in enumerate((0.0, 30.0, 60.0, 90.0)):
+        run = synthesize_run(
+            instrument=instrument, structure=structure, ub=ub,
+            goniometer=Goniometer(omega).rotation, n_events=300,
+            rng=np.random.default_rng(7100 + i), run_number=i,
+        )
+        ws = convert_to_md(run, instrument, run_index=i)
+        path = str(base / f"run_{i}.md.h5")
+        save_md(path, ws)
+        runs.append(run)
+        md_paths.append(path)
+    flux_path = str(base / "flux.h5")
+    vanadium_path = str(base / "vanadium.h5")
+    write_flux_file(flux_path, flux)
+    write_vanadium_file(vanadium_path, vanadium)
+    return MicroExperiment(
+        instrument=instrument, grid=grid, point_group=pg, flux=flux,
+        vanadium=vanadium, runs=runs, md_paths=md_paths,
+        flux_path=flux_path, vanadium_path=vanadium_path,
+    )
+
+
+@pytest.fixture(scope="module")
+def golden(exp):
+    """The fault-free *recovering* run every faulty run must match."""
+    return compute_cross_section(
+        exp.loader, recovery=RecoveryConfig(retry=POLICY), **exp.kw()
+    )
+
+
+class TestRecoveryEquivalence:
+    def test_recovering_loop_matches_plain_loop(self, exp, golden):
+        plain = compute_cross_section(exp.loader, **exp.kw())
+        assert np.allclose(plain.cross_section.signal,
+                           golden.cross_section.signal,
+                           equal_nan=True, rtol=1e-12)
+        assert not golden.degraded
+        assert {d["status"] for d in golden.dispositions.values()} == {"done"}
+
+    def test_checkpointed_run_bit_identical_to_uncheckpointed(
+        self, exp, golden, tmp_path
+    ):
+        """The ascending-run-order delta sum reproduces the in-memory
+        accumulation exactly."""
+        ck = CheckpointManager(tmp_path / "ck", config_digest="eq")
+        res = compute_cross_section(
+            exp.loader,
+            recovery=RecoveryConfig(retry=POLICY, checkpoint=ck),
+            **exp.kw(),
+        )
+        assert np.array_equal(res.binmd.signal, golden.binmd.signal)
+        assert np.array_equal(res.mdnorm.signal, golden.mdnorm.signal)
+        assert np.array_equal(res.cross_section.signal,
+                              golden.cross_section.signal, equal_nan=True)
+        assert ck.completed_runs() == list(range(N_RUNS))
+        assert ck.campaign_complete
+
+
+SITES = ["nexus.read_events", "h5lite.read", "run",
+         "kernel.mdnorm", "kernel.binmd"]
+KINDS = ["io_error", "corrupt", "truncate", "kernel_error"]
+
+
+class TestFaultMatrix:
+    """Every site x kind pair: transient faults recover bit-identically."""
+
+    @pytest.mark.parametrize("site", SITES)
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_transient_fault_recovered(self, exp, golden, site, kind):
+        plan = FaultPlan(
+            [FaultSpec(site=site, kind=kind, probability=1.0, max_hits=2)],
+            seed=17,
+        )
+        with use_fault_plan(plan):
+            res = compute_cross_section(
+                exp.loader, recovery=RecoveryConfig(retry=POLICY), **exp.kw()
+            )
+        assert plan.stats()["injected"] == 2, (site, kind)
+        assert not res.degraded
+        assert np.array_equal(res.cross_section.signal,
+                              golden.cross_section.signal, equal_nan=True)
+
+    def test_slow_fault_only_delays(self, exp, golden):
+        plan = FaultPlan(
+            [FaultSpec(site="run", kind="slow", probability=1.0,
+                       delay_s=0.001, max_hits=2)],
+            seed=17,
+        )
+        with use_fault_plan(plan):
+            res = compute_cross_section(
+                exp.loader, recovery=RecoveryConfig(retry=POLICY), **exp.kw()
+            )
+        assert plan.stats()["injected"] == 2
+        assert not res.degraded
+        assert np.array_equal(res.cross_section.signal,
+                              golden.cross_section.signal, equal_nan=True)
+
+
+class TestDeterminism:
+    """Same plan seed => same schedule, same counters, same result."""
+
+    def _campaign(self, exp, seed):
+        plan = FaultPlan(
+            [FaultSpec(site="run", kind="io_error", probability=0.5),
+             FaultSpec(site="kernel.*", kind="kernel_error",
+                       probability=0.25)],
+            seed=seed,
+        )
+        tracer = trace_mod.Tracer()
+        with trace_mod.use_tracer(tracer), use_fault_plan(plan):
+            res = compute_cross_section(
+                exp.loader, recovery=RecoveryConfig(retry=POLICY), **exp.kw()
+            )
+        recovery_counters = trace_mod.recovery_summary(
+            tracer.records, counters=tracer.counters
+        )
+        recovery_counters.pop("recover.backoff.seconds", None)  # wall time
+        return (plan.schedule_signature(), recovery_counters,
+                res.quarantined_runs, res.cross_section.signal)
+
+    @pytest.mark.parametrize("seed", range(50))
+    def test_seed_reproduces_campaign(self, exp, seed):
+        sig_a, counters_a, quarantined_a, signal_a = self._campaign(exp, seed)
+        sig_b, counters_b, quarantined_b, signal_b = self._campaign(exp, seed)
+        assert sig_a == sig_b
+        assert counters_a == counters_b
+        assert quarantined_a == quarantined_b
+        assert np.array_equal(signal_a, signal_b, equal_nan=True)
+
+
+class TestQuarantine:
+    def test_persistent_fault_quarantines_run(self, exp, golden):
+        plan = FaultPlan(
+            [FaultSpec(site="kernel.mdnorm", kind="kernel_error",
+                       probability=1.0, runs=(1,))],
+            seed=5,
+        )
+        tracer = trace_mod.Tracer()
+        with trace_mod.use_tracer(tracer), use_fault_plan(plan):
+            res = compute_cross_section(
+                exp.loader, recovery=RecoveryConfig(retry=POLICY), **exp.kw()
+            )
+        assert res.degraded
+        assert res.quarantined_runs == (1,)
+        assert res.dispositions[1]["status"] == "quarantined"
+        assert res.dispositions[1]["attempts"] == POLICY.max_attempts
+        assert {i for i, d in res.dispositions.items()
+                if d["status"] == "done"} == {0, 2, 3}
+        # degraded output: strictly less accumulated than the full run
+        assert res.mdnorm.total() < golden.mdnorm.total()
+        assert tracer.counters["quarantine.runs"] == 1
+        assert tracer.counters["retry.exhausted"] == 1
+
+    def test_quarantine_disabled_raises(self, exp):
+        plan = FaultPlan(
+            [FaultSpec(site="run", kind="io_error", probability=1.0,
+                       runs=(0,))],
+            seed=5,
+        )
+        with use_fault_plan(plan):
+            with pytest.raises(RetryExhaustedError):
+                compute_cross_section(
+                    exp.loader,
+                    recovery=RecoveryConfig(retry=POLICY, quarantine=False),
+                    **exp.kw(),
+                )
+
+    def test_quarantine_durable_across_resume(self, exp, tmp_path):
+        ckdir = tmp_path / "ck"
+        plan = FaultPlan(
+            [FaultSpec(site="run", kind="io_error", probability=1.0,
+                       runs=(2,))],
+            seed=5,
+        )
+        ck = CheckpointManager(ckdir, config_digest="q")
+        with use_fault_plan(plan):
+            res = compute_cross_section(
+                exp.loader,
+                recovery=RecoveryConfig(retry=POLICY, checkpoint=ck),
+                **exp.kw(),
+            )
+        assert res.quarantined_runs == (2,)
+        # resume with no faults: the quarantine verdict sticks (the
+        # manifest is the durable disposition record)
+        ck2 = CheckpointManager(ckdir, config_digest="q")
+        res2 = compute_cross_section(
+            exp.loader,
+            recovery=RecoveryConfig(retry=POLICY, checkpoint=ck2,
+                                    resume=True),
+            **exp.kw(),
+        )
+        assert res2.quarantined_runs == (2,)
+        assert np.array_equal(res2.cross_section.signal,
+                              res.cross_section.signal, equal_nan=True)
+
+
+class TestKillAndResumeCore:
+    def _crash_plan(self, run, seed=7):
+        return FaultPlan(
+            [FaultSpec(site="run", kind="rank_crash", probability=1.0,
+                       runs=(run,), max_hits=1)],
+            seed=seed,
+        )
+
+    def test_kill_and_resume_bit_identical(self, exp, tmp_path):
+        ckdir = tmp_path / "ck"
+        ck = CheckpointManager(ckdir, config_digest="core")
+        with use_fault_plan(self._crash_plan(2)):
+            with pytest.raises(RankCrashError):
+                compute_cross_section(
+                    exp.loader,
+                    recovery=RecoveryConfig(retry=POLICY, checkpoint=ck),
+                    **exp.kw(),
+                )
+        assert ck.completed_runs() == [0, 1]
+        assert not ck.campaign_complete
+
+        ck2 = CheckpointManager(ckdir, config_digest="core")
+        res = compute_cross_section(
+            exp.loader,
+            recovery=RecoveryConfig(retry=POLICY, checkpoint=ck2,
+                                    resume=True),
+            **exp.kw(),
+        )
+        gold_ck = CheckpointManager(tmp_path / "gold", config_digest="core")
+        gold = compute_cross_section(
+            exp.loader,
+            recovery=RecoveryConfig(retry=POLICY, checkpoint=gold_ck),
+            **exp.kw(),
+        )
+        assert np.array_equal(res.binmd.signal, gold.binmd.signal)
+        assert np.array_equal(res.binmd.error_sq, gold.binmd.error_sq)
+        assert np.array_equal(res.mdnorm.signal, gold.mdnorm.signal)
+        assert np.array_equal(res.cross_section.signal,
+                              gold.cross_section.signal, equal_nan=True)
+        assert res.extras["recovery"]["resumed"] == [0, 1]
+        assert ck2.campaign_complete
+
+    def test_resume_of_complete_campaign_replays_everything(
+        self, exp, tmp_path
+    ):
+        ckdir = tmp_path / "ck"
+        ck = CheckpointManager(ckdir, config_digest="core")
+        gold = compute_cross_section(
+            exp.loader,
+            recovery=RecoveryConfig(retry=POLICY, checkpoint=ck),
+            **exp.kw(),
+        )
+        ck2 = CheckpointManager(ckdir, config_digest="core")
+        res = compute_cross_section(
+            exp.loader,
+            recovery=RecoveryConfig(retry=POLICY, checkpoint=ck2,
+                                    resume=True),
+            **exp.kw(),
+        )
+        assert res.extras["recovery"]["resumed"] == list(range(N_RUNS))
+        assert np.array_equal(res.cross_section.signal,
+                              gold.cross_section.signal, equal_nan=True)
+
+    def test_corrupt_checkpoint_delta_recomputed_on_resume(
+        self, exp, tmp_path
+    ):
+        ckdir = tmp_path / "ck"
+        ck = CheckpointManager(ckdir, config_digest="core")
+        gold = compute_cross_section(
+            exp.loader,
+            recovery=RecoveryConfig(retry=POLICY, checkpoint=ck),
+            **exp.kw(),
+        )
+        # flip one byte of run 1's persisted delta
+        victim = os.path.join(ck.directory, ck.run_record(1)["file"])
+        raw = bytearray(open(victim, "rb").read())
+        raw[len(raw) // 2] ^= 0xFF
+        open(victim, "wb").write(bytes(raw))
+
+        ck2 = CheckpointManager(ckdir, config_digest="core")
+        tracer = trace_mod.Tracer()
+        with trace_mod.use_tracer(tracer):
+            res = compute_cross_section(
+                exp.loader,
+                recovery=RecoveryConfig(retry=POLICY, checkpoint=ck2,
+                                        resume=True),
+                **exp.kw(),
+            )
+        assert tracer.counters["checkpoint.corrupt"] == 1
+        assert res.extras["recovery"]["resumed"] == [0, 2, 3]
+        assert res.dispositions[1]["status"] == "done"
+        assert np.array_equal(res.cross_section.signal,
+                              gold.cross_section.signal, equal_nan=True)
+
+
+class TestKillAndResumeProxies:
+    """The same kill-and-resume contract through both proxy drivers."""
+
+    def _cpp_cfg(self, exp, recovery):
+        return CppProxyConfig(
+            md_paths=exp.md_paths, flux_path=exp.flux_path,
+            vanadium_path=exp.vanadium_path, instrument=exp.instrument,
+            grid=exp.grid, point_group=exp.point_group, recovery=recovery,
+        )
+
+    def _mv_cfg(self, exp, recovery):
+        return MiniVatesConfig(
+            md_paths=exp.md_paths, flux_path=exp.flux_path,
+            vanadium_path=exp.vanadium_path, instrument=exp.instrument,
+            grid=exp.grid, point_group=exp.point_group,
+            cold_start=False, recovery=recovery,
+        )
+
+    @pytest.mark.parametrize("impl", ["cpp_proxy", "minivates"])
+    def test_proxy_kill_and_resume(self, exp, tmp_path, impl):
+        make_cfg = self._cpp_cfg if impl == "cpp_proxy" else self._mv_cfg
+        make_wf = (CppProxyWorkflow if impl == "cpp_proxy"
+                   else MiniVatesWorkflow)
+        plan = FaultPlan(
+            [FaultSpec(site="run", kind="rank_crash", probability=1.0,
+                       runs=(2,), max_hits=1)],
+            seed=9,
+        )
+        ckdir = tmp_path / impl
+        ck = CheckpointManager(ckdir, config_digest=impl)
+        with use_fault_plan(plan):
+            with pytest.raises(RankCrashError):
+                make_wf(make_cfg(
+                    exp, RecoveryConfig(retry=POLICY, checkpoint=ck)
+                )).run()
+        assert ck.completed_runs() == [0, 1]
+
+        ck2 = CheckpointManager(ckdir, config_digest=impl)
+        res = make_wf(make_cfg(
+            exp, RecoveryConfig(retry=POLICY, checkpoint=ck2, resume=True)
+        )).run()
+        gold_ck = CheckpointManager(tmp_path / f"{impl}-gold",
+                                    config_digest=impl)
+        gold = make_wf(make_cfg(
+            exp, RecoveryConfig(retry=POLICY, checkpoint=gold_ck)
+        )).run()
+        assert np.array_equal(res.cross_section.signal,
+                              gold.cross_section.signal, equal_nan=True)
+        assert res.extras["recovery"]["resumed"] == [0, 1]
+        assert ck2.campaign_complete
+
+
+class TestMPIFaultRecovery:
+    """run_world(4): a dead rank's backlog is redistributed and the
+    checkpointed result stays bit-identical to the sequential one."""
+
+    def _sequential_golden(self, exp, tmp_path):
+        ck = CheckpointManager(tmp_path / "gold", config_digest="mpi")
+        return compute_cross_section(
+            exp.loader,
+            recovery=RecoveryConfig(retry=POLICY, checkpoint=ck),
+            **exp.kw(),
+        )
+
+    def test_world4_no_faults_matches_sequential(self, exp, tmp_path):
+        gold = self._sequential_golden(exp, tmp_path)
+        ck = CheckpointManager(tmp_path / "ck", config_digest="mpi")
+
+        def body(comm):
+            return compute_cross_section(
+                exp.loader, comm=comm,
+                recovery=RecoveryConfig(retry=POLICY, checkpoint=ck),
+                **exp.kw(),
+            )
+
+        results = run_world(4, body, barrier_timeout=60.0)
+        roots = [r for r in results if r.cross_section is not None]
+        assert len(roots) == 1
+        assert np.array_equal(roots[0].cross_section.signal,
+                              gold.cross_section.signal, equal_nan=True)
+
+    def test_world4_rank_crash_redistributed_bit_identical(
+        self, exp, tmp_path
+    ):
+        gold = self._sequential_golden(exp, tmp_path)
+        ck = CheckpointManager(tmp_path / "ck", config_digest="mpi")
+        plan = FaultPlan(
+            [FaultSpec(site="run", kind="rank_crash", probability=1.0,
+                       ranks=(2,), max_hits=1)],
+            seed=11,
+        )
+
+        def body(comm):
+            return compute_cross_section(
+                exp.loader, comm=comm,
+                recovery=RecoveryConfig(retry=POLICY, checkpoint=ck),
+                **exp.kw(),
+            )
+
+        with use_fault_plan(plan):
+            results = run_world(4, body, barrier_timeout=60.0)
+
+        assert plan.stats()["injected"] == 1
+        roots = [r for r in results if r.cross_section is not None]
+        assert len(roots) == 1
+        res = roots[0]
+        assert res.extras["recovery"]["failed_ranks"] == [2]
+        # rank 2's run was adopted by a survivor
+        assert res.dispositions[2]["status"] == "done"
+        assert res.dispositions[2]["rank"] != 2
+        assert sorted(res.dispositions) == list(range(N_RUNS))
+        assert np.array_equal(res.binmd.signal, gold.binmd.signal)
+        assert np.array_equal(res.mdnorm.signal, gold.mdnorm.signal)
+        assert np.array_equal(res.cross_section.signal,
+                              gold.cross_section.signal, equal_nan=True)
+
+
+class TestStreamingRecovery:
+    def _stream(self, exp, recovery, runs=None, plan=None):
+        sr = StreamingReduction(
+            grid=exp.grid, point_group=exp.point_group, flux=exp.flux,
+            instrument=exp.instrument,
+            solid_angles=exp.vanadium.detector_weights,
+            recovery=recovery,
+        )
+        ctx = use_fault_plan(plan) if plan is not None else None
+        try:
+            if ctx is not None:
+                ctx.__enter__()
+            for run in (runs if runs is not None else exp.runs):
+                sr.open_run(run)
+                for batch in EventStream(run, batch_size=128):
+                    sr.consume(batch)
+                sr.close_run(run.run_number)
+        finally:
+            if ctx is not None:
+                ctx.__exit__(None, None, None)
+        return sr
+
+    def test_transient_stream_faults_recovered(self, exp):
+        clean = self._stream(exp, RecoveryConfig(retry=POLICY))
+        plan = FaultPlan(
+            [FaultSpec(site="stream.*", kind="io_error", probability=1.0,
+                       max_hits=2)],
+            seed=23,
+        )
+        faulty = self._stream(exp, RecoveryConfig(retry=POLICY), plan=plan)
+        assert plan.stats()["injected"] == 2
+        assert not faulty.quarantined
+        assert np.array_equal(faulty.snapshot().signal,
+                              clean.snapshot().signal, equal_nan=True)
+
+    def test_consume_quarantine_evicts_run_and_drops_late_batches(self, exp):
+        plan = FaultPlan(
+            [FaultSpec(site="stream.consume", kind="io_error",
+                       probability=1.0, runs=(1,))],
+            seed=23,
+        )
+        tracer = trace_mod.Tracer()
+        with trace_mod.use_tracer(tracer):
+            faulty = self._stream(exp, RecoveryConfig(retry=POLICY),
+                                  plan=plan)
+        assert list(faulty.quarantined) == [1]
+        assert tracer.counters["stream.dropped"] > 0
+        # the live histograms degrade to the surviving runs
+        survivors = self._stream(
+            exp, RecoveryConfig(retry=POLICY),
+            runs=[r for r in exp.runs if r.run_number != 1],
+        )
+        assert np.allclose(faulty.snapshot().signal,
+                           survivors.snapshot().signal, equal_nan=True)
+
+    def test_open_run_quarantine_never_contributes(self, exp):
+        plan = FaultPlan(
+            [FaultSpec(site="stream.open_run", kind="kernel_error",
+                       probability=1.0, runs=(2,))],
+            seed=23,
+        )
+        faulty = self._stream(exp, RecoveryConfig(retry=POLICY), plan=plan)
+        assert list(faulty.quarantined) == [2]
+        survivors = self._stream(
+            exp, RecoveryConfig(retry=POLICY),
+            runs=[r for r in exp.runs if r.run_number != 2],
+        )
+        assert np.array_equal(faulty.mdnorm_hist.signal,
+                              survivors.mdnorm_hist.signal)

@@ -91,6 +91,80 @@ def test_trace_overhead_under_five_percent(benzil_data):
     )
 
 
+def test_profiler_overhead_under_five_percent(benzil_data):
+    """Kernel profiling (PR 4) rides the same budget as tracing itself.
+
+    ``Tracer(profile=True)`` computes the cost-model work estimates and
+    attaches a ``perf`` dict to every kernel span.  That bookkeeping is
+    pure integer arithmetic per *launch* (never per event), so it must
+    fit inside the same 5% bar measured against a tracing-only run.
+    """
+    reduce_one = _workload(benzil_data)
+    reduce_one()  # warm JIT/specialization once, outside both measurements
+
+    # Interleave the two configurations so slow clock drift (thermal,
+    # scheduler) hits both sides equally; min-of-repeats on each side.
+    plain = trace_mod.Tracer(label="overhead", profile=False)
+    profiled = trace_mod.Tracer(label="overhead", profile=True)
+    t_plain = float("inf")
+    t_prof = float("inf")
+    for _ in range(3 * REPEATS):
+        t_plain = min(t_plain, _min_time(reduce_one, plain, repeats=1))
+        t_prof = min(t_prof, _min_time(reduce_one, profiled, repeats=1))
+
+    assert not plain.profile and profiled.profile
+    prof_spans = [r for r in profiled.records
+                  if isinstance(r.get("attrs", {}).get("perf"), dict)]
+    assert prof_spans, "the profiled run must attach perf dicts"
+    assert not any(isinstance(r.get("attrs", {}).get("perf"), dict)
+                   for r in plain.records), \
+        "profile=False must not attach perf dicts"
+
+    ratio = t_prof / t_plain
+    rows = [
+        ("tracing only", f"{t_plain:.4f}", "1.00"),
+        ("tracing + profiling", f"{t_prof:.4f}", f"{ratio:.3f}"),
+        ("profiled spans/run", str(len(prof_spans) // (3 * REPEATS)), "-"),
+    ]
+    report = format_table(
+        title="Profiler overhead over tracing alone (min of "
+              f"{3 * REPEATS} interleaved, vectorized back end)",
+        headers=("configuration", "seconds", "ratio"),
+        rows=rows,
+    )
+    record_report("profiler_overhead", report)
+    print(report)
+
+    assert ratio < 1.0 + MAX_OVERHEAD, (
+        f"kernel profiling costs {100 * (ratio - 1):.1f}% over tracing "
+        f"(> {100 * MAX_OVERHEAD:.0f}% budget): {t_prof:.4f}s vs {t_plain:.4f}s"
+    )
+
+
+def test_null_tracer_short_circuits_profiling(benzil_data, monkeypatch):
+    """Under the NullTracer no perf work function may even be *called*.
+
+    The kernels guard metric computation with ``if tracer.profile:`` —
+    the default NullTracer reports ``profile == False`` so the whole
+    cost-model import and arithmetic is skipped.  Poisoning the work
+    functions proves the guard is airtight: a run under the disabled
+    tracer must not trip the poison.
+    """
+    from repro.util import perf as perf_mod
+
+    def _poison(*a, **k):  # pragma: no cover - must never run
+        raise AssertionError("perf work function called under NullTracer")
+
+    for name in ("binmd_work", "mdnorm_work", "mdnorm_work_from_crossings",
+                 "intersections_work", "prepass_work"):
+        monkeypatch.setattr(perf_mod, name, _poison)
+
+    assert not trace_mod.DISABLED.profile
+    reduce_one = _workload(benzil_data)
+    with trace_mod.use_tracer(trace_mod.DISABLED):
+        reduce_one()  # must not raise
+
+
 def test_disabled_tracer_is_process_default():
     """The overhead everyone else pays is the NullTracer, by default."""
     assert trace_mod.active_tracer() is trace_mod.DISABLED

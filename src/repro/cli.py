@@ -66,7 +66,34 @@ def _parser() -> argparse.ArgumentParser:
                    help="run a reduction plan file instead of a synthetic "
                         "workload (ignores --workload/--impl/--scale/--files)")
     _add_recovery_flags(p)
+    _add_monitor_flags(p)
     return p
+
+
+def _add_monitor_flags(p: argparse.ArgumentParser) -> None:
+    g = p.add_argument_group("monitoring")
+    g.add_argument("--metrics-file", metavar="PATH", default=None,
+                   help="expose live campaign gauges (heartbeats, ETA, "
+                        "quarantine) as an OpenMetrics text file, "
+                        "atomically rewritten on progress; watch it with "
+                        "`repro perf watch --metrics-file PATH`")
+    g.add_argument("--stall-deadline", type=float, default=None,
+                   metavar="SECONDS",
+                   help="seconds without progress before a rank counts "
+                        "as stalled (default 30)")
+
+
+def _monitor_context(args, label: str):
+    """``use_monitor`` context for ``--metrics-file`` (no-op without)."""
+    if not getattr(args, "metrics_file", None):
+        return contextlib.nullcontext(), None
+    from repro.util import monitor as monitor_mod
+
+    kwargs = {"metrics_path": args.metrics_file}
+    if getattr(args, "stall_deadline", None):
+        kwargs["stall_deadline"] = float(args.stall_deadline)
+    mon = monitor_mod.CampaignMonitor(label=label, **kwargs)
+    return monitor_mod.use_monitor(mon), mon
 
 
 def _add_recovery_flags(p: argparse.ArgumentParser) -> None:
@@ -148,8 +175,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     profile = A100_PROFILE if args.device_profile == "a100" else MI100_PROFILE
 
     fault_ctx, fault_plan = _fault_plan_context(args)
+    monitor_ctx, monitor = _monitor_context(
+        args, f"{args.workload}/{args.impl}"
+    )
     runs: List[MeasuredRun] = []
-    with fault_ctx:
+    with fault_ctx, monitor_ctx:
         if args.impl in ("garnet", "all"):
             if args.impl == "garnet" and (args.faults or args.checkpoint_dir):
                 print("note: the garnet baseline runs without the recovery "
@@ -179,6 +209,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if fault_plan is not None:
         print(f"\nfault plan {fault_plan.label or args.faults}: "
               f"{fault_plan.stats()}")
+    if monitor is not None:
+        print(f"\ncampaign metrics written to {args.metrics_file} "
+              f"(see `repro perf watch --metrics-file {args.metrics_file}`)")
 
     if args.peaks > 0 and runs and runs[-1].result.cross_section is not None:
         from repro.core.peaks import find_peaks
@@ -267,11 +300,73 @@ def _trace_parser() -> argparse.ArgumentParser:
     return p
 
 
+def _run_impl(
+    impl: str,
+    data,
+    *,
+    backend: Optional[str] = None,
+    recovery=None,
+    comm=None,
+) -> None:
+    """Run one implementation of the reduction on a built workload."""
+    if impl == "core":
+        from repro.core.workflow import ReductionWorkflow, WorkflowConfig
+
+        cfg = WorkflowConfig(
+            md_paths=data.md_paths,
+            flux_path=data.flux_path,
+            vanadium_path=data.vanadium_path,
+            instrument=data.instrument,
+            grid=data.grid,
+            point_group=data.point_group,
+            backend=backend,
+            recovery=recovery,
+        )
+        ReductionWorkflow(cfg).run(comm)
+    elif impl == "cpp":
+        from repro.proxy.cpp_proxy import CppProxyConfig, CppProxyWorkflow
+
+        cfg = CppProxyConfig(
+            md_paths=data.md_paths,
+            flux_path=data.flux_path,
+            vanadium_path=data.vanadium_path,
+            instrument=data.instrument,
+            grid=data.grid,
+            point_group=data.point_group,
+            recovery=recovery,
+        )
+        CppProxyWorkflow(cfg).run(comm)
+    elif impl == "minivates":
+        from repro.proxy.minivates import MiniVatesConfig, MiniVatesWorkflow
+
+        cfg = MiniVatesConfig(
+            md_paths=data.md_paths,
+            flux_path=data.flux_path,
+            vanadium_path=data.vanadium_path,
+            instrument=data.instrument,
+            grid=data.grid,
+            point_group=data.point_group,
+            recovery=recovery,
+        )
+        MiniVatesWorkflow(cfg).run(comm)
+    else:  # garnet (no simulated-MPI support: multiprocess model)
+        from repro.bench.harness import run_garnet
+
+        run_garnet(data)
+
+
 def trace_main(argv: Optional[List[str]] = None) -> int:
-    """``repro trace``: one traced reduction -> JSON-lines (+ summary)."""
+    """``repro trace``: one traced reduction -> JSON-lines (+ summary).
+
+    ``repro trace summary`` (first positional token) instead summarizes
+    or diffs previously written trace files without running anything.
+    """
     from repro.bench.workloads import benzil_corelli, bixbyite_topaz, build_workload
     from repro.util import trace as trace_mod
 
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv[:1] == ["summary"]:
+        return trace_summary_main(argv[1:])
     args = _trace_parser().parse_args(argv)
     make_spec = benzil_corelli if args.workload == "benzil" else bixbyite_topaz
     spec = make_spec(scale=args.scale, n_files=args.files)
@@ -286,50 +381,8 @@ def trace_main(argv: Optional[List[str]] = None) -> int:
                 else _recovery_for(args, args.impl, data))
 
     def run_one(comm=None) -> None:
-        if args.impl == "core":
-            from repro.core.workflow import ReductionWorkflow, WorkflowConfig
-
-            cfg = WorkflowConfig(
-                md_paths=data.md_paths,
-                flux_path=data.flux_path,
-                vanadium_path=data.vanadium_path,
-                instrument=data.instrument,
-                grid=data.grid,
-                point_group=data.point_group,
-                backend=args.backend,
-                recovery=recovery,
-            )
-            ReductionWorkflow(cfg).run(comm)
-        elif args.impl == "cpp":
-            from repro.proxy.cpp_proxy import CppProxyConfig, CppProxyWorkflow
-
-            cfg = CppProxyConfig(
-                md_paths=data.md_paths,
-                flux_path=data.flux_path,
-                vanadium_path=data.vanadium_path,
-                instrument=data.instrument,
-                grid=data.grid,
-                point_group=data.point_group,
-                recovery=recovery,
-            )
-            CppProxyWorkflow(cfg).run(comm)
-        elif args.impl == "minivates":
-            from repro.proxy.minivates import MiniVatesConfig, MiniVatesWorkflow
-
-            cfg = MiniVatesConfig(
-                md_paths=data.md_paths,
-                flux_path=data.flux_path,
-                vanadium_path=data.vanadium_path,
-                instrument=data.instrument,
-                grid=data.grid,
-                point_group=data.point_group,
-                recovery=recovery,
-            )
-            MiniVatesWorkflow(cfg).run(comm)
-        else:  # garnet (no simulated-MPI support: multiprocess model)
-            from repro.bench.harness import run_garnet
-
-            run_garnet(data)
+        _run_impl(args.impl, data, backend=args.backend,
+                  recovery=recovery, comm=comm)
 
     fault_ctx, fault_plan = _fault_plan_context(args)
     with trace_mod.use_tracer(tracer), fault_ctx:
@@ -362,17 +415,301 @@ def trace_main(argv: Optional[List[str]] = None) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# repro trace summary
+# ---------------------------------------------------------------------------
+
+def _trace_summary_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro trace summary",
+        description="Summarize (or diff) previously written JSON-lines "
+                    "trace files without running anything.",
+    )
+    p.add_argument("files", nargs="*", metavar="TRACE_JSONL",
+                   help="trace files to summarize (WCT table + derived "
+                        "throughput + counters/gauges)")
+    p.add_argument("--compare", nargs=2, metavar=("A_JSONL", "B_JSONL"),
+                   default=None,
+                   help="differential WCT + per-kernel throughput report "
+                        "(ratios are B over A; < 1 means B is faster)")
+    return p
+
+
+def trace_summary_main(argv: Optional[List[str]] = None) -> int:
+    """``repro trace summary``: offline trace summaries and diffs."""
+    from repro.util import trace as trace_mod
+
+    args = _trace_summary_parser().parse_args(argv)
+    if args.compare:
+        from repro.util.perf import compare_traces
+
+        path_a, path_b = args.compare
+        _, rec_a = trace_mod.load_file(path_a)
+        _, rec_b = trace_mod.load_file(path_b)
+        print(compare_traces(rec_a, rec_b, label_a=path_a, label_b=path_b))
+        return 0
+    if not args.files:
+        print("repro trace summary: give trace files or --compare A B",
+              file=sys.stderr)
+        return 2
+    for i, path in enumerate(args.files):
+        meta, records = trace_mod.load_file(path)
+        if i:
+            print()
+        print(trace_mod.summary_from_records(
+            records, label=str(meta.get("label") or path)))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# repro perf
+# ---------------------------------------------------------------------------
+
+def _perf_add_workload_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--workload", choices=("benzil", "bixbyite"),
+                   default="benzil",
+                   help="use case: Benzil/CORELLI or Bixbyite/TOPAZ")
+    p.add_argument("--scale", type=float, default=None,
+                   help="event/detector scale vs the paper "
+                        "(default REPRO_SCALE or 0.002)")
+    p.add_argument("--files", type=int, default=None,
+                   help="number of run files to synthesize/measure")
+
+
+def _perf_add_bench_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--repeats", type=int, default=5,
+                   help="timing repeats per stage (default 5)")
+    p.add_argument("--backend", default="vectorized",
+                   help="jacc back end for the timed panel")
+    p.add_argument("--name", default=None,
+                   help="trajectory workload name "
+                        "(default <workload>_smoke)")
+    p.add_argument("--bench-file", metavar="PATH", default=None,
+                   help="trajectory file (default "
+                        "benchmarks/BENCH_<name>.json)")
+    p.add_argument("--bench-dir", metavar="DIR", default=None,
+                   help="directory for the default trajectory file")
+
+
+def _perf_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro perf",
+        description="Kernel-level profiling, benchmark trajectory "
+                    "recording/regression gating, and live campaign "
+                    "monitoring.",
+    )
+    sub = p.add_subparsers(dest="cmd", required=True)
+
+    rep = sub.add_parser(
+        "report", help="per-kernel derived-throughput tables")
+    rep.add_argument("--trace", nargs="+", metavar="JSONL", default=None,
+                     help="roll up existing trace files instead of running "
+                          "a fresh panel")
+    _perf_add_workload_flags(rep)
+    rep.add_argument("--impl", choices=("core", "cpp", "minivates", "all"),
+                     default="all", help="implementation(s) to profile")
+    rep.add_argument("--backend", default=None,
+                     help="jacc back end for --impl core")
+
+    roof = sub.add_parser("roofline", help="write roofline-model CSV")
+    roof.add_argument("--trace", nargs="+", metavar="JSONL", default=None,
+                      help="roll up existing trace files instead of running")
+    _perf_add_workload_flags(roof)
+    roof.add_argument("--impl", choices=("core", "cpp", "minivates", "all"),
+                      default="all", help="implementation(s) to profile")
+    roof.add_argument("--backend", default=None,
+                      help="jacc back end for --impl core")
+    roof.add_argument("--out", metavar="CSV", default="roofline.csv",
+                      help="output CSV path (per-source suffix with "
+                           "multiple sources)")
+
+    recp = sub.add_parser(
+        "record", help="append a benchmark entry to the trajectory file")
+    _perf_add_workload_flags(recp)
+    _perf_add_bench_flags(recp)
+
+    chk = sub.add_parser(
+        "check",
+        help="gate current timings against the recorded trajectory "
+             "(exit 1 on regression)")
+    _perf_add_workload_flags(chk)
+    _perf_add_bench_flags(chk)
+    from repro.bench.regress import DEFAULT_K, DEFAULT_MIN_RATIO
+
+    chk.add_argument("--k", type=float, default=DEFAULT_K,
+                     help=f"IQR multiplier of the robust threshold "
+                          f"(default {DEFAULT_K})")
+    chk.add_argument("--min-ratio", type=float, default=DEFAULT_MIN_RATIO,
+                     help=f"slowdown floor a regression must also exceed "
+                          f"(default {DEFAULT_MIN_RATIO})")
+    chk.add_argument("--any-fingerprint", action="store_true",
+                     help="compare against entries from any machine, not "
+                          "just this one")
+
+    w = sub.add_parser(
+        "watch", help="render the live campaign monitor metrics file")
+    w.add_argument("--metrics-file", metavar="PATH", required=True,
+                   help="OpenMetrics file written by --metrics-file on "
+                        "`repro reduce`")
+    w.add_argument("--follow", action="store_true",
+                   help="keep re-rendering until interrupted")
+    w.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between renders with --follow")
+    w.add_argument("--iterations", type=int, default=0,
+                   help="stop --follow after N renders (0 = until ^C)")
+    return p
+
+
+def _perf_models(args) -> List[tuple]:
+    """``(label, PerfModel)`` per requested source (trace files or runs)."""
+    from repro.util import trace as trace_mod
+    from repro.util.perf import PerfModel
+
+    if getattr(args, "trace", None):
+        return [(path, PerfModel.from_file(path)) for path in args.trace]
+
+    make_spec = benzil_corelli if args.workload == "benzil" else bixbyite_topaz
+    spec = make_spec(scale=args.scale, n_files=args.files)
+    print(spec.describe())
+    data = build_workload(spec)
+    impls = (("core", "cpp", "minivates") if args.impl == "all"
+             else (args.impl,))
+    out = []
+    for impl in impls:
+        tracer = trace_mod.Tracer(label=f"{args.workload}/{impl}")
+        with trace_mod.use_tracer(tracer):
+            _run_impl(impl, data,
+                      backend=args.backend if impl == "core" else None)
+        out.append((impl, PerfModel.from_records(
+            tracer.records,
+            counters=tracer.counters,
+            gauges=tracer.gauges,
+        )))
+    return out
+
+
+def _perf_bench_setup(args):
+    """(workload name, recorder, samples) for record/check."""
+    from repro.bench.regress import (
+        BenchRecorder,
+        collect_panel_samples,
+        default_bench_path,
+    )
+
+    make_spec = benzil_corelli if args.workload == "benzil" else bixbyite_topaz
+    spec = make_spec(scale=args.scale, n_files=args.files)
+    print(spec.describe())
+    data = build_workload(spec)
+    name = args.name or f"{args.workload}_smoke"
+    path = args.bench_file or default_bench_path(name, args.bench_dir)
+    recorder = BenchRecorder(path, name)
+    print(f"timing {args.repeats} repeats of the {args.backend} panel ...")
+    samples = collect_panel_samples(
+        data, repeats=args.repeats, backend=args.backend
+    )
+    config = {
+        "scale": getattr(spec, "scale", None),
+        "files": len(data.md_paths),
+        "backend": args.backend,
+    }
+    return recorder, samples, config
+
+
+def perf_main(argv: Optional[List[str]] = None) -> int:
+    """``repro perf``: report / roofline / record / check / watch."""
+    args = _perf_parser().parse_args(argv)
+
+    if args.cmd == "report":
+        models = _perf_models(args)
+        for i, (label, model) in enumerate(models):
+            if i or not getattr(args, "trace", None):
+                print()
+            print(model.table(title=f"{label}: per-kernel throughput"))
+            cw = model.cold_warm_summary()
+            if cw:
+                pairs = "  ".join(f"{k}={v:g}" for k, v in sorted(cw.items()))
+                print(f"  cold/warm: {pairs}")
+        return 0
+
+    if args.cmd == "roofline":
+        models = _perf_models(args)
+        for label, model in models:
+            if len(models) == 1:
+                out = args.out
+            else:
+                root, ext = os.path.splitext(args.out)
+                safe = os.path.basename(label).replace(".", "_")
+                out = f"{root}_{safe}{ext or '.csv'}"
+            with open(out, "w") as fh:
+                fh.write(model.roofline_csv())
+            print(f"wrote {out} ({model.n_kernels} kernels)")
+        return 0
+
+    if args.cmd == "record":
+        recorder, samples, config = _perf_bench_setup(args)
+        entry = recorder.record(samples, config=config)
+        print(f"recorded entry ({entry['fingerprint']}, "
+              f"git {entry['git_sha'][:12]}) -> {recorder.path}")
+        for stage in ("UpdateEvents", "MDNorm", "BinMD", "Total"):
+            st = entry["stages"].get(stage)
+            if st:
+                print(f"  {stage:<14s} median {st['median']:.4f} s "
+                      f"iqr {st['iqr']:.4f} s (n={int(st['n'])})")
+        print(f"trajectory now holds {len(recorder.entries)} entries")
+        return 0
+
+    if args.cmd == "check":
+        from repro.bench.regress import check_against
+
+        recorder, samples, _ = _perf_bench_setup(args)
+        report = check_against(
+            recorder, samples, k=args.k, min_ratio=args.min_ratio,
+            any_fingerprint=args.any_fingerprint,
+        )
+        print(report.text())
+        return report.exit_code
+
+    if args.cmd == "watch":
+        import time as _time
+
+        from repro.util.monitor import watch_report
+
+        if not args.follow:
+            print(watch_report(args.metrics_file))
+            return 0
+        n = 0
+        try:
+            while True:
+                print(watch_report(args.metrics_file))
+                n += 1
+                if args.iterations and n >= args.iterations:
+                    break
+                print("-" * 60)
+                _time.sleep(args.interval)
+        except KeyboardInterrupt:
+            pass
+        return 0
+
+    raise AssertionError(f"unhandled perf subcommand {args.cmd!r}")
+
+
 def repro_main(argv: Optional[List[str]] = None) -> int:
     """``repro <subcommand>``: the umbrella entry point.
 
-    Subcommands: ``reduce`` (the classic ``repro-reduce`` CLI) and
-    ``trace`` (traced reduction + JSON-lines/Chrome export).
+    Subcommands: ``reduce`` (the classic ``repro-reduce`` CLI),
+    ``trace`` (traced reduction + JSON-lines/Chrome export; ``trace
+    summary`` for offline summaries and diffs) and ``perf`` (kernel
+    profiling report/roofline, benchmark trajectory record/check, live
+    campaign watch).
     """
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or argv[0] in ("-h", "--help"):
-        print("usage: repro {reduce,trace} [options]\n"
+        print("usage: repro {reduce,trace,perf} [options]\n"
               "  reduce  run a reduction and print stage timings\n"
               "  trace   run a traced reduction and export the trace\n"
+              "          (trace summary: summarize/diff written traces)\n"
+              "  perf    profile kernels, record/check benchmark\n"
+              "          trajectories, watch a live campaign\n"
               "run `repro <subcommand> --help` for options")
         return 0 if argv else 2
     cmd, rest = argv[0], argv[1:]
@@ -380,7 +717,9 @@ def repro_main(argv: Optional[List[str]] = None) -> int:
         return main(rest)
     if cmd == "trace":
         return trace_main(rest)
-    print(f"repro: unknown subcommand {cmd!r} (expected reduce|trace)",
+    if cmd == "perf":
+        return perf_main(rest)
+    print(f"repro: unknown subcommand {cmd!r} (expected reduce|trace|perf)",
           file=sys.stderr)
     return 2
 

@@ -184,6 +184,14 @@ def bin_events(
                     inside=np.empty((n_ops, n_events), dtype=bool),
                 )
         op_span.set(cache_hit=entry is not None)
+        if tracer.profile:
+            from repro.util.perf import binmd_work
+
+            op_span.set(perf=binmd_work(
+                int(transforms.shape[0]), int(data.shape[0]),
+                track_errors=hist.flat_error_sq is not None,
+                cache_hit=entry is not None,
+            ))
 
         captures = Captures(
             hist=hist,

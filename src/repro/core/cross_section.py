@@ -39,6 +39,7 @@ from repro.crystal.symmetry import PointGroup
 from repro.mpi import SUM, Comm, SequentialComm, rank_range
 from repro.nexus.corrections import FluxSpectrum
 from repro.util import faults as _faults
+from repro.util import monitor as _monitor
 from repro.util import trace as _trace
 from repro.util.timers import StageTimings
 from repro.util.validation import ValidationError, require
@@ -79,6 +80,14 @@ class CrossSectionResult:
             i for i, d in self.dispositions.items()
             if d.get("status") == "quarantined"
         ))
+
+
+def _n_events(ws: MDEventWorkspace) -> int:
+    """Raw event count of one run's workspace (monitor accounting)."""
+    try:
+        return int(ws.events.data.shape[0])
+    except AttributeError:  # pragma: no cover - bare-array workspaces
+        return int(np.asarray(ws.events).shape[0])
 
 
 def compute_cross_section(
@@ -156,6 +165,10 @@ def compute_cross_section(
     mdnorm_hist = Hist3(grid)
 
     start, end = rank_range(n_runs, comm.rank, comm.size)
+    monitor = _monitor.active_monitor()
+    if monitor.enabled:
+        monitor.start_campaign(n_runs, comm.size)
+        monitor.assign_runs(comm.rank, end - start)
     with tracer.span(
         "cross_section",
         kind="algorithm",
@@ -166,6 +179,10 @@ def compute_cross_section(
     ), timings.stage("Total"):
         for i in range(start, end):
             with tracer.span("run", kind="run", run=int(i)):
+                if monitor.enabled:
+                    monitor.heartbeat(
+                        comm.rank, site=f"run:{i}/UpdateEvents", run=i
+                    )
                 with timings.stage("UpdateEvents"):
                     ws = load_run(i)
                 if ws.ub_matrix is None:
@@ -176,6 +193,8 @@ def compute_cross_section(
                 traj_transforms = grid.transforms_for(
                     ws.ub_matrix, point_group, goniometer=ws.goniometer
                 )
+                if monitor.enabled:
+                    monitor.heartbeat(comm.rank, site=f"run:{i}/MDNorm")
                 with timings.stage("MDNorm"):
                     if mdnorm_impl is not None:
                         mdnorm_impl(
@@ -202,6 +221,8 @@ def compute_cross_section(
                             cache=cache,
                             cache_tag=f"run:{i}",
                         )
+                if monitor.enabled:
+                    monitor.heartbeat(comm.rank, site=f"run:{i}/BinMD")
                 with timings.stage("BinMD"):
                     if binmd_impl is not None:
                         binmd_impl(binmd_hist, ws.events, event_transforms)
@@ -215,6 +236,10 @@ def compute_cross_section(
                             cache=cache,
                             cache_tag=f"run:{i}",
                         )
+                if monitor.enabled:
+                    monitor.run_completed(
+                        comm.rank, i, events=float(_n_events(ws))
+                    )
 
         # MPI_Reduce of both histograms onto the root
         with tracer.span("mpi_reduce", kind="mpi",
@@ -237,6 +262,8 @@ def compute_cross_section(
         binmd_out = Hist3(grid, signal=binmd_total)
         mdnorm_out = Hist3(grid, signal=mdnorm_total)
         cross = binmd_out.divide(mdnorm_out)
+    if monitor.enabled:
+        monitor.finish_campaign()
     extras = {"geom_cache": cache.stats.snapshot()} if cache.enabled else None
     return CrossSectionResult(
         cross_section=cross,
@@ -314,6 +341,8 @@ def _compute_cross_section_recovering(
     mdnorm_hist = Hist3(grid)
     dispositions: Dict[int, Dict[str, Any]] = {}
     done_local: set = set()
+    monitor = _monitor.active_monitor()
+    events_seen: Dict[int, int] = {}
 
     def compute_delta(i: int) -> Tuple[Hist3, Hist3, int]:
         """One run's contribution in scratch histograms (with retry)."""
@@ -321,6 +350,12 @@ def _compute_cross_section_recovering(
 
         def attempt(attempt_no: int) -> Tuple[Hist3, Hist3]:
             attempts_used[0] = attempt_no
+            if monitor.enabled:
+                # announce the run *before* its fault point so a slow /
+                # wedged run ages this heartbeat (stall detection)
+                monitor.heartbeat(
+                    comm.rank, site=f"run:{i}/UpdateEvents", run=i
+                )
             _faults.fault_point("run", run=i)
             scratch_b = Hist3(grid, track_errors=True)
             scratch_m = Hist3(grid)
@@ -334,6 +369,8 @@ def _compute_cross_section_recovering(
             traj_transforms = grid.transforms_for(
                 ws.ub_matrix, point_group, goniometer=ws.goniometer
             )
+            if monitor.enabled:
+                monitor.heartbeat(comm.rank, site=f"run:{i}/MDNorm")
             with timings.stage("MDNorm"):
                 _faults.fault_point("kernel.mdnorm", run=i)
                 if mdnorm_impl is not None:
@@ -350,6 +387,8 @@ def _compute_cross_section_recovering(
                         sort_impl=sort_impl, scatter_impl=scatter_impl,
                         cache=cache, cache_tag=f"run:{i}",
                     )
+            if monitor.enabled:
+                monitor.heartbeat(comm.rank, site=f"run:{i}/BinMD")
             with timings.stage("BinMD"):
                 _faults.fault_point("kernel.binmd", run=i)
                 if binmd_impl is not None:
@@ -360,6 +399,7 @@ def _compute_cross_section_recovering(
                         backend=backend, scatter_impl=scatter_impl,
                         cache=cache, cache_tag=f"run:{i}",
                     )
+            events_seen[i] = _n_events(ws)
             return scratch_b, scratch_m
 
         def on_retry(exc: BaseException, attempt_no: int) -> None:
@@ -383,6 +423,8 @@ def _compute_cross_section_recovering(
                     dispositions[i] = {"status": "quarantined",
                                        "rank": int(comm.rank),
                                        "resumed": True}
+                    if monitor.enabled:
+                        monitor.record_quarantine(comm.rank, i)
                     done_local.add(i)
                     return
                 if ckpt.has_run(i):
@@ -404,6 +446,8 @@ def _compute_cross_section_recovering(
                             "attempts": int(rec.get("attempts", 1)),
                         }
                         tracer.count("checkpoint.resumed")
+                        if monitor.enabled:
+                            monitor.record_resume(comm.rank, i)
                         done_local.add(i)
                         return
             try:
@@ -419,6 +463,8 @@ def _compute_cross_section_recovering(
                                    "attempts": int(exc.attempts),
                                    "reason": reason}
                 tracer.count("quarantine.runs")
+                if monitor.enabled:
+                    monitor.record_quarantine(comm.rank, i)
                 done_local.add(i)
                 return
             binmd_hist.add(scratch_b)
@@ -428,10 +474,17 @@ def _compute_cross_section_recovering(
                               attempts=attempts, rank=comm.rank)
             dispositions[i] = {"status": "done", "rank": int(comm.rank),
                                "attempts": int(attempts)}
+            if monitor.enabled:
+                monitor.run_completed(
+                    comm.rank, i, events=float(events_seen.get(i, 0))
+                )
             done_local.add(i)
 
     start, end = rank_range(n_runs, comm.rank, comm.size)
     my_runs = list(range(start, end))
+    if monitor.enabled:
+        monitor.start_campaign(n_runs, comm.size)
+        monitor.assign_runs(comm.rank, len(my_runs))
     with tracer.span(
         "cross_section",
         kind="algorithm",
@@ -455,6 +508,8 @@ def _compute_cross_section_recovering(
                     leftover = list(my_runs)  # in-memory partials die with us
                 comm.mark_failed({"runs": leftover})
                 tracer.count("rank.crash")
+                if monitor.enabled:
+                    monitor.record_crash(comm.rank)
                 crashed = True
                 break
         if crashed:
@@ -538,6 +593,8 @@ def _compute_cross_section_recovering(
             mdnorm_out = Hist3(grid, signal=mdnorm_total)
 
         cross = binmd_out.divide(mdnorm_out)
+    if monitor.enabled:
+        monitor.finish_campaign()
     quarantined = sorted(
         i for i, d in merged.items() if d.get("status") == "quarantined"
     )

@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.core.combsort import comb_sort_rows
 from repro.core.grid import HKLGrid
+from repro.util import trace as _trace
 
 #: trajectory directions with |D_i| below this are treated as parallel
 #: to the dimension's planes
@@ -254,9 +255,26 @@ def sorted_crossings_batch(
     lets the cache layer slice a stored buffer wherever a kernel would
     have recomputed a tile.
     """
-    padded = fill_crossings_batch(directions, grid, k_lo, k_hi, width)
-    if sort_impl == "comb":
-        comb_sort_rows(padded)
-    else:
-        padded.sort(axis=1)
+    tracer = _trace.active_tracer()
+    if not tracer.enabled:
+        padded = fill_crossings_batch(directions, grid, k_lo, k_hi, width)
+        if sort_impl == "comb":
+            comb_sort_rows(padded)
+        else:
+            padded.sort(axis=1)
+        return padded
+
+    n_rows = int(np.asarray(directions).reshape(-1, 3).shape[0])
+    attrs = {"kind": "phase", "rows": n_rows, "width": int(width),
+             "sort_impl": sort_impl}
+    if tracer.profile:
+        from repro.util.perf import intersections_work
+
+        attrs["perf"] = intersections_work(n_rows, int(width))
+    with tracer.span("intersections.fill_sort", **attrs):
+        padded = fill_crossings_batch(directions, grid, k_lo, k_hi, width)
+        if sort_impl == "comb":
+            comb_sort_rows(padded)
+        else:
+            padded.sort(axis=1)
     return padded

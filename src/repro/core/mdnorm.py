@@ -159,6 +159,10 @@ def max_intersections(
     dims = directions.shape[:2]
     tracer = _trace.active_tracer()
     with tracer.span("mdnorm.prepass", kind="phase", backend=be.name) as sp:
+        if tracer.profile:
+            from repro.util.perf import prepass_work
+
+            sp.set(perf=prepass_work(dims[0] * dims[1]))
         if be.device_kind == "device" and use_extended_reduce:
             from repro.jacc.reduction import device_reduce
 
@@ -442,9 +446,17 @@ def mdnorm(
         # would degenerate and no longer be charge-independent).
         use_plan = cache.enabled and entry is not None and not explicit_width \
             and charge != 0.0
-        op_span.set(width=int(width), warm_plan=bool(
+        warm_plan = bool(
             use_plan and entry is not None and entry.deposit is not None
-        ))
+        )
+        op_span.set(width=int(width), warm_plan=warm_plan)
+        if tracer.profile:
+            from repro.util.perf import mdnorm_work
+
+            op_span.set(perf=mdnorm_work(
+                int(transforms.shape[0]), int(det_directions.shape[0]),
+                int(width), warm_plan=warm_plan,
+            ))
         captures = Captures(
             hist=hist,
             grid=grid,

@@ -69,13 +69,17 @@ class Backend(ABC):
         if not tracer.enabled:
             self.run_parallel_for(dims, kernel, captures)
             return
-        with tracer.span(
-            f"kernel:{kernel.name}",
+        attrs: Dict[str, Any] = dict(
             kind="kernel",
             backend=self.name,
             device_kind=self.device_kind,
             dims=[int(d) for d in normalize_dims(dims)],
-        ):
+        )
+        if tracer.profile:
+            from repro.util.perf import kernel_items
+
+            attrs["perf"] = kernel_items(attrs["dims"])
+        with tracer.span(f"kernel:{kernel.name}", **attrs):
             self.run_parallel_for(dims, kernel, captures)
         tracer.count("jacc.launches", 1)
 
@@ -90,14 +94,18 @@ class Backend(ABC):
         tracer = _trace.active_tracer()
         if not tracer.enabled:
             return self.run_parallel_reduce(dims, kernel, captures, op)
-        with tracer.span(
-            f"kernel:{kernel.name}",
+        attrs: Dict[str, Any] = dict(
             kind="kernel",
             backend=self.name,
             device_kind=self.device_kind,
             dims=[int(d) for d in normalize_dims(dims)],
             op=op,
-        ):
+        )
+        if tracer.profile:
+            from repro.util.perf import kernel_items
+
+            attrs["perf"] = kernel_items(attrs["dims"])
+        with tracer.span(f"kernel:{kernel.name}", **attrs):
             result = self.run_parallel_reduce(dims, kernel, captures, op)
         tracer.count("jacc.launches", 1)
         return result

@@ -63,9 +63,17 @@ def cpp_bin_md(hist: Hist3, events: EventTable, transforms: np.ndarray) -> Hist3
     with tracer.span(
         "cpp.binmd",
         kind="op",
+        backend="cpp",
         n_ops=int(transforms.shape[0]),
         n_events=int(data.shape[0]),
-    ):
+    ) as op_span:
+        if tracer.profile:
+            from repro.util.perf import binmd_work
+
+            op_span.set(perf=binmd_work(
+                int(transforms.shape[0]), int(data.shape[0]),
+                track_errors=hist.flat_error_sq is not None,
+            ))
         q = data[:, COL_QX : COL_QZ + 1]
         weights = data[:, COL_SIGNAL]
         err_sq = data[:, COL_ERROR_SQ]
@@ -165,12 +173,26 @@ def cpp_md_norm(
     with tracer.span(
         "cpp.mdnorm",
         kind="op",
+        backend="cpp",
         n_ops=int(transforms.shape[0]),
         n_det=int(det_directions.shape[0]),
     ) as op_span:
         grid = hist.grid
         directions = trajectory_directions(transforms, det_directions).reshape(-1, 3)
         k_lo, k_hi = k_window(directions, grid, *momentum_band)
+        if tracer.profile:
+            # exact crossing counts via the vectorized pre-pass (the
+            # same counting kernel MiniVATES runs; cheap next to the
+            # per-row ROI loop below)
+            from repro.core.intersections import count_crossings_batch
+            from repro.util.perf import mdnorm_work_from_crossings
+
+            crossings = int(
+                count_crossings_batch(directions, grid, k_lo, k_hi).sum()
+            )
+            op_span.set(perf=mdnorm_work_from_crossings(
+                directions.shape[0], crossings
+            ))
         n_ops = transforms.shape[0]
         det_weight = np.tile(solid_angles * charge, n_ops)
 

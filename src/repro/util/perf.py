@@ -1,0 +1,534 @@
+"""Kernel-level performance model derived from trace records.
+
+The paper's results are throughput claims — MDNorm/BinMD wall-clock on
+Milan CPUs and MI250X GPUs, speedups over the Mantid baseline — but the
+trace layer (:mod:`repro.util.trace`) only records *where* time goes.
+This module records *why*: every profiled span carries a ``perf``
+attribute (a dict of raw work quantities — events, trajectories,
+intersections, estimated bytes moved, estimated flops) and
+:class:`PerfModel` rolls the finished records up into a per-kernel
+throughput table, a roofline-style CSV, and cold/warm attribution from
+the geometry-cache flags the spans already carry (PR 1).
+
+Two invariants drive the design:
+
+* **derived purely from the trace** — every number the report prints is
+  recomputed from the JSON-lines records alone (``rate = work / dur``);
+  a trace file round-trips to the identical table, which is what lets
+  ``repro trace summary --compare`` diff two backends offline;
+* **zero cost when off** — the instrumentation sites guard the *entire*
+  estimate computation on ``tracer.profile`` (False for
+  :class:`~repro.util.trace.NullTracer`), so with tracing disabled no
+  derived-metric arithmetic runs at all.  The profiler overhead bar
+  (< 5% over tracing-only) is enforced by
+  ``benchmarks/test_trace_overhead.py``.
+
+The byte/flop numbers are a documented *cost model*, not hardware
+counters (DESIGN.md section 6e): deterministic functions of the kernel
+shape parameters (`n_ops`, `n_events`, padded buffer ``width``, ...),
+the same role the analytic models in HPDR-style frameworks play for
+cross-backend attribution.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.util.validation import ReproError
+
+#: span-attribute key holding the raw work dict of a profiled span
+PERF_ATTR = "perf"
+
+#: work quantities a ``perf`` dict may carry (all float, all summable)
+WORK_KEYS = (
+    "events", "trajectories", "intersections", "segments", "bins_touched",
+    "bytes_read", "bytes_written", "flops", "items",
+)
+
+
+class PerfError(ReproError):
+    """Malformed perf records or an impossible rollup request."""
+
+
+# ---------------------------------------------------------------------------
+# the cost model (DESIGN.md section 6e documents every constant)
+# ---------------------------------------------------------------------------
+
+#: BinMD reads per (op, event) lane: qx,qy,qz,signal,err_sq float64
+BYTES_PER_EVENT_READ = 40.0
+#: BinMD writes per deposited lane: signal + err_sq atomic adds
+BYTES_PER_EVENT_WRITE = 16.0
+#: BinMD flops per lane: 3x3 mat-vec (15) + bin search / guards (9)
+FLOPS_PER_EVENT = 24.0
+
+#: MDNorm reads per trajectory: direction (24 B) + k window (16 B)
+BYTES_PER_TRAJ_READ = 40.0
+#: MDNorm reads per segment: two cumulative-flux table values
+BYTES_PER_SEGMENT_READ = 16.0
+#: MDNorm writes per segment: one float64 histogram deposit
+BYTES_PER_SEGMENT_WRITE = 8.0
+#: MDNorm flops per segment: interp (4) + midpoint (2) + coords (3)
+#: + bin index (3)
+FLOPS_PER_SEGMENT = 12.0
+#: MDNorm flops per trajectory: window clip + sort amortization
+FLOPS_PER_TRAJ = 20.0
+
+#: warm deposit-plan replay per segment: cached flux x weight + scatter
+WARM_FLOPS_PER_SEGMENT = 2.0
+#: warm reads per segment: seg_flux (8) + flat_idx (8) + seg_ok (1)
+WARM_BYTES_PER_SEGMENT_READ = 17.0
+
+
+def binmd_work(
+    n_ops: int,
+    n_events: int,
+    *,
+    track_errors: bool = True,
+    cache_hit: bool = False,
+) -> Dict[str, float]:
+    """Cost-model work of one BinMD launch (``(n_ops, n_events)`` lanes).
+
+    A warm launch (``cache_hit``) replays cached flat indices: the
+    transform flops are skipped, the index arrays are read instead.
+    """
+    lanes = float(n_ops) * float(n_events)
+    write = BYTES_PER_EVENT_WRITE if track_errors else 8.0
+    if cache_hit:
+        return {
+            "events": lanes,
+            "bins_touched": lanes,
+            "bytes_read": lanes * (16.0 + 9.0),  # weights + idx/mask
+            "bytes_written": lanes * write,
+            "flops": lanes * 2.0,
+        }
+    return {
+        "events": lanes,
+        "bins_touched": lanes,
+        "bytes_read": lanes * BYTES_PER_EVENT_READ,
+        "bytes_written": lanes * write,
+        "flops": lanes * FLOPS_PER_EVENT,
+    }
+
+
+def mdnorm_work(
+    n_ops: int,
+    n_det: int,
+    width: int,
+    *,
+    warm_plan: bool = False,
+) -> Dict[str, float]:
+    """Cost-model work of one MDNorm launch.
+
+    ``width`` is the padded intersection-buffer width (pre-pass bound
+    + 2 endpoints); segments per trajectory are ``width - 1`` and
+    plane crossings are bounded by ``width - 2``.  A warm launch
+    (cached :class:`~repro.core.geom_cache.DepositPlan`) skips the
+    fill/sort/interpolate pipeline entirely and replays cached segment
+    fluxes.
+    """
+    traj = float(n_ops) * float(n_det)
+    segments = traj * float(max(int(width) - 1, 0))
+    crossings = traj * float(max(int(width) - 2, 0))
+    if warm_plan:
+        return {
+            "trajectories": traj,
+            "intersections": crossings,
+            "segments": segments,
+            "bins_touched": segments,
+            "bytes_read": segments * WARM_BYTES_PER_SEGMENT_READ,
+            "bytes_written": segments * BYTES_PER_SEGMENT_WRITE,
+            "flops": segments * WARM_FLOPS_PER_SEGMENT,
+        }
+    return {
+        "trajectories": traj,
+        "intersections": crossings,
+        "segments": segments,
+        "bins_touched": segments,
+        "bytes_read": traj * BYTES_PER_TRAJ_READ
+        + segments * BYTES_PER_SEGMENT_READ,
+        "bytes_written": segments * BYTES_PER_SEGMENT_WRITE,
+        "flops": traj * FLOPS_PER_TRAJ + segments * FLOPS_PER_SEGMENT,
+    }
+
+
+def mdnorm_work_from_crossings(
+    n_trajectories: int, n_crossings: int
+) -> Dict[str, float]:
+    """Cost-model work of one MDNorm pass with *exact* crossing counts.
+
+    Used by the C++ proxy, whose per-row ROI loop never pads a buffer:
+    each live row contributes its crossings plus one extra segment
+    (``len(ks) - 1`` segments for ``crossings + 2`` endpoints), so
+    ``segments = crossings + trajectories`` bounds the deposit work.
+    """
+    traj = float(n_trajectories)
+    segments = float(n_crossings) + traj
+    return {
+        "trajectories": traj,
+        "intersections": float(n_crossings),
+        "segments": segments,
+        "bins_touched": segments,
+        "bytes_read": traj * BYTES_PER_TRAJ_READ
+        + segments * BYTES_PER_SEGMENT_READ,
+        "bytes_written": segments * BYTES_PER_SEGMENT_WRITE,
+        "flops": traj * FLOPS_PER_TRAJ + segments * FLOPS_PER_SEGMENT,
+    }
+
+
+def intersections_work(n_rows: int, width: int) -> Dict[str, float]:
+    """Cost-model work of one batched fill+sort of the padded
+    intersection buffer (``n_rows`` live trajectories, ``width``
+    columns).  The sort term is the comb-sort's ``w log2 w`` comparison
+    count per row; crossings are bounded by ``width - 2`` (the two
+    endpoints are not plane crossings)."""
+    rows = float(n_rows)
+    w = float(max(int(width), 1))
+    log_w = math.log2(w) if w > 1.0 else 1.0
+    return {
+        "trajectories": rows,
+        "intersections": rows * float(max(int(width) - 2, 0)),
+        "bytes_read": rows * BYTES_PER_TRAJ_READ,
+        "bytes_written": rows * w * 8.0,
+        "flops": rows * w * log_w,
+    }
+
+
+def prepass_work(n_trajectories: int) -> Dict[str, float]:
+    """Cost-model work of the max-intersections pre-pass."""
+    traj = float(n_trajectories)
+    return {
+        "trajectories": traj,
+        "bytes_read": traj * BYTES_PER_TRAJ_READ,
+        "bytes_written": traj * 8.0,
+        "flops": traj * 6.0,  # 3 axes x (2 binary-search partials)
+    }
+
+
+def kernel_items(dims: Sequence[int]) -> Dict[str, float]:
+    """Generic work of one jacc launch: the index-space size."""
+    n = 1.0
+    for d in dims:
+        n *= float(d)
+    return {"items": n}
+
+
+# ---------------------------------------------------------------------------
+# per-kernel rollup
+# ---------------------------------------------------------------------------
+
+@dataclass
+class KernelStats:
+    """Aggregated launches of one (span name, backend) pair."""
+
+    name: str
+    backend: str
+    launches: int = 0
+    seconds: float = 0.0
+    cold_launches: int = 0
+    cold_seconds: float = 0.0
+    warm_launches: int = 0
+    warm_seconds: float = 0.0
+    work: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.name, self.backend)
+
+    def add(self, dur: float, perf: Dict[str, Any], warm: Optional[bool]) -> None:
+        self.launches += 1
+        self.seconds += float(dur)
+        if warm:
+            self.warm_launches += 1
+            self.warm_seconds += float(dur)
+        else:
+            self.cold_launches += 1
+            self.cold_seconds += float(dur)
+        for k, v in perf.items():
+            if isinstance(v, (int, float)) and not isinstance(v, bool):
+                self.work[k] = self.work.get(k, 0.0) + float(v)
+
+    # -- derived metrics (rate = work / seconds, from the records alone)
+    def rate(self, key: str) -> float:
+        w = self.work.get(key, 0.0)
+        return w / self.seconds if self.seconds > 0.0 else 0.0
+
+    @property
+    def events_per_s(self) -> float:
+        return self.rate("events")
+
+    @property
+    def intersections_per_s(self) -> float:
+        return self.rate("intersections")
+
+    @property
+    def trajectories_per_s(self) -> float:
+        return self.rate("trajectories")
+
+    @property
+    def bytes_total(self) -> float:
+        return self.work.get("bytes_read", 0.0) + self.work.get("bytes_written", 0.0)
+
+    @property
+    def bytes_per_s(self) -> float:
+        return self.bytes_total / self.seconds if self.seconds > 0.0 else 0.0
+
+    @property
+    def flops_per_s(self) -> float:
+        return self.rate("flops")
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Estimated flops per byte moved (the roofline x-axis)."""
+        b = self.bytes_total
+        return self.work.get("flops", 0.0) / b if b > 0.0 else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "backend": self.backend,
+            "launches": self.launches,
+            "seconds": self.seconds,
+            "cold_launches": self.cold_launches,
+            "cold_seconds": self.cold_seconds,
+            "warm_launches": self.warm_launches,
+            "warm_seconds": self.warm_seconds,
+            "work": dict(sorted(self.work.items())),
+            "events_per_s": self.events_per_s,
+            "intersections_per_s": self.intersections_per_s,
+            "bytes_per_s": self.bytes_per_s,
+            "flops_per_s": self.flops_per_s,
+            "arithmetic_intensity": self.arithmetic_intensity,
+        }
+
+
+def _is_warm(attrs: Dict[str, Any]) -> Optional[bool]:
+    """Cold/warm attribution from the PR 1 geometry-cache span flags."""
+    if attrs.get("warm_plan"):
+        return True
+    if "cache_hit" in attrs:
+        return bool(attrs["cache_hit"])
+    return None
+
+
+class PerfModel:
+    """Per-kernel throughput rollup of a trace's profiled spans.
+
+    Every span whose ``attrs`` carry a ``perf`` dict contributes; spans
+    are replayed in ``seq`` order, so the rollup is **deterministic**
+    regardless of the order records arrive in (shuffling the input
+    yields a bit-identical model — the 50-seed test asserts it).
+    """
+
+    def __init__(self) -> None:
+        self.kernels: "OrderedDict[Tuple[str, str], KernelStats]" = OrderedDict()
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def from_records(
+        cls,
+        records: Sequence[Dict[str, Any]],
+        *,
+        counters: Optional[Dict[str, float]] = None,
+        gauges: Optional[Dict[str, float]] = None,
+    ) -> "PerfModel":
+        from repro.util.trace import counters_from_records, gauges_from_records
+
+        model = cls()
+        spans = [r for r in records if r.get("type", "span") == "span"
+                 and isinstance(r.get("attrs"), dict)
+                 and isinstance(r["attrs"].get(PERF_ATTR), dict)]
+        spans.sort(key=lambda r: r.get("seq", 0))
+        for rec in spans:
+            attrs = rec["attrs"]
+            backend = str(attrs.get("backend", "-"))
+            key = (rec["name"], backend)
+            slot = model.kernels.get(key)
+            if slot is None:
+                slot = model.kernels[key] = KernelStats(
+                    name=rec["name"], backend=backend
+                )
+            slot.add(rec.get("dur", 0.0), attrs[PERF_ATTR], _is_warm(attrs))
+        model.kernels = OrderedDict(
+            sorted(model.kernels.items(), key=lambda kv: kv[0])
+        )
+        model.counters = dict(
+            counters if counters is not None else counters_from_records(records)
+        )
+        model.gauges = dict(
+            gauges if gauges is not None else gauges_from_records(records)
+        )
+        return model
+
+    @classmethod
+    def from_file(cls, path: str) -> "PerfModel":
+        """Roll up a written JSON-lines trace (one artifact, offline)."""
+        from repro.util.trace import load_file
+
+        _, records = load_file(path)
+        return cls.from_records(records)
+
+    # -- inspection -------------------------------------------------------
+    def rows(self) -> List[KernelStats]:
+        return list(self.kernels.values())
+
+    def get(self, name: str, backend: str = "-") -> Optional[KernelStats]:
+        return self.kernels.get((name, backend))
+
+    @property
+    def n_kernels(self) -> int:
+        return len(self.kernels)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kernels": [k.as_dict() for k in self.rows()],
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+        }
+
+    # -- cold/warm attribution -------------------------------------------
+    def cold_warm_summary(self) -> Dict[str, float]:
+        """Cache-attributed totals: cold vs warm launch seconds plus the
+        PR 1 geometry-cache counters carried by the trace."""
+        out: Dict[str, float] = {
+            "cold_seconds": sum(k.cold_seconds for k in self.rows()),
+            "warm_seconds": sum(k.warm_seconds for k in self.rows()),
+            "cold_launches": float(sum(k.cold_launches for k in self.rows())),
+            "warm_launches": float(sum(k.warm_launches for k in self.rows())),
+        }
+        for name, value in self.counters.items():
+            if name.startswith(("geom_cache.", "cache.")):
+                out[name] = float(value)
+        return out
+
+    # -- renderers --------------------------------------------------------
+    def table(self, *, title: str = "per-kernel throughput") -> str:
+        """The paper-style per-kernel throughput table (plain text)."""
+        lines = [f"-- {title}"]
+        header = (f"  {'kernel':<28s} {'backend':<11s} {'n':>5s} "
+                  f"{'seconds':>10s} {'events/s':>12s} {'trajs/s':>12s} "
+                  f"{'isects/s':>12s} {'GB/s':>8s} {'AI':>7s} "
+                  f"{'cold s':>9s} {'warm s':>9s}")
+        lines.append(header)
+        for k in self.rows():
+            lines.append(
+                f"  {k.name:<28s} {k.backend:<11s} {k.launches:>5d} "
+                f"{k.seconds:>10.4f} {_si(k.events_per_s):>12s} "
+                f"{_si(k.trajectories_per_s):>12s} "
+                f"{_si(k.intersections_per_s):>12s} "
+                f"{k.bytes_per_s / 1e9:>8.3f} {k.arithmetic_intensity:>7.2f} "
+                f"{k.cold_seconds:>9.4f} {k.warm_seconds:>9.4f}"
+            )
+        if not self.kernels:
+            lines.append("  (no profiled spans in this trace)")
+        return "\n".join(lines)
+
+    def roofline_csv(self) -> str:
+        """Roofline-style CSV (no plotting dependency): one row per
+        kernel with estimated arithmetic intensity (flops/byte, the
+        x-axis) and achieved flops/s (the y-axis)."""
+        buf = io.StringIO()
+        writer = csv.writer(buf, lineterminator="\n")
+        writer.writerow([
+            "kernel", "backend", "launches", "seconds", "flops",
+            "bytes_read", "bytes_written", "arithmetic_intensity",
+            "flops_per_s", "bytes_per_s", "events_per_s",
+            "intersections_per_s",
+        ])
+        for k in self.rows():
+            writer.writerow([
+                k.name, k.backend, k.launches, f"{k.seconds:.9f}",
+                f"{k.work.get('flops', 0.0):.6g}",
+                f"{k.work.get('bytes_read', 0.0):.6g}",
+                f"{k.work.get('bytes_written', 0.0):.6g}",
+                f"{k.arithmetic_intensity:.6g}",
+                f"{k.flops_per_s:.6g}",
+                f"{k.bytes_per_s:.6g}",
+                f"{k.events_per_s:.6g}",
+                f"{k.intersections_per_s:.6g}",
+            ])
+        return buf.getvalue()
+
+
+def _si(value: float) -> str:
+    """Engineering-notation rate (1.23M, 45.6k) for the text table."""
+    if value <= 0.0:
+        return "-"
+    for factor, suffix in ((1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if value >= factor:
+            return f"{value / factor:.2f}{suffix}"
+    return f"{value:.1f}"
+
+
+# ---------------------------------------------------------------------------
+# differential report (repro trace summary --compare A B)
+# ---------------------------------------------------------------------------
+
+def compare_traces(
+    records_a: Sequence[Dict[str, Any]],
+    records_b: Sequence[Dict[str, Any]],
+    *,
+    label_a: str = "A",
+    label_b: str = "B",
+) -> str:
+    """Differential WCT + throughput report between two traces.
+
+    Stage rows come from :func:`repro.util.trace.stage_totals`; kernel
+    rows reuse the :class:`PerfModel` rollup.  ``ratio`` is B/A seconds
+    (< 1 means B is faster) and rate ratios are B/A throughput.
+    """
+    from repro.util.trace import stage_totals
+
+    lines = [f"trace comparison: A={label_a}  B={label_b}"]
+    st_a = stage_totals(records_a)
+    st_b = stage_totals(records_b)
+    names = list(st_a)
+    names += [n for n in st_b if n not in names]
+    if names:
+        lines.append("-- stages (wall-clock)")
+        lines.append(f"  {'stage':<18s} {'A (s)':>12s} {'B (s)':>12s} "
+                     f"{'B/A':>8s}")
+        for name in names:
+            a = st_a.get(name, 0.0)
+            b = st_b.get(name, 0.0)
+            ratio = f"{b / a:8.3f}" if a > 0.0 else "     n/a"
+            lines.append(f"  {name:<18s} {a:>12.4f} {b:>12.4f} {ratio}")
+
+    model_a = PerfModel.from_records(records_a)
+    model_b = PerfModel.from_records(records_b)
+    keys = list(model_a.kernels)
+    keys += [k for k in model_b.kernels if k not in keys]
+    if keys:
+        lines.append("-- kernels (throughput)")
+        lines.append(f"  {'kernel [backend]':<36s} {'A (s)':>10s} "
+                     f"{'B (s)':>10s} {'B/A t':>8s} {'A rate':>10s} "
+                     f"{'B rate':>10s} {'B/A rate':>9s}")
+        for key in sorted(keys):
+            ka = model_a.kernels.get(key)
+            kb = model_b.kernels.get(key)
+            sa = ka.seconds if ka else 0.0
+            sb = kb.seconds if kb else 0.0
+            ra = _primary_rate(ka) if ka else 0.0
+            rb = _primary_rate(kb) if kb else 0.0
+            t_ratio = f"{sb / sa:8.3f}" if sa > 0.0 else "     n/a"
+            r_ratio = f"{rb / ra:9.3f}" if ra > 0.0 else "      n/a"
+            lines.append(
+                f"  {key[0] + ' [' + key[1] + ']':<36s} {sa:>10.4f} "
+                f"{sb:>10.4f} {t_ratio} {_si(ra):>10s} {_si(rb):>10s} "
+                f"{r_ratio}"
+            )
+    return "\n".join(lines)
+
+
+def _primary_rate(k: KernelStats) -> float:
+    """The most meaningful single rate of a kernel for compact reports."""
+    for key in ("events", "trajectories", "intersections", "items"):
+        if k.work.get(key, 0.0) > 0.0:
+            return k.rate(key)
+    return k.bytes_per_s

@@ -35,16 +35,24 @@ keeps working) but record nothing.  Enable with::
 
 JSON-lines schema (``schema`` = :data:`SCHEMA_VERSION`):
 
-* line 1 — ``{"type": "meta", "schema": 1, "label": ..., "pid": ...,
+* line 1 — ``{"type": "meta", "schema": 2, "label": ..., "pid": ...,
   "epoch_unix": ...}``
 * span — ``{"type": "span", "name", "span_id", "parent_id", "rank",
   "thread", "t0", "t1", "dur", "seq", "attrs": {...}}`` (``t0``/``t1``
   are seconds on the tracer's monotonic clock, 0 at tracer creation)
 * counter — ``{"type": "counter", "name", "value"}``
 * gauge — ``{"type": "gauge", "name", "value"}``
+* metrics (schema >= 2) — one consolidated
+  ``{"type": "metrics", "counters": {...}, "gauges": {...}}`` record so
+  the summary/perf report needs only one artifact (the individual
+  counter/gauge records are still written for v1 consumers)
 
-:func:`validate_file` checks a written file against this schema (the CI
-trace-smoke job runs it on every push).
+:func:`validate_file` accepts schema v1 files (pre-metrics) and v2; the
+CI trace-smoke job runs it on every push.  Profiled spans additionally
+carry a ``perf`` attribute (raw work quantities) consumed by
+:mod:`repro.util.perf` — attached only when :attr:`Tracer.profile` is
+true, which is never the case for :class:`NullTracer` (zero derived-
+metric work with tracing off).
 """
 
 from __future__ import annotations
@@ -59,8 +67,13 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.util.validation import ReproError
 
-#: JSON-lines schema version written to (and required of) trace files
-SCHEMA_VERSION = 1
+#: JSON-lines schema version written to trace files
+SCHEMA_VERSION = 2
+
+#: schema versions :func:`validate_file` / :func:`load_file` accept
+#: (v1: spans + counter/gauge records; v2: adds the consolidated
+#: ``metrics`` record)
+SUPPORTED_SCHEMAS = (1, 2)
 
 #: record keys every span record must carry
 SPAN_KEYS = (
@@ -69,7 +82,7 @@ SPAN_KEYS = (
 )
 
 #: valid record types of the JSON-lines stream
-RECORD_TYPES = ("meta", "span", "counter", "gauge")
+RECORD_TYPES = ("meta", "span", "counter", "gauge", "metrics")
 
 
 class TraceError(ReproError):
@@ -169,8 +182,13 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, label: str = "") -> None:
+    def __init__(self, label: str = "", profile: bool = True) -> None:
         self.label = label
+        #: when true, instrumentation sites attach derived-metric work
+        #: dicts (``perf`` span attrs) for :mod:`repro.util.perf`.  A
+        #: :class:`NullTracer` forces this to False, so with tracing
+        #: off *no* derived-metric arithmetic runs at all.
+        self.profile = bool(profile) and self.enabled
         self.epoch_unix = time.time()
         self._epoch = time.perf_counter()
         self._lock = threading.Lock()
@@ -332,6 +350,14 @@ class Tracer:
                 fh.write(json.dumps(
                     {"type": "gauge", "name": name, "value": value}) + "\n")
                 n += 1
+            # schema v2: one consolidated record so downstream consumers
+            # (summary, PerfModel) need only the records list
+            fh.write(json.dumps({
+                "type": "metrics",
+                "counters": dict(counters),
+                "gauges": dict(gauges),
+            }) + "\n")
+            n += 1
         return n
 
     def write_chrome_trace(self, path: str) -> int:
@@ -481,9 +507,10 @@ def validate_file(path: str) -> Dict[str, Any]:
     the CI trace-smoke job runs.
     """
     meta, records = load_file(path)
-    if meta.get("schema") != SCHEMA_VERSION:
+    if meta.get("schema") not in SUPPORTED_SCHEMAS:
         raise TraceError(
-            f"{path}: schema {meta.get('schema')!r} != {SCHEMA_VERSION}"
+            f"{path}: schema {meta.get('schema')!r} not in "
+            f"{SUPPORTED_SCHEMAS}"
         )
     span_ids = set()
     parents = []
@@ -534,6 +561,24 @@ def validate_file(path: str) -> Dict[str, Any]:
                     f"{path}: {rtype} record {i} needs a name and numeric value"
                 )
             (counters if rtype == "counter" else gauges)[rec["name"]] = rec["value"]
+        elif rtype == "metrics":
+            if meta.get("schema", SCHEMA_VERSION) < 2:
+                raise TraceError(
+                    f"{path}: metrics record {i} in a schema-1 file"
+                )
+            for kind, table in (("counters", counters), ("gauges", gauges)):
+                block = rec.get(kind)
+                if not isinstance(block, dict):
+                    raise TraceError(
+                        f"{path}: metrics record {i} missing {kind!r} dict"
+                    )
+                for name, value in block.items():
+                    if not isinstance(value, (int, float)):
+                        raise TraceError(
+                            f"{path}: metrics record {i} {kind} "
+                            f"{name!r} value not numeric"
+                        )
+                    table[name] = value
     for i, pid in enumerate(p for _, p in parents):
         if pid not in span_ids:
             raise TraceError(
@@ -610,6 +655,39 @@ def iter_spans(records: Sequence[Dict[str, Any]]) -> Iterator[Dict[str, Any]]:
     for rec in records:
         if rec.get("type", "span") == "span":
             yield rec
+
+
+def counters_from_records(
+    records: Sequence[Dict[str, Any]],
+) -> "OrderedDict[str, float]":
+    """Counter totals from the records alone (v1 ``counter`` records
+    and/or the v2 consolidated ``metrics`` record; metrics wins on
+    duplicates since it is written last)."""
+    out: "OrderedDict[str, float]" = OrderedDict()
+    for rec in records:
+        rtype = rec.get("type")
+        if rtype == "counter":
+            out[rec["name"]] = float(rec["value"])
+        elif rtype == "metrics":
+            for name, value in rec.get("counters", {}).items():
+                out[name] = float(value)
+    return out
+
+
+def gauges_from_records(
+    records: Sequence[Dict[str, Any]],
+) -> "OrderedDict[str, float]":
+    """Gauge values from the records alone (v1 + v2, see
+    :func:`counters_from_records`)."""
+    out: "OrderedDict[str, float]" = OrderedDict()
+    for rec in records:
+        rtype = rec.get("type")
+        if rtype == "gauge":
+            out[rec["name"]] = float(rec["value"])
+        elif rtype == "metrics":
+            for name, value in rec.get("gauges", {}).items():
+                out[name] = float(value)
+    return out
 
 
 def _stage_spans(
@@ -740,9 +818,18 @@ def summary_from_records(
     One block of UpdateEvents / MDNorm / BinMD / MDNorm + BinMD / Total
     rows (total, calls, first call, warm remainder) for the whole trace
     and — when the trace carries rank-attributed spans — one per rank,
-    followed by per-kernel launch totals and the counter/gauge tables.
+    followed by per-kernel launch totals, a derived-throughput block
+    (when the trace carries profiled spans), and the counter/gauge
+    tables.  Counters/gauges default to the totals embedded in the
+    records themselves (schema v2 ``metrics`` record), so a written
+    trace file is a complete artifact on its own.
     """
     from repro.util.timers import CANONICAL_STAGES
+
+    if counters is None:
+        counters = counters_from_records(records)
+    if gauges is None:
+        gauges = gauges_from_records(records)
 
     lines: List[str] = [f"trace summary ({label or 'unlabelled'})"]
 
@@ -789,6 +876,13 @@ def summary_from_records(
                                 key=lambda kv: -kv[1]["seconds"]):
             lines.append(f"  {key:<40s} {slot['seconds']:12.4f} s "
                          f"x{slot['launches']}")
+    # derived throughput (profiled spans only; lazy import — perf
+    # imports helpers from this module)
+    from repro.util.perf import PerfModel
+
+    model = PerfModel.from_records(records, counters=counters, gauges=gauges)
+    if model.n_kernels:
+        lines.append(model.table(title="derived throughput"))
     recovery = recovery_summary(records, counters=counters)
     if recovery:
         lines.append("-- recovery")

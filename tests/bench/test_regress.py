@@ -1,0 +1,242 @@
+"""Continuous benchmark regression tracking (PR 4 tentpole 2).
+
+The trajectory file is append-only, schema-checked and machine-
+fingerprinted; the gate uses a robust median + k*IQR threshold with a
+slowdown floor, bootstraps on a fresh machine, and exits nonzero on an
+injected 2x slowdown.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.regress import (
+    BENCH_SCHEMA,
+    DEFAULT_K,
+    DEFAULT_MIN_RATIO,
+    BenchRecorder,
+    RegressError,
+    baseline_stats,
+    check_against,
+    default_bench_path,
+    machine_fingerprint,
+    robust_stats,
+    stage_samples_from_timings,
+)
+from repro.util.timers import StageTimings
+
+FP = "testbox-x86_64-cpu8-py3.11"
+
+
+def _samples(scale=1.0):
+    """Five repeats of a plausible stage panel, scaled."""
+    base = {
+        "UpdateEvents": [0.010, 0.011, 0.010, 0.012, 0.011],
+        "MDNorm": [0.050, 0.052, 0.049, 0.051, 0.050],
+        "BinMD": [0.080, 0.078, 0.081, 0.079, 0.080],
+        "Total": [0.150, 0.151, 0.149, 0.152, 0.150],
+    }
+    return {k: [v * scale for v in vals] for k, vals in base.items()}
+
+
+class TestRobustStats:
+    def test_median_and_iqr(self):
+        st = robust_stats([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert st["median"] == 3.0
+        assert st["min"] == 1.0 and st["max"] == 5.0
+        assert st["n"] == 5.0
+        assert st["iqr"] > 0.0
+
+    def test_constant_samples_have_zero_iqr(self):
+        st = robust_stats([2.0, 2.0, 2.0, 2.0])
+        assert st["median"] == 2.0
+        assert st["iqr"] == 0.0
+
+    def test_single_sample(self):
+        st = robust_stats([3.5])
+        assert st["median"] == 3.5
+        assert st["iqr"] == 0.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(Exception):
+            robust_stats([])
+
+
+class TestStageSamples:
+    def test_from_timings(self):
+        ts = []
+        for rep in range(3):
+            t = StageTimings(label=f"r{rep}")
+            with t.stage("Total"):
+                with t.stage("MDNorm"):
+                    pass
+            ts.append(t)
+        samples = stage_samples_from_timings(ts)
+        assert len(samples["MDNorm"]) == 3
+        assert len(samples["Total"]) == 3
+
+
+class TestBenchRecorder:
+    def test_first_record_creates_file(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        rec = BenchRecorder(path, "x")
+        assert rec.entries == []  # skeleton, no file yet
+        entry = rec.record(_samples(), config={"scale": 0.001},
+                           git_sha="abc", fingerprint=FP,
+                           recorded_unix=1.0)
+        assert path.exists()
+        assert entry["fingerprint"] == FP
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == BENCH_SCHEMA
+        assert doc["workload"] == "x"
+        assert len(doc["entries"]) == 1
+        assert doc["entries"][0]["stages"]["MDNorm"]["median"] == 0.050
+
+    def test_append_never_overwrites(self, tmp_path):
+        rec = BenchRecorder(tmp_path / "b.json", "x")
+        rec.record(_samples(), git_sha="a", fingerprint=FP, recorded_unix=1.0)
+        rec.record(_samples(1.01), git_sha="b", fingerprint=FP,
+                   recorded_unix=2.0)
+        entries = rec.entries
+        assert [e["git_sha"] for e in entries] == ["a", "b"]
+        assert entries[0]["recorded_unix"] == 1.0  # untouched
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 99, "workload": "x",
+                                    "entries": []}))
+        with pytest.raises(RegressError, match="schema"):
+            BenchRecorder(path, "x").load()
+
+    def test_workload_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": BENCH_SCHEMA,
+                                    "workload": "other", "entries": []}))
+        with pytest.raises(RegressError, match="workload"):
+            BenchRecorder(path, "x").load()
+
+    def test_too_few_repeats_rejected(self, tmp_path):
+        rec = BenchRecorder(tmp_path / "b.json", "x")
+        with pytest.raises(RegressError, match="repeats"):
+            rec.record({"Total": [0.1, 0.1]})
+
+    def test_fingerprint_filtering(self, tmp_path):
+        rec = BenchRecorder(tmp_path / "b.json", "x")
+        rec.record(_samples(), fingerprint=FP, git_sha="a")
+        rec.record(_samples(), fingerprint="otherbox", git_sha="b")
+        assert len(rec.matching_entries(FP)) == 1
+        assert len(rec.matching_entries(FP, any_fingerprint=True)) == 2
+
+    def test_default_bench_path(self, tmp_path):
+        p = default_bench_path("benzil_smoke", str(tmp_path))
+        assert p.name == "BENCH_benzil_smoke.json"
+        assert p.parent == tmp_path
+        # repo default lands in benchmarks/
+        assert default_bench_path("x").parent.name == "benchmarks"
+
+
+class TestBaselineStats:
+    def test_median_of_medians(self, tmp_path):
+        rec = BenchRecorder(tmp_path / "b.json", "x")
+        for scale in (1.0, 1.1, 0.9):
+            rec.record(_samples(scale), fingerprint=FP)
+        base = baseline_stats(rec.matching_entries(FP), "MDNorm")
+        assert base["median"] == pytest.approx(0.050)
+        assert base["n"] == 3.0
+
+    def test_missing_stage_is_none(self):
+        assert baseline_stats([{"stages": {}}], "MDNorm") is None
+
+
+class TestCheckAgainst:
+    def _recorder(self, tmp_path, n=3):
+        rec = BenchRecorder(tmp_path / "b.json", "x")
+        for i in range(n):
+            rec.record(_samples(1.0 + 0.01 * i), fingerprint=FP,
+                       git_sha=f"s{i}")
+        return rec
+
+    def test_no_change_passes(self, tmp_path):
+        rec = self._recorder(tmp_path)
+        report = check_against(rec, _samples(), fingerprint=FP)
+        assert not report.regressed
+        assert report.exit_code == 0
+        assert not report.bootstrapped
+        assert "no regression" in report.text()
+
+    def test_2x_slowdown_fails_nonzero(self, tmp_path):
+        rec = self._recorder(tmp_path)
+        report = check_against(rec, _samples(2.0), fingerprint=FP)
+        assert report.regressed
+        assert report.exit_code == 1
+        assert "REGRESSION DETECTED" in report.text()
+        slow = {v.stage for v in report.verdicts if v.regressed}
+        assert "Total" in slow and "MDNorm" in slow
+
+    def test_small_jitter_within_floor_passes(self, tmp_path):
+        """Above median + k*IQR but under the min_ratio floor: pass."""
+        rec = BenchRecorder(tmp_path / "b.json", "x")
+        for _ in range(3):  # zero-IQR baseline
+            rec.record({"Total": [0.1] * 5}, fingerprint=FP)
+        report = check_against(rec, {"Total": [0.11] * 5},
+                               fingerprint=FP, stages=("Total",))
+        assert not report.regressed  # 1.1x < min_ratio 1.25
+
+    def test_first_run_bootstraps(self, tmp_path):
+        rec = BenchRecorder(tmp_path / "empty.json", "x")
+        report = check_against(rec, _samples(), fingerprint=FP)
+        assert report.bootstrapped
+        assert report.exit_code == 0
+        assert "bootstrap" in report.text()
+
+    def test_foreign_fingerprint_bootstraps_unless_opted_in(self, tmp_path):
+        rec = BenchRecorder(tmp_path / "b.json", "x")
+        rec.record(_samples(), fingerprint="otherbox")
+        report = check_against(rec, _samples(2.0), fingerprint=FP)
+        assert report.bootstrapped and report.exit_code == 0
+        report = check_against(rec, _samples(2.0), fingerprint=FP,
+                               any_fingerprint=True)
+        assert report.regressed and report.exit_code == 1
+
+    def test_threshold_knobs_validated(self, tmp_path):
+        rec = self._recorder(tmp_path)
+        with pytest.raises(Exception):
+            check_against(rec, _samples(), k=-1.0, fingerprint=FP)
+        with pytest.raises(Exception):
+            check_against(rec, _samples(), min_ratio=0.5, fingerprint=FP)
+
+    def test_defaults_are_documented_values(self):
+        assert DEFAULT_K == 3.0
+        assert DEFAULT_MIN_RATIO == 1.25
+
+
+class TestFingerprint:
+    def test_shape(self):
+        fp = machine_fingerprint()
+        assert "-cpu" in fp and "-py" in fp
+
+
+class TestEndToEndPanel:
+    """The real collector on the tiny session experiment."""
+
+    def test_collect_record_check(self, tiny_experiment, tmp_path):
+        from repro.bench.regress import collect_panel_samples
+
+        class _Data:
+            md_paths = tiny_experiment.md_paths[:2]
+            nexus_paths = tiny_experiment.nexus_paths[:2]
+            flux_path = tiny_experiment.flux_path
+            vanadium_path = tiny_experiment.vanadium_path
+            instrument = tiny_experiment.instrument
+            grid = tiny_experiment.grid
+            point_group = tiny_experiment.point_group
+
+        samples = collect_panel_samples(_Data(), repeats=3)
+        assert all(len(v) == 3 for v in samples.values())
+        rec = BenchRecorder(tmp_path / "BENCH_tiny.json", "tiny")
+        rec.record(samples)
+        report = check_against(rec, samples)
+        assert report.exit_code == 0
+        doubled = {k: [2.0 * v for v in vals] for k, vals in samples.items()}
+        report = check_against(rec, doubled)
+        assert report.exit_code == 1

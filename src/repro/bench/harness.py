@@ -344,6 +344,91 @@ def run_repeated_panel(
     return ColdWarmSplit(cold=cold, warm=warm, cache_stats=cache.stats.snapshot())
 
 
+@dataclass
+class ShardedPanel:
+    """One-shard-vs-sharded measurement of the same panel.
+
+    ``baseline`` runs the single-level Algorithm 1 loop; ``sharded``
+    fans each run out over ``n_shards`` intra-run shards on the local
+    process pool.  The histograms are bit-identical by construction
+    (the replay is serial-order); only the time differs — on a
+    multi-core host the sharded panel should win, which the
+    ``benchmarks/test_shard_scaling.py`` smoke asserts (and skips on
+    single-core hosts, where no win is possible).
+    """
+
+    baseline: MeasuredRun
+    sharded: MeasuredRun
+    n_shards: int
+    workers: int
+
+    def speedup(self, stage: str = "Total") -> float:
+        """baseline/sharded wall-clock ratio (inf if sharded ~ 0)."""
+        b = self.baseline.timings.seconds(stage)
+        s = self.sharded.timings.seconds(stage)
+        return b / s if s > 0.0 else float("inf")
+
+
+def run_sharded_panel(
+    data: WorkloadData,
+    *,
+    files: Optional[int] = None,
+    baseline_backend: str = "threads",
+    n_shards: int = 4,
+    workers: Optional[int] = None,
+    tracer: Optional[_trace.Tracer] = None,
+) -> ShardedPanel:
+    """Measure the intra-run shard fan-out against the 1-shard loop.
+
+    Both passes use fresh private geometry caches so neither side gets
+    a warm-path advantage; the sharded pass runs with the serial
+    element bodies fanned over the process pool, the baseline with
+    ``baseline_backend`` (default ``threads`` — the strongest
+    single-level CPU configuration, per the ISSUE's acceptance bar).
+    """
+    from repro.core.sharding import ShardConfig
+
+    require(n_shards >= 1, "n_shards must be >= 1")
+    _, md_paths, n = _subset(data, files)
+    eff_workers = ShardConfig(n_shards=n_shards, workers=workers).effective_workers
+
+    def one(label: str, *, backend: Optional[str],
+            shards: Optional[int]) -> MeasuredRun:
+        cfg = WorkflowConfig(
+            md_paths=md_paths,
+            flux_path=data.flux_path,
+            vanadium_path=data.vanadium_path,
+            instrument=data.instrument,
+            grid=data.grid,
+            point_group=data.point_group,
+            backend=backend,
+            geom_cache=GeomCache(),
+            shards=shards,
+            shard_workers=workers,
+        )
+        timings = StageTimings(label=label)
+        with _maybe_trace(tracer):
+            result = ReductionWorkflow(cfg).run(timings=timings)
+        return MeasuredRun(
+            label=label,
+            workload_key=data.spec.key,
+            files_measured=n,
+            files_full=data.spec.n_files,
+            timings=timings,
+            result=result,
+            extras=dict(result.extras or {}),
+        )
+
+    baseline = one(f"core[{baseline_backend}] 1-shard",
+                   backend=baseline_backend, shards=None)
+    sharded = one(f"core[sharded x{n_shards}/{eff_workers}w]",
+                  backend=None, shards=n_shards)
+    return ShardedPanel(
+        baseline=baseline, sharded=sharded,
+        n_shards=n_shards, workers=eff_workers,
+    )
+
+
 def assert_results_match(a: MeasuredRun, b: MeasuredRun, *, rtol: float = 1e-7) -> None:
     """Same files -> identical histograms, regardless of implementation."""
     require(a.files_measured == b.files_measured,

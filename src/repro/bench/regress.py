@@ -146,6 +146,8 @@ def collect_panel_samples(
     repeats: int = 5,
     files: Optional[int] = None,
     backend: str = "vectorized",
+    shards: Optional[int] = None,
+    shard_workers: Optional[int] = None,
 ) -> Dict[str, List[float]]:
     """Run the core reduction ``repeats`` times and collect per-stage
     wall-clock samples.
@@ -154,6 +156,11 @@ def collect_panel_samples(
     measures the same (cold) code path — the warm path has its own
     benchmark (``benchmarks/test_cache_warm_path.py``) and mixing the
     two would bimodalize the distribution the IQR test relies on.
+
+    ``shards`` / ``shard_workers`` time the hierarchical intra-run
+    fan-out instead of the single-level loop — the sharded trajectory
+    (``BENCH_benzil_shards.json``) is recorded with these so the
+    regression gate watches the fan-out path separately.
     """
     from repro.bench.harness import _subset
     from repro.core.geom_cache import GeomCache
@@ -173,6 +180,8 @@ def collect_panel_samples(
             point_group=data.point_group,
             backend=backend,
             geom_cache=GeomCache(),
+            shards=shards,
+            shard_workers=shard_workers,
         )
         timings = StageTimings(label=f"repeat{rep}")
         ReductionWorkflow(cfg).run(timings=timings)

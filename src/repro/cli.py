@@ -96,6 +96,17 @@ def _monitor_context(args, label: str):
     return monitor_mod.use_monitor(mon), mon
 
 
+def _add_shard_flags(p: argparse.ArgumentParser) -> None:
+    g = p.add_argument_group("intra-run sharding (--impl core)")
+    g.add_argument("--shards", type=int, default=None, metavar="N",
+                   help="fan each run's MDNorm out over N detector shards "
+                        "and its BinMD over N event shards on the local "
+                        "process pool (bit-identical for every N)")
+    g.add_argument("--shard-workers", type=int, default=None, metavar="W",
+                   help="process-pool width for the shard fan-out "
+                        "(default REPRO_NUM_PROCS or the CPU count)")
+
+
 def _add_recovery_flags(p: argparse.ArgumentParser) -> None:
     g = p.add_argument_group("resilience")
     g.add_argument("--faults", metavar="PLAN_JSON", default=None,
@@ -283,9 +294,11 @@ def _trace_parser() -> argparse.ArgumentParser:
     p.add_argument("--files", type=int, default=None,
                    help="number of run files to synthesize/measure")
     p.add_argument("--backend", default=None,
-                   help="jacc back end for --impl core (serial|threads|vectorized)")
+                   help="jacc back end for --impl core "
+                        "(serial|threads|vectorized|multiprocess)")
     p.add_argument("--ranks", type=int, default=1,
                    help="simulated MPI world size (core/cpp/minivates)")
+    _add_shard_flags(p)
     p.add_argument("--out", metavar="PATH", default="trace.jsonl",
                    help="JSON-lines trace output path")
     p.add_argument("--chrome", metavar="PATH", default=None,
@@ -307,8 +320,15 @@ def _run_impl(
     backend: Optional[str] = None,
     recovery=None,
     comm=None,
+    shards: Optional[int] = None,
+    shard_workers: Optional[int] = None,
 ) -> None:
     """Run one implementation of the reduction on a built workload."""
+    if shards is not None and impl != "core":
+        raise SystemExit(
+            f"--shards applies to --impl core only (got {impl!r}); "
+            f"the proxies own their parallelism"
+        )
     if impl == "core":
         from repro.core.workflow import ReductionWorkflow, WorkflowConfig
 
@@ -321,6 +341,8 @@ def _run_impl(
             point_group=data.point_group,
             backend=backend,
             recovery=recovery,
+            shards=shards,
+            shard_workers=shard_workers,
         )
         ReductionWorkflow(cfg).run(comm)
     elif impl == "cpp":
@@ -382,7 +404,8 @@ def trace_main(argv: Optional[List[str]] = None) -> int:
 
     def run_one(comm=None) -> None:
         _run_impl(args.impl, data, backend=args.backend,
-                  recovery=recovery, comm=comm)
+                  recovery=recovery, comm=comm,
+                  shards=args.shards, shard_workers=args.shard_workers)
 
     fault_ctx, fault_plan = _fault_plan_context(args)
     with trace_mod.use_tracer(tracer), fault_ctx:
@@ -480,7 +503,9 @@ def _perf_add_bench_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--repeats", type=int, default=5,
                    help="timing repeats per stage (default 5)")
     p.add_argument("--backend", default="vectorized",
-                   help="jacc back end for the timed panel")
+                   help="jacc back end for the timed panel "
+                        "(serial|threads|vectorized|multiprocess)")
+    _add_shard_flags(p)
     p.add_argument("--name", default=None,
                    help="trajectory workload name "
                         "(default <workload>_smoke)")
@@ -510,6 +535,7 @@ def _perf_parser() -> argparse.ArgumentParser:
                      default="all", help="implementation(s) to profile")
     rep.add_argument("--backend", default=None,
                      help="jacc back end for --impl core")
+    _add_shard_flags(rep)
 
     roof = sub.add_parser("roofline", help="write roofline-model CSV")
     roof.add_argument("--trace", nargs="+", metavar="JSONL", default=None,
@@ -561,12 +587,16 @@ def _perf_parser() -> argparse.ArgumentParser:
 
 
 def _perf_models(args) -> List[tuple]:
-    """``(label, PerfModel)`` per requested source (trace files or runs)."""
+    """``(label, PerfModel, records)`` per requested source."""
     from repro.util import trace as trace_mod
     from repro.util.perf import PerfModel
 
     if getattr(args, "trace", None):
-        return [(path, PerfModel.from_file(path)) for path in args.trace]
+        out = []
+        for path in args.trace:
+            _, records = trace_mod.load_file(path)
+            out.append((path, PerfModel.from_records(records), records))
+        return out
 
     make_spec = benzil_corelli if args.workload == "benzil" else bixbyite_topaz
     spec = make_spec(scale=args.scale, n_files=args.files)
@@ -579,12 +609,15 @@ def _perf_models(args) -> List[tuple]:
         tracer = trace_mod.Tracer(label=f"{args.workload}/{impl}")
         with trace_mod.use_tracer(tracer):
             _run_impl(impl, data,
-                      backend=args.backend if impl == "core" else None)
+                      backend=args.backend if impl == "core" else None,
+                      shards=(getattr(args, "shards", None)
+                              if impl == "core" else None),
+                      shard_workers=getattr(args, "shard_workers", None))
         out.append((impl, PerfModel.from_records(
             tracer.records,
             counters=tracer.counters,
             gauges=tracer.gauges,
-        )))
+        ), list(tracer.records)))
     return out
 
 
@@ -603,14 +636,19 @@ def _perf_bench_setup(args):
     name = args.name or f"{args.workload}_smoke"
     path = args.bench_file or default_bench_path(name, args.bench_dir)
     recorder = BenchRecorder(path, name)
-    print(f"timing {args.repeats} repeats of the {args.backend} panel ...")
+    shard_note = f" shards={args.shards}" if args.shards else ""
+    print(f"timing {args.repeats} repeats of the {args.backend} panel"
+          f"{shard_note} ...")
     samples = collect_panel_samples(
-        data, repeats=args.repeats, backend=args.backend
+        data, repeats=args.repeats, backend=args.backend,
+        shards=args.shards, shard_workers=args.shard_workers,
     )
     config = {
         "scale": getattr(spec, "scale", None),
         "files": len(data.md_paths),
         "backend": args.backend,
+        "shards": args.shards,
+        "shard_workers": args.shard_workers,
     }
     return recorder, samples, config
 
@@ -620,8 +658,10 @@ def perf_main(argv: Optional[List[str]] = None) -> int:
     args = _perf_parser().parse_args(argv)
 
     if args.cmd == "report":
+        from repro.util.perf import shard_summary, shard_table
+
         models = _perf_models(args)
-        for i, (label, model) in enumerate(models):
+        for i, (label, model, records) in enumerate(models):
             if i or not getattr(args, "trace", None):
                 print()
             print(model.table(title=f"{label}: per-kernel throughput"))
@@ -629,11 +669,15 @@ def perf_main(argv: Optional[List[str]] = None) -> int:
             if cw:
                 pairs = "  ".join(f"{k}={v:g}" for k, v in sorted(cw.items()))
                 print(f"  cold/warm: {pairs}")
+            shards_info = shard_summary(records)
+            if shards_info:
+                print(shard_table(
+                    shards_info, title=f"{label}: shard fan-out"))
         return 0
 
     if args.cmd == "roofline":
         models = _perf_models(args)
-        for label, model in models:
+        for label, model, _records in models:
             if len(models) == 1:
                 out = args.out
             else:

@@ -35,8 +35,9 @@ from repro.core.grid import HKLGrid
 from repro.core.hist3 import Hist3
 from repro.core.md_event_workspace import MDEventWorkspace
 from repro.core.mdnorm import mdnorm
+from repro.core.sharding import ShardConfig, sharded_binmd, sharded_mdnorm
 from repro.crystal.symmetry import PointGroup
-from repro.mpi import SUM, Comm, SequentialComm, rank_range
+from repro.mpi import SUM, Comm, SequentialComm, balanced_rank_runs, rank_range
 from repro.nexus.corrections import FluxSpectrum
 from repro.util import faults as _faults
 from repro.util import monitor as _monitor
@@ -90,6 +91,36 @@ def _n_events(ws: MDEventWorkspace) -> int:
         return int(np.asarray(ws.events).shape[0])
 
 
+def _rank_block(
+    n_runs: int, comm: Comm, run_weights: Optional[Sequence[float]]
+) -> Tuple[int, int]:
+    """This rank's contiguous run block — weight-balanced when the run
+    manifest supplies per-run event counts, classic equal-count block
+    otherwise (the two coincide for uniform weights)."""
+    if run_weights is None:
+        return rank_range(n_runs, comm.rank, comm.size)
+    require(len(run_weights) == n_runs,
+            f"run_weights has {len(run_weights)} entries for {n_runs} runs")
+    return balanced_rank_runs(run_weights, comm.size)[comm.rank]
+
+
+def _shard_beat(
+    monitor: Any, comm: Comm, i: int, stage: str
+) -> Optional[Callable[[int, int], None]]:
+    """Per-shard heartbeat callback for the live monitor (PR 4), so a
+    wedged shard ages a ``run:<i>/<stage>/shard:<s>`` site rather than
+    hiding behind the run-level heartbeat."""
+    if not monitor.enabled:
+        return None
+
+    def beat(s: int, n_shards: int) -> None:
+        monitor.heartbeat(
+            comm.rank, site=f"run:{i}/{stage}/shard:{s + 1}of{n_shards}"
+        )
+
+    return beat
+
+
 def compute_cross_section(
     load_run: Callable[[int], MDEventWorkspace],
     n_runs: int,
@@ -108,6 +139,8 @@ def compute_cross_section(
     mdnorm_impl: Optional[Callable] = None,
     cache: Optional[GeomCache] = None,
     recovery: Optional[RecoveryConfig] = None,
+    shards: Optional[ShardConfig] = None,
+    run_weights: Optional[Sequence[float]] = None,
 ) -> CrossSectionResult:
     """Run Algorithm 1.
 
@@ -145,6 +178,21 @@ def compute_cross_section(
         budget, checkpoint/resume of per-run deltas, and redistribution
         of a crashed rank's unfinished runs to the survivors.  ``None``
         keeps the historical fail-fast loop byte-for-byte.
+    shards:
+        When given, each owned run's MDNorm fans out over detector
+        shards and its BinMD over event shards on the node-local
+        process pool (:func:`repro.core.sharding.sharded_mdnorm` /
+        :func:`~repro.core.sharding.sharded_binmd`) — the second level
+        of the hierarchical decomposition.  The result is bit-identical
+        to the unsharded serial loop for every shard/worker count;
+        ``None`` keeps the single-level loop byte-for-byte.  Ignored
+        for a stage whose ``*_impl`` override is set (the override owns
+        its own parallelism).
+    run_weights:
+        Optional per-run event weights (from the run manifest).  When
+        given, ranks take weight-balanced contiguous run blocks
+        (:func:`repro.mpi.balanced_rank_runs`) instead of equal-count
+        blocks — the outer level of the 2-D decomposition.
     """
     if recovery is not None:
         return _compute_cross_section_recovering(
@@ -153,7 +201,8 @@ def compute_cross_section(
             comm=comm, backend=backend, sort_impl=sort_impl,
             scatter_impl=scatter_impl, timings=timings,
             binmd_impl=binmd_impl, mdnorm_impl=mdnorm_impl,
-            cache=cache, recovery=recovery,
+            cache=cache, recovery=recovery, shards=shards,
+            run_weights=run_weights,
         )
     require(n_runs >= 1, "need at least one run")
     cache = _gc.resolve(cache)
@@ -164,7 +213,7 @@ def compute_cross_section(
     binmd_hist = Hist3(grid, track_errors=True)
     mdnorm_hist = Hist3(grid)
 
-    start, end = rank_range(n_runs, comm.rank, comm.size)
+    start, end = _rank_block(n_runs, comm, run_weights)
     monitor = _monitor.active_monitor()
     if monitor.enabled:
         monitor.start_campaign(n_runs, comm.size)
@@ -176,6 +225,7 @@ def compute_cross_section(
         n_runs=int(n_runs),
         mpi_rank=int(comm.rank),
         mpi_size=int(comm.size),
+        **({"n_shards": int(shards.n_shards)} if shards is not None else {}),
     ), timings.stage("Total"):
         for i in range(start, end):
             with tracer.span("run", kind="run", run=int(i)):
@@ -206,6 +256,22 @@ def compute_cross_section(
                             ws.momentum_band,
                             charge=ws.proton_charge,
                         )
+                    elif shards is not None:
+                        sharded_mdnorm(
+                            mdnorm_hist,
+                            traj_transforms,
+                            det_directions,
+                            solid_angles,
+                            flux,
+                            ws.momentum_band,
+                            shards=shards,
+                            charge=ws.proton_charge,
+                            backend=backend,
+                            cache=cache,
+                            cache_tag=f"run:{i}",
+                            run=i,
+                            on_shard=_shard_beat(monitor, comm, i, "MDNorm"),
+                        )
                     else:
                         mdnorm(
                             mdnorm_hist,
@@ -226,6 +292,15 @@ def compute_cross_section(
                 with timings.stage("BinMD"):
                     if binmd_impl is not None:
                         binmd_impl(binmd_hist, ws.events, event_transforms)
+                    elif shards is not None:
+                        sharded_binmd(
+                            binmd_hist,
+                            ws.events,
+                            event_transforms,
+                            shards=shards,
+                            run=i,
+                            on_shard=_shard_beat(monitor, comm, i, "BinMD"),
+                        )
                     else:
                         bin_events(
                             binmd_hist,
@@ -298,6 +373,8 @@ def _compute_cross_section_recovering(
     mdnorm_impl: Optional[Callable],
     cache: Optional[GeomCache],
     recovery: RecoveryConfig,
+    shards: Optional[ShardConfig] = None,
+    run_weights: Optional[Sequence[float]] = None,
 ) -> CrossSectionResult:
     """Algorithm 1 under the failure model.
 
@@ -379,6 +456,15 @@ def _compute_cross_section_recovering(
                         solid_angles, flux, ws.momentum_band,
                         charge=ws.proton_charge,
                     )
+                elif shards is not None:
+                    sharded_mdnorm(
+                        scratch_m, traj_transforms, det_directions,
+                        solid_angles, flux, ws.momentum_band,
+                        shards=shards, charge=ws.proton_charge,
+                        backend=backend, cache=cache, cache_tag=f"run:{i}",
+                        run=i,
+                        on_shard=_shard_beat(monitor, comm, i, "MDNorm"),
+                    )
                 else:
                     mdnorm(
                         scratch_m, traj_transforms, det_directions,
@@ -393,6 +479,12 @@ def _compute_cross_section_recovering(
                 _faults.fault_point("kernel.binmd", run=i)
                 if binmd_impl is not None:
                     binmd_impl(scratch_b, ws.events, event_transforms)
+                elif shards is not None:
+                    sharded_binmd(
+                        scratch_b, ws.events, event_transforms,
+                        shards=shards, run=i,
+                        on_shard=_shard_beat(monitor, comm, i, "BinMD"),
+                    )
                 else:
                     bin_events(
                         scratch_b, ws.events, event_transforms,
@@ -480,7 +572,7 @@ def _compute_cross_section_recovering(
                 )
             done_local.add(i)
 
-    start, end = rank_range(n_runs, comm.rank, comm.size)
+    start, end = _rank_block(n_runs, comm, run_weights)
     my_runs = list(range(start, end))
     if monitor.enabled:
         monitor.start_campaign(n_runs, comm.size)
@@ -493,6 +585,7 @@ def _compute_cross_section_recovering(
         mpi_rank=int(comm.rank),
         mpi_size=int(comm.size),
         recovery=True,
+        **({"n_shards": int(shards.n_shards)} if shards is not None else {}),
     ), timings.stage("Total"):
         crashed = False
         for pos, i in enumerate(my_runs):

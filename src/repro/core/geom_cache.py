@@ -155,6 +155,11 @@ class DepositPlan:
     ``solid_angle x charge`` and scatter-adds.
     """
 
+    #: cache material is process-local: the multiprocess back end drops
+    #: it from worker captures instead of shipping it (element bodies
+    #: never read it — only batch kernels, which never cross processes)
+    __jacc_shareable__ = False
+
     #: the padded intersection-buffer width this plan was built for
     width: int
     #: ``(n_ops * n_det,)`` stream-compaction mask (k window non-empty
@@ -183,6 +188,8 @@ class DepositPlan:
 class GeomEntry:
     """Cached trajectory geometry for one MDNorm configuration."""
 
+    __jacc_shareable__ = False  # see DepositPlan
+
     key: Tuple[Any, ...]
     tag: Optional[str]
     #: ``(n_ops, n_det, 3)`` trajectory directions
@@ -207,6 +214,8 @@ class GeomEntry:
 @dataclass
 class BinMDEntry:
     """Cached flat bin indices of an event table under every op."""
+
+    __jacc_shareable__ = False  # see DepositPlan
 
     key: Tuple[Any, ...]
     tag: Optional[str]
@@ -248,6 +257,10 @@ class GeomCache:
     """
 
     enabled = True
+    #: process-local (holds an RLock and a byte-budgeted LRU); the
+    #: multiprocess back end drops it from worker captures — kernel
+    #: element bodies never consult the cache
+    __jacc_shareable__ = False
 
     def __init__(self, byte_budget: int = DEFAULT_BYTE_BUDGET) -> None:
         require(byte_budget > 0, "byte_budget must be positive")

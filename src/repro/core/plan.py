@@ -151,7 +151,9 @@ def run_plan(
         Geometry cache shared across plan executions (cross-panel
         reuse); None uses the process default.  Plans may instead set
         ``backend_options["geom_cache_bytes"]`` to get a plan-private
-        cache of that budget.
+        cache of that budget.  ``backend_options["shards"]`` (plus
+        optional ``"shard_workers"`` / ``"run_weights"``) turns on the
+        hierarchical intra-run fan-out — core implementation only.
     prefetch:
         Warm the cache (trajectory geometry + pre-pass + flux table for
         every run) before reducing — only meaningful for the ``core``
@@ -163,6 +165,16 @@ def run_plan(
     budget = opts.pop("geom_cache_bytes", None)
     if budget is not None and cache is None:
         cache = GeomCache(byte_budget=int(budget))
+    if plan.implementation != "core":
+        # the proxies own their parallelism; intra-run sharding is the
+        # core loop's second decomposition level
+        bad = [k for k in ("shards", "shard_workers", "run_weights")
+               if k in opts]
+        if bad:
+            raise ValidationError(
+                f"backend_options {bad} require implementation='core' "
+                f"(got {plan.implementation!r})"
+            )
 
     if plan.implementation == "minivates":
         from repro.proxy.minivates import MiniVatesConfig, MiniVatesWorkflow

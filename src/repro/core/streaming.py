@@ -45,6 +45,7 @@ from repro.core.grid import HKLGrid
 from repro.core.hist3 import Hist3
 from repro.core.md_event_workspace import convert_to_md
 from repro.core.mdnorm import mdnorm
+from repro.core.sharding import ShardConfig, sharded_mdnorm
 from repro.crystal.symmetry import PointGroup
 from repro.instruments.detector import DetectorArray
 from repro.nexus.corrections import FluxSpectrum
@@ -102,6 +103,7 @@ class StreamingReduction:
         backend: Optional[str] = None,
         geom_cache: Optional[GeomCache] = None,
         recovery: Optional[RecoveryConfig] = None,
+        shards: Optional[ShardConfig] = None,
     ) -> None:
         self.grid = grid
         self.point_group = point_group
@@ -122,6 +124,12 @@ class StreamingReduction:
         self._runs_opened = 0
         #: failure policy; None = historical fail-fast stream
         self.recovery = recovery
+        #: intra-run fan-out for the open-run MDNorm (the geometry-only
+        #: stage, computed once per run).  ``consume`` deliberately stays
+        #: a single ordered pass — batch arrival order already defines
+        #: the float fold, and sharding it would break the batch-size
+        #: invariance the streaming tests pin down.
+        self.shards = shards
         self._quarantined: Dict[int, str] = {}
         # per-run accumulated contributions, tracked only under recovery
         # so a quarantined run can be subtracted back out
@@ -156,18 +164,34 @@ class StreamingReduction:
             band = (2.0 * np.pi / lam_hi, 2.0 * np.pi / lam_lo)
 
             def _norm_into(target: Hist3) -> Hist3:
-                mdnorm(
-                    target,
-                    traj_transforms,
-                    self.instrument.directions,
-                    self.solid_angles,
-                    self.flux,
-                    band,
-                    charge=run_metadata.proton_charge,
-                    backend=self.backend,
-                    cache=self.geom_cache,
-                    cache_tag=f"run:{rn}",
-                )
+                if self.shards is not None:
+                    sharded_mdnorm(
+                        target,
+                        traj_transforms,
+                        self.instrument.directions,
+                        self.solid_angles,
+                        self.flux,
+                        band,
+                        shards=self.shards,
+                        charge=run_metadata.proton_charge,
+                        backend=self.backend,
+                        cache=self.geom_cache,
+                        cache_tag=f"run:{rn}",
+                        run=rn,
+                    )
+                else:
+                    mdnorm(
+                        target,
+                        traj_transforms,
+                        self.instrument.directions,
+                        self.solid_angles,
+                        self.flux,
+                        band,
+                        charge=run_metadata.proton_charge,
+                        backend=self.backend,
+                        cache=self.geom_cache,
+                        cache_tag=f"run:{rn}",
+                    )
                 return target
 
             if self.recovery is None:

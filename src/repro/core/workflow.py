@@ -22,6 +22,7 @@ from repro.core.geom_cache import GeomCache
 from repro.core.grid import HKLGrid
 from repro.core.md_event_workspace import load_md
 from repro.core.mdnorm import prefetch_geometry
+from repro.core.sharding import ShardConfig
 from repro.crystal.symmetry import PointGroup
 from repro.instruments.detector import DetectorArray
 from repro.mpi import Comm
@@ -54,9 +55,24 @@ class WorkflowConfig:
     #: failure policy (retry/quarantine/checkpoint/resume); None =
     #: historical fail-fast loop
     recovery: Optional[RecoveryConfig] = None
+    #: intra-run shard count (detector ranges for MDNorm, event ranges
+    #: for BinMD); None = single-level Algorithm 1
+    shards: Optional[int] = None
+    #: process-pool width for the shard fan-out; None resolves
+    #: ``REPRO_NUM_PROCS`` / the CPU count
+    shard_workers: Optional[int] = None
+    #: optional per-run event weights (run manifest) for weight-balanced
+    #: rank blocks — the outer level of the 2-D decomposition
+    run_weights: Optional[Sequence[float]] = None
 
     def __post_init__(self) -> None:
         require(len(self.md_paths) >= 1, "need at least one run file")
+        # fail fast on bad shard/worker counts at configuration time
+        self.shard_config()
+
+    def shard_config(self) -> Optional[ShardConfig]:
+        """The validated :class:`ShardConfig`, or None when unsharded."""
+        return ShardConfig.from_options(self.shards, self.shard_workers)
 
 
 class ReductionWorkflow:
@@ -102,6 +118,8 @@ class ReductionWorkflow:
                 timings=timings,
                 cache=cfg.geom_cache,
                 recovery=cfg.recovery,
+                shards=cfg.shard_config(),
+                run_weights=cfg.run_weights,
             )
 
     def prefetch_geometry(self) -> int:

@@ -15,6 +15,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 # Importing the engine modules registers them.
+from repro.jacc import multiproc as _multiproc  # noqa: F401
 from repro.jacc import serial as _serial  # noqa: F401
 from repro.jacc import threads as _threads  # noqa: F401
 from repro.jacc import vectorized as _vectorized  # noqa: F401
@@ -30,7 +31,8 @@ def available_backends() -> List[str]:
 
 
 def get_backend(name: str) -> Backend:
-    """Look up a back end by name ("serial", "threads", "vectorized")."""
+    """Look up a back end by name ("serial", "threads", "vectorized",
+    "multiprocess")."""
     return lookup_backend(name)
 
 

@@ -16,20 +16,25 @@ part of the hardware substitution.
 
 from __future__ import annotations
 
-import os
 from concurrent.futures import ThreadPoolExecutor
 from typing import Optional, Tuple
 
 from repro.jacc.backend import Backend, BackendError, REDUCE_OPS, register_backend
 from repro.jacc.jit import GLOBAL_JIT
 from repro.jacc.kernels import Captures, Kernel, normalize_dims
+from repro.jacc.workers import THREADS_ENV, resolve_workers
 
 
 def _default_workers() -> int:
-    env = os.environ.get("REPRO_NUM_THREADS")
-    if env:
-        return max(1, int(env))
-    return max(1, os.cpu_count() or 1)
+    """Worker count from ``REPRO_NUM_THREADS`` (validated) or CPU count.
+
+    Historically this went through a bare ``int()`` — garbage crashed
+    with an opaque ``ValueError`` and ``0``/negatives were silently
+    clamped to 1.  Both now raise a clear
+    :class:`~repro.jacc.backend.BackendError` via the parser shared
+    with the multiprocess back end (see :mod:`repro.jacc.workers`).
+    """
+    return resolve_workers(THREADS_ENV)
 
 
 class ThreadsBackend(Backend):

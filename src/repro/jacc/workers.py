@@ -1,0 +1,149 @@
+"""Worker-count resolution and the shared persistent process pool.
+
+Two concerns that the ``threads`` and ``multiprocess`` back ends (and
+the intra-run shard executor built on top of them) must agree on live
+here:
+
+* **Worker-count parsing.**  ``REPRO_NUM_THREADS`` /
+  ``REPRO_NUM_PROCS`` historically went through a bare ``int()`` —
+  ``REPRO_NUM_THREADS=banana`` crashed with an opaque ``ValueError``
+  deep inside a kernel launch, while ``0`` and negative values were
+  silently clamped to 1, hiding configuration mistakes on batch
+  systems where the variable is computed (``$((SLURM_CPUS/2))`` going
+  to zero is a *bug*, not a request for one worker).
+  :func:`parse_worker_count` validates once, with an error message that
+  names the offending source, and every back end shares it.
+
+* **The persistent process pool.**  Python process startup is far too
+  expensive to pay per kernel launch, so the multiprocess engine keeps
+  one ``ProcessPoolExecutor`` alive across launches (the analogue of a
+  GPU runtime keeping its context alive).  The pool is created lazily
+  under a lock (simulated MPI ranks are threads and may race to the
+  first launch), recreated when a different worker count is requested,
+  and disposed when broken so the next launch gets a fresh pool
+  instead of a poisoned one.
+
+The pool uses the ``fork`` start method where available: worker
+processes inherit the parent's module state (registered kernels,
+compiled JIT loops) without re-importing, which both matches how the
+paper's OpenMP/Threads engines see the address space and keeps
+per-launch overhead low.  On platforms without ``fork`` the default
+context is used and kernel bodies must be picklable module-level
+functions (the conformance suite runs in both regimes).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from typing import Optional
+
+from repro.jacc.backend import BackendError
+
+#: environment variables the CPU engines honour
+THREADS_ENV = "REPRO_NUM_THREADS"
+PROCS_ENV = "REPRO_NUM_PROCS"
+
+
+def parse_worker_count(value: object, *, source: str) -> int:
+    """Validate a worker count from config/env; raise a clear error.
+
+    Accepts positive integers (or strings of one, with surrounding
+    whitespace).  Rejects zero, negatives, floats, and garbage with a
+    :class:`~repro.jacc.backend.BackendError` naming ``source`` so the
+    operator knows *which* knob is wrong.
+    """
+    if isinstance(value, bool):  # bool is an int subclass; always a mistake
+        raise BackendError(f"{source}: worker count must be an integer, got {value!r}")
+    if isinstance(value, int):
+        count = value
+    elif isinstance(value, str):
+        text = value.strip()
+        try:
+            count = int(text, 10)
+        except ValueError:
+            raise BackendError(
+                f"{source}: worker count must be a positive integer, got {value!r}"
+            ) from None
+    else:
+        raise BackendError(
+            f"{source}: worker count must be a positive integer, got {value!r}"
+        )
+    if count < 1:
+        raise BackendError(
+            f"{source}: worker count must be >= 1, got {count} "
+            "(unset the variable to use the CPU count)"
+        )
+    return count
+
+
+def resolve_workers(env_name: str, explicit: Optional[int] = None) -> int:
+    """The effective worker count for an engine.
+
+    Precedence: an explicit constructor argument, then the environment
+    variable ``env_name``, then the machine's CPU count.  Explicit and
+    environment values are validated by :func:`parse_worker_count`
+    (empty-string env values count as unset, matching shell idiom).
+    """
+    if explicit is not None:
+        return parse_worker_count(explicit, source="n_workers")
+    env = os.environ.get(env_name)
+    if env is not None and env.strip():
+        return parse_worker_count(env, source=env_name)
+    return max(1, os.cpu_count() or 1)
+
+
+def _mp_context() -> multiprocessing.context.BaseContext:
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+class WorkerPool:
+    """A lazily created, restartable ``ProcessPoolExecutor``.
+
+    Thread-safe: simulated MPI ranks run as threads in one process and
+    may submit concurrently.  ``ProcessPoolExecutor.submit`` is itself
+    thread-safe; this class only guards creation/recreation.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._size = 0
+
+    @property
+    def size(self) -> int:
+        """Current pool size (0 when no pool is alive)."""
+        return self._size
+
+    def executor(self, n_workers: int) -> ProcessPoolExecutor:
+        """The shared pool, (re)created to hold ``n_workers`` processes."""
+        n_workers = parse_worker_count(n_workers, source="n_workers")
+        with self._lock:
+            if self._pool is not None and self._size == n_workers:
+                return self._pool
+            if self._pool is not None:
+                self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = ProcessPoolExecutor(
+                max_workers=n_workers, mp_context=_mp_context()
+            )
+            self._size = n_workers
+            return self._pool
+
+    def dispose(self) -> None:
+        """Shut the pool down (used after a BrokenProcessPool and by
+        tests to force a cold start)."""
+        with self._lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+            self._size = 0
+
+
+#: the process-wide pool shared by the multiprocess back end and the
+#: intra-run shard executor (one warm pool, many consumers)
+GLOBAL_POOL = WorkerPool()

@@ -30,7 +30,14 @@ from repro.mpi.comm import (
 )
 from repro.mpi.ops import SUM, MAX, MIN, PROD, Op
 from repro.mpi.runner import run_world
-from repro.mpi.decomposition import rank_range
+from repro.mpi.decomposition import (
+    RunShard,
+    balanced_rank_runs,
+    plan_campaign,
+    rank_range,
+    shard_ranges,
+    weighted_shard_ranges,
+)
 
 __all__ = [
     "BarrierTimeoutError",
@@ -45,4 +52,9 @@ __all__ = [
     "Op",
     "run_world",
     "rank_range",
+    "shard_ranges",
+    "weighted_shard_ranges",
+    "balanced_rank_runs",
+    "plan_campaign",
+    "RunShard",
 ]

@@ -14,6 +14,7 @@ def run_world(
     fn: Callable[..., Any],
     *args: Any,
     barrier_timeout: Optional[float] = None,
+    dispose_pool: bool = False,
     **kwargs: Any,
 ) -> List[Any]:
     """Run ``fn(comm, *args, **kwargs)`` on ``size`` concurrent ranks.
@@ -42,6 +43,13 @@ def run_world(
     Each rank's thread is rank-attributed for tracing: spans opened
     inside ``fn`` carry ``rank=<i>`` and the whole rank body is wrapped
     in a ``rank`` span.
+
+    ``dispose_pool=True`` shuts down the node-local shard process pool
+    (:data:`repro.jacc.workers.GLOBAL_POOL`) after every rank has
+    joined.  Rank threads *share* that pool for their intra-run shard
+    fan-out — it deliberately persists across worlds for warm reuse,
+    but callers that want a hermetic teardown (tests, one-shot CLIs)
+    can opt into disposing it with the world.
     """
     if size < 1:
         raise MPIError(f"world size must be >= 1, got {size}")
@@ -69,6 +77,10 @@ def run_world(
         t.start()
     for t in threads:
         t.join()
+    if dispose_pool:
+        from repro.jacc.workers import GLOBAL_POOL
+
+        GLOBAL_POOL.dispose()
     root_cause = next(
         (e for e in errors
          if e is not None

@@ -456,6 +456,84 @@ class PerfModel:
         return buf.getvalue()
 
 
+# ---------------------------------------------------------------------------
+# shard fan-out attribution (PR 5: hierarchical intra-run sharding)
+# ---------------------------------------------------------------------------
+
+def shard_summary(records: Sequence[Dict[str, Any]]) -> Dict[str, Dict[str, float]]:
+    """Roll up the intra-run shard fan-out spans of a trace.
+
+    ``kind="shard_fanout"`` spans (one per sharded MDNorm/BinMD call)
+    and their child ``kind="shard"`` spans (one per shard task) are
+    attributed per op.  The interesting derived number is **balance**:
+    mean shard seconds over max shard seconds within the trace — 1.0
+    means the fan-out was perfectly even, values near ``1/n_shards``
+    mean one straggler serialized the whole fan-out (exactly what the
+    weighted detector cut is for).  Deterministic: records are replayed
+    in ``seq`` order.
+    """
+    spans = [r for r in records if r.get("type", "span") == "span"
+             and isinstance(r.get("attrs"), dict)]
+    spans.sort(key=lambda r: r.get("seq", 0))
+    out: Dict[str, Dict[str, float]] = {}
+    for rec in spans:
+        attrs = rec["attrs"]
+        kind = attrs.get("kind")
+        if kind == "shard_fanout":
+            op = str(attrs.get("op", rec["name"]))
+            slot = out.setdefault(op, {
+                "fanouts": 0.0, "tasks": 0.0, "lanes": 0.0,
+                "fanout_seconds": 0.0, "shard_seconds": 0.0,
+                "max_shard_seconds": 0.0, "n_shards": 0.0, "workers": 0.0,
+            })
+            slot["fanouts"] += 1.0
+            slot["fanout_seconds"] += float(rec.get("dur", 0.0))
+            slot["n_shards"] = max(slot["n_shards"],
+                                   float(attrs.get("n_shards", 0)))
+            slot["workers"] = max(slot["workers"],
+                                  float(attrs.get("workers", 0)))
+        elif kind == "shard":
+            # span name is "shard:<op>"
+            op = str(rec["name"]).partition(":")[2] or str(rec["name"])
+            slot = out.setdefault(op, {
+                "fanouts": 0.0, "tasks": 0.0, "lanes": 0.0,
+                "fanout_seconds": 0.0, "shard_seconds": 0.0,
+                "max_shard_seconds": 0.0, "n_shards": 0.0, "workers": 0.0,
+            })
+            dur = float(rec.get("dur", 0.0))
+            slot["tasks"] += 1.0
+            slot["lanes"] += float(attrs.get("lanes", 0))
+            slot["shard_seconds"] += dur
+            slot["max_shard_seconds"] = max(slot["max_shard_seconds"], dur)
+    for slot in out.values():
+        if slot["tasks"] > 0 and slot["max_shard_seconds"] > 0.0:
+            mean = slot["shard_seconds"] / slot["tasks"]
+            slot["balance"] = mean / slot["max_shard_seconds"]
+        else:
+            slot["balance"] = 1.0
+    return dict(sorted(out.items()))
+
+
+def shard_table(summary: Dict[str, Dict[str, float]],
+                *, title: str = "shard fan-out") -> str:
+    """Plain-text table of :func:`shard_summary` (``repro perf report``)."""
+    lines = [f"-- {title}"]
+    if not summary:
+        lines.append("  (no shard fan-out spans in this trace)")
+        return "\n".join(lines)
+    lines.append(f"  {'op':<10s} {'fanouts':>8s} {'tasks':>7s} "
+                 f"{'lanes':>10s} {'fanout s':>10s} {'shard s':>9s} "
+                 f"{'balance':>8s} {'shards':>7s} {'workers':>8s}")
+    for op, s in summary.items():
+        lines.append(
+            f"  {op:<10s} {int(s['fanouts']):>8d} {int(s['tasks']):>7d} "
+            f"{_si(s['lanes']):>10s} {s['fanout_seconds']:>10.4f} "
+            f"{s['shard_seconds']:>9.4f} {s['balance']:>8.3f} "
+            f"{int(s['n_shards']):>7d} {int(s['workers']):>8d}"
+        )
+    return "\n".join(lines)
+
+
 def _si(value: float) -> str:
     """Engineering-notation rate (1.23M, 45.6k) for the text table."""
     if value <= 0.0:

@@ -1,0 +1,337 @@
+"""Shard-invariance property suite (ISSUE 5 satellite b).
+
+The contract under test: intra-run sharding is an *execution* detail,
+never a *numerics* detail.  For the full Benzil-shaped pipeline the
+cross-section (and both of its factors) must be **bit-identical** —
+``np.array_equal(..., equal_nan=True)``, not allclose — across:
+
+* shard counts 1, 2, 3, 7 (including shards > items axes);
+* worker counts (in-process degenerate pool vs real process pool);
+* count-balanced vs activity-balanced detector cuts;
+* streaming batch sizes, with sharded ``open_run`` normalization;
+* kill-one-shard + retry and checkpoint/resume, riding the PR 3
+  fault-plan machinery at the ``shard.mdnorm`` / ``shard.binmd`` sites.
+
+The recovering loop folds per-run scratch deltas (different float
+association than the fail-fast loop — a pre-existing, documented
+property), so recovery cases compare against a *recovery-without-
+shards* golden, which they must match bit for bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.binmd import bin_events
+from repro.core.checkpoint import CheckpointManager, RecoveryConfig
+from repro.core.cross_section import compute_cross_section
+from repro.core.grid import HKLGrid
+from repro.core.hist3 import Hist3
+from repro.core.md_event_workspace import convert_to_md
+from repro.core.mdnorm import mdnorm
+from repro.core.sharding import ShardConfig, ShardExecutionError, sharded_binmd, sharded_mdnorm
+from repro.core.streaming import EventStream, StreamingReduction
+from repro.crystal.goniometer import Goniometer
+from repro.crystal.structures import benzil
+from repro.crystal.symmetry import point_group
+from repro.crystal.ub import UBMatrix
+from repro.instruments.corelli import make_corelli
+from repro.instruments.synth import make_flux, make_vanadium, synthesize_run
+from repro.jacc.backend import BackendError
+from repro.jacc.workers import GLOBAL_POOL
+from repro.util.faults import FaultPlan, FaultSpec, RetryPolicy, use_fault_plan
+
+N_RUNS = 3
+SHARD_COUNTS = (1, 2, 3, 7)
+POLICY = RetryPolicy(max_attempts=3, base_delay_s=0.0)
+
+
+def same(a, b):
+    """Bit-identity including the NaNs of empty (0/0) bins."""
+    return np.array_equal(a, b, equal_nan=True)
+
+
+class _Exp:
+    def __init__(self):
+        structure = benzil()
+        self.instrument = make_corelli(n_pixels=150)
+        self.ub = UBMatrix.from_u_vectors(structure.cell, [0.0, 0.0, 1.0],
+                                          [1.0, 0.0, 0.0])
+        self.grid = HKLGrid.benzil_grid(bins=(15, 15, 1))
+        self.pg = point_group("321")
+        self.flux = make_flux(self.instrument)
+        self.vanadium = make_vanadium(self.instrument)
+        self.sa = self.vanadium.detector_weights
+        self.runs, self.wss = [], []
+        for i, omega in enumerate((0.0, 40.0, 80.0)):
+            run = synthesize_run(
+                instrument=self.instrument, structure=structure, ub=self.ub,
+                goniometer=Goniometer(omega).rotation, n_events=400,
+                rng=np.random.default_rng(6200 + i), run_number=i,
+            )
+            self.runs.append(run)
+            self.wss.append(convert_to_md(run, self.instrument, run_index=i))
+
+    def loader(self, i):
+        return self.wss[i]
+
+    def compute(self, **kw):
+        kw.setdefault("backend", "serial")
+        return compute_cross_section(
+            self.loader, N_RUNS, self.grid, self.pg, self.flux,
+            self.instrument.directions, self.sa, **kw,
+        )
+
+
+@pytest.fixture(scope="module")
+def exp():
+    e = _Exp()
+    yield e
+    GLOBAL_POOL.dispose()
+
+
+@pytest.fixture(scope="module")
+def golden(exp):
+    """The unsharded serial cross-section every sharded run must match."""
+    return exp.compute()
+
+
+@pytest.fixture(scope="module")
+def golden_recovering(exp):
+    """The unsharded *recovering-loop* result (its scratch-delta fold
+    re-associates floats relative to the fail-fast loop, so recovery
+    cases get their own golden)."""
+    return exp.compute(recovery=RecoveryConfig())
+
+
+def assert_identical(res, ref):
+    assert same(res.cross_section.signal, ref.cross_section.signal)
+    assert np.array_equal(res.binmd.signal, ref.binmd.signal)
+    assert np.array_equal(res.mdnorm.signal, ref.mdnorm.signal)
+    if ref.binmd.error_sq is not None:
+        assert np.array_equal(res.binmd.error_sq, ref.binmd.error_sq)
+
+
+# ---------------------------------------------------------------------------
+# the invariance matrix on the full pipeline
+# ---------------------------------------------------------------------------
+
+class TestShardInvariance:
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    def test_shard_count_invariance(self, exp, golden, n_shards):
+        """shards=7 > the 3-op outer axis and still partitions the
+        inner axes exactly — empty shards are no-ops."""
+        res = exp.compute(shards=ShardConfig(n_shards=n_shards, workers=1))
+        assert_identical(res, golden)
+
+    @pytest.mark.parametrize("workers", (1, 2))
+    def test_worker_count_invariance(self, exp, golden, workers):
+        """In-process degenerate pool vs real process pool: same
+        record/replay path, same bits."""
+        res = exp.compute(shards=ShardConfig(n_shards=3, workers=workers))
+        assert_identical(res, golden)
+
+    @pytest.mark.parametrize("n_shards", (2, 3))
+    def test_balanced_cut_invariance(self, exp, golden, n_shards):
+        """Activity-balanced detector boundaries change only the load
+        split, never the replayed deposit order."""
+        res = exp.compute(
+            shards=ShardConfig(n_shards=n_shards, workers=1, balanced=True))
+        assert_identical(res, golden)
+
+    def test_run_weighted_outer_level(self, exp, golden):
+        """Weight-balanced run blocks (single rank: the whole block) do
+        not perturb the result."""
+        res = exp.compute(
+            shards=ShardConfig(n_shards=2, workers=1),
+            run_weights=[float(len(r.detector_ids)) for r in exp.runs],
+        )
+        assert_identical(res, golden)
+
+    def test_multiprocess_backend_composes_with_shards(self, exp, golden):
+        """Backend engine for the non-sharded kernels (max_intersections
+        pre-pass) + shard fan-out for the deposits: still bit-identical."""
+        res = exp.compute(backend="multiprocess",
+                          shards=ShardConfig(n_shards=2, workers=1))
+        assert_identical(res, golden)
+
+
+# ---------------------------------------------------------------------------
+# per-op equivalence (one run, direct against mdnorm / bin_events)
+# ---------------------------------------------------------------------------
+
+class TestShardedOps:
+    def _transforms(self, exp, ws):
+        traj = exp.grid.transforms_for(ws.ub_matrix, exp.pg,
+                                       goniometer=ws.goniometer)
+        ev = exp.grid.transforms_for(ws.ub_matrix, exp.pg)
+        return traj, ev
+
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    def test_sharded_mdnorm_bit_identical(self, exp, n_shards):
+        ws = exp.wss[1]
+        traj, _ = self._transforms(exp, ws)
+        ref = Hist3(exp.grid)
+        mdnorm(ref, traj, exp.instrument.directions, exp.sa, exp.flux,
+               ws.momentum_band, charge=ws.proton_charge, backend="serial")
+        got = Hist3(exp.grid)
+        sharded_mdnorm(
+            got, traj, exp.instrument.directions, exp.sa, exp.flux,
+            ws.momentum_band, shards=ShardConfig(n_shards=n_shards, workers=1),
+            charge=ws.proton_charge, backend="serial",
+        )
+        assert np.array_equal(got.signal, ref.signal)
+
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    def test_sharded_binmd_bit_identical(self, exp, n_shards):
+        ws = exp.wss[2]
+        _, ev = self._transforms(exp, ws)
+        ref = Hist3(exp.grid, track_errors=True)
+        bin_events(ref, ws.events, ev, backend="serial")
+        got = Hist3(exp.grid, track_errors=True)
+        sharded_binmd(got, ws.events, ev,
+                      shards=ShardConfig(n_shards=n_shards, workers=1))
+        assert np.array_equal(got.signal, ref.signal)
+        assert np.array_equal(got.error_sq, ref.error_sq)
+
+    def test_shard_heartbeats_reported(self, exp):
+        ws = exp.wss[0]
+        traj, _ = self._transforms(exp, ws)
+        seen = []
+        sharded_mdnorm(
+            Hist3(exp.grid), traj, exp.instrument.directions, exp.sa,
+            exp.flux, ws.momentum_band,
+            shards=ShardConfig(n_shards=3, workers=1),
+            on_shard=lambda s, n: seen.append((s, n)),
+        )
+        assert seen == [(0, 3), (1, 3), (2, 3)]
+
+
+# ---------------------------------------------------------------------------
+# streaming: sharded open_run normalization, batch-size invariance
+# ---------------------------------------------------------------------------
+
+class TestStreamingSharded:
+    def _reduce(self, exp, *, shards=None, batch_size=128):
+        sr = StreamingReduction(exp.grid, exp.pg, exp.flux, exp.instrument,
+                                exp.sa, backend="serial", shards=shards)
+        for run in exp.runs:
+            sr.open_run(run)
+            for batch in EventStream(run, batch_size=batch_size):
+                sr.consume(batch)
+            sr.close_run(run.run_number)
+        return sr.snapshot()
+
+    def test_sharded_matches_plain(self, exp):
+        plain = self._reduce(exp)
+        shard = self._reduce(exp, shards=ShardConfig(n_shards=3, workers=1))
+        assert same(shard.signal, plain.signal)
+
+    @pytest.mark.parametrize("batch_size", (37, 256))
+    def test_batch_size_invariance_under_shards(self, exp, batch_size):
+        a = self._reduce(exp, shards=ShardConfig(n_shards=2, workers=1),
+                         batch_size=batch_size)
+        b = self._reduce(exp, shards=ShardConfig(n_shards=2, workers=1),
+                         batch_size=101)
+        assert same(a.signal, b.signal)
+
+
+# ---------------------------------------------------------------------------
+# fault tolerance: kill-one-shard + retry, checkpoint/resume
+# ---------------------------------------------------------------------------
+
+class TestShardFaults:
+    def test_shard_execution_error_is_retryable(self):
+        """OSError subclass ⇒ the PR 3 default retryable set covers a
+        broken shard pool without special-casing."""
+        err = ShardExecutionError("pool broke")
+        assert isinstance(err, OSError)
+
+    @pytest.mark.parametrize("site", ("shard.mdnorm", "shard.binmd"))
+    def test_kill_one_shard_then_retry(self, exp, golden_recovering, site):
+        """An io_error injected at a shard dispatch kills that run's
+        attempt; the run-level retry re-executes the run and the final
+        campaign is bit-identical to the fault-free recovering one."""
+        plan = FaultPlan(
+            [FaultSpec(site=site, kind="io_error", probability=1.0,
+                       max_hits=1)],
+            seed=42,
+        )
+        with use_fault_plan(plan):
+            res = exp.compute(
+                shards=ShardConfig(n_shards=3, workers=1),
+                recovery=RecoveryConfig(retry=POLICY),
+            )
+        assert len(plan.events) == 1  # the shard really was killed
+        assert plan.events[0]["site"] == site
+        assert_identical(res, golden_recovering)
+
+    def test_kill_every_shard_of_one_run_quarantines(self, exp):
+        """A run whose shards always die exhausts its retries and is
+        quarantined; survivors complete the campaign."""
+        plan = FaultPlan(
+            [FaultSpec(site="shard.mdnorm", kind="io_error",
+                       probability=1.0, runs=(1,))],
+            seed=7,
+        )
+        with use_fault_plan(plan):
+            res = exp.compute(
+                shards=ShardConfig(n_shards=2, workers=1),
+                recovery=RecoveryConfig(retry=POLICY, quarantine=True),
+            )
+        assert res.quarantined_runs == (1,)
+        assert res.degraded
+        ref = compute_cross_section(
+            exp.loader, N_RUNS, exp.grid, exp.pg, exp.flux,
+            exp.instrument.directions, exp.sa, backend="serial",
+            recovery=RecoveryConfig(),
+            )
+        # degraded result differs from the full campaign
+        assert not same(res.cross_section.signal, ref.cross_section.signal)
+
+    def test_checkpoint_resume_with_shards(self, exp, golden_recovering,
+                                           tmp_path):
+        """Kill the campaign after run 0's delta is checkpointed, then
+        resume with shards: replayed runs + sharded fresh runs are
+        bit-identical to the uninterrupted recovering campaign."""
+        ckpt_dir = str(tmp_path / "ckpt")
+        plan = FaultPlan(
+            [FaultSpec(site="shard.binmd", kind="io_error",
+                       probability=1.0, runs=(1,))],
+            seed=3,
+        )
+        first = RecoveryConfig(
+            retry=RetryPolicy(max_attempts=1, base_delay_s=0.0),
+            quarantine=False,
+            checkpoint=CheckpointManager(ckpt_dir),
+        )
+        with use_fault_plan(plan):
+            with pytest.raises(Exception):
+                exp.compute(shards=ShardConfig(n_shards=2, workers=1),
+                            recovery=first)
+        resume = RecoveryConfig(
+            retry=POLICY, checkpoint=CheckpointManager(ckpt_dir), resume=True,
+        )
+        res = exp.compute(shards=ShardConfig(n_shards=3, workers=1),
+                          recovery=resume)
+        assert_identical(res, golden_recovering)
+
+
+# ---------------------------------------------------------------------------
+# configuration validation
+# ---------------------------------------------------------------------------
+
+class TestShardConfigValidation:
+    @pytest.mark.parametrize("bad", (0, -2, "three"))
+    def test_bad_shard_count_rejected(self, bad):
+        with pytest.raises(BackendError):
+            ShardConfig(n_shards=bad)
+
+    def test_bad_workers_rejected(self):
+        with pytest.raises(BackendError, match="shard workers"):
+            ShardConfig(n_shards=2, workers=0)
+
+    def test_from_options(self):
+        assert ShardConfig.from_options(None) is None
+        cfg = ShardConfig.from_options(4, 2, balanced=True)
+        assert cfg == ShardConfig(n_shards=4, workers=2, balanced=True)
+        assert cfg.effective_workers == 2

@@ -1,10 +1,27 @@
-"""Unit + property tests for the Algorithm-1 rank decomposition."""
+"""Unit + property tests for the hierarchical decomposition.
+
+Level 1 is Algorithm 1's rank split over runs (:func:`rank_range`,
+weight-aware via :func:`balanced_rank_runs`); level 2 is the intra-run
+shard planner (:func:`shard_ranges` / :func:`weighted_shard_ranges`)
+ISSUE 5 adds below it; :func:`plan_campaign` composes the two into the
+full runs × shards map.  Everything here is pure planning, so the
+properties are exact: partitions are contiguous, disjoint, exhaustive,
+and deterministic.
+"""
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.mpi import MPIError, rank_range
+from repro.mpi import (
+    MPIError,
+    RunShard,
+    balanced_rank_runs,
+    plan_campaign,
+    rank_range,
+    shard_ranges,
+    weighted_shard_ranges,
+)
 
 
 class TestRankRange:
@@ -46,3 +63,151 @@ class TestRankRange:
         # blocks are contiguous and ordered
         for (s1, e1), (s2, _) in zip(ranges, ranges[1:]):
             assert e1 == s2
+
+
+class TestShardRanges:
+    def test_matches_rank_range_convention(self):
+        assert shard_ranges(10, 4) == [rank_range(10, s, 4) for s in range(4)]
+
+    def test_more_shards_than_items_yields_empty_tails(self):
+        ranges = shard_ranges(3, 7)
+        assert len(ranges) == 7
+        sizes = [b - a for a, b in ranges]
+        assert sizes == [1, 1, 1, 0, 0, 0, 0]
+
+    def test_zero_items(self):
+        assert shard_ranges(0, 3) == [(0, 0), (0, 0), (0, 0)]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(MPIError):
+            shard_ranges(-1, 2)
+        with pytest.raises(MPIError):
+            shard_ranges(5, 0)
+
+    @given(n=st.integers(0, 500), shards=st.integers(1, 40))
+    @settings(max_examples=100, deadline=None)
+    def test_partition_properties(self, n, shards):
+        """Constant-length partition: contiguous, exact, ordered,
+        sizes within 1 — empty shards allowed past the item count."""
+        ranges = shard_ranges(n, shards)
+        assert len(ranges) == shards
+        covered = [i for a, b in ranges for i in range(a, b)]
+        assert covered == list(range(n))
+        sizes = [b - a for a, b in ranges]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestWeightedShardRanges:
+    def test_uniform_weights_match_block_split(self):
+        assert weighted_shard_ranges([1.0] * 12, 4) == shard_ranges(12, 4)
+
+    def test_heavy_head_gets_small_shard(self):
+        # one item carries ~all the weight: it should sit alone
+        ranges = weighted_shard_ranges([100.0, 1.0, 1.0, 1.0, 1.0], 2)
+        assert ranges[0] == (0, 1)
+        assert ranges[1] == (1, 5)
+
+    def test_balances_within_one_item(self):
+        weights = [5.0, 1.0, 1.0, 1.0, 1.0, 1.0, 5.0, 1.0]
+        ranges = weighted_shard_ranges(weights, 3)
+        loads = [sum(weights[a:b]) for a, b in ranges]
+        # contiguous optimum here is ~5.33 per shard; each load is
+        # within one max item of that
+        assert max(loads) <= (sum(weights) / 3) + max(weights)
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(MPIError, match=">= 0"):
+            weighted_shard_ranges([1.0, -0.5], 2)
+        with pytest.raises(MPIError, match="n_shards"):
+            weighted_shard_ranges([1.0], 0)
+
+    @given(
+        weights=st.lists(st.floats(0.0, 1e6, allow_nan=False), max_size=60),
+        shards=st.integers(1, 12),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_partition_properties(self, weights, shards):
+        """Always a constant-length contiguous exact partition, for any
+        weight profile (zeros, spikes, empty input)."""
+        ranges = weighted_shard_ranges(weights, shards)
+        assert len(ranges) == shards
+        covered = [i for a, b in ranges for i in range(a, b)]
+        assert covered == list(range(len(weights)))
+        assert ranges == weighted_shard_ranges(weights, shards)  # deterministic
+
+    @given(
+        weights=st.lists(st.floats(0.1, 100.0, allow_nan=False),
+                         min_size=1, max_size=60),
+        shards=st.integers(1, 12),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_no_shard_exceeds_ideal_plus_one_item(self, weights, shards):
+        """The greedy prefix cut's quality bound: a shard overshoots the
+        ideal share by at most its own last item."""
+        ranges = weighted_shard_ranges(weights, shards)
+        ideal = sum(weights) / shards
+        for a, b in ranges:
+            if b - a > 1:
+                assert sum(weights[a:b]) <= ideal + max(weights[a:b]) + 1e-9
+
+
+class TestBalancedRankRuns:
+    def test_degenerates_to_block_split_when_uniform(self):
+        blocks = balanced_rank_runs([1.0] * 8, 4)
+        assert blocks == [rank_range(8, r, 4) for r in range(4)]
+
+    def test_heavy_runs_narrow_their_rank(self):
+        # run 0 is as heavy as all others combined: rank 0 takes it alone
+        blocks = balanced_rank_runs([7.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0], 2)
+        assert blocks[0] == (0, 1)
+        assert blocks[1] == (1, 8)
+
+    def test_invalid_size(self):
+        with pytest.raises(MPIError, match="size"):
+            balanced_rank_runs([1.0], 0)
+
+
+class TestPlanCampaign:
+    def test_full_matrix_shape(self):
+        plan = plan_campaign(4, 2, 3)
+        assert sorted(plan) == [0, 1]
+        # every (run, shard) cell appears exactly once, on its owner
+        cells = [c for rank in plan.values() for c in rank]
+        assert len(cells) == 4 * 3
+        assert {(c.run, c.shard) for c in cells} == {
+            (r, s) for r in range(4) for s in range(3)
+        }
+        for rank, owned in plan.items():
+            assert all(c.rank == rank for c in owned)
+
+    def test_labels(self):
+        cell = RunShard(run=2, shard=1, n_shards=4, rank=0)
+        assert cell.label == "run2/shard1of4"
+
+    def test_weighted_outer_level(self):
+        plan = plan_campaign(3, 2, 2, run_weights=[10.0, 1.0, 1.0])
+        assert [c.run for c in plan[0]] == [0, 0]
+        assert [c.run for c in plan[1]] == [1, 1, 2, 2]
+
+    def test_weight_length_mismatch_rejected(self):
+        with pytest.raises(MPIError, match="run_weights"):
+            plan_campaign(3, 2, 2, run_weights=[1.0])
+
+    def test_invalid_inputs(self):
+        with pytest.raises(MPIError):
+            plan_campaign(-1, 2, 2)
+        with pytest.raises(MPIError):
+            plan_campaign(3, 2, 0)
+
+    @given(
+        n_runs=st.integers(0, 30),
+        size=st.integers(1, 6),
+        n_shards=st.integers(1, 5),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_every_cell_assigned_exactly_once(self, n_runs, size, n_shards):
+        plan = plan_campaign(n_runs, size, n_shards)
+        cells = [(c.run, c.shard) for rank in plan.values() for c in rank]
+        assert sorted(cells) == [
+            (r, s) for r in range(n_runs) for s in range(n_shards)
+        ]

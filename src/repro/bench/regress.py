@@ -148,6 +148,7 @@ def collect_panel_samples(
     backend: str = "vectorized",
     shards: Optional[int] = None,
     shard_workers: Optional[int] = None,
+    memory_budget: Optional[int] = None,
 ) -> Dict[str, List[float]]:
     """Run the core reduction ``repeats`` times and collect per-stage
     wall-clock samples.
@@ -182,6 +183,7 @@ def collect_panel_samples(
             geom_cache=GeomCache(),
             shards=shards,
             shard_workers=shard_workers,
+            memory_budget=memory_budget,
         )
         timings = StageTimings(label=f"repeat{rep}")
         ReductionWorkflow(cfg).run(timings=timings)

@@ -76,6 +76,10 @@ class WorkloadSpec:
     n_detectors: int
     grid_bins: Tuple[int, int, int]
     seed: int
+    #: store run files as independently compressed chunks of this many
+    #: events (h5lite format v2, zlib codec) instead of one contiguous
+    #: blob; enables out-of-core reduction (``--memory-budget``)
+    chunk_events: Optional[int] = None
 
     @property
     def n_events_per_file(self) -> int:
@@ -100,6 +104,7 @@ def benzil_corelli(
     scale: Optional[float] = None,
     n_files: Optional[int] = None,
     grid_bins: Optional[Tuple[int, int, int]] = None,
+    chunk_events: Optional[int] = None,
 ) -> WorkloadSpec:
     """Benzil on CORELLI (Table II column 1)."""
     paper = TABLE2["benzil_corelli"]
@@ -118,6 +123,7 @@ def benzil_corelli(
         n_detectors=max(200, int(paper.detectors * scale)),
         grid_bins=grid_bins or (151, 151, 1),
         seed=601_000,
+        chunk_events=chunk_events,
     )
 
 
@@ -125,6 +131,7 @@ def bixbyite_topaz(
     scale: Optional[float] = None,
     n_files: Optional[int] = None,
     grid_bins: Optional[Tuple[int, int, int]] = None,
+    chunk_events: Optional[int] = None,
 ) -> WorkloadSpec:
     """Bixbyite on TOPAZ (Table II column 2)."""
     paper = TABLE2["bixbyite_topaz"]
@@ -145,6 +152,7 @@ def bixbyite_topaz(
         n_detectors=max(200, int(paper.detectors * scale * 0.5)),
         grid_bins=grid_bins or (151, 151, 1),
         seed=311_000,
+        chunk_events=chunk_events,
     )
 
 
@@ -184,19 +192,21 @@ def _cache_root() -> Path:
 
 
 def _spec_digest(spec: WorkloadSpec) -> str:
-    payload = json.dumps(
-        {
-            "key": spec.key,
-            "scale": spec.scale,
-            "files": spec.n_files,
-            "events": spec.n_events_total,
-            "detectors": spec.n_detectors,
-            "bins": spec.grid_bins,
-            "seed": spec.seed,
-            "format": 2,  # 2: pulse_times in event files + instrument IDF
-        },
-        sort_keys=True,
-    )
+    fields = {
+        "key": spec.key,
+        "scale": spec.scale,
+        "files": spec.n_files,
+        "events": spec.n_events_total,
+        "detectors": spec.n_detectors,
+        "bins": spec.grid_bins,
+        "seed": spec.seed,
+        "format": 2,  # 2: pulse_times in event files + instrument IDF
+    }
+    # only chunked specs key on the layout, so the digests (and cached
+    # fixture directories) of existing contiguous workloads are unchanged
+    if spec.chunk_events is not None:
+        fields["chunk_events"] = int(spec.chunk_events)
+    payload = json.dumps(fields, sort_keys=True)
     return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
 
@@ -260,6 +270,12 @@ def build_workload(spec: WorkloadSpec) -> WorkloadData:
             with atomic_io.atomic_path(path) as tmp:
                 writer(tmp, *payload)
 
+        def write_nexus(tmp, run):
+            write_event_nexus(tmp, run, chunk_events=spec.chunk_events)
+
+        def write_md(tmp, ws):
+            save_md(tmp, ws, chunk_events=spec.chunk_events)
+
         for i in range(spec.n_files):
             run = synthesize_run(
                 instrument=instrument,
@@ -270,9 +286,9 @@ def build_workload(spec: WorkloadSpec) -> WorkloadData:
                 rng=streams.for_run(i),
                 run_number=i,
             )
-            publish(nexus_paths[i], write_event_nexus, run)
+            publish(nexus_paths[i], write_nexus, run)
             ws = convert_to_md(run, instrument, run_index=i)
-            publish(md_paths[i], save_md, ws)
+            publish(md_paths[i], write_md, ws)
         publish(flux_path, write_flux_file, make_flux(instrument))
         publish(vanadium_path, write_vanadium_file, make_vanadium(instrument))
         publish(instrument_path, write_instrument, instrument)

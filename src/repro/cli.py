@@ -65,6 +65,7 @@ def _parser() -> argparse.ArgumentParser:
     p.add_argument("--plan", metavar="PLAN_JSON", default=None,
                    help="run a reduction plan file instead of a synthetic "
                         "workload (ignores --workload/--impl/--scale/--files)")
+    _add_oocore_flags(p, with_budget=False)
     _add_recovery_flags(p)
     _add_monitor_flags(p)
     return p
@@ -94,6 +95,59 @@ def _monitor_context(args, label: str):
         kwargs["stall_deadline"] = float(args.stall_deadline)
     mon = monitor_mod.CampaignMonitor(label=label, **kwargs)
     return monitor_mod.use_monitor(mon), mon
+
+
+def _parse_size(text: str) -> int:
+    """Byte sizes with optional K/M/G suffix: ``65536``, ``64K``, ``2M``."""
+    raw = text.strip().upper().removesuffix("B")
+    multipliers = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30}
+    mult = multipliers.get(raw[-1:], 1)
+    if mult != 1:
+        raw = raw[:-1]
+    try:
+        value = int(float(raw) * mult)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid size {text!r} (expected e.g. 65536, 64K, 2M, 1G)"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"size must be positive, got {text!r}")
+    return value
+
+
+def _parse_chunk_events(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid chunk size {text!r} (expected a positive integer)"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"chunk size must be >= 1 event, got {text!r}"
+        )
+    return value
+
+
+def _add_oocore_flags(
+    p: argparse.ArgumentParser, *, with_budget: bool = True
+) -> None:
+    g = p.add_argument_group("out-of-core storage")
+    g.add_argument("--chunk-events", type=_parse_chunk_events, default=None,
+                   metavar="N",
+                   help="store the synthesized run files as independently "
+                        "compressed, CRC-checked chunks of N events "
+                        "(h5lite format v2) instead of one contiguous "
+                        "payload; changes the workload cache key")
+    if with_budget:
+        g.add_argument("--memory-budget", type=_parse_size, default=None,
+                       metavar="BYTES",
+                       help="decoded-chunk tile-cache budget per run "
+                            "(suffixes K/M/G); the core workflow then "
+                            "reduces each run out of core through bounded "
+                            "event windows instead of materializing the "
+                            "table (requires --chunk-events run files; "
+                            "--impl core only)")
 
 
 def _add_shard_flags(p: argparse.ArgumentParser) -> None:
@@ -180,7 +234,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     make_spec = benzil_corelli if args.workload == "benzil" else bixbyite_topaz
-    spec = make_spec(scale=args.scale, n_files=args.files)
+    spec = make_spec(scale=args.scale, n_files=args.files,
+                     chunk_events=args.chunk_events)
     print(spec.describe())
     data = build_workload(spec)
     profile = A100_PROFILE if args.device_profile == "a100" else MI100_PROFILE
@@ -299,6 +354,7 @@ def _trace_parser() -> argparse.ArgumentParser:
     p.add_argument("--ranks", type=int, default=1,
                    help="simulated MPI world size (core/cpp/minivates)")
     _add_shard_flags(p)
+    _add_oocore_flags(p)
     p.add_argument("--out", metavar="PATH", default="trace.jsonl",
                    help="JSON-lines trace output path")
     p.add_argument("--chrome", metavar="PATH", default=None,
@@ -322,12 +378,18 @@ def _run_impl(
     comm=None,
     shards: Optional[int] = None,
     shard_workers: Optional[int] = None,
+    memory_budget: Optional[int] = None,
 ) -> None:
     """Run one implementation of the reduction on a built workload."""
     if shards is not None and impl != "core":
         raise SystemExit(
             f"--shards applies to --impl core only (got {impl!r}); "
             f"the proxies own their parallelism"
+        )
+    if memory_budget is not None and impl != "core":
+        raise SystemExit(
+            f"--memory-budget applies to --impl core only (got {impl!r}); "
+            f"the proxies materialize the event table"
         )
     if impl == "core":
         from repro.core.workflow import ReductionWorkflow, WorkflowConfig
@@ -343,6 +405,7 @@ def _run_impl(
             recovery=recovery,
             shards=shards,
             shard_workers=shard_workers,
+            memory_budget=memory_budget,
         )
         ReductionWorkflow(cfg).run(comm)
     elif impl == "cpp":
@@ -390,8 +453,11 @@ def trace_main(argv: Optional[List[str]] = None) -> int:
     if argv[:1] == ["summary"]:
         return trace_summary_main(argv[1:])
     args = _trace_parser().parse_args(argv)
+    if args.memory_budget is not None and args.chunk_events is None:
+        raise SystemExit("--memory-budget requires --chunk-events run files")
     make_spec = benzil_corelli if args.workload == "benzil" else bixbyite_topaz
-    spec = make_spec(scale=args.scale, n_files=args.files)
+    spec = make_spec(scale=args.scale, n_files=args.files,
+                     chunk_events=args.chunk_events)
     print(spec.describe())
     data = build_workload(spec)
 
@@ -405,7 +471,8 @@ def trace_main(argv: Optional[List[str]] = None) -> int:
     def run_one(comm=None) -> None:
         _run_impl(args.impl, data, backend=args.backend,
                   recovery=recovery, comm=comm,
-                  shards=args.shards, shard_workers=args.shard_workers)
+                  shards=args.shards, shard_workers=args.shard_workers,
+                  memory_budget=args.memory_budget)
 
     fault_ctx, fault_plan = _fault_plan_context(args)
     with trace_mod.use_tracer(tracer), fault_ctx:
@@ -506,6 +573,7 @@ def _perf_add_bench_flags(p: argparse.ArgumentParser) -> None:
                    help="jacc back end for the timed panel "
                         "(serial|threads|vectorized|multiprocess)")
     _add_shard_flags(p)
+    _add_oocore_flags(p)
     p.add_argument("--name", default=None,
                    help="trajectory workload name "
                         "(default <workload>_smoke)")
@@ -536,6 +604,7 @@ def _perf_parser() -> argparse.ArgumentParser:
     rep.add_argument("--backend", default=None,
                      help="jacc back end for --impl core")
     _add_shard_flags(rep)
+    _add_oocore_flags(rep)
 
     roof = sub.add_parser("roofline", help="write roofline-model CSV")
     roof.add_argument("--trace", nargs="+", metavar="JSONL", default=None,
@@ -599,7 +668,8 @@ def _perf_models(args) -> List[tuple]:
         return out
 
     make_spec = benzil_corelli if args.workload == "benzil" else bixbyite_topaz
-    spec = make_spec(scale=args.scale, n_files=args.files)
+    spec = make_spec(scale=args.scale, n_files=args.files,
+                     chunk_events=getattr(args, "chunk_events", None))
     print(spec.describe())
     data = build_workload(spec)
     impls = (("core", "cpp", "minivates") if args.impl == "all"
@@ -612,7 +682,9 @@ def _perf_models(args) -> List[tuple]:
                       backend=args.backend if impl == "core" else None,
                       shards=(getattr(args, "shards", None)
                               if impl == "core" else None),
-                      shard_workers=getattr(args, "shard_workers", None))
+                      shard_workers=getattr(args, "shard_workers", None),
+                      memory_budget=(getattr(args, "memory_budget", None)
+                                     if impl == "core" else None))
         out.append((impl, PerfModel.from_records(
             tracer.records,
             counters=tracer.counters,
@@ -629,19 +701,25 @@ def _perf_bench_setup(args):
         default_bench_path,
     )
 
+    if args.memory_budget is not None and args.chunk_events is None:
+        raise SystemExit("--memory-budget requires --chunk-events run files")
     make_spec = benzil_corelli if args.workload == "benzil" else bixbyite_topaz
-    spec = make_spec(scale=args.scale, n_files=args.files)
+    spec = make_spec(scale=args.scale, n_files=args.files,
+                     chunk_events=args.chunk_events)
     print(spec.describe())
     data = build_workload(spec)
     name = args.name or f"{args.workload}_smoke"
     path = args.bench_file or default_bench_path(name, args.bench_dir)
     recorder = BenchRecorder(path, name)
     shard_note = f" shards={args.shards}" if args.shards else ""
+    if args.memory_budget:
+        shard_note += f" budget={args.memory_budget}B"
     print(f"timing {args.repeats} repeats of the {args.backend} panel"
           f"{shard_note} ...")
     samples = collect_panel_samples(
         data, repeats=args.repeats, backend=args.backend,
         shards=args.shards, shard_workers=args.shard_workers,
+        memory_budget=args.memory_budget,
     )
     config = {
         "scale": getattr(spec, "scale", None),
@@ -649,6 +727,8 @@ def _perf_bench_setup(args):
         "backend": args.backend,
         "shards": args.shards,
         "shard_workers": args.shard_workers,
+        "chunk_events": args.chunk_events,
+        "memory_budget": args.memory_budget,
     }
     return recorder, samples, config
 

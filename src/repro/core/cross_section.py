@@ -84,11 +84,32 @@ class CrossSectionResult:
 
 
 def _n_events(ws: MDEventWorkspace) -> int:
-    """Raw event count of one run's workspace (monitor accounting)."""
+    """Raw event count of one run's workspace (monitor accounting).
+
+    Prefers the ``n_events`` surface shared by :class:`EventTable` and
+    the out-of-core :class:`~repro.nexus.tiles.LazyEventTable` — the
+    ``np.asarray`` fallback would *materialize* a lazy table.
+    """
+    n = getattr(ws.events, "n_events", None)
+    if n is not None:
+        return int(n)
     try:
         return int(ws.events.data.shape[0])
     except AttributeError:  # pragma: no cover - bare-array workspaces
         return int(np.asarray(ws.events).shape[0])
+
+
+def _is_lazy(events: Any) -> bool:
+    """Out-of-core event table? (duck-typed on the window/chunk surface
+    to avoid importing the nexus tile layer at module import time)."""
+    return hasattr(events, "window") and hasattr(events, "chunk_bounds")
+
+
+#: degenerate fan-out for out-of-core runs reduced without ``--shards``:
+#: the record/replay machinery still cuts the run into budget-capped,
+#: chunk-aligned windows (bit-identical for every cut), it just does so
+#: in-process with no pool
+_OOC_FALLBACK = ShardConfig(n_shards=1, workers=1)
 
 
 def _rank_block(
@@ -292,12 +313,12 @@ def compute_cross_section(
                 with timings.stage("BinMD"):
                     if binmd_impl is not None:
                         binmd_impl(binmd_hist, ws.events, event_transforms)
-                    elif shards is not None:
+                    elif shards is not None or _is_lazy(ws.events):
                         sharded_binmd(
                             binmd_hist,
                             ws.events,
                             event_transforms,
-                            shards=shards,
+                            shards=shards if shards is not None else _OOC_FALLBACK,
                             run=i,
                             on_shard=_shard_beat(monitor, comm, i, "BinMD"),
                         )
@@ -479,10 +500,11 @@ def _compute_cross_section_recovering(
                 _faults.fault_point("kernel.binmd", run=i)
                 if binmd_impl is not None:
                     binmd_impl(scratch_b, ws.events, event_transforms)
-                elif shards is not None:
+                elif shards is not None or _is_lazy(ws.events):
                     sharded_binmd(
                         scratch_b, ws.events, event_transforms,
-                        shards=shards, run=i,
+                        shards=shards if shards is not None else _OOC_FALLBACK,
+                        run=i,
                         on_shard=_shard_beat(monitor, comm, i, "BinMD"),
                     )
                 else:

@@ -42,9 +42,15 @@ from repro.util.validation import ValidationError, as_matrix3, require
 
 @dataclass
 class MDEventWorkspace:
-    """One run's MDEvents plus the metadata the reduction needs."""
+    """One run's MDEvents plus the metadata the reduction needs.
 
-    events: EventTable
+    ``events`` is either an in-memory :class:`EventTable` or — for
+    out-of-core runs loaded with ``load_md(memory_budget=...)`` — a
+    :class:`repro.nexus.tiles.LazyEventTable` exposing the same
+    ``n_events`` surface plus bounded ``window(a, b)`` reads.
+    """
+
+    events: "EventTable"
     run_number: int
     goniometer: np.ndarray
     proton_charge: float
@@ -116,22 +122,50 @@ def save_md(
     ws: MDEventWorkspace,
     *,
     compression: Optional[str] = None,
+    chunk_events: Optional[int] = None,
+    codec: str = "zlib",
 ) -> None:
     """SaveMD: persist the workspace for the proxies to load.
 
-    The event table is stored transposed (8 x n, column-major relative
-    to the kernel layout) to reproduce the paper's measured load-time
-    transpose.  ``compression="zlib"`` deflates the event payload (the
-    paper's raw datasets are 8.5-206 GB; the trade is load CPU vs I/O).
+    Two layouts:
+
+    * legacy (default): the event table is stored transposed (8 x n,
+      column-major relative to the kernel layout) to reproduce the
+      paper's measured load-time transpose; ``compression="zlib"``
+      deflates the whole payload in one blob.
+    * chunked (``chunk_events=N``): the table is stored **row-major**
+      ``(n, 8)`` as independently encoded, CRC-checked chunks of ``N``
+      events each (``codec`` is one of
+      :data:`repro.nexus.h5lite.CHUNK_CODECS`), which is what lets
+      :func:`load_md` hand the reduction a bounded-memory
+      :class:`~repro.nexus.tiles.LazyEventTable` instead of
+      materializing the run (the paper's raw datasets are 8.5-206 GB).
     """
+    if chunk_events is not None and compression is not None:
+        raise ValidationError(
+            "chunk_events and whole-payload compression are exclusive"
+        )
     with File(path, "w") as f:
         grp = f.create_group("MDEventWorkspace")
         grp.attrs["NX_class"] = "NXentry"
-        grp.create_dataset(
-            "event_data",
-            data=np.ascontiguousarray(ws.events.data.T),
-            compression=compression,
-        )
+        if chunk_events is not None:
+            table = (
+                ws.events.data
+                if isinstance(ws.events, EventTable)
+                else np.asarray(ws.events)
+            )
+            grp.create_dataset(
+                "event_table",
+                data=table,
+                chunk_rows=int(chunk_events),
+                codec=codec,
+            )
+        else:
+            grp.create_dataset(
+                "event_data",
+                data=np.ascontiguousarray(ws.events.data.T),
+                compression=compression,
+            )
         grp.create_dataset("run_number", data=np.array(ws.run_number, dtype=np.int64))
         grp.create_dataset("goniometer", data=ws.goniometer)
         grp.create_dataset(
@@ -144,23 +178,47 @@ def save_md(
             grp.create_dataset("ub_matrix", data=ws.ub_matrix)
 
 
-def load_md(path: Union[str, os.PathLike]) -> MDEventWorkspace:
-    """LoadMD / UpdateEvents: read the 8-column table and transpose it
-    into the row-major kernel layout."""
+def load_md(
+    path: Union[str, os.PathLike],
+    *,
+    memory_budget: Optional[int] = None,
+) -> MDEventWorkspace:
+    """LoadMD / UpdateEvents: read the 8-column table.
+
+    Legacy files store the table transposed; it is read whole and
+    transposed into the row-major kernel layout (the paper's measured
+    transpose).  Chunked files (``save_md(chunk_events=...)``) store it
+    row-major: with ``memory_budget`` (bytes) the returned workspace
+    carries a :class:`~repro.nexus.tiles.LazyEventTable` — metadata is
+    read now, event chunks are decoded on demand under the budget's LRU
+    tile cache and the table is **never** materialized; without a
+    budget the chunked table is materialized eagerly (no transpose
+    needed).
+    """
+    from repro.nexus.tiles import LazyEventTable
+
     _faults.fault_point("nexus.read_events", path=os.fspath(path))
     with File(path, "r") as f:
         grp = f["MDEventWorkspace"]
-        raw = grp.read("event_data")
-        if raw.ndim != 2 or raw.shape[0] != N_EVENT_COLUMNS:
-            raise ValidationError(
-                f"{os.fspath(path)!r}: event_data must be ({N_EVENT_COLUMNS}, n), "
-                f"got {raw.shape}"
-            )
-        table = np.ascontiguousarray(raw.T)  # the measured transpose
+        if "event_table" in grp:
+            if memory_budget is not None:
+                events: "EventTable | LazyEventTable" = LazyEventTable(
+                    path, memory_budget=memory_budget
+                )
+            else:
+                events = EventTable(grp.read("event_table"))
+        else:
+            raw = grp.read("event_data")
+            if raw.ndim != 2 or raw.shape[0] != N_EVENT_COLUMNS:
+                raise ValidationError(
+                    f"{os.fspath(path)!r}: event_data must be "
+                    f"({N_EVENT_COLUMNS}, n), got {raw.shape}"
+                )
+            events = EventTable(np.ascontiguousarray(raw.T))  # measured transpose
         band = grp.read("momentum_band")
         ub = grp.read("ub_matrix") if "ub_matrix" in grp else None
         return MDEventWorkspace(
-            events=EventTable(table),
+            events=events,
             run_number=int(grp.read("run_number")[()]),
             goniometer=grp.read("goniometer"),
             proton_charge=float(grp.read("proton_charge")[()]),

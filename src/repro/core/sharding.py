@@ -66,9 +66,14 @@ from repro.jacc.multiproc import (
     replay_deposits,
 )
 from repro.jacc.workers import GLOBAL_POOL, PROCS_ENV, parse_worker_count, resolve_workers
-from repro.mpi.decomposition import shard_ranges, weighted_shard_ranges
+from repro.mpi.decomposition import (
+    chunk_aligned_event_ranges,
+    shard_ranges,
+    weighted_shard_ranges,
+)
 from repro.nexus.corrections import FluxSpectrum
 from repro.nexus.events import EventTable
+from repro.nexus.tiles import LazyEventTable, read_window
 from repro.util import faults as _faults
 from repro.util import trace as _trace
 from repro.util.validation import require
@@ -147,6 +152,15 @@ def _shard_body(task: Dict[str, Any], ctx: Captures,
     element = task["element"]
     n_outer = int(task["n_outer"])
     a, b = task["range"]
+    window = task.get("window")
+    if window is not None:
+        # out-of-core shard: the events capture is this shard's bounded
+        # window, iterated with *local* indices.  The element body reads
+        # ``ctx.events[j, COL_*]`` only, so local (0, b-a) iteration over
+        # the window produces deposit logs bit-identical to global
+        # (a, b) iteration over the full table.
+        ctx = Captures(**{**vars(ctx), "events": window})
+        a, b = 0, int(window.shape[0])
     logs: List[Log] = []
     for n in range(n_outer):
         for j in range(a, b):
@@ -157,6 +171,11 @@ def _shard_body(task: Dict[str, Any], ctx: Captures,
 
 def _shard_worker(task: Dict[str, Any]) -> List[Log]:
     """Run one shard's (ops × index-range) element loop in a worker."""
+    ref = task.get("window_ref")
+    if ref is not None:
+        # shard-parallel I/O: each worker decodes only its own chunks,
+        # straight from the file — the table never exists in any process
+        task = dict(task, window=read_window(*ref))
     ctx, opened, hists = _open_captures(task["captures"])
     try:
         return _shard_body(task, ctx, hists["hist"])
@@ -180,16 +199,25 @@ def _run_shards(
     run: Optional[int] = None,
     on_shard: Optional[Callable[[int, int], None]] = None,
     weights: Optional[np.ndarray] = None,
+    ranges: Optional[List[Tuple[int, int]]] = None,
+    lazy_events: Optional[LazyEventTable] = None,
 ) -> None:
     """Execute ``element`` over ``(n_outer, n_inner)`` as contiguous
     inner-axis shards, then replay the op-segmented deposit logs in
     serial order into ``captures.hist``.  ``weights`` (one per inner
-    item) switches the cut to work-balanced boundaries."""
+    item) switches the cut to work-balanced boundaries; explicit
+    ``ranges`` (chunk-aligned, possibly more than ``shards.n_shards``)
+    override both.  With ``lazy_events`` the captures carry no event
+    table: each shard materializes only its own bounded window — via
+    the parent's budgeted tile cache in-process, or by decoding its own
+    chunks from the file in pool workers."""
     hist = captures.hist
-    if weights is not None:
-        ranges = weighted_shard_ranges(weights, shards.n_shards)
-    else:
-        ranges = shard_ranges(n_inner, shards.n_shards)
+    if ranges is None:
+        if weights is not None:
+            ranges = weighted_shard_ranges(weights, shards.n_shards)
+        else:
+            ranges = shard_ranges(n_inner, shards.n_shards)
+    n_ranges = len(ranges)
     workers = shards.effective_workers
     tracer = _trace.active_tracer()
     track_errors = getattr(hist, "flat_error_sq", None) is not None
@@ -199,7 +227,7 @@ def _run_shards(
         f"{op_name}.shards",
         kind="shard_fanout",
         op=op_name,
-        n_shards=int(shards.n_shards),
+        n_shards=int(n_ranges),
         workers=int(workers),
         n_outer=int(n_outer),
         n_inner=int(n_inner),
@@ -216,12 +244,13 @@ def _run_shards(
                     lanes=int(n_outer * (b - a)),
                 ):
                     _faults.fault_point(fault_site, shard=s, run=run)
-                    per_shard.append(_shard_body(
-                        dict(element=element, n_outer=n_outer, range=(a, b)),
-                        inline_ctx, rec,
-                    ))
+                    task = dict(element=element, n_outer=n_outer, range=(a, b))
+                    if lazy_events is not None:
+                        # bounded window through the run's LRU tile cache
+                        task["window"] = lazy_events.window(a, b)
+                    per_shard.append(_shard_body(task, inline_ctx, rec))
                 if on_shard is not None:
-                    on_shard(s, shards.n_shards)
+                    on_shard(s, n_ranges)
         else:
             transport = _Transport(captures)
             try:
@@ -231,6 +260,13 @@ def _run_shards(
                         n_outer=n_outer,
                         range=(a, b),
                         captures=transport.payload,
+                        **(
+                            {"window_ref": (
+                                lazy_events.path, lazy_events.dataset_path, a, b
+                            )}
+                            if lazy_events is not None
+                            else {}
+                        ),
                     )
                     for a, b in ranges
                 ]
@@ -245,7 +281,7 @@ def _run_shards(
                             _faults.fault_point(fault_site, shard=s, run=run)
                             per_shard.append(future.result())
                         if on_shard is not None:
-                            on_shard(s, shards.n_shards)
+                            on_shard(s, n_ranges)
                 except BrokenProcessPool as exc:
                     GLOBAL_POOL.dispose()
                     raise ShardExecutionError(
@@ -392,7 +428,7 @@ def sharded_mdnorm(
 
 def sharded_binmd(
     hist: Hist3,
-    events: EventTable | np.ndarray,
+    events: EventTable | LazyEventTable | np.ndarray,
     transforms: np.ndarray,
     *,
     shards: ShardConfig,
@@ -406,11 +442,38 @@ def sharded_binmd(
     work), and the op-segmented replay makes the result bit-identical
     to ``bin_events(..., backend="serial")`` for every shard/worker
     count.
+
+    With a :class:`~repro.nexus.tiles.LazyEventTable` the run executes
+    **out-of-core**: shard boundaries are fed from the file's chunk
+    metadata (snapped to chunk boundaries, balanced by stored chunk
+    bytes, capped so no window decodes more rows than the table's
+    memory budget), and each shard materializes only its own window —
+    via the run's tile cache in-process, or by decoding its own chunks
+    from the file in pool workers.  Because the element body iterates a
+    window with local indices, the deposit logs — and therefore the
+    replayed histogram — stay bit-identical to the in-memory path for
+    every chunk size, codec, budget, shard count and worker count.
     """
-    data = events.data if isinstance(events, EventTable) else np.asarray(events)
+    lazy = isinstance(events, LazyEventTable)
     transforms = np.asarray(transforms, dtype=np.float64)
     require(transforms.ndim == 3 and transforms.shape[1:] == (3, 3),
             "transforms must be (n_ops, 3, 3)")
+    if lazy:
+        data = None
+        n_events = events.n_events
+        max_rows = None
+        if events.memory_budget is not None:
+            max_rows = max(1, int(events.memory_budget) // events.row_nbytes)
+        ranges = chunk_aligned_event_ranges(
+            events.chunk_bounds(),
+            shards.n_shards,
+            chunk_weights=[float(b) for b in events.chunk_stored_nbytes()],
+            max_rows=max_rows,
+        )
+    else:
+        data = events.data if isinstance(events, EventTable) else np.asarray(events)
+        n_events = int(data.shape[0])
+        ranges = None
 
     tracer = _trace.active_tracer()
     with tracer.span(
@@ -418,23 +481,29 @@ def sharded_binmd(
         kind="op",
         backend="sharded",
         n_ops=int(transforms.shape[0]),
-        n_events=int(data.shape[0]),
-        n_shards=int(shards.n_shards),
+        n_events=int(n_events),
+        n_shards=int(len(ranges) if ranges is not None else shards.n_shards),
+        out_of_core=bool(lazy),
     ) as op_span:
         if tracer.profile:
             from repro.util.perf import binmd_work
 
             op_span.set(perf=binmd_work(
-                int(transforms.shape[0]), int(data.shape[0]),
+                int(transforms.shape[0]), int(n_events),
                 track_errors=hist.flat_error_sq is not None,
                 cache_hit=False,
             ))
-        captures = Captures(hist=hist, events=data, transforms=transforms)
+        if lazy:
+            captures = Captures(hist=hist, transforms=transforms)
+        else:
+            captures = Captures(hist=hist, events=data, transforms=transforms)
         _run_shards(
             "binmd", captures, _bin_events_element,
-            int(transforms.shape[0]), int(data.shape[0]),
+            int(transforms.shape[0]), int(n_events),
             shards, run=run, on_shard=on_shard,
+            ranges=ranges,
+            lazy_events=events if lazy else None,
         )
         tracer.count("binmd.events",
-                      int(transforms.shape[0]) * int(data.shape[0]))
+                      int(transforms.shape[0]) * int(n_events))
     return hist

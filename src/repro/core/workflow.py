@@ -64,6 +64,10 @@ class WorkflowConfig:
     #: optional per-run event weights (run manifest) for weight-balanced
     #: rank blocks — the outer level of the 2-D decomposition
     run_weights: Optional[Sequence[float]] = None
+    #: out-of-core byte budget for each run's decoded-chunk tile cache
+    #: (``--memory-budget``).  Requires chunked (``save_md(chunk_events=
+    #: ...)``) run files; None = load each run's table into memory
+    memory_budget: Optional[int] = None
 
     def __post_init__(self) -> None:
         require(len(self.md_paths) >= 1, "need at least one run file")
@@ -105,7 +109,9 @@ class ReductionWorkflow:
             backend=cfg.backend or "default",
         ):
             return compute_cross_section(
-                load_run=lambda i: load_md(paths[i]),
+                load_run=lambda i: load_md(
+                    paths[i], memory_budget=cfg.memory_budget
+                ),
                 n_runs=len(paths),
                 grid=cfg.grid,
                 point_group=cfg.point_group,

@@ -33,6 +33,7 @@ from repro.mpi.runner import run_world
 from repro.mpi.decomposition import (
     RunShard,
     balanced_rank_runs,
+    chunk_aligned_event_ranges,
     plan_campaign,
     rank_range,
     shard_ranges,
@@ -55,6 +56,7 @@ __all__ = [
     "shard_ranges",
     "weighted_shard_ranges",
     "balanced_rank_runs",
+    "chunk_aligned_event_ranges",
     "plan_campaign",
     "RunShard",
 ]

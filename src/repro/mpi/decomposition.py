@@ -102,6 +102,78 @@ def weighted_shard_ranges(
     return ranges
 
 
+def chunk_aligned_event_ranges(
+    chunk_bounds: Sequence[int],
+    n_shards: int,
+    *,
+    chunk_weights: Optional[Sequence[float]] = None,
+    max_rows: Optional[int] = None,
+) -> List[Tuple[int, int]]:
+    """Contiguous event ranges whose boundaries land on chunk boundaries.
+
+    The out-of-core planner (ISSUE 6): shards of a chunked event table
+    must start and end on chunk boundaries so every chunk is decoded by
+    exactly one shard (no chunk is decompressed twice, and the I/O
+    parallelizes with the shards).  ``chunk_bounds`` is the ascending
+    row-boundary list ``[0, r1, ..., n]`` straight from
+    :meth:`repro.nexus.h5lite.Dataset.chunk_bounds`.
+
+    The *unit of planning is the chunk*: chunks are cut into
+    ``n_shards`` contiguous groups by :func:`weighted_shard_ranges`
+    over ``chunk_weights`` (default: decoded rows per chunk; pass the
+    stored byte sizes to balance skewed compression ratios).  When
+    ``max_rows`` is given, any group whose decoded window would exceed
+    it is split further — the memory-budget cap — so the returned list
+    may be *longer* than ``n_shards``.  A single chunk larger than
+    ``max_rows`` stays whole (one chunk is the irreducible floor of a
+    chunk-aligned reader).
+
+    Always an exact partition of ``[0, n)``: contiguous, disjoint,
+    ordered, deterministic.
+    """
+    bounds = [int(b) for b in chunk_bounds]
+    if not bounds or bounds[0] != 0:
+        raise MPIError("chunk_bounds must start at 0")
+    if any(b1 < b0 for b0, b1 in zip(bounds, bounds[1:])):
+        raise MPIError("chunk_bounds must be non-decreasing")
+    if n_shards < 1:
+        raise MPIError(f"n_shards must be >= 1, got {n_shards}")
+    if max_rows is not None and max_rows < 1:
+        raise MPIError(f"max_rows must be >= 1, got {max_rows}")
+    n_chunks = len(bounds) - 1
+    rows = [bounds[i + 1] - bounds[i] for i in range(n_chunks)]
+    if chunk_weights is None:
+        weights: Sequence[float] = [float(r) for r in rows]
+    else:
+        if len(chunk_weights) != n_chunks:
+            raise MPIError(
+                f"chunk_weights has {len(chunk_weights)} entries for "
+                f"{n_chunks} chunks"
+            )
+        weights = chunk_weights
+    groups = weighted_shard_ranges(weights, n_shards)
+    ranges: List[Tuple[int, int]] = []
+    for c0, c1 in groups:
+        if c0 == c1:
+            ranges.append((bounds[c0], bounds[c0]))
+            continue
+        if max_rows is None:
+            ranges.append((bounds[c0], bounds[c1]))
+            continue
+        # budget cap: greedily regroup this shard's chunks so no window
+        # decodes more than max_rows rows (single oversized chunks pass)
+        start = c0
+        acc = 0
+        for c in range(c0, c1):
+            if c > start and acc + rows[c] > max_rows:
+                ranges.append((bounds[start], bounds[c]))
+                start = c
+                acc = 0
+            acc += rows[c]
+        ranges.append((bounds[start], bounds[c1]))
+    return ranges
+
+
 def balanced_rank_runs(weights: Sequence[float], size: int) -> List[Tuple[int, int]]:
     """Contiguous run ranges per rank, balanced by per-run event weight.
 

@@ -13,22 +13,41 @@ model the reduction needs, from scratch:
 * extendable 1-D/2-D datasets during write (event streams append in
   chunks, concatenated on close);
 * a CRC32 checksum per dataset, verified on first read, so corrupted
-  files fail loudly instead of producing silent garbage.
+  files fail loudly instead of producing silent garbage;
+* **format v2**: large datasets may be stored as independently
+  compressed, CRC-checked row **chunks** with a per-chunk index in the
+  JSON header — ``Dataset[a:b]`` then decodes only the chunks that
+  overlap the selection (hyperslab-style region reads), which is what
+  lets the reduction stream bounded event windows instead of
+  materializing whole tables (DESIGN.md section 6g).
 
 On-disk layout::
 
     +------------------+----------------------------------------------+
     | 8 bytes          | magic  b"H5LITE01"                           |
-    | 4 bytes  u32 LE  | format version (currently 1)                 |
+    | 4 bytes  u32 LE  | format version (1 or 2)                      |
     | 8 bytes  u64 LE  | byte offset of the JSON header               |
-    | ...              | raw dataset payloads, 8-byte aligned         |
-    | header           | UTF-8 JSON tree (groups/datasets/attrs)      |
+    | ...              | dataset payloads, 8-byte aligned             |
+    |                  |   contiguous: one raw (or deflated) blob     |
+    |                  |   chunked (v2): N independent encoded chunks |
+    | header           | UTF-8 JSON tree (groups/datasets/attrs,      |
+    |                  | per-chunk [offset, stored, crc, rows] index) |
     | 8 bytes  u64 LE  | length of the JSON header (trailer)          |
     +------------------+----------------------------------------------+
 
 The header lives at the *end* so payloads stream to disk as they are
 written, like HDF5's contiguous layout; the trailer length makes the
-header locatable from EOF.
+header locatable from EOF.  v1 files (everything contiguous) read back
+bit-for-bit through the same code path; a v2 writer produces v1 files
+on request (``File(path, "w", version=1)``) for back-compat fixtures.
+
+Chunk codecs (per chunk, independent):
+
+* ``"none"`` — raw bytes (CRC only);
+* ``"zlib"`` — DEFLATE;
+* ``"shuffle-zlib"`` — byte-shuffle transpose (all byte-0s, then all
+  byte-1s, ...) before DEFLATE, the classic HDF5/LZ4 trick that groups
+  the mostly-constant high bytes of float64 columns for better ratios.
 """
 
 from __future__ import annotations
@@ -47,8 +66,13 @@ from repro.util import trace as _trace
 from repro.util.validation import ReproError
 
 MAGIC = b"H5LITE01"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+#: container versions the reader accepts (v1 files read bit-for-bit)
+SUPPORTED_VERSIONS = (1, 2)
 _ALIGN = 8
+
+#: per-chunk codec names accepted by ``create_dataset(codec=...)``
+CHUNK_CODECS = ("none", "zlib", "shuffle-zlib")
 
 AttrValue = Union[int, float, str, bool, np.ndarray, list]
 
@@ -69,6 +93,59 @@ class CorruptFileError(H5LiteError):
 
 class TruncatedFileError(CorruptFileError):
     """A read came up short (partial write or truncated transfer)."""
+
+
+# ---------------------------------------------------------------------------
+# chunk codecs
+# ---------------------------------------------------------------------------
+
+def _shuffle_bytes(raw: bytes, itemsize: int) -> bytes:
+    """Byte-shuffle: regroup element bytes by significance position."""
+    if itemsize <= 1 or len(raw) % itemsize:
+        return raw
+    return np.frombuffer(raw, dtype=np.uint8).reshape(-1, itemsize).T.tobytes()
+
+
+def _unshuffle_bytes(raw: bytes, itemsize: int) -> bytes:
+    if itemsize <= 1 or len(raw) % itemsize:
+        return raw
+    return np.frombuffer(raw, dtype=np.uint8).reshape(itemsize, -1).T.tobytes()
+
+
+def encode_chunk(raw: bytes, codec: str, itemsize: int) -> bytes:
+    """Encode one chunk payload with ``codec`` (see :data:`CHUNK_CODECS`)."""
+    if codec == "none":
+        return raw
+    if codec == "zlib":
+        return zlib.compress(raw)
+    if codec == "shuffle-zlib":
+        return zlib.compress(_shuffle_bytes(raw, itemsize))
+    raise H5LiteError(f"unsupported chunk codec {codec!r}")
+
+
+def decode_chunk(
+    stored: bytes, codec: str, itemsize: int, nbytes_out: int, name: str
+) -> bytes:
+    """Decode one chunk payload, verifying the decoded size."""
+    if codec == "none":
+        raw = stored
+    elif codec in ("zlib", "shuffle-zlib"):
+        try:
+            raw = zlib.decompress(stored)
+        except zlib.error as exc:
+            raise CorruptFileError(
+                f"corrupt compressed chunk in dataset {name!r}: {exc}"
+            ) from exc
+        if codec == "shuffle-zlib":
+            raw = _unshuffle_bytes(raw, itemsize)
+    else:
+        raise CorruptFileError(f"dataset {name!r} uses unknown codec {codec!r}")
+    if len(raw) != nbytes_out:
+        raise CorruptFileError(
+            f"decoded chunk size mismatch in dataset {name!r}: "
+            f"wanted {nbytes_out} bytes, got {len(raw)}"
+        )
+    return raw
 
 
 def _encode_attr(value: AttrValue) -> Any:
@@ -153,13 +230,14 @@ class _Node:
 
 
 class Dataset(_Node):
-    """A typed n-dimensional array stored contiguously in the file.
+    """A typed n-dimensional array stored contiguously or chunked.
 
     While the file is open for writing, data lives in staged in-memory
-    chunks (supporting ``append``).  After close/reopen, ``Dataset``
-    reads lazily from disk; ``[...]`` with a full or partial selection
-    materializes only what is requested along the first axis when the
-    selection is a slice or index on axis 0.
+    blocks (supporting ``append``).  After close/reopen, ``Dataset``
+    reads lazily from disk; ``[...]`` with a slice on axis 0
+    materializes only the overlapping rows — for chunked datasets by
+    decoding exactly the overlapping chunks, for contiguous ones via
+    the raw row-range fast path (when integrity was already verified).
     """
 
     def __init__(
@@ -169,6 +247,8 @@ class Dataset(_Node):
         dtype: np.dtype,
         shape: Tuple[int, ...],
         compression: Optional[str] = None,
+        chunk_rows: Optional[int] = None,
+        codec: Optional[str] = None,
     ):
         super().__init__(file, name)
         self.dtype = np.dtype(dtype)
@@ -176,13 +256,34 @@ class Dataset(_Node):
         if compression not in (None, "zlib"):
             raise H5LiteError(f"unsupported compression {compression!r}")
         self.compression = compression
+        self.chunk_rows = None if chunk_rows is None else int(chunk_rows)
+        self.codec = codec
+        if self.chunk_rows is not None:
+            if self.chunk_rows < 1:
+                raise H5LiteError(f"chunk_rows must be >= 1, got {chunk_rows}")
+            if len(self.shape) < 1:
+                raise H5LiteError("scalar datasets cannot be chunked")
+            if compression is not None:
+                raise H5LiteError(
+                    "chunk_rows and whole-payload compression are exclusive; "
+                    "use codec= for per-chunk compression"
+                )
+            self.codec = codec or "none"
+            if self.codec not in CHUNK_CODECS:
+                raise H5LiteError(f"unsupported chunk codec {codec!r}")
+        elif codec is not None:
+            raise H5LiteError("codec= requires chunk_rows=")
         # write-side staging
         self._chunks: List[np.ndarray] = []
-        # read-side placement
+        # read-side placement (contiguous layout)
         self._offset: Optional[int] = None
         self._stored_nbytes: Optional[int] = None
         self._crc: Optional[int] = None
         self._crc_checked = False
+        # read-side placement (chunked layout): per-chunk
+        # (offset, stored_nbytes, crc, rows) plus cumulative row bounds
+        self._chunk_index: Optional[List[Tuple[int, int, int, int]]] = None
+        self._chunk_bounds: Optional[List[int]] = None
 
     # -- shape helpers -------------------------------------------------
     @property
@@ -197,10 +298,49 @@ class Dataset(_Node):
     def ndim(self) -> int:
         return len(self.shape)
 
+    @property
+    def row_nbytes(self) -> int:
+        """Bytes per axis-0 row (itemsize for 1-D datasets)."""
+        items = int(np.prod(self.shape[1:], dtype=np.int64)) if self.ndim > 1 else 1
+        return items * self.dtype.itemsize
+
     def __len__(self) -> int:
         if not self.shape:
             raise TypeError("len() of a scalar dataset")
         return self.shape[0]
+
+    # -- chunk metadata (read side) ------------------------------------
+    @property
+    def is_chunked(self) -> bool:
+        return self._chunk_index is not None or (
+            self.chunk_rows is not None and self._offset is None
+        )
+
+    @property
+    def n_chunks(self) -> int:
+        if self._chunk_index is None:
+            raise H5LiteError(f"dataset {self.name!r} is not stored chunked")
+        return len(self._chunk_index)
+
+    def chunk_bounds(self) -> List[int]:
+        """Ascending row boundaries ``[0, r1, ..., n_rows]`` of the
+        stored chunks — the alignment targets the shard planner snaps
+        to (chunk-aligned shards decode each chunk exactly once)."""
+        if self._chunk_bounds is None:
+            raise H5LiteError(f"dataset {self.name!r} is not stored chunked")
+        return list(self._chunk_bounds)
+
+    def chunk_ranges(self) -> List[Tuple[int, int]]:
+        """Per-chunk row ranges ``[(start, stop), ...]``."""
+        bounds = self.chunk_bounds()
+        return list(zip(bounds[:-1], bounds[1:]))
+
+    def chunk_stored_nbytes(self) -> List[int]:
+        """On-disk (encoded) size of each chunk — the I/O weights the
+        planner balances when compression ratios are skewed."""
+        if self._chunk_index is None:
+            raise H5LiteError(f"dataset {self.name!r} is not stored chunked")
+        return [entry[1] for entry in self._chunk_index]
 
     # -- write side ----------------------------------------------------
     def append(self, data: np.ndarray) -> None:
@@ -230,7 +370,103 @@ class Dataset(_Node):
         return np.concatenate(self._chunks, axis=0)
 
     # -- read side -----------------------------------------------------
+    def read_chunk(self, ci: int) -> np.ndarray:
+        """Decode chunk ``ci``: seek, CRC-verify, decompress, reshape.
+
+        Every decode verifies the chunk's own CRC (unlike the contiguous
+        layout, partial reads stay integrity-checked), raises
+        :class:`CorruptFileError` on any mismatch, and — when tracing —
+        emits an ``h5lite.decode_chunk`` span with the codec cost model
+        attached under profiling.
+        """
+        if self._chunk_index is None:
+            raise H5LiteError(f"dataset {self.name!r} is not stored chunked")
+        if not 0 <= ci < len(self._chunk_index):
+            raise H5LiteError(
+                f"chunk {ci} out of range for dataset {self.name!r} "
+                f"({len(self._chunk_index)} chunks)"
+            )
+        offset, stored, crc, rows = self._chunk_index[ci]
+        raw_nbytes = rows * self.row_nbytes
+        codec = self.codec or "none"
+        tracer = _trace.active_tracer()
+        with tracer.span(
+            "h5lite.decode_chunk",
+            kind="io",
+            dataset=self.name,
+            chunk=int(ci),
+            codec=codec,
+            backend=codec,
+            rows=int(rows),
+            bytes_stored=int(stored),
+        ) as sp:
+            _faults.fault_point("h5lite.read_chunk", dataset=self.name, chunk=ci)
+            fh = self._file._fh
+            if fh is None:
+                raise H5LiteError(f"file {self._file.path!r} is closed")
+            fh.seek(offset)
+            enc = fh.read(stored)
+            tracer.count("h5lite.bytes_read", len(enc))
+            if len(enc) != stored:
+                raise TruncatedFileError(
+                    f"truncated chunk {ci} of dataset {self.name!r}: "
+                    f"wanted {stored} bytes, got {len(enc)}"
+                )
+            if zlib.crc32(enc) != crc:
+                raise CorruptFileError(
+                    f"checksum mismatch in chunk {ci} of dataset {self.name!r}"
+                )
+            raw = decode_chunk(enc, codec, self.dtype.itemsize, raw_nbytes,
+                               self.name)
+            tracer.count("h5lite.chunks_decoded", 1)
+            if tracer.profile:
+                from repro.util.perf import chunk_decode_work
+
+                sp.set(perf=chunk_decode_work(codec, stored, raw_nbytes))
+        return np.frombuffer(raw, dtype=self.dtype).reshape(
+            (rows,) + self.shape[1:]
+        )
+
+    def read_rows(self, start: int, stop: int) -> np.ndarray:
+        """Region selection: rows ``[start, stop)`` along axis 0.
+
+        For chunked datasets this decodes exactly the overlapping
+        chunks; for contiguous ones it uses the raw row-range fast path
+        when available and otherwise falls back to a full read.
+        """
+        if self.ndim < 1:
+            raise H5LiteError(f"dataset {self.name!r} is scalar")
+        n = self.shape[0]
+        start = max(0, min(int(start), n))
+        stop = max(start, min(int(stop), n))
+        if self._chunk_index is not None:
+            if start == stop:
+                return np.empty((0,) + self.shape[1:], dtype=self.dtype)
+            bounds = self._chunk_bounds
+            assert bounds is not None
+            parts: List[np.ndarray] = []
+            for ci, (c0, c1) in enumerate(zip(bounds[:-1], bounds[1:])):
+                if c1 <= start or c0 >= stop:
+                    continue
+                arr = self.read_chunk(ci)
+                parts.append(arr[max(start - c0, 0): min(stop, c1) - c0])
+            if len(parts) == 1:
+                return parts[0]
+            return np.concatenate(parts, axis=0)
+        if (
+            not self._chunks
+            and self._offset is not None
+            and self._crc_checked
+            and self.compression is None
+        ):
+            return self._read_rows(start, stop)
+        return self._read_all()[start:stop]
+
     def _read_all(self) -> np.ndarray:
+        if self._chunk_index is not None:
+            if not self._chunk_index:
+                return np.empty(self.shape, dtype=self.dtype)
+            return self.read_rows(0, self.shape[0]).reshape(self.shape)
         if self._chunks or self._offset is None:
             return self._staged().reshape(self.shape)
         _faults.fault_point("h5lite.read", dataset=self.name)
@@ -265,9 +501,8 @@ class Dataset(_Node):
         return np.frombuffer(raw, dtype=self.dtype).reshape(self.shape)
 
     def _read_rows(self, start: int, stop: int) -> np.ndarray:
-        """Read a contiguous row range [start, stop) along axis 0."""
-        row_items = int(np.prod(self.shape[1:], dtype=np.int64)) if self.ndim > 1 else 1
-        row_bytes = row_items * self.dtype.itemsize
+        """Read a contiguous raw row range [start, stop) along axis 0."""
+        row_bytes = self.row_nbytes
         fh = self._file._fh
         assert fh is not None and self._offset is not None
         fh.seek(self._offset + start * row_bytes)
@@ -279,31 +514,45 @@ class Dataset(_Node):
         return np.frombuffer(raw, dtype=self.dtype).reshape((n,) + self.shape[1:])
 
     def __getitem__(self, key: Any) -> Any:
-        # Fast path: row-range read without materializing the whole array,
-        # only when integrity was already verified (partial reads cannot
-        # check a whole-payload CRC).
+        # Region fast path: a step-1 slice on axis 0 touches only the
+        # overlapping chunks (chunked) or the raw row range (contiguous,
+        # only once integrity was verified — partial reads cannot check
+        # a whole-payload CRC; per-chunk CRCs have no such restriction).
         if (
             not self._chunks
-            and self._offset is not None
             and self.ndim >= 1
             and isinstance(key, slice)
-            and self._crc_checked
-            and self.compression is None  # compressed payloads read whole
+            and (
+                self._chunk_index is not None
+                or (
+                    self._offset is not None
+                    and self._crc_checked
+                    and self.compression is None
+                )
+            )
         ):
             start, stop, step = key.indices(self.shape[0])
             if step == 1:
-                return self._read_rows(start, stop)
+                return self.read_rows(start, stop)
         data = self._read_all()
         if isinstance(key, tuple) and key == ():
             return data[()] if self.ndim == 0 else data
         return data[key]
 
     def read(self) -> np.ndarray:
-        """Materialize the full dataset (verifying the checksum)."""
+        """Materialize the full dataset (verifying checksums)."""
         return self._read_all()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<h5lite Dataset {self.name!r} shape={self.shape} dtype={self.dtype}>"
+        layout = (
+            f" chunked[{len(self._chunk_index)}x{self.chunk_rows}:{self.codec}]"
+            if self._chunk_index is not None
+            else ""
+        )
+        return (
+            f"<h5lite Dataset {self.name!r} shape={self.shape} "
+            f"dtype={self.dtype}{layout}>"
+        )
 
 
 class Group(_Node):
@@ -336,14 +585,26 @@ class Group(_Node):
         dtype: Optional[Union[str, np.dtype]] = None,
         shape: Optional[Tuple[int, ...]] = None,
         compression: Optional[str] = None,
+        chunk_rows: Optional[int] = None,
+        codec: Optional[str] = None,
     ) -> Dataset:
         """Create a dataset from ``data``, or empty+extendable with
         ``dtype`` and a ``shape`` whose axis 0 may start at 0.
 
-        ``compression="zlib"`` stores the payload deflated (whole-
-        payload; partial row reads then materialize the full array).
+        ``compression="zlib"`` stores the payload deflated as one blob
+        (whole-payload; partial row reads then materialize the full
+        array).  ``chunk_rows=N`` (format v2) stores the payload as
+        independent row chunks, each encoded with ``codec`` (one of
+        :data:`CHUNK_CODECS`) and CRC-checked on decode, so row-range
+        reads touch only the overlapping chunks.
         """
         self._file._check_writable()
+        if chunk_rows is not None and self._file.version < 2:
+            raise H5LiteError(
+                "chunked datasets require format v2 "
+                f"(file {self._file.path!r} is being written as "
+                f"v{self._file.version})"
+            )
         parts = _split(path)
         if not parts:
             raise H5LiteError("dataset path must be non-empty")
@@ -351,6 +612,7 @@ class Group(_Node):
         name = parts[-1]
         if name in parent._children:
             raise H5LiteError(f"{_join(parent.name, name)!r} already exists")
+        extra = dict(compression=compression, chunk_rows=chunk_rows, codec=codec)
         if data is not None:
             arr = np.asarray(data, dtype=dtype)
             if arr.ndim > 0:
@@ -361,18 +623,18 @@ class Group(_Node):
             if arr.dtype.kind == "U":  # store unicode as utf-8 bytes
                 encoded = np.char.encode(arr, "utf-8")
                 ds = Dataset(self._file, _join(parent.name, name), encoded.dtype,
-                             encoded.shape, compression=compression)
+                             encoded.shape, **extra)
                 ds._chunks = [np.ascontiguousarray(encoded)]
                 ds._attrs["__utf8__"] = True
             else:
                 ds = Dataset(self._file, _join(parent.name, name), arr.dtype,
-                             arr.shape, compression=compression)
+                             arr.shape, **extra)
                 ds._chunks = [arr]
         else:
             if dtype is None or shape is None:
                 raise H5LiteError("empty dataset needs explicit dtype and shape")
             ds = Dataset(self._file, _join(parent.name, name), np.dtype(dtype),
-                         tuple(shape), compression=compression)
+                         tuple(shape), **extra)
         parent._children[name] = ds
         return ds
 
@@ -441,13 +703,25 @@ class File(Group):
 
     Modes: ``"w"`` create/truncate for writing, ``"r"`` read-only.
     Usable as a context manager; write mode serializes on ``close``.
+    ``version`` selects the container format written (2 by default;
+    1 reproduces the legacy everything-contiguous layout for
+    back-compat fixtures and forbids chunked datasets).
     """
 
-    def __init__(self, path: Union[str, os.PathLike], mode: str = "r") -> None:
+    def __init__(
+        self,
+        path: Union[str, os.PathLike],
+        mode: str = "r",
+        *,
+        version: int = FORMAT_VERSION,
+    ) -> None:
         if mode not in ("r", "w"):
             raise H5LiteError(f"mode must be 'r' or 'w', got {mode!r}")
+        if version not in SUPPORTED_VERSIONS:
+            raise H5LiteError(f"unsupported h5lite version {version}")
         self.path = os.fspath(path)
         self.mode = mode
+        self.version = int(version)
         self._fh: Optional[io.BufferedIOBase] = None
         self._closed = False
         super().__init__(self, "/")
@@ -491,13 +765,39 @@ class File(Group):
     def _write_out(self) -> None:
         with open(self.path, "wb") as fh:
             fh.write(MAGIC)
-            fh.write(struct.pack("<I", FORMAT_VERSION))
+            fh.write(struct.pack("<I", self.version))
             header_off_pos = fh.tell()
             fh.write(struct.pack("<Q", 0))  # patched later
+
+            def place_chunked(node: Dataset, entry: Dict[str, Any]) -> None:
+                payload = node._staged().reshape(node.shape)
+                rows_per = int(node.chunk_rows)  # type: ignore[arg-type]
+                codec = node.codec or "none"
+                index: List[List[int]] = []
+                for r0 in range(0, payload.shape[0], rows_per):
+                    r1 = min(r0 + rows_per, payload.shape[0])
+                    raw = np.ascontiguousarray(payload[r0:r1]).tobytes(order="C")
+                    enc = encode_chunk(raw, codec, node.dtype.itemsize)
+                    pad = (-fh.tell()) % _ALIGN
+                    fh.write(b"\x00" * pad)
+                    index.append([fh.tell(), len(enc), zlib.crc32(enc), r1 - r0])
+                    fh.write(enc)
+                entry.update(
+                    kind="dataset",
+                    dtype=node.dtype.str,
+                    shape=list(node.shape),
+                    layout="chunked",
+                    codec=codec,
+                    chunk_rows=rows_per,
+                    chunks=index,
+                )
 
             def place(node: _Node) -> Dict[str, Any]:
                 entry: Dict[str, Any] = {"attrs": dict(node._attrs)}
                 if isinstance(node, Dataset):
+                    if node.chunk_rows is not None:
+                        place_chunked(node, entry)
+                        return entry
                     pad = (-fh.tell()) % _ALIGN
                     fh.write(b"\x00" * pad)
                     offset = fh.tell()
@@ -525,7 +825,7 @@ class File(Group):
                 return entry
 
             tree = place(self)
-            header = json.dumps({"version": FORMAT_VERSION, "root": tree}).encode("utf-8")
+            header = json.dumps({"version": self.version, "root": tree}).encode("utf-8")
             pad = (-fh.tell()) % _ALIGN
             fh.write(b"\x00" * pad)
             header_off = fh.tell()
@@ -541,8 +841,9 @@ class File(Group):
         if magic != MAGIC:
             raise H5LiteError(f"{self.path!r} is not an h5lite file (bad magic)")
         (version,) = struct.unpack("<I", fh.read(4))
-        if version != FORMAT_VERSION:
+        if version not in SUPPORTED_VERSIONS:
             raise H5LiteError(f"unsupported h5lite version {version}")
+        self.version = int(version)
         (header_off,) = struct.unpack("<Q", fh.read(8))
         fh.seek(0, os.SEEK_END)
         end = fh.tell()
@@ -564,16 +865,43 @@ class File(Group):
 
         def build(entry: Dict[str, Any], parent: Group, name: str) -> None:
             if entry["kind"] == "dataset":
-                ds = Dataset(
-                    self,
-                    _join(parent.name, name),
-                    np.dtype(entry["dtype"]),
-                    tuple(entry["shape"]),
-                    compression=entry.get("compression"),
-                )
-                ds._offset = int(entry["offset"])
-                ds._stored_nbytes = entry.get("stored_nbytes")
-                ds._crc = int(entry["crc"])
+                if entry.get("layout") == "chunked":
+                    if version < 2:
+                        raise CorruptFileError(
+                            f"{self.path!r}: v{version} container carries a "
+                            "chunked dataset"
+                        )
+                    ds = Dataset(
+                        self,
+                        _join(parent.name, name),
+                        np.dtype(entry["dtype"]),
+                        tuple(entry["shape"]),
+                        chunk_rows=int(entry["chunk_rows"]),
+                        codec=entry.get("codec", "none"),
+                    )
+                    index: List[Tuple[int, int, int, int]] = []
+                    bounds = [0]
+                    for off, stored, crc, rows in entry["chunks"]:
+                        index.append((int(off), int(stored), int(crc), int(rows)))
+                        bounds.append(bounds[-1] + int(rows))
+                    if ds.shape and bounds[-1] != ds.shape[0]:
+                        raise CorruptFileError(
+                            f"{self.path!r}: chunk index of {ds.name!r} covers "
+                            f"{bounds[-1]} rows, shape says {ds.shape[0]}"
+                        )
+                    ds._chunk_index = index
+                    ds._chunk_bounds = bounds
+                else:
+                    ds = Dataset(
+                        self,
+                        _join(parent.name, name),
+                        np.dtype(entry["dtype"]),
+                        tuple(entry["shape"]),
+                        compression=entry.get("compression"),
+                    )
+                    ds._offset = int(entry["offset"])
+                    ds._stored_nbytes = entry.get("stored_nbytes")
+                    ds._crc = int(entry["crc"])
                 ds._attrs = dict(entry.get("attrs", {}))
                 parent._children[name] = ds
             else:

@@ -51,11 +51,27 @@ def write_event_nexus(
     run: RunData,
     *,
     compression: "str | None" = None,
+    chunk_events: "int | None" = None,
+    codec: str = "zlib",
 ) -> None:
     """Serialize one run to a NeXus-schema h5lite file.
 
-    ``compression="zlib"`` deflates the event payloads (id/TOF/weight).
+    ``compression="zlib"`` deflates the event payloads (id/TOF/weight)
+    as whole blobs; ``chunk_events=N`` instead stores them as
+    independent CRC-checked chunks of ``N`` events (format v2, per-chunk
+    ``codec``), so region reads — e.g. the file-driven
+    :class:`repro.core.streaming.FileEventStream` — decode only the
+    touched windows.
     """
+    if chunk_events is not None and compression is not None:
+        raise H5LiteError(
+            "chunk_events and whole-payload compression are exclusive"
+        )
+    event_opts = (
+        dict(chunk_rows=int(chunk_events), codec=codec)
+        if chunk_events is not None
+        else dict(compression=compression)
+    )
     with File(path, "w") as f:
         entry = f.create_group("entry")
         entry.attrs["NX_class"] = "NXentry"
@@ -83,17 +99,13 @@ def write_event_nexus(
 
         events = entry.create_group("events")
         events.attrs["NX_class"] = "NXevent_data"
-        events.create_dataset(
-            "detector_id", data=run.detector_ids, compression=compression
-        )
-        tof = events.create_dataset(
-            "time_of_flight", data=run.tof, compression=compression
-        )
+        events.create_dataset("detector_id", data=run.detector_ids, **event_opts)
+        tof = events.create_dataset("time_of_flight", data=run.tof, **event_opts)
         tof.attrs["units"] = "microsecond"
-        events.create_dataset("weight", data=run.weights, compression=compression)
+        events.create_dataset("weight", data=run.weights, **event_opts)
         if run.pulse_times is not None:
             pulse = events.create_dataset(
-                "pulse_time", data=run.pulse_times, compression=compression
+                "pulse_time", data=run.pulse_times, **event_opts
             )
             pulse.attrs["units"] = "second"
 

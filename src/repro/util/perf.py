@@ -198,6 +198,43 @@ def intersections_work(n_rows: int, width: int) -> Dict[str, float]:
     }
 
 
+#: chunk-codec decode cost per *decoded* byte (inflate is byte-at-a-time
+#: Huffman + LZ77 copy work; the shuffle adds one strided pass)
+CODEC_FLOPS_PER_BYTE = {
+    "none": 0.0,
+    "zlib": 8.0,
+    "shuffle-zlib": 9.0,
+}
+#: extra bytes moved per decoded byte by the byte-shuffle transpose
+#: (one read + one write of the intermediate)
+SHUFFLE_BYTES_PER_BYTE = 2.0
+
+
+def chunk_decode_work(
+    codec: str, stored_nbytes: int, raw_nbytes: int
+) -> Dict[str, float]:
+    """Cost-model work of decoding one stored chunk (ISSUE 6).
+
+    ``stored_nbytes`` is what came off the disk (encoded), ``raw_nbytes``
+    what the decode produced; the ratio is the chunk's compression
+    ratio, so ``bytes_read``/``seconds`` measures delivered I/O
+    bandwidth and ``bytes_written``/``seconds`` the decode bandwidth
+    the tile manager sees.  Unknown codecs cost like ``zlib`` rather
+    than erroring — the model must never fail a read.
+    """
+    raw = float(raw_nbytes)
+    flops = raw * CODEC_FLOPS_PER_BYTE.get(codec, CODEC_FLOPS_PER_BYTE["zlib"])
+    moved = raw
+    if codec == "shuffle-zlib":
+        moved += raw * SHUFFLE_BYTES_PER_BYTE
+    return {
+        "items": 1.0,
+        "bytes_read": float(stored_nbytes),
+        "bytes_written": moved,
+        "flops": flops,
+    }
+
+
 def prepass_work(n_trajectories: int) -> Dict[str, float]:
     """Cost-model work of the max-intersections pre-pass."""
     traj = float(n_trajectories)

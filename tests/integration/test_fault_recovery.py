@@ -501,6 +501,190 @@ class TestMPIFaultRecovery:
                               gold.cross_section.signal, equal_nan=True)
 
 
+class TestChunkFaults:
+    """Per-chunk fault sites on the out-of-core read path (ISSUE 6).
+
+    Chunked (format v2) run files are read chunk-by-chunk through the
+    tile manager, so the fault surface moves from "the file" to "one
+    chunk": ``h5lite.read_chunk`` faults must be retryable, a genuinely
+    bad chunk must raise ``CorruptFileError`` without poisoning its
+    siblings, retries must invalidate only the affected run's
+    geom-cache entries, and kill-and-resume must stay bit-identical
+    when every byte of event data flows through bounded windows.
+    """
+
+    BUDGET = 2 * 64 * 8 * 8  # two 64-event chunks of decoded cache
+
+    @pytest.fixture(scope="class")
+    def chunked(self, exp, tmp_path_factory):
+        base = tmp_path_factory.mktemp("chunked_runs")
+        paths = []
+        for i, src in enumerate(exp.md_paths):
+            ws = load_md(src)
+            path = str(base / f"run_{i}.md.h5")
+            save_md(path, ws, chunk_events=64, codec="zlib")
+            paths.append(path)
+        return paths
+
+    def _loader(self, paths):
+        return lambda i: load_md(paths[i], memory_budget=self.BUDGET)
+
+    def test_out_of_core_matches_in_memory_golden(self, exp, golden, chunked):
+        res = compute_cross_section(
+            self._loader(chunked), recovery=RecoveryConfig(retry=POLICY),
+            **exp.kw(),
+        )
+        assert np.array_equal(res.cross_section.signal,
+                              golden.cross_section.signal, equal_nan=True)
+        assert np.array_equal(res.binmd.signal, golden.binmd.signal)
+
+    @pytest.mark.parametrize("kind", ["io_error", "corrupt", "truncate"])
+    def test_transient_chunk_fault_recovered(self, exp, golden, chunked, kind):
+        plan = FaultPlan(
+            [FaultSpec(site="h5lite.read_chunk", kind=kind,
+                       probability=1.0, max_hits=2)],
+            seed=31,
+        )
+        with use_fault_plan(plan):
+            res = compute_cross_section(
+                self._loader(chunked), recovery=RecoveryConfig(retry=POLICY),
+                **exp.kw(),
+            )
+        assert plan.stats()["injected"] == 2, kind
+        assert not res.degraded
+        assert np.array_equal(res.cross_section.signal,
+                              golden.cross_section.signal, equal_nan=True)
+
+    def test_on_disk_chunk_corruption_is_isolated(self, chunked, tmp_path):
+        """Flipping bytes in one stored chunk fails exactly that chunk."""
+        import shutil
+
+        from repro.nexus.h5lite import CorruptFileError, File
+        from repro.nexus.tiles import EVENT_TABLE_PATH
+
+        victim = str(tmp_path / "corrupt.md.h5")
+        shutil.copy(chunked[1], victim)
+        with File(victim, "r") as f:
+            ds = f.require_dataset(EVENT_TABLE_PATH)
+            offset, stored, _crc, _rows = ds._chunk_index[2]
+            n_chunks = ds.n_chunks
+        with open(victim, "r+b") as fh:
+            fh.seek(offset + stored // 2)
+            fh.write(bytes([fh.read(1)[0] ^ 0xFF]))
+
+        with File(victim, "r") as f:
+            ds = f.require_dataset(EVENT_TABLE_PATH)
+            with pytest.raises(CorruptFileError):
+                ds.read_chunk(2)
+            # every sibling chunk still decodes and CRC-verifies
+            for ci in range(n_chunks):
+                if ci != 2:
+                    ds.read_chunk(ci)
+
+    def test_persistent_chunk_corruption_quarantines_run(
+        self, exp, chunked, tmp_path
+    ):
+        import shutil
+
+        from repro.nexus.h5lite import File
+        from repro.nexus.tiles import EVENT_TABLE_PATH
+
+        paths = list(chunked)
+        victim = str(tmp_path / "run_1_corrupt.md.h5")
+        shutil.copy(chunked[1], victim)
+        with File(victim, "r") as f:
+            offset, stored, _crc, _rows = (
+                f.require_dataset(EVENT_TABLE_PATH)._chunk_index[0])
+        with open(victim, "r+b") as fh:
+            fh.seek(offset + stored // 2)
+            fh.write(bytes([fh.read(1)[0] ^ 0xFF]))
+        paths[1] = victim
+
+        res = compute_cross_section(
+            self._loader(paths), recovery=RecoveryConfig(retry=POLICY),
+            **exp.kw(),
+        )
+        assert res.degraded
+        assert res.quarantined_runs == (1,)
+        assert res.dispositions[1]["attempts"] == POLICY.max_attempts
+        assert {i for i, d in res.dispositions.items()
+                if d["status"] == "done"} == {0, 2, 3}
+
+    def test_chunk_retry_invalidates_only_affected_run(
+        self, exp, golden, chunked
+    ):
+        """The recovering loop's retry hook scopes cache invalidation to
+        the faulted run: the other runs' geometry entries survive."""
+        from repro.core.geom_cache import GeomCache
+
+        cache = GeomCache()
+        # warm every run's geometry, then fault run 0's first chunk reads
+        compute_cross_section(
+            self._loader(chunked), recovery=RecoveryConfig(retry=POLICY),
+            cache=cache, **exp.kw(),
+        )
+        warm_entries = len(cache)
+        assert warm_entries > 0
+        plan = FaultPlan(
+            [FaultSpec(site="h5lite.read_chunk", kind="io_error",
+                       probability=1.0, max_hits=2)],
+            seed=41,
+        )
+        with use_fault_plan(plan):
+            res = compute_cross_section(
+                self._loader(chunked), recovery=RecoveryConfig(retry=POLICY),
+                cache=cache, **exp.kw(),
+            )
+        assert not res.degraded
+        assert cache.stats.invalidations >= 1
+        # runs 1..3 were never retried: their tagged entries are intact
+        # (invalidate() returns how many entries carried the tag)
+        for run in (1, 2, 3):
+            assert cache.invalidate(f"run:{run}") >= 1, run
+        assert np.array_equal(res.cross_section.signal,
+                              golden.cross_section.signal, equal_nan=True)
+
+    def test_kill_and_resume_through_tile_manager(self, exp, chunked,
+                                                  tmp_path):
+        """rank_crash mid-campaign + resume, all I/O through tiles."""
+        loader = self._loader(chunked)
+        ckdir = tmp_path / "ck"
+        ck = CheckpointManager(ckdir, config_digest="ooc")
+        plan = FaultPlan(
+            [FaultSpec(site="run", kind="rank_crash", probability=1.0,
+                       runs=(2,), max_hits=1)],
+            seed=13,
+        )
+        with use_fault_plan(plan):
+            with pytest.raises(RankCrashError):
+                compute_cross_section(
+                    loader,
+                    recovery=RecoveryConfig(retry=POLICY, checkpoint=ck),
+                    **exp.kw(),
+                )
+        assert ck.completed_runs() == [0, 1]
+
+        ck2 = CheckpointManager(ckdir, config_digest="ooc")
+        res = compute_cross_section(
+            loader,
+            recovery=RecoveryConfig(retry=POLICY, checkpoint=ck2,
+                                    resume=True),
+            **exp.kw(),
+        )
+        gold_ck = CheckpointManager(tmp_path / "gold", config_digest="ooc")
+        gold = compute_cross_section(
+            loader,
+            recovery=RecoveryConfig(retry=POLICY, checkpoint=gold_ck),
+            **exp.kw(),
+        )
+        assert res.extras["recovery"]["resumed"] == [0, 1]
+        assert np.array_equal(res.binmd.signal, gold.binmd.signal)
+        assert np.array_equal(res.binmd.error_sq, gold.binmd.error_sq)
+        assert np.array_equal(res.mdnorm.signal, gold.mdnorm.signal)
+        assert np.array_equal(res.cross_section.signal,
+                              gold.cross_section.signal, equal_nan=True)
+
+
 class TestStreamingRecovery:
     def _stream(self, exp, recovery, runs=None, plan=None):
         sr = StreamingReduction(

@@ -74,10 +74,10 @@ class _Exp:
     def loader(self, i):
         return self.wss[i]
 
-    def compute(self, **kw):
+    def compute(self, loader=None, **kw):
         kw.setdefault("backend", "serial")
         return compute_cross_section(
-            self.loader, N_RUNS, self.grid, self.pg, self.flux,
+            loader or self.loader, N_RUNS, self.grid, self.pg, self.flux,
             self.instrument.directions, self.sa, **kw,
         )
 
@@ -335,3 +335,88 @@ class TestShardConfigValidation:
         cfg = ShardConfig.from_options(4, 2, balanced=True)
         assert cfg == ShardConfig(n_shards=4, workers=2, balanced=True)
         assert cfg.effective_workers == 2
+
+
+# ---------------------------------------------------------------------------
+# out-of-core invariance (ISSUE 6): chunk size / codec / budget are
+# execution details of the same bit-identical reduction
+# ---------------------------------------------------------------------------
+
+class TestOutOfCoreInvariance:
+    ROW_BYTES = 8 * 8
+
+    @pytest.fixture(scope="class")
+    def chunked_paths(self, exp, tmp_path_factory):
+        """The same three runs stored at several chunk sizes/codecs."""
+        from repro.core.md_event_workspace import save_md
+
+        base = tmp_path_factory.mktemp("ooc_invariance")
+        layouts = {}
+        for chunk, codec in ((32, "zlib"), (57, "shuffle-zlib"),
+                             (128, "none"), (1024, "zlib")):
+            paths = []
+            for i, ws in enumerate(exp.wss):
+                p = str(base / f"c{chunk}_{codec}_r{i}.md.h5")
+                save_md(p, ws, chunk_events=chunk, codec=codec)
+                paths.append(p)
+            layouts[(chunk, codec)] = paths
+        return layouts
+
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    def test_chunk_size_invariance_full_pipeline(
+        self, exp, golden, chunked_paths, n_shards
+    ):
+        from repro.core.md_event_workspace import load_md
+
+        for (chunk, codec), paths in chunked_paths.items():
+            budget = 2 * chunk * self.ROW_BYTES
+            res = exp.compute(
+                loader=lambda i, p=paths: load_md(p[i],
+                                                  memory_budget=budget),
+                shards=ShardConfig(n_shards=n_shards, workers=1),
+            )
+            assert_identical(res, golden)
+
+    def test_worker_backend_invariance(self, exp, golden, chunked_paths):
+        from repro.core.md_event_workspace import load_md
+
+        paths = chunked_paths[(57, "shuffle-zlib")]
+        budget = 3 * 57 * self.ROW_BYTES
+        for workers in (1, 2):
+            res = exp.compute(
+                loader=lambda i: load_md(paths[i], memory_budget=budget),
+                shards=ShardConfig(n_shards=3, workers=workers),
+            )
+            assert_identical(res, golden)
+
+    def test_shard_tasks_align_with_chunk_plan(self, exp, chunked_paths):
+        """The runtime fans out exactly the chunk-aligned ranges the
+        planner predicts (boundaries land on chunk boundaries)."""
+        from repro.core.md_event_workspace import load_md
+        from repro.mpi import chunk_aligned_event_ranges
+        from repro.nexus.tiles import LazyEventTable
+        from repro.util import trace as trace_mod
+
+        paths = chunked_paths[(32, "zlib")]
+        budget = 2 * 32 * self.ROW_BYTES
+        expected = 0
+        for p in paths:
+            lazy = LazyEventTable(p, memory_budget=budget)
+            ranges = chunk_aligned_event_ranges(
+                lazy.chunk_bounds(), 3,
+                chunk_weights=[float(b) for b in lazy.chunk_stored_nbytes()],
+                max_rows=budget // lazy.row_nbytes,
+            )
+            bound_set = set(lazy.chunk_bounds())
+            for a, b in ranges:
+                assert a in bound_set and b in bound_set
+            expected += len(ranges)
+            lazy.close()
+
+        tracer = trace_mod.Tracer()
+        with trace_mod.use_tracer(tracer):
+            exp.compute(
+                loader=lambda i: load_md(paths[i], memory_budget=budget),
+                shards=ShardConfig(n_shards=3, workers=1),
+            )
+        assert tracer.counters["binmd.shard_tasks"] == expected

@@ -17,6 +17,7 @@ from repro.mpi import (
     MPIError,
     RunShard,
     balanced_rank_runs,
+    chunk_aligned_event_ranges,
     plan_campaign,
     rank_range,
     shard_ranges,
@@ -211,3 +212,127 @@ class TestPlanCampaign:
         assert sorted(cells) == [
             (r, s) for r in range(n_runs) for s in range(n_shards)
         ]
+
+
+class TestChunkAlignedEventRanges:
+    """ISSUE 6: the out-of-core planner — shard boundaries land on chunk
+    boundaries, stored-byte weights balance skewed compression, and the
+    memory-budget cap re-splits groups without ever splitting a chunk."""
+
+    def test_simple_alignment(self):
+        # 4 chunks of 10 rows, 2 shards -> the cut lands on row 20
+        assert chunk_aligned_event_ranges([0, 10, 20, 30, 40], 2) == [
+            (0, 20), (20, 40),
+        ]
+
+    def test_boundaries_are_chunk_boundaries(self):
+        bounds = [0, 7, 19, 19, 40, 55]
+        for n_shards in (1, 2, 3, 5, 9):
+            for a, b in chunk_aligned_event_ranges(bounds, n_shards):
+                assert a in bounds and b in bounds
+
+    def test_more_shards_than_chunks(self):
+        ranges = chunk_aligned_event_ranges([0, 10, 20], 5)
+        covered = [r for r in ranges if r[0] < r[1]]
+        assert covered == [(0, 10), (10, 20)]
+
+    def test_max_rows_resplits_groups(self):
+        # one shard over 6 x 10-row chunks, capped at 25 rows per window
+        ranges = chunk_aligned_event_ranges(
+            [0, 10, 20, 30, 40, 50, 60], 1, max_rows=25)
+        assert ranges == [(0, 20), (20, 40), (40, 60)]
+        for a, b in ranges:
+            assert b - a <= 25
+
+    def test_single_oversized_chunk_stays_whole(self):
+        # a 100-row chunk cannot be split below the chunk floor
+        ranges = chunk_aligned_event_ranges([0, 100, 110], 1, max_rows=30)
+        assert ranges == [(0, 100), (100, 110)]
+
+    def test_skewed_compression_weights_balance_bytes(self):
+        # 8 chunks, equal rows, but the first compresses 50x worse:
+        # byte-weighted planning gives it a shard of its own
+        bounds = list(range(0, 90, 10))
+        weights = [500.0] + [10.0] * 7
+        ranges = chunk_aligned_event_ranges(bounds, 2, chunk_weights=weights)
+        assert ranges[0] == (0, 10)
+        assert ranges[-1][1] == 80
+
+    def test_weight_length_mismatch_rejected(self):
+        with pytest.raises(MPIError, match="chunk_weights"):
+            chunk_aligned_event_ranges([0, 10, 20], 2, chunk_weights=[1.0])
+
+    def test_invalid_inputs(self):
+        with pytest.raises(MPIError):
+            chunk_aligned_event_ranges([], 1)
+        with pytest.raises(MPIError):
+            chunk_aligned_event_ranges([5, 10], 1)  # must start at 0
+        with pytest.raises(MPIError):
+            chunk_aligned_event_ranges([0, 10, 5], 1)  # decreasing
+        with pytest.raises(MPIError):
+            chunk_aligned_event_ranges([0, 10], 0)
+        with pytest.raises(MPIError):
+            chunk_aligned_event_ranges([0, 10], 1, max_rows=0)
+
+    @given(
+        rows=st.lists(st.integers(0, 50), min_size=0, max_size=30),
+        n_shards=st.integers(1, 8),
+        max_rows=st.one_of(st.none(), st.integers(1, 100)),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_partition_properties(self, rows, n_shards, max_rows):
+        bounds = [0]
+        for r in rows:
+            bounds.append(bounds[-1] + r)
+        ranges = chunk_aligned_event_ranges(
+            bounds, n_shards, max_rows=max_rows)
+        # exact ordered partition of [0, n)
+        covered = [i for a, b in ranges for i in range(a, b)]
+        assert covered == list(range(bounds[-1]))
+        bound_set = set(bounds)
+        for a, b in ranges:
+            assert a <= b
+            # every boundary is a chunk boundary
+            assert a in bound_set and b in bound_set
+            if max_rows is not None and b - a > max_rows:
+                # only an indivisible single chunk may exceed the cap
+                inner = [x for x in bounds if a < x < b]
+                assert inner == []
+        if max_rows is None:
+            assert len(ranges) == n_shards
+
+    @given(
+        rows=st.lists(st.integers(1, 40), min_size=1, max_size=20),
+        weights=st.data(),
+        n_shards=st.integers(1, 6),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_weighted_partition_and_determinism(self, rows, weights, n_shards):
+        bounds = [0]
+        for r in rows:
+            bounds.append(bounds[-1] + r)
+        w = weights.draw(st.lists(
+            st.floats(0.0, 1e6, allow_nan=False),
+            min_size=len(rows), max_size=len(rows),
+        ))
+        a = chunk_aligned_event_ranges(bounds, n_shards, chunk_weights=w)
+        b = chunk_aligned_event_ranges(bounds, n_shards, chunk_weights=w)
+        assert a == b  # deterministic
+        covered = [i for s, e in a for i in range(s, e)]
+        assert covered == list(range(bounds[-1]))
+
+    @given(
+        rows=st.lists(st.integers(1, 40), min_size=1, max_size=20),
+        n_shards=st.integers(1, 6),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_group_weight_balance(self, rows, n_shards):
+        """Default (row) weights inherit weighted_shard_ranges' balance
+        bound: no group exceeds ideal + the largest single chunk."""
+        bounds = [0]
+        for r in rows:
+            bounds.append(bounds[-1] + r)
+        ranges = chunk_aligned_event_ranges(bounds, n_shards)
+        total = bounds[-1]
+        ideal = total / n_shards
+        assert max(b - a for a, b in ranges) <= ideal + max(rows)

@@ -1,0 +1,411 @@
+"""Out-of-core conformance suite (ISSUE 6 satellite a).
+
+The contract under test: chunked storage and the tile manager are an
+*I/O* detail, never a *numerics* detail.  A reduction that only ever
+sees bounded event windows — any chunk size, any codec, any memory
+budget (including budgets forcing a >= 4x spill), any shard execution
+backend — must produce histograms **bit-identical**
+(``np.array_equal``, not allclose) to the in-memory reduction of the
+same table.
+
+The 50-seed matrix below drives every (chunk size x codec x budget x
+worker-backend) combination through ``sharded_binmd`` on a
+``LazyEventTable`` and compares against ``bin_events`` on the
+materialized :class:`EventTable`.  Full-pipeline cases do the same
+through ``compute_cross_section``.  Golden-file cases pin v1 (whole
+payload) / v2 (chunked) container back-compat: v1 files read bit for
+bit, and a v1 -> v2 rewrite round-trips the table exactly.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.binmd import bin_events
+from repro.core.grid import HKLGrid
+from repro.core.hist3 import Hist3
+from repro.core.md_event_workspace import (
+    MDEventWorkspace,
+    load_md,
+    save_md,
+)
+from repro.core.sharding import ShardConfig, sharded_binmd
+from repro.jacc.workers import GLOBAL_POOL
+from repro.nexus.events import EventTable
+from repro.nexus.h5lite import CHUNK_CODECS, File
+from repro.nexus.tiles import (
+    EVENT_TABLE_PATH,
+    LazyEventTable,
+    TileError,
+    TileManager,
+    open_event_table,
+)
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+ROW_BYTES = 8 * 8  # 8 float64 columns
+
+# the conformance matrix axes; each seed selects one combination (and
+# its own random table), so 50 seeds sweep every axis several times
+CHUNK_SIZES = (64, 113, 256, 500, 1024)
+CODECS = CHUNK_CODECS  # ("none", "zlib", "shuffle-zlib")
+BUDGET_CHUNKS = (1, 2, 4, None)  # budget as a chunk multiple; None = unbounded
+WORKER_BACKENDS = (1, 2)  # in-process degenerate pool vs process pool
+N_SEEDS = 50
+
+
+def _combo(seed: int):
+    return dict(
+        chunk=CHUNK_SIZES[seed % len(CHUNK_SIZES)],
+        codec=CODECS[seed % len(CODECS)],
+        budget_chunks=BUDGET_CHUNKS[seed % len(BUDGET_CHUNKS)],
+        workers=WORKER_BACKENDS[seed % len(WORKER_BACKENDS)],
+        shards=1 + seed % 5,
+    )
+
+
+def _random_table(seed: int, n: int) -> np.ndarray:
+    rng = np.random.default_rng(1000 + seed)
+    t = np.zeros((n, 8))
+    t[:, 0] = rng.uniform(0.05, 3.0, n)  # signal
+    t[:, 1] = t[:, 0]  # Poisson: var == counts
+    t[:, 3] = rng.integers(0, 200, n)  # detector id
+    t[:, 5:8] = rng.uniform(-4.0, 4.0, (n, 3))  # Q_sample
+    return t
+
+
+def _workspace(table: np.ndarray) -> MDEventWorkspace:
+    return MDEventWorkspace(
+        events=EventTable(table),
+        run_number=7,
+        goniometer=np.eye(3),
+        proton_charge=1.0,
+        momentum_band=(0.5, 5.0),
+        ub_matrix=np.eye(3),
+    )
+
+
+GRID = HKLGrid(basis=np.eye(3), minimum=(-5, -5, -5), maximum=(5, 5, 5),
+               bins=(12, 12, 12))
+TRANSFORMS = np.eye(3)[None, :, :]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _dispose_pool():
+    yield
+    GLOBAL_POOL.dispose()
+
+
+# ---------------------------------------------------------------------------
+# the 50-seed differential matrix
+# ---------------------------------------------------------------------------
+
+class TestOutOfCoreBitIdentity:
+    @pytest.mark.parametrize("seed", range(N_SEEDS))
+    def test_matrix(self, tmp_path, seed):
+        c = _combo(seed)
+        n = 1200 + 37 * seed
+        table = _random_table(seed, n)
+        path = str(tmp_path / "run.md.h5")
+        save_md(path, _workspace(table), chunk_events=c["chunk"],
+                codec=c["codec"])
+
+        ref = Hist3(GRID, track_errors=True)
+        bin_events(ref, EventTable(table), TRANSFORMS)
+
+        budget = (None if c["budget_chunks"] is None
+                  else c["budget_chunks"] * c["chunk"] * ROW_BYTES)
+        lazy = LazyEventTable(path, memory_budget=budget)
+        try:
+            got = Hist3(GRID, track_errors=True)
+            sharded_binmd(
+                got, lazy, TRANSFORMS,
+                shards=ShardConfig(n_shards=c["shards"], workers=c["workers"]),
+            )
+            assert np.array_equal(got.signal, ref.signal), c
+            assert np.array_equal(got.error_sq, ref.error_sq), c
+            if budget is not None:
+                assert lazy.tile_stats.peak_resident_bytes <= budget, c
+        finally:
+            lazy.close()
+
+    def test_matrix_covers_deep_spill(self):
+        """At least one seed in the matrix forces a >= 4x spill."""
+        deep = [
+            seed for seed in range(N_SEEDS)
+            if _combo(seed)["budget_chunks"] is not None
+            and (1200 + 37 * seed) * ROW_BYTES
+            >= 4 * _combo(seed)["budget_chunks"] * _combo(seed)["chunk"] * ROW_BYTES
+        ]
+        assert len(deep) >= 10
+
+    @pytest.mark.parametrize("codec", CODECS)
+    def test_four_x_spill_explicit(self, tmp_path, codec):
+        """Table >= 4x the budget: identical result, residency <= budget."""
+        n, chunk = 4000, 250
+        table = _random_table(99, n)
+        path = str(tmp_path / "run.md.h5")
+        save_md(path, _workspace(table), chunk_events=chunk, codec=codec)
+
+        budget = 2 * chunk * ROW_BYTES
+        assert n * ROW_BYTES >= 4 * budget
+
+        ref = Hist3(GRID, track_errors=True)
+        bin_events(ref, EventTable(table), TRANSFORMS)
+
+        lazy = LazyEventTable(path, memory_budget=budget)
+        got = Hist3(GRID, track_errors=True)
+        sharded_binmd(got, lazy, TRANSFORMS,
+                      shards=ShardConfig(n_shards=3, workers=1))
+        assert np.array_equal(got.signal, ref.signal)
+        assert np.array_equal(got.error_sq, ref.error_sq)
+        stats = lazy.tile_stats
+        assert stats.peak_resident_bytes <= budget
+        assert stats.evictions > 0  # the spill actually happened
+        lazy.close()
+
+    def test_chunk_size_invariance(self, tmp_path):
+        """The histogram is a pure function of the events, not the layout."""
+        table = _random_table(5, 3000)
+        ref = None
+        for chunk in (64, 257, 1024, 4096):
+            path = str(tmp_path / f"run_{chunk}.md.h5")
+            save_md(path, _workspace(table), chunk_events=chunk)
+            lazy = LazyEventTable(path, memory_budget=2 * chunk * ROW_BYTES)
+            got = Hist3(GRID, track_errors=True)
+            sharded_binmd(got, lazy, TRANSFORMS,
+                          shards=ShardConfig(n_shards=2, workers=1))
+            lazy.close()
+            if ref is None:
+                ref = got
+            else:
+                assert np.array_equal(got.signal, ref.signal)
+                assert np.array_equal(got.error_sq, ref.error_sq)
+
+
+# ---------------------------------------------------------------------------
+# the tile manager itself
+# ---------------------------------------------------------------------------
+
+class TestTileManager:
+    def _chunked(self, tmp_path, n=1000, chunk=128, codec="zlib"):
+        path = str(tmp_path / "run.md.h5")
+        table = _random_table(0, n)
+        save_md(path, _workspace(table), chunk_events=chunk, codec=codec)
+        return path, table
+
+    def test_window_equals_slice(self, tmp_path):
+        path, table = self._chunked(tmp_path)
+        lazy = LazyEventTable(path, memory_budget=4 * 128 * ROW_BYTES)
+        for a, b in ((0, 1000), (0, 128), (100, 300), (999, 1000),
+                     (128, 256), (500, 500)):
+            assert np.array_equal(lazy.window(a, b), table[a:b])
+        lazy.close()
+
+    def test_lru_eviction_and_hits(self, tmp_path):
+        path, _ = self._chunked(tmp_path, n=1024, chunk=128)
+        f = File(path, "r")
+        ds = f.require_dataset(EVENT_TABLE_PATH)
+        tiles = TileManager(ds, budget_bytes=2 * 128 * ROW_BYTES)
+        tiles.chunk(0)
+        tiles.chunk(1)
+        tiles.chunk(0)  # hit
+        assert tiles.stats.hits == 1 and tiles.stats.misses == 2
+        tiles.chunk(2)  # evicts chunk 1 (LRU), not chunk 0
+        assert tiles.stats.evictions == 1
+        tiles.chunk(0)  # still resident
+        assert tiles.stats.hits == 2
+        assert tiles.stats.resident_bytes <= 2 * 128 * ROW_BYTES
+        f.close()
+
+    def test_decoded_chunks_are_read_only(self, tmp_path):
+        path, _ = self._chunked(tmp_path)
+        lazy = LazyEventTable(path, memory_budget=None)
+        first = lazy.window(0, 64)
+        with pytest.raises((ValueError, RuntimeError)):
+            first[0, 0] = 1.0
+        lazy.close()
+
+    def test_materialize_round_trips(self, tmp_path):
+        path, table = self._chunked(tmp_path)
+        lazy = LazyEventTable(path)
+        assert np.array_equal(lazy.materialize().data, table)
+        assert np.array_equal(np.asarray(lazy), table)
+        assert lazy.n_events == table.shape[0]
+        assert len(lazy) == table.shape[0]
+        lazy.close()
+
+    def test_rejects_contiguous_dataset(self, tmp_path):
+        path = str(tmp_path / "legacy.md.h5")
+        save_md(path, _workspace(_random_table(1, 500)))  # legacy layout
+        with pytest.raises((TileError, KeyError)):
+            LazyEventTable(path).window(0, 10)
+
+    def test_pickle_round_trip(self, tmp_path):
+        import pickle
+
+        path, table = self._chunked(tmp_path)
+        lazy = LazyEventTable(path, memory_budget=8192)
+        lazy.window(0, 10)  # open the file so state is live
+        clone = pickle.loads(pickle.dumps(lazy))
+        assert clone.memory_budget == 8192
+        assert np.array_equal(clone.window(100, 200), table[100:200])
+        clone.close()
+        lazy.close()
+
+    def test_open_event_table_helper(self, tmp_path):
+        path, table = self._chunked(tmp_path)
+        lazy = open_event_table(path, memory_budget=65536)
+        assert np.array_equal(lazy.window(0, 50), table[:50])
+        lazy.close()
+
+
+# ---------------------------------------------------------------------------
+# full pipeline: load_md(memory_budget=...) through compute_cross_section
+# ---------------------------------------------------------------------------
+
+class TestFullPipelineOutOfCore:
+    @pytest.fixture(scope="class")
+    def exp(self, tmp_path_factory):
+        from repro.core.cross_section import compute_cross_section
+        from repro.core.md_event_workspace import convert_to_md
+        from repro.crystal.goniometer import Goniometer
+        from repro.crystal.structures import benzil
+        from repro.crystal.symmetry import point_group
+        from repro.crystal.ub import UBMatrix
+        from repro.instruments.corelli import make_corelli
+        from repro.instruments.synth import (
+            make_flux,
+            make_vanadium,
+            synthesize_run,
+        )
+
+        structure = benzil()
+        inst = make_corelli(n_pixels=120)
+        ub = UBMatrix.from_u_vectors(structure.cell, [0, 0, 1.0], [1.0, 0, 0])
+        grid = HKLGrid.benzil_grid(bins=(13, 13, 1))
+        pg = point_group("321")
+        flux = make_flux(inst)
+        sa = make_vanadium(inst).detector_weights
+        wss = []
+        for i, om in enumerate((0.0, 55.0, 110.0)):
+            run = synthesize_run(
+                instrument=inst, structure=structure, ub=ub,
+                goniometer=Goniometer(om).rotation, n_events=400,
+                rng=np.random.default_rng(8800 + i), run_number=i,
+            )
+            wss.append(convert_to_md(run, inst, run_index=i))
+        md_dir = tmp_path_factory.mktemp("ooc_runs")
+        paths = []
+        for i, ws in enumerate(wss):
+            p = str(md_dir / f"r{i}.md.h5")
+            save_md(p, ws, chunk_events=37, codec="shuffle-zlib")
+            paths.append(p)
+
+        def compute(loader, **kw):
+            kw.setdefault("backend", "serial")
+            return compute_cross_section(
+                loader, len(wss), grid, pg, flux, inst.directions, sa, **kw)
+
+        ref = compute(lambda i: wss[i])
+        return dict(paths=paths, compute=compute, ref=ref)
+
+    @pytest.mark.parametrize("shards,workers", [(None, None), (3, 1), (2, 2)])
+    def test_cross_section_identical(self, exp, shards, workers):
+        budget = 2 * 37 * ROW_BYTES
+
+        def lazy_loader(i):
+            return load_md(exp["paths"][i], memory_budget=budget)
+
+        kw = {}
+        if shards is not None:
+            kw["shards"] = ShardConfig(n_shards=shards, workers=workers)
+        res = exp["compute"](lazy_loader, **kw)
+        ref = exp["ref"]
+        assert np.array_equal(res.cross_section.signal,
+                              ref.cross_section.signal, equal_nan=True)
+        assert np.array_equal(res.binmd.signal, ref.binmd.signal)
+        assert np.array_equal(res.binmd.error_sq, ref.binmd.error_sq)
+        assert np.array_equal(res.mdnorm.signal, ref.mdnorm.signal)
+
+    def test_eager_chunked_load_identical(self, exp):
+        """Without a budget, chunked files materialize to the same table."""
+        res = exp["compute"](lambda i: load_md(exp["paths"][i]))
+        ref = exp["ref"]
+        assert np.array_equal(res.cross_section.signal,
+                              ref.cross_section.signal, equal_nan=True)
+
+
+# ---------------------------------------------------------------------------
+# v1 <-> v2 container back-compat (golden files)
+# ---------------------------------------------------------------------------
+
+def _golden_table() -> np.ndarray:
+    """Deterministic, integer-valued-float table: platform-stable bits."""
+    n = 400
+    t = np.zeros((n, 8))
+    idx = np.arange(n, dtype=np.float64)
+    t[:, 0] = 1.0 + (idx % 7.0)
+    t[:, 1] = t[:, 0]
+    t[:, 3] = idx % 50.0
+    t[:, 5] = (idx % 11.0) - 5.0
+    t[:, 6] = (idx % 9.0) - 4.0
+    t[:, 7] = (idx % 5.0) - 2.0
+    return t
+
+
+class TestContainerBackCompat:
+    def test_golden_v1_reads_bit_for_bit(self):
+        path = os.path.join(GOLDEN_DIR, "events_v1.h5")
+        with File(path, "r") as f:
+            assert f.version == 1
+            data = f.read("MDEventWorkspace/event_data")
+        assert np.array_equal(np.ascontiguousarray(data.T), _golden_table())
+
+    def test_golden_v2_chunked_reads_bit_for_bit(self):
+        path = os.path.join(GOLDEN_DIR, "events_v2_chunked.h5")
+        with File(path, "r") as f:
+            assert f.version == 2
+            ds = f.require_dataset(EVENT_TABLE_PATH)
+            assert ds.is_chunked and ds.n_chunks == 4  # 400 events / 128
+            data = f.read(EVENT_TABLE_PATH)
+        assert np.array_equal(data, _golden_table())
+
+    def test_golden_v1_loads_through_load_md(self):
+        ws = load_md(os.path.join(GOLDEN_DIR, "events_v1.h5"))
+        assert np.array_equal(ws.events.data, _golden_table())
+
+    def test_golden_v1_to_v2_rewrite_round_trips(self, tmp_path):
+        ws = load_md(os.path.join(GOLDEN_DIR, "events_v1.h5"))
+        out = str(tmp_path / "rewritten_v2.md.h5")
+        save_md(out, ws, chunk_events=64, codec="zlib")
+        ws2 = load_md(out)
+        assert np.array_equal(ws2.events.data, _golden_table())
+        lazy = LazyEventTable(out, memory_budget=64 * ROW_BYTES)
+        assert np.array_equal(lazy.window(0, 400), _golden_table())
+        lazy.close()
+
+    def test_v1_writer_is_still_available(self, tmp_path):
+        """New code can still emit v1 containers, byte-deterministically."""
+        table = _golden_table()
+
+        def write(path):
+            with File(path, "w", version=1) as f:
+                grp = f.create_group("MDEventWorkspace")
+                grp.create_dataset(
+                    "event_data", data=np.ascontiguousarray(table.T),
+                    compression="zlib",
+                )
+                grp.create_dataset("run_number",
+                                   data=np.array(3, dtype=np.int64))
+
+        a, b = str(tmp_path / "a.h5"), str(tmp_path / "b.h5")
+        write(a)
+        write(b)
+        with open(a, "rb") as fa, open(b, "rb") as fb:
+            assert fa.read() == fb.read()
+        with File(a, "r") as f:
+            assert f.version == 1
+            assert np.array_equal(
+                f.read("MDEventWorkspace/event_data"), table.T)

@@ -149,6 +149,8 @@ def collect_panel_samples(
     shards: Optional[int] = None,
     shard_workers: Optional[int] = None,
     memory_budget: Optional[int] = None,
+    executor: Optional[str] = None,
+    steal_seed: int = 0,
 ) -> Dict[str, List[float]]:
     """Run the core reduction ``repeats`` times and collect per-stage
     wall-clock samples.
@@ -162,6 +164,11 @@ def collect_panel_samples(
     fan-out instead of the single-level loop — the sharded trajectory
     (``BENCH_benzil_shards.json``) is recorded with these so the
     regression gate watches the fan-out path separately.
+
+    ``executor="stealing"`` routes every repeat through the elastic
+    work-stealing executor with the given ``steal_seed`` — the
+    stealing trajectory (``BENCH_benzil_stealing.json``) gates that
+    dispatch path the same way.
     """
     from repro.bench.harness import _subset
     from repro.core.geom_cache import GeomCache
@@ -184,6 +191,8 @@ def collect_panel_samples(
             shards=shards,
             shard_workers=shard_workers,
             memory_budget=memory_budget,
+            executor=executor,
+            steal_seed=steal_seed,
         )
         timings = StageTimings(label=f"repeat{rep}")
         ReductionWorkflow(cfg).run(timings=timings)

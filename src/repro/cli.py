@@ -159,6 +159,14 @@ def _add_shard_flags(p: argparse.ArgumentParser) -> None:
     g.add_argument("--shard-workers", type=int, default=None, metavar="W",
                    help="process-pool width for the shard fan-out "
                         "(default REPRO_NUM_PROCS or the CPU count)")
+    g.add_argument("--executor", choices=("static", "stealing"),
+                   default=None,
+                   help="campaign executor: the fixed rank-block plan "
+                        "(static, default) or elastic work-stealing over "
+                        "the rank x shard grid (bit-identical results "
+                        "for every steal schedule)")
+    g.add_argument("--steal-seed", type=int, default=0, metavar="SEED",
+                   help="seed of the steal schedule (--executor stealing)")
 
 
 def _add_recovery_flags(p: argparse.ArgumentParser) -> None:
@@ -379,6 +387,8 @@ def _run_impl(
     shards: Optional[int] = None,
     shard_workers: Optional[int] = None,
     memory_budget: Optional[int] = None,
+    executor: Optional[str] = None,
+    steal_seed: int = 0,
 ) -> None:
     """Run one implementation of the reduction on a built workload."""
     if shards is not None and impl != "core":
@@ -390,6 +400,11 @@ def _run_impl(
         raise SystemExit(
             f"--memory-budget applies to --impl core only (got {impl!r}); "
             f"the proxies materialize the event table"
+        )
+    if executor not in (None, "static") and impl != "core":
+        raise SystemExit(
+            f"--executor applies to --impl core only (got {impl!r}); "
+            f"the proxies own their campaign loop"
         )
     if impl == "core":
         from repro.core.workflow import ReductionWorkflow, WorkflowConfig
@@ -406,6 +421,8 @@ def _run_impl(
             shards=shards,
             shard_workers=shard_workers,
             memory_budget=memory_budget,
+            executor=executor,
+            steal_seed=steal_seed,
         )
         ReductionWorkflow(cfg).run(comm)
     elif impl == "cpp":
@@ -472,7 +489,8 @@ def trace_main(argv: Optional[List[str]] = None) -> int:
         _run_impl(args.impl, data, backend=args.backend,
                   recovery=recovery, comm=comm,
                   shards=args.shards, shard_workers=args.shard_workers,
-                  memory_budget=args.memory_budget)
+                  memory_budget=args.memory_budget,
+                  executor=args.executor, steal_seed=args.steal_seed)
 
     fault_ctx, fault_plan = _fault_plan_context(args)
     with trace_mod.use_tracer(tracer), fault_ctx:
@@ -684,7 +702,10 @@ def _perf_models(args) -> List[tuple]:
                               if impl == "core" else None),
                       shard_workers=getattr(args, "shard_workers", None),
                       memory_budget=(getattr(args, "memory_budget", None)
-                                     if impl == "core" else None))
+                                     if impl == "core" else None),
+                      executor=(getattr(args, "executor", None)
+                                if impl == "core" else None),
+                      steal_seed=getattr(args, "steal_seed", 0))
         out.append((impl, PerfModel.from_records(
             tracer.records,
             counters=tracer.counters,
@@ -714,12 +735,16 @@ def _perf_bench_setup(args):
     shard_note = f" shards={args.shards}" if args.shards else ""
     if args.memory_budget:
         shard_note += f" budget={args.memory_budget}B"
+    executor = getattr(args, "executor", None)
+    if executor not in (None, "static"):
+        shard_note += f" executor={executor}"
     print(f"timing {args.repeats} repeats of the {args.backend} panel"
           f"{shard_note} ...")
     samples = collect_panel_samples(
         data, repeats=args.repeats, backend=args.backend,
         shards=args.shards, shard_workers=args.shard_workers,
         memory_budget=args.memory_budget,
+        executor=executor, steal_seed=getattr(args, "steal_seed", 0),
     )
     config = {
         "scale": getattr(spec, "scale", None),
@@ -729,6 +754,8 @@ def _perf_bench_setup(args):
         "shard_workers": args.shard_workers,
         "chunk_events": args.chunk_events,
         "memory_budget": args.memory_budget,
+        "executor": executor,
+        "steal_seed": getattr(args, "steal_seed", 0),
     }
     return recorder, samples, config
 
@@ -738,7 +765,12 @@ def perf_main(argv: Optional[List[str]] = None) -> int:
     args = _perf_parser().parse_args(argv)
 
     if args.cmd == "report":
-        from repro.util.perf import shard_summary, shard_table
+        from repro.util.perf import (
+            shard_summary,
+            shard_table,
+            steal_summary,
+            steal_table,
+        )
 
         models = _perf_models(args)
         for i, (label, model, records) in enumerate(models):
@@ -753,6 +785,10 @@ def perf_main(argv: Optional[List[str]] = None) -> int:
             if shards_info:
                 print(shard_table(
                     shards_info, title=f"{label}: shard fan-out"))
+            steal_info = steal_summary(records)
+            if steal_info:
+                print(steal_table(
+                    steal_info, title=f"{label}: elastic stealing"))
         return 0
 
     if args.cmd == "roofline":

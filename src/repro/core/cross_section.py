@@ -35,7 +35,12 @@ from repro.core.grid import HKLGrid
 from repro.core.hist3 import Hist3
 from repro.core.md_event_workspace import MDEventWorkspace
 from repro.core.mdnorm import mdnorm
-from repro.core.sharding import ShardConfig, sharded_binmd, sharded_mdnorm
+from repro.core.sharding import (
+    ShardConfig,
+    resolve_executor,
+    sharded_binmd,
+    sharded_mdnorm,
+)
 from repro.crystal.symmetry import PointGroup
 from repro.mpi import SUM, Comm, SequentialComm, balanced_rank_runs, rank_range
 from repro.nexus.corrections import FluxSpectrum
@@ -162,6 +167,8 @@ def compute_cross_section(
     recovery: Optional[RecoveryConfig] = None,
     shards: Optional[ShardConfig] = None,
     run_weights: Optional[Sequence[float]] = None,
+    executor: Optional[str] = None,
+    schedule: Optional[Any] = None,
 ) -> CrossSectionResult:
     """Run Algorithm 1.
 
@@ -214,7 +221,34 @@ def compute_cross_section(
         given, ranks take weight-balanced contiguous run blocks
         (:func:`repro.mpi.balanced_rank_runs`) instead of equal-count
         blocks — the outer level of the 2-D decomposition.
+    executor:
+        Campaign execution strategy from the registry in
+        :mod:`repro.core.sharding`.  ``None``/``"static"`` is the fixed
+        rank-block plan below; ``"stealing"`` dispatches to the elastic
+        work-stealing executor (:mod:`repro.mpi.stealing`), whose
+        result is bit-identical to the static recovering plan for every
+        steal schedule.
+    schedule:
+        Stealing executor only: a
+        :class:`repro.util.schedule.ScheduleController` driving steal
+        and birth/leave/death decisions (None = seeded default).
     """
+    runner = resolve_executor(executor)
+    if runner is not None:
+        return runner(
+            load_run, n_runs, grid, point_group, flux,
+            det_directions, solid_angles,
+            comm=comm, backend=backend, sort_impl=sort_impl,
+            scatter_impl=scatter_impl, timings=timings,
+            binmd_impl=binmd_impl, mdnorm_impl=mdnorm_impl,
+            cache=cache, recovery=recovery, shards=shards,
+            run_weights=run_weights, schedule=schedule,
+        )
+    if schedule is not None:
+        raise ValidationError(
+            "schedule is only meaningful with a dynamic executor "
+            "(got executor=%r)" % (executor,)
+        )
     if recovery is not None:
         return _compute_cross_section_recovering(
             load_run, n_runs, grid, point_group, flux,

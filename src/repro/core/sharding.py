@@ -40,9 +40,10 @@ through ``on_shard`` so the PR 4 monitor can heartbeat per shard.
 
 from __future__ import annotations
 
+import importlib
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -67,7 +68,8 @@ from repro.jacc.multiproc import (
 )
 from repro.jacc.workers import GLOBAL_POOL, PROCS_ENV, parse_worker_count, resolve_workers
 from repro.mpi.decomposition import (
-    chunk_aligned_event_ranges,
+    lazy_table_ranges,
+    range_stored_nbytes,
     shard_ranges,
     weighted_shard_ranges,
 )
@@ -300,6 +302,322 @@ def _run_shards(
 
 
 # ---------------------------------------------------------------------------
+# shard contexts: one run-stage's captures + planned ranges, reusable by
+# any executor (the static fan-out below, the stealing executor in
+# repro.mpi.stealing)
+# ---------------------------------------------------------------------------
+
+def _mdnorm_captures(
+    hist: Hist3,
+    transforms: np.ndarray,
+    det_directions: np.ndarray,
+    solid_angles: np.ndarray,
+    flux: FluxSpectrum,
+    momentum_band: tuple[float, float],
+    *,
+    charge: float,
+    backend: Optional[str],
+    cache: Optional[GeomCache],
+    cache_tag: Optional[str],
+    op_span: Any = None,
+) -> Captures:
+    """MDNorm's geometry stage (cache-aware) packed into kernel captures.
+
+    Shared by the static fan-out and the shard-context planner so warm
+    reruns skip the geometry work identically on every executor.  The
+    pre-pass ``width`` is an integer max (exactly associative), so the
+    captures — and everything recorded through them — are bitwise
+    independent of the ``backend`` used to compute it.
+    """
+    grid = hist.grid
+    cache = _gc.resolve(cache)
+    tracer = _trace.active_tracer()
+    entry: Optional[GeomEntry] = None
+    key = None
+    if cache.enabled:
+        key = GeomCache.geometry_key(
+            grid, transforms, det_directions, momentum_band, solid_angles, flux
+        )
+        entry = cache.get(key)
+    if op_span is not None:
+        op_span.set(cache_hit=entry is not None)
+
+    if entry is not None:
+        directions = entry.directions
+        k_lo, k_hi = entry.k_lo, entry.k_hi
+        raw_width = entry.width
+    else:
+        directions = trajectory_directions(transforms, det_directions)
+        k_lo, k_hi = k_window(directions, grid, *momentum_band)
+        raw_width = None
+    if raw_width is None:
+        raw_width = max_intersections(
+            grid, transforms, det_directions, momentum_band,
+            backend=backend, directions=directions, k_lo=k_lo, k_hi=k_hi,
+        )
+    width = min(raw_width, grid.max_plane_crossings)
+
+    if cache.enabled:
+        if entry is None:
+            entry = GeomEntry(
+                key=key,
+                tag=cache_tag,
+                directions=_gc.freeze(directions),
+                k_lo=_gc.freeze(k_lo),
+                k_hi=_gc.freeze(k_hi),
+                width=raw_width,
+            )
+            cache.put(entry)
+            directions, k_lo, k_hi = entry.directions, entry.k_lo, entry.k_hi
+        elif entry.width is None:
+            entry.width = raw_width
+            cache.note_update(entry)
+
+    flux_k, flux_cum = cache.flux_table(flux)
+    if op_span is not None:
+        op_span.set(width=int(width))
+        if tracer.profile:
+            from repro.util.perf import mdnorm_work
+
+            op_span.set(perf=mdnorm_work(
+                int(transforms.shape[0]), int(det_directions.shape[0]),
+                int(width), warm_plan=False,
+            ))
+
+    return Captures(
+        hist=hist,
+        grid=grid,
+        directions=directions,
+        k_lo=k_lo,
+        k_hi=k_hi,
+        solid_angles=solid_angles,
+        charge=float(charge),
+        flux_k=flux_k,
+        flux_cum=flux_cum,
+        scratch=_Scratch(width),
+        fill=fill_crossings_scalar,
+    )
+
+
+@dataclass
+class ShardContext:
+    """Everything needed to execute any planned range of one run-stage.
+
+    ``captures.hist`` is the *target* scratch histogram: executing a
+    range never touches it (ranges record deposit logs), only
+    :func:`replay_shard_logs` folds the logs into it — in planned-index
+    order, which is what makes results independent of which rank
+    executed which range, in what order.  The captures are safe to
+    share across rank threads: per-execution recording histograms are
+    fresh, and mdnorm's ``_Scratch`` buffers are thread-local.
+    """
+
+    op_name: str
+    captures: Captures
+    element: Callable[..., Any]
+    n_outer: int
+    #: planned contiguous ranges of the inner axis (index = planned id)
+    ranges: List[Tuple[int, int]]
+    #: per-range work estimate: stored chunk bytes for lazy event
+    #: tables (the PR 6 index), row counts otherwise
+    weights: List[float] = field(default_factory=list)
+    lazy_events: Optional[LazyEventTable] = None
+
+    @property
+    def n_ranges(self) -> int:
+        return len(self.ranges)
+
+    @property
+    def track_errors(self) -> bool:
+        return getattr(self.captures.hist, "flat_error_sq", None) is not None
+
+
+def mdnorm_shard_context(
+    hist: Hist3,
+    transforms: np.ndarray,
+    det_directions: np.ndarray,
+    solid_angles: np.ndarray,
+    flux: FluxSpectrum,
+    momentum_band: tuple[float, float],
+    *,
+    n_shards: int,
+    charge: float = 1.0,
+    backend: Optional[str] = None,
+    cache: Optional[GeomCache] = None,
+    cache_tag: Optional[str] = None,
+) -> ShardContext:
+    """Plan one run's MDNorm as detector-range shard tasks."""
+    transforms = np.asarray(transforms, dtype=np.float64)
+    det_directions = np.asarray(det_directions, dtype=np.float64)
+    solid_angles = np.asarray(solid_angles, dtype=np.float64)
+    require(transforms.ndim == 3 and transforms.shape[1:] == (3, 3),
+            "transforms must be (n_ops, 3, 3)")
+    captures = _mdnorm_captures(
+        hist, transforms, det_directions, solid_angles, flux, momentum_band,
+        charge=charge, backend=backend, cache=cache, cache_tag=cache_tag,
+    )
+    n_ops = int(transforms.shape[0])
+    n_det = int(det_directions.shape[0])
+    ranges = shard_ranges(n_det, n_shards)
+    weights = [float(n_ops * (b - a)) for a, b in ranges]
+    return ShardContext("mdnorm", captures, _mdnorm_element, n_ops,
+                        ranges, weights)
+
+
+def binmd_shard_context(
+    hist: Hist3,
+    events: EventTable | LazyEventTable | np.ndarray,
+    transforms: np.ndarray,
+    *,
+    n_shards: int,
+) -> ShardContext:
+    """Plan one run's BinMD as event-range shard tasks.
+
+    Lazy tables plan chunk-aligned, budget-capped ranges weighted by
+    stored chunk bytes (:func:`repro.mpi.decomposition.lazy_table_ranges`)
+    — the same plan the static executor uses.
+    """
+    lazy = isinstance(events, LazyEventTable)
+    transforms = np.asarray(transforms, dtype=np.float64)
+    require(transforms.ndim == 3 and transforms.shape[1:] == (3, 3),
+            "transforms must be (n_ops, 3, 3)")
+    n_ops = int(transforms.shape[0])
+    if lazy:
+        ranges = lazy_table_ranges(events, n_shards)
+        weights = range_stored_nbytes(events, ranges)
+        captures = Captures(hist=hist, transforms=transforms)
+        return ShardContext("binmd", captures, _bin_events_element, n_ops,
+                            ranges, weights, lazy_events=events)
+    data = events.data if isinstance(events, EventTable) else np.asarray(events)
+    n_events = int(data.shape[0])
+    ranges = shard_ranges(n_events, n_shards)
+    weights = [float(n_ops * (b - a)) for a, b in ranges]
+    captures = Captures(hist=hist, events=data, transforms=transforms)
+    return ShardContext("binmd", captures, _bin_events_element, n_ops,
+                        ranges, weights)
+
+
+def execute_shard_range(
+    ctx: ShardContext,
+    index: int,
+    *,
+    workers: int = 1,
+    run: Optional[int] = None,
+) -> List[Log]:
+    """Execute one planned range of a context; return its deposit logs.
+
+    No replay happens here — callers collect logs (possibly from ranges
+    executed by different ranks, out of order) and fold them with
+    :func:`replay_shard_logs` once every planned range has reported.
+    ``workers > 1`` ships the single range to the node-local process
+    pool (one task, so concurrency comes from concurrent *callers* —
+    the stealing executor's ranks); ``workers == 1`` runs in-process.
+    Lazy ranges decode their own chunks straight from the file
+    (:func:`repro.nexus.tiles.read_window`) in both paths, so
+    concurrent rank threads never contend on a shared tile cache.
+    """
+    a, b = ctx.ranges[index]
+    if workers == 1:
+        rec = RecordingHist3(ctx.captures.hist.grid, ctx.track_errors)
+        inline_ctx = Captures(**{**vars(ctx.captures), "hist": rec})
+        task = dict(element=ctx.element, n_outer=ctx.n_outer, range=(a, b))
+        if ctx.lazy_events is not None:
+            task["window"] = read_window(
+                ctx.lazy_events.path, ctx.lazy_events.dataset_path, a, b
+            )
+        return _shard_body(task, inline_ctx, rec)
+    transport = _Transport(ctx.captures)
+    try:
+        task = dict(
+            element=ctx.element,
+            n_outer=ctx.n_outer,
+            range=(a, b),
+            captures=transport.payload,
+            **(
+                {"window_ref": (
+                    ctx.lazy_events.path, ctx.lazy_events.dataset_path, a, b
+                )}
+                if ctx.lazy_events is not None
+                else {}
+            ),
+        )
+        try:
+            pool = GLOBAL_POOL.executor(workers)
+            return pool.submit(_shard_worker, task).result()
+        except BrokenProcessPool as exc:
+            GLOBAL_POOL.dispose()
+            raise ShardExecutionError(
+                f"shard pool broke during {ctx.op_name} "
+                f"(run={run}, range={index}); pool disposed"
+            ) from exc
+    finally:
+        transport.close()
+
+
+def replay_shard_logs(
+    ctx: ShardContext, per_range: Sequence[List[Log]]
+) -> None:
+    """Fold per-range deposit logs into ``ctx.captures.hist`` in serial
+    order (op-major, planned ranges ascending) — the same interleave as
+    :func:`_run_shards`, so the result is bit-identical to a serial
+    execution of the whole run-stage regardless of who executed what."""
+    require(len(per_range) == ctx.n_ranges,
+            f"{ctx.op_name}: {len(per_range)} log sets for "
+            f"{ctx.n_ranges} planned ranges")
+    for n in range(ctx.n_outer):
+        replay_deposits(ctx.captures.hist, [logs[n] for logs in per_range])
+
+
+# ---------------------------------------------------------------------------
+# campaign executor registry
+# ---------------------------------------------------------------------------
+
+#: name -> lazily resolved "module:function" reference (None = the
+#: built-in static plan handled inline by compute_cross_section).
+#: Lazy dotted references keep this registry import-cycle-free: the
+#: stealing executor imports *this* module for its shard contexts.
+_EXECUTORS: Dict[str, Optional[str]] = {
+    "static": None,
+    "stealing": "repro.mpi.stealing:run_stealing_campaign",
+}
+
+
+def register_executor(name: str, target: Optional[str]) -> None:
+    """Register a campaign executor.
+
+    ``target`` is a ``"module:function"`` reference to a callable with
+    the :func:`repro.mpi.stealing.run_stealing_campaign` signature, or
+    ``None`` for executors handled inline.  Registration is how the
+    conformance matrix auto-discovers executors — a new entry here gets
+    the full backend × op × seed treatment with no test edits.
+    """
+    require(bool(name), "executor name must be non-empty")
+    _EXECUTORS[str(name)] = target
+
+
+def available_executors() -> Tuple[str, ...]:
+    """Registered executor names, sorted (stable test parametrization)."""
+    return tuple(sorted(_EXECUTORS))
+
+
+def resolve_executor(name: Optional[str]) -> Optional[Callable[..., Any]]:
+    """The runner callable for ``name`` (None for the static plan)."""
+    if name is None:
+        return None
+    try:
+        target = _EXECUTORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown executor {name!r}; available: "
+            f"{', '.join(available_executors())}"
+        ) from None
+    if target is None:
+        return None
+    mod_name, _, fn_name = target.partition(":")
+    return getattr(importlib.import_module(mod_name), fn_name)
+
+
+# ---------------------------------------------------------------------------
 # sharded MDNorm / BinMD entry points
 # ---------------------------------------------------------------------------
 
@@ -340,8 +658,6 @@ def sharded_mdnorm(
     require(solid_angles.shape == (det_directions.shape[0],),
             "solid_angles length mismatch")
 
-    grid = hist.grid
-    cache = _gc.resolve(cache)
     tracer = _trace.active_tracer()
     with tracer.span(
         "mdnorm",
@@ -351,74 +667,16 @@ def sharded_mdnorm(
         n_det=int(det_directions.shape[0]),
         n_shards=int(shards.n_shards),
     ) as op_span:
-        entry: Optional[GeomEntry] = None
-        key = None
-        if cache.enabled:
-            key = GeomCache.geometry_key(
-                grid, transforms, det_directions, momentum_band, solid_angles, flux
-            )
-            entry = cache.get(key)
-        op_span.set(cache_hit=entry is not None)
-
-        if entry is not None:
-            directions = entry.directions
-            k_lo, k_hi = entry.k_lo, entry.k_hi
-            raw_width = entry.width
-        else:
-            directions = trajectory_directions(transforms, det_directions)
-            k_lo, k_hi = k_window(directions, grid, *momentum_band)
-            raw_width = None
-        if raw_width is None:
-            raw_width = max_intersections(
-                grid, transforms, det_directions, momentum_band,
-                backend=backend, directions=directions, k_lo=k_lo, k_hi=k_hi,
-            )
-        width = min(raw_width, grid.max_plane_crossings)
-
-        if cache.enabled:
-            if entry is None:
-                entry = GeomEntry(
-                    key=key,
-                    tag=cache_tag,
-                    directions=_gc.freeze(directions),
-                    k_lo=_gc.freeze(k_lo),
-                    k_hi=_gc.freeze(k_hi),
-                    width=raw_width,
-                )
-                cache.put(entry)
-                directions, k_lo, k_hi = entry.directions, entry.k_lo, entry.k_hi
-            elif entry.width is None:
-                entry.width = raw_width
-                cache.note_update(entry)
-
-        flux_k, flux_cum = cache.flux_table(flux)
-        op_span.set(width=int(width))
-        if tracer.profile:
-            from repro.util.perf import mdnorm_work
-
-            op_span.set(perf=mdnorm_work(
-                int(transforms.shape[0]), int(det_directions.shape[0]),
-                int(width), warm_plan=False,
-            ))
-
-        captures = Captures(
-            hist=hist,
-            grid=grid,
-            directions=directions,
-            k_lo=k_lo,
-            k_hi=k_hi,
-            solid_angles=solid_angles,
-            charge=float(charge),
-            flux_k=flux_k,
-            flux_cum=flux_cum,
-            scratch=_Scratch(width),
-            fill=fill_crossings_scalar,
+        captures = _mdnorm_captures(
+            hist, transforms, det_directions, solid_angles, flux,
+            momentum_band, charge=charge, backend=backend, cache=cache,
+            cache_tag=cache_tag, op_span=op_span,
         )
         _run_shards(
             "mdnorm", captures, _mdnorm_element,
             int(transforms.shape[0]), int(det_directions.shape[0]),
             shards, run=run, on_shard=on_shard,
-            weights=(detector_activity(k_lo, k_hi)
+            weights=(detector_activity(captures.k_lo, captures.k_hi)
                      if shards.balanced else None),
         )
         tracer.count("mdnorm.trajectories",
@@ -461,15 +719,7 @@ def sharded_binmd(
     if lazy:
         data = None
         n_events = events.n_events
-        max_rows = None
-        if events.memory_budget is not None:
-            max_rows = max(1, int(events.memory_budget) // events.row_nbytes)
-        ranges = chunk_aligned_event_ranges(
-            events.chunk_bounds(),
-            shards.n_shards,
-            chunk_weights=[float(b) for b in events.chunk_stored_nbytes()],
-            max_rows=max_rows,
-        )
+        ranges = lazy_table_ranges(events, shards.n_shards)
     else:
         data = events.data if isinstance(events, EventTable) else np.asarray(events)
         n_events = int(data.shape[0])

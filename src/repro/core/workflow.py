@@ -22,7 +22,7 @@ from repro.core.geom_cache import GeomCache
 from repro.core.grid import HKLGrid
 from repro.core.md_event_workspace import load_md
 from repro.core.mdnorm import prefetch_geometry
-from repro.core.sharding import ShardConfig
+from repro.core.sharding import ShardConfig, resolve_executor
 from repro.crystal.symmetry import PointGroup
 from repro.instruments.detector import DetectorArray
 from repro.mpi import Comm
@@ -68,11 +68,28 @@ class WorkflowConfig:
     #: (``--memory-budget``).  Requires chunked (``save_md(chunk_events=
     #: ...)``) run files; None = load each run's table into memory
     memory_budget: Optional[int] = None
+    #: campaign executor (``--executor``): None/"static" is the fixed
+    #: rank-block plan, "stealing" the elastic work-stealing executor
+    executor: Optional[str] = None
+    #: stealing executor only: seed of the default weighted steal
+    #: schedule (``--steal-seed``); ignored by the static plan
+    steal_seed: int = 0
 
     def __post_init__(self) -> None:
         require(len(self.md_paths) >= 1, "need at least one run file")
         # fail fast on bad shard/worker counts at configuration time
         self.shard_config()
+        # ... and on unknown executor names
+        resolve_executor(self.executor)
+
+    def schedule(self):
+        """The steal-schedule controller for dynamic executors (None
+        for the static plan)."""
+        if self.executor in (None, "static"):
+            return None
+        from repro.util.schedule import ScheduleController
+
+        return ScheduleController(seed=self.steal_seed, policy="weighted")
 
     def shard_config(self) -> Optional[ShardConfig]:
         """The validated :class:`ShardConfig`, or None when unsharded."""
@@ -126,6 +143,11 @@ class ReductionWorkflow:
                 recovery=cfg.recovery,
                 shards=cfg.shard_config(),
                 run_weights=cfg.run_weights,
+                executor=cfg.executor,
+                # fresh controller per reduction (decision streams and
+                # lifecycle triggers are single-use); only the root
+                # rank's instance drives the campaign
+                schedule=cfg.schedule(),
             )
 
     def prefetch_geometry(self) -> int:

@@ -102,6 +102,11 @@ def _mp_context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context()
 
 
+def _pool_probe() -> int:
+    """Picklable no-op used to force worker start-up at pool creation."""
+    return os.getpid()
+
+
 class WorkerPool:
     """A lazily created, restartable ``ProcessPoolExecutor``.
 
@@ -131,6 +136,15 @@ class WorkerPool:
             self._pool = ProcessPoolExecutor(
                 max_workers=n_workers, mp_context=_mp_context()
             )
+            # With the ``fork`` start method every worker is forked on
+            # the *first* submit (CPython gh-90622 disables dynamic
+            # spawning).  Rank threads submit concurrently, so that
+            # first submit would fork while a sibling thread may hold
+            # arbitrary locks (executor internals, BLAS/OpenMP state),
+            # wedging the child.  Forking here, under our creation
+            # lock and before any work exists, keeps later submits
+            # fork-free.
+            self._pool.submit(_pool_probe).result()
             self._size = n_workers
             return self._pool
 

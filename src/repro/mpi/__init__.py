@@ -33,12 +33,29 @@ from repro.mpi.runner import run_world
 from repro.mpi.decomposition import (
     RunShard,
     balanced_rank_runs,
+    budget_max_rows,
     chunk_aligned_event_ranges,
+    lazy_table_ranges,
     plan_campaign,
+    range_stored_nbytes,
     rank_range,
     shard_ranges,
     weighted_shard_ranges,
 )
+
+#: stealing-executor names exported lazily (PEP 562): the module pulls
+#: in repro.core.sharding, which imports this package — an eager import
+#: here would re-enter the partially initialized package
+_LAZY_STEALING = ("StealQueue", "StealTask", "run_stealing_campaign")
+
+
+def __getattr__(name):
+    if name in _LAZY_STEALING:
+        from repro.mpi import stealing
+
+        return getattr(stealing, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "BarrierTimeoutError",
@@ -56,7 +73,13 @@ __all__ = [
     "shard_ranges",
     "weighted_shard_ranges",
     "balanced_rank_runs",
+    "budget_max_rows",
     "chunk_aligned_event_ranges",
+    "lazy_table_ranges",
     "plan_campaign",
+    "range_stored_nbytes",
     "RunShard",
+    "StealQueue",
+    "StealTask",
+    "run_stealing_campaign",
 ]

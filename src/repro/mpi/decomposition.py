@@ -72,9 +72,16 @@ def weighted_shard_ranges(
     if any(x < 0 for x in w):
         raise MPIError("shard weights must be >= 0")
     n = len(w)
+    remaining = sum(w)
+    if n and remaining <= 0.0:
+        # All-zero weights (empty runs / fully empty chunks): every
+        # greedy target is 0, so each leading shard would close after a
+        # single item and the tail append would dump everything else
+        # into the last shard — a silent mega-shard.  Weight carries no
+        # information here; fall back to count-balanced ranges.
+        return shard_ranges(n, n_shards)
     ranges: List[Tuple[int, int]] = []
     start = 0
-    remaining = sum(w)
     for s in range(n_shards):
         shards_left = n_shards - s
         # every shard after this one must get at least 0 items; give the
@@ -172,6 +179,67 @@ def chunk_aligned_event_ranges(
             acc += rows[c]
         ranges.append((bounds[start], bounds[c1]))
     return ranges
+
+
+def budget_max_rows(
+    memory_budget: Optional[int], row_nbytes: int
+) -> Optional[int]:
+    """Largest decoded-window row count a byte budget allows (>= 1).
+
+    ``None`` budget means unbounded.  The floor of one row keeps a
+    budget smaller than a single row meaningful: the irreducible unit
+    of a chunk-aligned reader is one chunk, and the planner's oversized
+    single chunks pass through whole anyway.
+    """
+    if memory_budget is None:
+        return None
+    if row_nbytes < 1:
+        raise MPIError(f"row_nbytes must be >= 1, got {row_nbytes}")
+    return max(1, int(memory_budget) // int(row_nbytes))
+
+
+def lazy_table_ranges(events, n_shards: int) -> List[Tuple[int, int]]:
+    """Chunk-aligned shard ranges for an out-of-core event table.
+
+    The single source of the stored-byte weighting and budget row cap
+    that every executor plans lazy tables with (the static shard
+    executor in :mod:`repro.core.sharding` and the stealing executor in
+    :mod:`repro.mpi.stealing` used to carry private copies of this
+    arithmetic).  ``events`` is duck-typed on the
+    :class:`~repro.nexus.tiles.LazyEventTable` surface: ``chunk_bounds()``,
+    ``chunk_stored_nbytes()``, ``memory_budget`` and ``row_nbytes``.
+    """
+    return chunk_aligned_event_ranges(
+        events.chunk_bounds(),
+        n_shards,
+        chunk_weights=[float(b) for b in events.chunk_stored_nbytes()],
+        max_rows=budget_max_rows(events.memory_budget, events.row_nbytes),
+    )
+
+
+def range_stored_nbytes(events, ranges: Sequence[Tuple[int, int]]) -> List[float]:
+    """Stored (compressed) bytes overlapping each event range.
+
+    The PR 6 chunk index is the only honest weight for how *expensive*
+    a shard of a lazy table is (decode cost tracks compressed bytes,
+    not decoded rows, under skewed compression ratios) — the stealing
+    executor uses these as victim-selection weights.  Ranges that split
+    a chunk charge it pro rata by row overlap; chunk-aligned ranges
+    (the planner's output) always charge whole chunks.
+    """
+    bounds = [int(b) for b in events.chunk_bounds()]
+    stored = [float(b) for b in events.chunk_stored_nbytes()]
+    out: List[float] = []
+    for a, b in ranges:
+        total = 0.0
+        for c in range(len(stored)):
+            c0, c1 = bounds[c], bounds[c + 1]
+            rows = c1 - c0
+            overlap = min(b, c1) - max(a, c0)
+            if rows > 0 and overlap > 0:
+                total += stored[c] * (overlap / rows)
+        out.append(total)
+    return out
 
 
 def balanced_rank_runs(weights: Sequence[float], size: int) -> List[Tuple[int, int]]:

@@ -64,6 +64,8 @@ class RankState:
     runs_completed: int = 0
     runs_quarantined: int = 0
     runs_resumed: int = 0
+    #: shard tasks this rank stole from another rank's queue
+    steals: int = 0
     events_processed: float = 0.0
     current_run: int = -1
     current_site: str = ""
@@ -79,6 +81,7 @@ class RankState:
             "runs_completed": self.runs_completed,
             "runs_quarantined": self.runs_quarantined,
             "runs_resumed": self.runs_resumed,
+            "steals": self.steals,
             "events_processed": self.events_processed,
             "current_run": self.current_run,
             "current_site": self.current_site,
@@ -202,6 +205,18 @@ class CampaignMonitor:
             state.last_progress = self._clock()
         self._flush()
 
+    # -- elastic execution visibility (stealing executor) ------------------
+    def record_steal(self, thief: int, victim: int, run: int) -> None:
+        """The thief rank took a shard of ``run`` from the victim's
+        queue (born helper ranks report like any other rank — their
+        RankState is created on first contact)."""
+        with self._lock:
+            state = self._rank(thief)
+            state.steals += 1
+            state.current_site = f"steal:run:{int(run)}<-rank:{int(victim)}"
+            state.last_progress = self._clock()
+        self._flush()
+
     # -- derived views ----------------------------------------------------
     @property
     def ranks(self) -> List[RankState]:
@@ -267,6 +282,7 @@ class CampaignMonitor:
             done = sum(s.runs_completed for s in self._ranks.values())
             quarantined = sum(s.runs_quarantined for s in self._ranks.values())
             resumed = sum(s.runs_resumed for s in self._ranks.values())
+            steals = sum(s.steals for s in self._ranks.values())
             crashed = sorted(r for r, s in self._ranks.items()
                              if s.status == "crashed")
             events = sum(s.events_processed for s in self._ranks.values())
@@ -279,6 +295,7 @@ class CampaignMonitor:
             "runs_completed": done,
             "runs_quarantined": quarantined,
             "runs_resumed": resumed,
+            "steals": steals,
             "events_processed": events,
             "crashed_ranks": crashed,
             "stalled_ranks": self.stalled_ranks(),
@@ -308,6 +325,8 @@ class CampaignMonitor:
             f"{p}_campaign_runs_quarantined {snap['runs_quarantined']}")
         gauge("campaign_runs_resumed", "runs replayed from checkpoints")
         lines.append(f"{p}_campaign_runs_resumed {snap['runs_resumed']}")
+        gauge("campaign_steals", "shard tasks stolen across ranks")
+        lines.append(f"{p}_campaign_steals {snap['steals']}")
         gauge("campaign_events_processed", "events processed across ranks")
         lines.append(
             f"{p}_campaign_events_processed {snap['events_processed']:.17g}")
@@ -325,6 +344,10 @@ class CampaignMonitor:
             lines.append(
                 f"{p}_rank_runs_completed{{rank=\"{r['rank']}\"}} "
                 f"{r['runs_completed']}")
+        gauge("rank_steals", "shard tasks stolen by rank")
+        for r in snap["ranks"]:
+            lines.append(
+                f"{p}_rank_steals{{rank=\"{r['rank']}\"}} {r['steals']}")
         gauge("rank_events_processed", "events processed by rank")
         for r in snap["ranks"]:
             lines.append(
@@ -397,6 +420,9 @@ class NullMonitor(CampaignMonitor):
         pass
 
     def record_crash(self, rank: int) -> None:
+        pass
+
+    def record_steal(self, thief: int, victim: int, run: int) -> None:
         pass
 
 

@@ -571,6 +571,69 @@ def shard_table(summary: Dict[str, Dict[str, float]],
     return "\n".join(lines)
 
 
+# ---------------------------------------------------------------------------
+# elastic stealing attribution (PR 7: work-stealing executor)
+# ---------------------------------------------------------------------------
+
+def steal_summary(records: Sequence[Dict[str, Any]]) -> Dict[int, Dict[str, float]]:
+    """Roll up the stealing executor's task spans per executing rank.
+
+    ``kind="steal_task"`` spans are shard tasks a rank executed from
+    its own static block; ``kind="steal"`` spans are tasks it pulled
+    off a victim's queue.  The interesting derived number is the
+    stolen share of each rank's busy seconds — how much of its work
+    arrived through the queue rather than the static plan, which is
+    exactly what the skewed-campaign benchmark moves.  ``incomplete``
+    counts spans whose task never deposited (a crash or leave mid-task
+    that the queue must have re-issued elsewhere).
+    """
+    out: Dict[int, Dict[str, float]] = {}
+    for rec in records:
+        if rec.get("type", "span") != "span":
+            continue
+        attrs = rec.get("attrs")
+        if not isinstance(attrs, dict):
+            continue
+        kind = attrs.get("kind")
+        if kind not in ("steal_task", "steal"):
+            continue
+        rank = int(attrs.get("exec_rank", rec.get("rank", 0)))
+        slot = out.setdefault(rank, {
+            "tasks": 0.0, "stolen": 0.0, "task_seconds": 0.0,
+            "stolen_seconds": 0.0, "incomplete": 0.0,
+        })
+        dur = float(rec.get("dur", 0.0))
+        slot["tasks"] += 1.0
+        slot["task_seconds"] += dur
+        if kind == "steal":
+            slot["stolen"] += 1.0
+            slot["stolen_seconds"] += dur
+        if not attrs.get("completed", False):
+            slot["incomplete"] += 1.0
+    return dict(sorted(out.items()))
+
+
+def steal_table(summary: Dict[int, Dict[str, float]],
+                *, title: str = "elastic stealing") -> str:
+    """Plain-text table of :func:`steal_summary` (``repro perf report``)."""
+    lines = [f"-- {title}"]
+    if not summary:
+        lines.append("  (no stealing-executor spans in this trace)")
+        return "\n".join(lines)
+    lines.append(f"  {'rank':>6s} {'tasks':>7s} {'stolen':>7s} "
+                 f"{'task s':>9s} {'stolen s':>9s} {'stolen %':>9s} "
+                 f"{'incomplete':>11s}")
+    for rank, s in summary.items():
+        share = (100.0 * s["stolen_seconds"] / s["task_seconds"]
+                 if s["task_seconds"] > 0.0 else 0.0)
+        lines.append(
+            f"  {rank:>6d} {int(s['tasks']):>7d} {int(s['stolen']):>7d} "
+            f"{s['task_seconds']:>9.4f} {s['stolen_seconds']:>9.4f} "
+            f"{share:>8.1f}% {int(s['incomplete']):>11d}"
+        )
+    return "\n".join(lines)
+
+
 def _si(value: float) -> str:
     """Engineering-notation rate (1.23M, 45.6k) for the text table."""
     if value <= 0.0:

@@ -754,3 +754,106 @@ class TestStreamingRecovery:
         )
         assert np.array_equal(faulty.mdnorm_hist.signal,
                               survivors.mdnorm_hist.signal)
+
+
+class TestKillAndResumeStealing:
+    """Kill-and-resume through the elastic executor: the campaign dies
+    mid-steal, then resumes with a *different* worker count and steal
+    seed, and must still be bit-identical to an uninterrupted
+    checkpointed reference (ISSUE 7 satellite)."""
+
+    def _steal(self, exp, *, size, schedule, recovery):
+        from repro.core.sharding import ShardConfig
+        from repro.mpi.stealing import run_stealing_campaign
+
+        def body(comm):
+            return run_stealing_campaign(
+                exp.loader, comm=comm, recovery=recovery,
+                shards=ShardConfig(n_shards=2, workers=1),
+                schedule=schedule, **exp.kw())
+
+        if size == 1:
+            from repro.mpi import SequentialComm
+            return body(SequentialComm())
+        results = run_world(size, body, barrier_timeout=60.0)
+        roots = [r for r in results
+                 if r is not None and r.cross_section is not None]
+        assert len(roots) == 1
+        return roots[0]
+
+    def test_kill_and_resume_different_world_and_seed(self, exp, tmp_path):
+        from repro.util.schedule import ScheduleController
+
+        ckdir = tmp_path / "ck"
+        ck = CheckpointManager(ckdir, config_digest="steal")
+        plan = FaultPlan(
+            [FaultSpec(site="steal.task", kind="rank_crash",
+                       probability=1.0, runs=(2,), max_hits=1)],
+            seed=29,
+        )
+        # leg 1: sequential campaign, seed 29, dies on run 2's first task
+        with use_fault_plan(plan):
+            with pytest.raises(RankCrashError):
+                self._steal(
+                    exp, size=1,
+                    schedule=ScheduleController(seed=29, policy="no-steal"),
+                    recovery=RecoveryConfig(retry=POLICY, checkpoint=ck),
+                )
+        assert plan.stats()["injected"] == 1
+        assert ck.completed_runs() == [0, 1]
+        assert not ck.campaign_complete
+
+        # leg 2: resume with 2 workers and a different steal seed
+        ck2 = CheckpointManager(ckdir, config_digest="steal")
+        res = self._steal(
+            exp, size=2,
+            schedule=ScheduleController(seed=101, policy="random"),
+            recovery=RecoveryConfig(retry=POLICY, checkpoint=ck2,
+                                    resume=True),
+        )
+        gold_ck = CheckpointManager(tmp_path / "gold", config_digest="steal")
+        gold = compute_cross_section(
+            exp.loader,
+            recovery=RecoveryConfig(retry=POLICY, checkpoint=gold_ck),
+            **exp.kw(),
+        )
+        assert res.extras["recovery"]["resumed"] == [0, 1]
+        assert ck2.campaign_complete
+        assert np.array_equal(res.binmd.signal, gold.binmd.signal)
+        assert np.array_equal(res.binmd.error_sq, gold.binmd.error_sq)
+        assert np.array_equal(res.mdnorm.signal, gold.mdnorm.signal)
+        assert np.array_equal(res.cross_section.signal,
+                              gold.cross_section.signal, equal_nan=True)
+
+    def test_resumed_stealing_requeues_only_missing_runs(self, exp,
+                                                         tmp_path):
+        """The in-flight (crashed) run and the never-started run are the
+        only tasks the resumed campaign executes."""
+        from repro.util.schedule import ScheduleController
+
+        ckdir = tmp_path / "ck"
+        ck = CheckpointManager(ckdir, config_digest="steal-q")
+        plan = FaultPlan(
+            [FaultSpec(site="steal.task", kind="rank_crash",
+                       probability=1.0, runs=(2,), max_hits=1)],
+            seed=31,
+        )
+        with use_fault_plan(plan):
+            with pytest.raises(RankCrashError):
+                self._steal(
+                    exp, size=1,
+                    schedule=ScheduleController(seed=31, policy="no-steal"),
+                    recovery=RecoveryConfig(retry=POLICY, checkpoint=ck),
+                )
+
+        ck2 = CheckpointManager(ckdir, config_digest="steal-q")
+        res = self._steal(
+            exp, size=3,
+            schedule=ScheduleController(seed=77, policy="all-steal"),
+            recovery=RecoveryConfig(retry=POLICY, checkpoint=ck2,
+                                    resume=True),
+        )
+        # only runs 2 and 3 re-executed: 2 runs x 2 stages x 2 shards
+        assert res.extras["stealing"]["tasks"] == 8
+        assert res.extras["recovery"]["resumed"] == [0, 1]
+        assert ck2.campaign_complete

@@ -17,8 +17,11 @@ from repro.mpi import (
     MPIError,
     RunShard,
     balanced_rank_runs,
+    budget_max_rows,
     chunk_aligned_event_ranges,
+    lazy_table_ranges,
     plan_campaign,
+    range_stored_nbytes,
     rank_range,
     shard_ranges,
     weighted_shard_ranges,
@@ -336,3 +339,115 @@ class TestChunkAlignedEventRanges:
         total = bounds[-1]
         ideal = total / n_shards
         assert max(b - a for a, b in ranges) <= ideal + max(rows)
+
+
+class TestZeroWeightFallback:
+    """Regression: all-zero weights must not degenerate to a mega-shard.
+
+    The greedy prefix cut's target share is 0 when every weight is 0,
+    so each leading shard used to close after one item and the tail
+    append dumped everything else into the *last* shard — silently
+    serializing an empty-run campaign onto one worker.
+    """
+
+    def test_all_zero_weights_fall_back_to_count_split(self):
+        assert weighted_shard_ranges([0.0] * 12, 4) == shard_ranges(12, 4)
+
+    def test_all_zero_weights_no_mega_shard(self):
+        ranges = weighted_shard_ranges([0.0] * 10, 3)
+        sizes = [b - a for a, b in ranges]
+        # count-balanced: 4/3/3 — NOT the old 1/1/8 degeneration
+        assert sizes == [4, 3, 3]
+        assert max(sizes) <= -(-10 // 3)
+
+    def test_zero_weight_chunks_through_chunk_aligned_planner(self):
+        """The PR 6 planner inherits the fix: stored-byte weights of
+        empty chunks are all zero."""
+        bounds = [0, 10, 20, 30, 40, 50, 60]
+        ranges = chunk_aligned_event_ranges(
+            bounds, 3, chunk_weights=[0.0] * 6)
+        sizes = [b - a for a, b in ranges]
+        assert sizes == [20, 20, 20]
+
+    def test_single_nonzero_weight_still_weighted(self):
+        """The fallback triggers only for the genuinely degenerate
+        all-zero profile, not merely mostly-zero ones."""
+        ranges = weighted_shard_ranges([0.0, 0.0, 5.0, 0.0], 2)
+        # the heavy item must not share a shard with every other item
+        assert ranges[0][1] <= 3
+
+    @given(
+        n=st.integers(0, 60),
+        shards=st.integers(1, 12),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_zero_weights_match_count_split_everywhere(self, n, shards):
+        assert weighted_shard_ranges([0.0] * n, shards) == shard_ranges(n, shards)
+
+
+class _FakeLazyTable:
+    """Duck-typed LazyEventTable surface for the planning helpers."""
+
+    def __init__(self, bounds, stored, memory_budget=None, row_nbytes=24):
+        self._bounds = list(bounds)
+        self._stored = list(stored)
+        self.memory_budget = memory_budget
+        self.row_nbytes = row_nbytes
+
+    def chunk_bounds(self):
+        return list(self._bounds)
+
+    def chunk_stored_nbytes(self):
+        return list(self._stored)
+
+
+class TestLazyTablePlanningHelpers:
+    """Units for the deduplicated shard-weight estimation (satellite f):
+    one helper now serves the static executor, the stealing executor
+    and the out-of-core planner."""
+
+    def test_budget_max_rows_none_budget(self):
+        assert budget_max_rows(None, 24) is None
+
+    def test_budget_max_rows_floor_division(self):
+        assert budget_max_rows(1000, 24) == 41
+
+    def test_budget_max_rows_floor_of_one(self):
+        assert budget_max_rows(5, 24) == 1
+
+    def test_budget_max_rows_invalid_row_size(self):
+        with pytest.raises(MPIError, match="row_nbytes"):
+            budget_max_rows(1000, 0)
+
+    def test_lazy_table_ranges_weights_by_stored_bytes(self):
+        # equal rows, skewed compression: the heavy chunk sits alone
+        events = _FakeLazyTable([0, 10, 20, 30], [1000.0, 10.0, 10.0])
+        assert lazy_table_ranges(events, 2) == [(0, 10), (10, 30)]
+
+    def test_lazy_table_ranges_applies_budget_cap(self):
+        events = _FakeLazyTable(
+            [0, 10, 20, 30, 40], [10.0] * 4,
+            memory_budget=20 * 24, row_nbytes=24,
+        )
+        ranges = lazy_table_ranges(events, 1)
+        assert all(b - a <= 20 for a, b in ranges)
+        covered = [i for a, b in ranges for i in range(a, b)]
+        assert covered == list(range(40))
+
+    def test_lazy_table_ranges_empty_chunks_balance_by_count(self):
+        """Zero stored bytes everywhere (satellite a, through the
+        helper): falls back to a count-balanced cut."""
+        events = _FakeLazyTable([0, 10, 20, 30, 40], [0.0] * 4)
+        assert lazy_table_ranges(events, 2) == [(0, 20), (20, 40)]
+
+    def test_range_stored_nbytes_whole_chunks(self):
+        events = _FakeLazyTable([0, 10, 20, 30], [100.0, 50.0, 25.0])
+        assert range_stored_nbytes(events, [(0, 10), (10, 30)]) == [100.0, 75.0]
+
+    def test_range_stored_nbytes_pro_rata_split(self):
+        events = _FakeLazyTable([0, 10], [100.0])
+        assert range_stored_nbytes(events, [(0, 5), (5, 10)]) == [50.0, 50.0]
+
+    def test_range_stored_nbytes_empty_range(self):
+        events = _FakeLazyTable([0, 10], [100.0])
+        assert range_stored_nbytes(events, [(3, 3)]) == [0.0]

@@ -1,7 +1,9 @@
 """Fault tolerance of the in-process MPI layer: barrier timeouts,
 party shrinkage on rank death, dead-slot masking in collectives, and
 the runner's error attribution (satellite: ranks must not hang after a
-peer dies)."""
+peer dies).  The elastic-executor cases at the bottom pin the stealing
+queue's exactly-once accounting under rank death and quarantine, read
+back from the shard ids in the trace stream."""
 
 import threading
 import time
@@ -246,3 +248,174 @@ class TestKillOneRank:
 
         with pytest.raises(BarrierTimeoutError):
             run_world(3, fn, barrier_timeout=0.2)
+
+
+# ---------------------------------------------------------------------------
+# elastic executor under rank death / quarantine (ISSUE 7 satellite)
+# ---------------------------------------------------------------------------
+
+N_STEAL_RUNS = 3
+N_STEAL_SHARDS = 2
+
+
+@pytest.fixture(scope="module")
+def steal_exp(tmp_path_factory):
+    """A 3-run micro experiment for the stealing fault scenarios."""
+    from repro.core.grid import HKLGrid
+    from repro.core.md_event_workspace import convert_to_md, load_md, save_md
+    from repro.crystal.goniometer import Goniometer
+    from repro.crystal.structures import benzil
+    from repro.crystal.symmetry import point_group
+    from repro.crystal.ub import UBMatrix
+    from repro.instruments.corelli import make_corelli
+    from repro.instruments.synth import (
+        make_flux,
+        make_vanadium,
+        synthesize_run,
+    )
+
+    base = tmp_path_factory.mktemp("steal_ft")
+    structure = benzil()
+    instrument = make_corelli(n_pixels=18)
+    ub = UBMatrix.from_u_vectors(structure.cell, [0.0, 0.0, 1.0],
+                                 [1.0, 0.0, 0.0])
+    paths = []
+    for i, omega in enumerate((0.0, 45.0, 90.0)):
+        run = synthesize_run(
+            instrument=instrument, structure=structure, ub=ub,
+            goniometer=Goniometer(omega).rotation, n_events=60,
+            rng=np.random.default_rng(6400 + i), run_number=i,
+        )
+        path = str(base / f"run_{i}.md.h5")
+        save_md(path, convert_to_md(run, instrument, run_index=i))
+        paths.append(path)
+    return dict(
+        loader=lambda i: load_md(paths[i]),
+        kw=dict(
+            n_runs=N_STEAL_RUNS,
+            grid=HKLGrid.benzil_grid(bins=(5, 5, 1)),
+            point_group=point_group("321"),
+            flux=make_flux(instrument),
+            det_directions=instrument.directions,
+            solid_angles=make_vanadium(instrument).detector_weights,
+        ),
+    )
+
+
+class TestStealingExactlyOnce:
+    """Rank death and quarantine against the shared steal queue: the
+    trace stream's shard ids prove no cell is lost or double-counted."""
+
+    def _campaign(self, steal_exp, schedule, *, size=3, plan=None):
+        from repro.core.checkpoint import RecoveryConfig
+        from repro.core.sharding import ShardConfig
+        from repro.mpi.stealing import run_stealing_campaign
+        from repro.util.faults import RetryPolicy, use_fault_plan
+
+        recovery = RecoveryConfig(
+            retry=RetryPolicy(max_attempts=3, base_delay_s=0.0))
+
+        def body(comm):
+            return run_stealing_campaign(
+                steal_exp["loader"], comm=comm, recovery=recovery,
+                shards=ShardConfig(n_shards=N_STEAL_SHARDS, workers=1),
+                schedule=schedule, **steal_exp["kw"])
+
+        if plan is not None:
+            with use_fault_plan(plan):
+                out = run_world(size, body, barrier_timeout=60.0)
+        else:
+            out = run_world(size, body, barrier_timeout=60.0)
+        roots = [r for r in out if r is not None
+                 and r.cross_section is not None]
+        assert len(roots) == 1
+        return roots[0]
+
+    @staticmethod
+    def _completed_cells(records):
+        cells = {}
+        for rec in records:
+            if (rec["name"].startswith("steal:")
+                    and rec["attrs"].get("completed")):
+                key = (rec["attrs"]["run"], rec["name"].split(":", 1)[1],
+                       rec["attrs"]["shard"])
+                cells[key] = cells.get(key, 0) + 1
+        return cells
+
+    @staticmethod
+    def _cells_of(runs):
+        return {
+            (run, stage, idx)
+            for run in runs
+            for stage in ("mdnorm", "binmd")
+            for idx in range(N_STEAL_SHARDS)
+        }
+
+    def test_kill_rank_mid_steal_no_lost_no_double(self, steal_exp):
+        """Rank 1 dies holding a claimed (stolen) task: the claim
+        requeues and every planned shard completes exactly once on a
+        survivor; the result matches the no-faults reference."""
+        from repro.util import trace as trace_mod
+        from repro.util.faults import FaultPlan, FaultSpec
+        from repro.util.schedule import ScheduleController
+
+        reference = self._campaign(
+            steal_exp, ScheduleController(seed=0, policy="no-steal"), size=3)
+        plan = FaultPlan(
+            [FaultSpec(site="steal.task", kind="rank_crash",
+                       probability=1.0, ranks=(1,), max_hits=1)],
+            seed=3,
+        )
+        tracer = trace_mod.Tracer()
+        with trace_mod.use_tracer(tracer):
+            res = self._campaign(
+                steal_exp, ScheduleController(seed=3, policy="all-steal"),
+                size=3, plan=plan)
+        assert plan.stats()["injected"] == 1
+        assert res.extras["recovery"]["failed_ranks"] == [1]
+        cells = self._completed_cells(tracer.records)
+        assert cells == {c: 1 for c in self._cells_of(range(N_STEAL_RUNS))}
+        # the fault fires inside the task body, before q.complete(): the
+        # span the crash interrupted must not be marked completed
+        crashed = [
+            rec for rec in tracer.records
+            if rec["name"].startswith("steal:")
+            and rec["attrs"]["exec_rank"] == 1
+            and not rec["attrs"].get("completed")
+        ]
+        assert len(crashed) == 1
+        assert np.array_equal(res.binmd.signal, reference.binmd.signal)
+        assert np.array_equal(res.cross_section.signal,
+                              reference.cross_section.signal, equal_nan=True)
+
+    def test_birth_after_quarantine_accounting_stays_exact(self, steal_exp):
+        """A run quarantines (persistent kernel fault), then a new rank
+        is born: the late joiner must not resurrect dropped cells, and
+        the surviving runs' cells still complete exactly once."""
+        from repro.util import trace as trace_mod
+        from repro.util.faults import FaultPlan, FaultSpec
+        from repro.util.schedule import ScheduleController
+
+        plan = FaultPlan(
+            [FaultSpec(site="kernel.binmd", kind="kernel_error",
+                       probability=1.0, runs=(1,))],
+            seed=7,
+        )
+        tracer = trace_mod.Tracer()
+        with trace_mod.use_tracer(tracer):
+            res = self._campaign(
+                steal_exp,
+                ScheduleController(seed=7, policy="random", births=(1,)),
+                size=2, plan=plan)
+        assert res.degraded
+        assert res.quarantined_runs == (1,)
+        assert res.extras["stealing"]["births"] == 1
+        cells = self._completed_cells(tracer.records)
+        # no cell ever completes twice, quarantine and birth included
+        assert all(n == 1 for n in cells.values()), cells
+        # every cell of the surviving runs is present
+        assert self._cells_of((0, 2)) <= set(cells)
+        # run 1's binmd cells never complete (dropped, not lost)
+        assert not any(
+            run == 1 and stage == "binmd" for run, stage, _ in cells
+        )

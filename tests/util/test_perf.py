@@ -320,3 +320,44 @@ class TestKernelStats:
         assert perf._si(2.5e6) == "2.50M"
         assert perf._si(3.0e9) == "3.00G"
         assert perf._si(12.0) == "12.0"
+
+
+class TestStealSummary:
+    """Per-rank attribution of the stealing executor's task spans."""
+
+    @staticmethod
+    def _records():
+        return [
+            _span("steal:binmd", 1, 2.0,
+                  {"kind": "steal_task", "exec_rank": 0, "completed": True}),
+            _span("steal:mdnorm", 2, 1.0,
+                  {"kind": "steal_task", "exec_rank": 0, "completed": True}),
+            _span("steal:binmd", 3, 0.5,
+                  {"kind": "steal", "exec_rank": 1, "owner": 0,
+                   "victim": 0, "stolen": True, "completed": True}),
+            _span("steal:binmd", 4, 0.5,
+                  {"kind": "steal_task", "exec_rank": 1, "completed": False}),
+            # non-stealing spans must be invisible to the rollup
+            _span("kernel:binmd", 5, 9.0, {"kind": "kernel"}),
+            {"type": "counter", "name": "steals", "value": 1.0},
+        ]
+
+    def test_rolls_up_per_rank(self):
+        s = perf.steal_summary(self._records())
+        assert sorted(s) == [0, 1]
+        assert s[0]["tasks"] == 2.0 and s[0]["stolen"] == 0.0
+        assert s[0]["task_seconds"] == pytest.approx(3.0)
+        assert s[1]["tasks"] == 2.0 and s[1]["stolen"] == 1.0
+        assert s[1]["stolen_seconds"] == pytest.approx(0.5)
+        assert s[1]["incomplete"] == 1.0
+
+    def test_table_renders_share_and_totals(self):
+        text = perf.steal_table(perf.steal_summary(self._records()))
+        assert "elastic stealing" in text
+        lines = text.splitlines()
+        assert any(line.strip().startswith("0") for line in lines)
+        assert "50.0%" in text  # rank 1: 0.5 stolen of 1.0 busy seconds
+
+    def test_empty_trace_degrades_gracefully(self):
+        assert perf.steal_summary([]) == {}
+        assert "no stealing-executor spans" in perf.steal_table({})

@@ -50,6 +50,7 @@ from repro.core.hist3 import Hist3
 from repro.nexus.h5lite import CorruptFileError, File, H5LiteError
 from repro.util import atomic_io
 from repro.util import trace as _trace
+from repro.util.cancel import CancelToken
 from repro.util.faults import RetryPolicy
 from repro.util.validation import ReproError, require
 
@@ -288,6 +289,21 @@ class CheckpointManager:
             self._write_manifest()
         _trace.active_tracer().count("checkpoint.quarantine")
 
+    def clear_quarantine(self) -> List[int]:
+        """Durably drop every quarantine record (completed runs stay).
+
+        A *new* campaign attempt calls this so runs quarantined by a
+        previous attempt (e.g. under an injected fault plan) are retried
+        rather than inherited; returns the run indices that were
+        cleared.
+        """
+        with self._lock:
+            cleared = sorted(int(k) for k in self._manifest["quarantined"])
+            if cleared:
+                self._manifest["quarantined"] = {}
+                self._write_manifest()
+        return cleared
+
     def mark_campaign_complete(self, text: str = "") -> None:
         """Write the COMPLETE sentinel once the final reduce happened."""
         atomic_io.mark_complete(self.directory, text)
@@ -323,3 +339,9 @@ class RecoveryConfig:
     #: exception types treated as retryable (None = defaults:
     #: OSError / H5LiteError / InjectedKernelError)
     retryable: Optional[Tuple[type, ...]] = None
+    #: cooperative cancellation / deadline for the whole campaign: the
+    #: recovering loop checks it between durable units of work, so a
+    #: cancelled or expired campaign always stops checkpointed and
+    #: resumable (see :mod:`repro.util.cancel`).  The token's deadline
+    #: also caps every per-run retry backoff (deadline propagation).
+    cancel: Optional[CancelToken] = None

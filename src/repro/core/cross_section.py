@@ -47,6 +47,8 @@ from repro.nexus.corrections import FluxSpectrum
 from repro.util import faults as _faults
 from repro.util import monitor as _monitor
 from repro.util import trace as _trace
+from repro.util import cancel as _cancel
+from repro.util.cancel import CancelledError
 from repro.util.timers import StageTimings
 from repro.util.validation import ValidationError, require
 
@@ -554,12 +556,19 @@ def _compute_cross_section_recovering(
             # a corrupt read may have seeded the cache from bad bytes
             cache.invalidate(f"run:{i}")
 
+        # deadline propagation: a campaign deadline caps every per-run
+        # retry backoff, so retries never sleep past the cancel token
+        retry_kwargs: Dict[str, Any] = {}
+        if recovery.cancel is not None and recovery.cancel.deadline is not None:
+            retry_kwargs["deadline"] = recovery.cancel.deadline
+            retry_kwargs["clock"] = recovery.cancel.clock
         scratch_b, scratch_m = _faults.retry_call(
             attempt,
             site=f"run[{i}]",
             policy=recovery.retry,
             retryable=recovery.retryable,
             on_retry=on_retry,
+            **retry_kwargs,
         )
         return scratch_b, scratch_m, attempts_used[0]
 
@@ -642,9 +651,18 @@ def _compute_cross_section_recovering(
         mpi_size=int(comm.size),
         recovery=True,
         **({"n_shards": int(shards.n_shards)} if shards is not None else {}),
-    ), timings.stage("Total"):
+    ), timings.stage("Total"), _cancel.cancel_scope(recovery.cancel):
         crashed = False
         for pos, i in enumerate(my_runs):
+            # cooperative cancellation between durable units: every run
+            # completed so far is already checkpointed, so stopping here
+            # leaves the campaign resumable bit-identically
+            if recovery.cancel is not None:
+                try:
+                    recovery.cancel.check(f"campaign (before run {i})")
+                except CancelledError:
+                    tracer.count("campaign.cancelled")
+                    raise
             try:
                 process_run(i)
             except _faults.RankCrashError:
@@ -682,6 +700,14 @@ def _compute_cross_section_recovering(
                 takeover = [r for idx, r in enumerate(backlog)
                             if idx % len(alive) == pos_in_alive]
                 for i in takeover:
+                    if recovery.cancel is not None:
+                        try:
+                            recovery.cancel.check(
+                                f"campaign (before takeover run {i})"
+                            )
+                        except CancelledError:
+                            tracer.count("campaign.cancelled")
+                            raise
                     # a crash here is a double fault: fail loudly
                     process_run(i)
 

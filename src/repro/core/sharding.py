@@ -76,6 +76,7 @@ from repro.mpi.decomposition import (
 from repro.nexus.corrections import FluxSpectrum
 from repro.nexus.events import EventTable
 from repro.nexus.tiles import LazyEventTable, read_window
+from repro.util import cancel as _cancel
 from repro.util import faults as _faults
 from repro.util import trace as _trace
 from repro.util.validation import require
@@ -224,6 +225,7 @@ def _run_shards(
     tracer = _trace.active_tracer()
     track_errors = getattr(hist, "flat_error_sq", None) is not None
     fault_site = f"shard.{op_name}"
+    cancel = _cancel.current_cancel()
 
     with tracer.span(
         f"{op_name}.shards",
@@ -241,6 +243,10 @@ def _run_shards(
             rec = RecordingHist3(hist.grid, track_errors)
             inline_ctx = Captures(**{**vars(captures), "hist": rec})
             for s, (a, b) in enumerate(ranges):
+                if cancel is not None:
+                    # between shards: deposits so far are discarded and
+                    # the whole run recomputes on resume (bit-identical)
+                    cancel.check(f"{op_name} shard fan-out")
                 with tracer.span(
                     f"shard:{op_name}", kind="shard", shard=int(s),
                     lanes=int(n_outer * (b - a)),
@@ -254,6 +260,11 @@ def _run_shards(
                 if on_shard is not None:
                     on_shard(s, n_ranges)
         else:
+            # the pooled path checks once before dispatch: cancelling
+            # mid-collection would tear down the shared transport while
+            # workers still map it, so in-flight shards run to completion
+            if cancel is not None:
+                cancel.check(f"{op_name} shard fan-out")
             transport = _Transport(captures)
             try:
                 tasks = [

@@ -1,0 +1,185 @@
+"""The service's job model: specs, lifecycle states, cost estimates.
+
+A *job* is one whole reduction campaign (a :class:`WorkflowConfig`)
+owned by a *tenant* (a beamline, a user, a CI lane).  Jobs move through
+the lifecycle
+
+    ``queued -> admitted -> running -> {done, cancelled, expired,
+    quarantined}``
+
+and every transition is stamped (injectable clock) and traced.  Two
+derived quantities drive the rest of the service:
+
+* :func:`workflow_digest` — the content address of the campaign's
+  configuration (inputs + grid + symmetry + backend), built on the
+  PR 3 :func:`repro.core.checkpoint.campaign_digest`.  It keys the
+  result store (dedup/single-flight) **and** binds each job's private
+  checkpoint directory, so a resumed job can never mix histograms from
+  a different configuration.
+* :func:`estimate_job_bytes` — an admission-time traffic estimate from
+  the PR 4 analytic cost model (:func:`repro.util.perf.binmd_work` /
+  :func:`~repro.util.perf.mdnorm_work`), so per-tenant byte quotas act
+  *before* any file is decoded.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.core.checkpoint import campaign_digest
+from repro.core.workflow import WorkflowConfig
+from repro.util.cancel import CancelToken
+from repro.util.faults import FaultPlan
+from repro.util.perf import binmd_work, mdnorm_work
+from repro.util.validation import require
+
+
+class JobState:
+    """Lifecycle states (plain strings so they serialize untouched)."""
+
+    QUEUED = "queued"
+    ADMITTED = "admitted"
+    RUNNING = "running"
+    DONE = "done"
+    CANCELLED = "cancelled"
+    EXPIRED = "expired"
+    QUARANTINED = "quarantined"
+
+    #: states a job can never leave
+    TERMINAL = frozenset({DONE, CANCELLED, EXPIRED, QUARANTINED})
+
+    #: legal transitions (enforced by the scheduler)
+    TRANSITIONS = {
+        QUEUED: frozenset({ADMITTED, CANCELLED}),
+        ADMITTED: frozenset({RUNNING, CANCELLED, EXPIRED, QUARANTINED}),
+        RUNNING: frozenset({DONE, CANCELLED, EXPIRED, QUARANTINED}),
+    }
+
+
+@dataclass
+class JobSpec:
+    """What a tenant submits: the campaign plus scheduling intent."""
+
+    tenant: str
+    config: WorkflowConfig
+    #: higher runs earlier among one tenant's queued jobs
+    priority: int = 0
+    #: wall-clock budget for the whole campaign (None = unbounded);
+    #: expiry cancels cooperatively — the job checkpoints and remains
+    #: resumable
+    timeout_s: Optional[float] = None
+    label: str = ""
+    #: per-job injected faults (chaos tests): scoped to this job's
+    #: worker thread only, so a poisoned job cannot perturb neighbours
+    fault_plan: Optional[FaultPlan] = None
+
+    def __post_init__(self) -> None:
+        require(bool(self.tenant), "job needs a tenant")
+        if self.timeout_s is not None:
+            require(float(self.timeout_s) > 0.0, "timeout_s must be positive")
+
+
+def workflow_digest(config: WorkflowConfig) -> str:
+    """Content address of a campaign configuration.
+
+    Everything that changes the output histograms participates;
+    scheduling knobs (executor, workers, memory budget) deliberately do
+    **not** — the same science submitted with different scheduling is
+    still the same result.
+    """
+    return campaign_digest(
+        md_paths=[os.path.abspath(p) for p in config.md_paths],
+        flux=os.path.abspath(config.flux_path),
+        vanadium=os.path.abspath(config.vanadium_path),
+        instrument=config.instrument.name,
+        grid_bins=list(config.grid.bins),
+        grid_min=list(config.grid.minimum),
+        grid_max=list(config.grid.maximum),
+        point_group=config.point_group.name,
+        backend=config.backend or "default",
+        sort_impl=config.sort_impl,
+    )
+
+
+#: rough on-disk bytes per stored event (4 float64 columns) used to
+#: back out an event-count estimate from run-file sizes
+_BYTES_PER_EVENT_ON_DISK = 32.0
+
+#: nominal padded intersection-buffer width for the admission estimate
+#: (the real pre-pass bound is data-dependent; admission only needs the
+#: order of magnitude)
+_NOMINAL_WIDTH = 8
+
+
+def estimate_job_bytes(config: WorkflowConfig) -> int:
+    """Admission-time estimate of the campaign's memory/IO traffic.
+
+    Sums the PR 4 cost model over the runs (events backed out of the
+    run-file sizes) plus the output histograms.  Deliberately cheap: no
+    file is opened, only ``stat``\\ ed.
+    """
+    n_ops = config.point_group.order
+    n_det = config.instrument.n_pixels
+    total = 0.0
+    for path in config.md_paths:
+        try:
+            size = os.path.getsize(path)
+        except OSError:
+            size = 0
+        n_events = max(int(size / _BYTES_PER_EVENT_ON_DISK), 1)
+        b = binmd_work(n_ops, n_events)
+        m = mdnorm_work(n_ops, n_det, _NOMINAL_WIDTH)
+        total += (b["bytes_read"] + b["bytes_written"]
+                  + m["bytes_read"] + m["bytes_written"])
+    n_bins = 1
+    for nb in config.grid.bins:
+        n_bins *= int(nb)
+    total += 3 * 8.0 * n_bins  # binmd + error + mdnorm accumulators
+    return int(total)
+
+
+@dataclass
+class Job:
+    """One submitted campaign inside the service (scheduler-owned).
+
+    All mutation happens under the scheduler's lock; readers get
+    snapshots via :meth:`as_dict`.
+    """
+
+    id: str
+    spec: JobSpec
+    digest: str
+    est_bytes: int
+    seq: int
+    state: str = JobState.QUEUED
+    cancel: CancelToken = field(default_factory=CancelToken)
+    #: state -> wall-clock stamp of when the job entered it
+    timestamps: Dict[str, float] = field(default_factory=dict)
+    error: str = ""
+    #: result summary once terminal (totals, store path, cache/coalesce
+    #: provenance, quarantined runs)
+    result: Optional[Dict[str, Any]] = None
+
+    @property
+    def tenant(self) -> str:
+        return self.spec.tenant
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in JobState.TERMINAL
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "id": self.id,
+            "tenant": self.tenant,
+            "label": self.spec.label,
+            "digest": self.digest,
+            "est_bytes": int(self.est_bytes),
+            "priority": int(self.spec.priority),
+            "state": self.state,
+            "timestamps": dict(self.timestamps),
+            "error": self.error,
+            "result": dict(self.result) if self.result else None,
+        }

@@ -1,0 +1,239 @@
+"""Admission control + fair-share job queue.
+
+Admission happens at submit time, **before** a job consumes anything:
+the queue checks global depth and the tenant's quotas (concurrent jobs
+and estimated bytes, via :func:`repro.service.jobs.estimate_job_bytes`)
+and either admits the job or rejects it with a *structured*
+:class:`AdmissionDecision` — a machine-readable ``code`` plus the
+limits that were hit, so a client can distinguish "back off" from
+"your request can never fit".
+
+Scheduling is fair-share across tenants: the next job to run comes
+from the tenant with the least work currently running, tie-broken by
+priority (descending) then submission order.  A tenant flooding the
+queue therefore delays itself, not its neighbours.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.service.jobs import Job
+from repro.util.validation import require
+
+#: structured rejection codes
+REASON_OK = "ok"
+REASON_QUEUE_FULL = "queue_full"
+REASON_TENANT_JOBS = "tenant_jobs"
+REASON_TENANT_BYTES = "tenant_bytes"
+REASON_DRAINING = "draining"
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant admission limits."""
+
+    #: concurrent non-terminal jobs (queued + running)
+    max_jobs: int = 4
+    #: summed byte estimate of non-terminal jobs (None = unbounded)
+    max_bytes: Optional[int] = None
+
+
+@dataclass
+class AdmissionPolicy:
+    """The service-wide admission configuration."""
+
+    #: total non-terminal jobs across tenants
+    max_queue_depth: int = 64
+    default_quota: TenantQuota = field(default_factory=TenantQuota)
+    #: per-tenant overrides
+    quotas: Dict[str, TenantQuota] = field(default_factory=dict)
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        return self.quotas.get(tenant, self.default_quota)
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The structured outcome of one admission check."""
+
+    admitted: bool
+    code: str
+    detail: str = ""
+    #: the limit values that produced a rejection (empty when admitted)
+    limits: Dict[str, Any] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.admitted
+
+
+class JobQueue:
+    """Thread-safe admission + fair-share dispatch.
+
+    Accounting covers every *non-terminal* job: a job occupies its
+    tenant's quota from admission until it reaches a terminal state
+    (:meth:`finish` releases it), so quotas bound concurrent load, not
+    submission rate.
+    """
+
+    def __init__(self, policy: Optional[AdmissionPolicy] = None) -> None:
+        self.policy = policy or AdmissionPolicy()
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._pending: List[Job] = []
+        #: tenant -> {job_id: est_bytes} of non-terminal jobs
+        self._active: Dict[str, Dict[str, int]] = {}
+        #: tenant -> number of jobs currently *running*
+        self._running: Dict[str, int] = {}
+        #: ids handed to a worker by :meth:`pop` (they hold a running
+        #: slot until :meth:`finish`)
+        self._dispatched: set = set()
+        self._draining = False
+        self.rejections = 0
+
+    # -- admission --------------------------------------------------------
+    def offer(self, job: Job, *, defer: bool = False) -> AdmissionDecision:
+        """Admit ``job`` into the queue, or reject with a reason.
+
+        With ``defer=True`` the job is admitted (it holds quota) but not
+        yet dispatchable — the caller finishes its own bookkeeping and
+        then calls :meth:`enqueue`.  This closes the race where a worker
+        pops a job before the submitter has recorded its admission.
+        """
+        with self._lock:
+            decision = self._admit_locked(job)
+            if decision.admitted:
+                self._active.setdefault(job.tenant, {})[job.id] = int(
+                    job.est_bytes
+                )
+                if not defer:
+                    self._pending.append(job)
+                    self._ready.notify()
+            else:
+                self.rejections += 1
+            return decision
+
+    def enqueue(self, job: Job) -> None:
+        """Make a deferred-admitted job dispatchable."""
+        with self._lock:
+            self._pending.append(job)
+            self._ready.notify()
+
+    def _admit_locked(self, job: Job) -> AdmissionDecision:
+        if self._draining:
+            return AdmissionDecision(
+                False, REASON_DRAINING,
+                "service is draining; not accepting new jobs",
+            )
+        depth = sum(len(jobs) for jobs in self._active.values())
+        if depth >= self.policy.max_queue_depth:
+            return AdmissionDecision(
+                False, REASON_QUEUE_FULL,
+                f"queue depth {depth} is at the limit",
+                limits={"max_queue_depth": self.policy.max_queue_depth,
+                        "queue_depth": depth},
+            )
+        quota = self.policy.quota_for(job.tenant)
+        mine = self._active.get(job.tenant, {})
+        if len(mine) >= quota.max_jobs:
+            return AdmissionDecision(
+                False, REASON_TENANT_JOBS,
+                f"tenant {job.tenant!r} already has {len(mine)} "
+                f"concurrent jobs",
+                limits={"max_jobs": quota.max_jobs, "jobs": len(mine)},
+            )
+        if quota.max_bytes is not None:
+            used = sum(mine.values())
+            if used + int(job.est_bytes) > quota.max_bytes:
+                return AdmissionDecision(
+                    False, REASON_TENANT_BYTES,
+                    f"tenant {job.tenant!r} byte quota exceeded "
+                    f"({used} + {job.est_bytes} > {quota.max_bytes})",
+                    limits={"max_bytes": quota.max_bytes,
+                            "bytes_in_flight": used,
+                            "est_bytes": int(job.est_bytes)},
+                )
+        return AdmissionDecision(True, REASON_OK)
+
+    # -- dispatch ---------------------------------------------------------
+    def pop(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """The next job by fair share (blocks up to ``timeout``)."""
+        with self._ready:
+            if not self._pending:
+                self._ready.wait(timeout)
+            if not self._pending:
+                return None
+            job = self._pick_locked()
+            self._pending.remove(job)
+            self._running[job.tenant] = self._running.get(job.tenant, 0) + 1
+            self._dispatched.add(job.id)
+            return job
+
+    def _pick_locked(self) -> Job:
+        # least running work first (fair share), then priority desc,
+        # then submission order
+        def key(job: Job):
+            return (
+                self._running.get(job.tenant, 0),
+                -int(job.spec.priority),
+                job.seq,
+            )
+
+        return min(self._pending, key=key)
+
+    def remove(self, job: Job) -> bool:
+        """Pull a still-queued job out (cancellation before dispatch)."""
+        with self._lock:
+            try:
+                self._pending.remove(job)
+            except ValueError:
+                return False
+            return True
+
+    def finish(self, job: Job) -> None:
+        """Release the job's quota share (terminal state reached)."""
+        require(job.terminal, f"job {job.id} is not terminal ({job.state})")
+        with self._lock:
+            mine = self._active.get(job.tenant)
+            if mine is not None:
+                mine.pop(job.id, None)
+                if not mine:
+                    self._active.pop(job.tenant, None)
+            # only jobs that actually dispatched hold a running slot
+            if job.id in self._dispatched:
+                self._dispatched.discard(job.id)
+                n = self._running.get(job.tenant, 0)
+                if n > 0:
+                    self._running[job.tenant] = n - 1
+
+    # -- introspection ----------------------------------------------------
+    def depth(self) -> int:
+        """Jobs waiting for a worker (not yet running)."""
+        with self._lock:
+            return len(self._pending)
+
+    def active_jobs(self) -> int:
+        """All non-terminal jobs (queued + running)."""
+        with self._lock:
+            return sum(len(jobs) for jobs in self._active.values())
+
+    def tenant_load(self) -> Dict[str, Dict[str, int]]:
+        with self._lock:
+            return {
+                t: {"jobs": len(jobs), "bytes": sum(jobs.values())}
+                for t, jobs in self._active.items()
+            }
+
+    # -- drain ------------------------------------------------------------
+    def drain(self) -> None:
+        """Stop admitting; queued jobs still dispatch."""
+        with self._lock:
+            self._draining = True
+            self._ready.notify_all()
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining

@@ -1,0 +1,244 @@
+"""File-spool front end: ``repro serve / submit / cancel / status``.
+
+The service's wire protocol is a directory, not a socket — CI-friendly,
+zero dependencies, and every message is atomic:
+
+* ``<spool>/tickets/<id>.json`` — a submission (tenant + workload +
+  scheduling intent), written atomically by ``repro submit``;
+* ``<spool>/cancel/<id>`` — a cancel marker (`repro cancel`);
+* ``<spool>/status.json`` — the server's view (job states, queue
+  depth, store stats), atomically rewritten on every change;
+* ``<spool>/metrics.prom`` — the OpenMetrics health exposition.
+
+``serve_spool`` runs the polling loop: it turns tickets into
+:class:`~repro.service.jobs.JobSpec` submissions (synthesizing/reusing
+the named workload exactly like ``repro reduce``), applies cancel
+markers, republishes status, and exits once the spool has been idle
+for ``idle_exit_s`` (or runs forever without it).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from typing import Any, Dict, Optional
+
+from repro.util import atomic_io
+from repro.util.validation import ReproError
+
+TICKETS_DIR = "tickets"
+CANCEL_DIR = "cancel"
+STATUS_NAME = "status.json"
+METRICS_NAME = "metrics.prom"
+
+
+class SpoolError(ReproError):
+    """Malformed ticket or unreadable spool."""
+
+
+def _ensure(spool: str) -> None:
+    os.makedirs(os.path.join(spool, TICKETS_DIR), exist_ok=True)
+    os.makedirs(os.path.join(spool, CANCEL_DIR), exist_ok=True)
+
+
+def submit_ticket(spool: str, payload: Dict[str, Any]) -> str:
+    """Atomically drop a submission ticket; returns the ticket id."""
+    if "tenant" not in payload or not payload["tenant"]:
+        raise SpoolError("ticket needs a tenant")
+    _ensure(spool)
+    ticket_id = payload.get("id") or f"t-{uuid.uuid4().hex[:12]}"
+    payload = dict(payload, id=ticket_id)
+    path = os.path.join(spool, TICKETS_DIR, f"{ticket_id}.json")
+    atomic_io.atomic_write_text(
+        path, json.dumps(payload, indent=1, sort_keys=True) + "\n"
+    )
+    return ticket_id
+
+
+def request_cancel(spool: str, job_or_ticket_id: str) -> str:
+    """Drop a cancel marker for a ticket or job id."""
+    _ensure(spool)
+    path = os.path.join(spool, CANCEL_DIR, job_or_ticket_id)
+    atomic_io.atomic_write_text(path, "cancel\n")
+    return path
+
+
+def read_status(spool: str) -> Dict[str, Any]:
+    """The server's last published status (empty dict before the first
+    publish)."""
+    path = os.path.join(spool, STATUS_NAME)
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except FileNotFoundError:
+        return {}
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SpoolError(f"unreadable status file {path}: {exc}") from exc
+
+
+def _read_tickets(spool: str) -> Dict[str, Dict[str, Any]]:
+    tdir = os.path.join(spool, TICKETS_DIR)
+    out: Dict[str, Dict[str, Any]] = {}
+    if not os.path.isdir(tdir):
+        return out
+    for name in sorted(os.listdir(tdir)):
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(tdir, name)
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            continue  # torn/foreign file; ignore (writes are atomic)
+        ticket_id = doc.get("id") or name[: -len(".json")]
+        out[ticket_id] = doc
+    return out
+
+
+def _cancel_markers(spool: str) -> list:
+    cdir = os.path.join(spool, CANCEL_DIR)
+    if not os.path.isdir(cdir):
+        return []
+    return sorted(os.listdir(cdir))
+
+
+def _spec_from_ticket(doc: Dict[str, Any], workload_cache: Dict[str, Any]):
+    """Build a JobSpec from a ticket (synthesized named workloads)."""
+    from repro.bench.workloads import benzil_corelli, bixbyite_topaz, build_workload
+    from repro.core.workflow import WorkflowConfig
+    from repro.service.jobs import JobSpec
+    from repro.util.faults import FaultPlan
+
+    workload = doc.get("workload", "benzil")
+    if workload not in ("benzil", "bixbyite"):
+        raise SpoolError(f"ticket {doc.get('id')}: unknown workload "
+                         f"{workload!r}")
+    key = json.dumps(
+        [workload, doc.get("scale"), doc.get("files"),
+         doc.get("chunk_events")],
+        sort_keys=True,
+    )
+    data = workload_cache.get(key)
+    if data is None:
+        make_spec = benzil_corelli if workload == "benzil" else bixbyite_topaz
+        spec = make_spec(
+            scale=doc.get("scale"),
+            n_files=doc.get("files"),
+            chunk_events=doc.get("chunk_events"),
+        )
+        data = workload_cache[key] = build_workload(spec)
+    fault_plan = None
+    if doc.get("faults"):
+        fault_plan = FaultPlan.from_json(doc["faults"])
+    config = WorkflowConfig(
+        md_paths=data.md_paths,
+        flux_path=data.flux_path,
+        vanadium_path=data.vanadium_path,
+        instrument=data.instrument,
+        grid=data.grid,
+        point_group=data.point_group,
+        backend=doc.get("backend"),
+        shards=doc.get("shards"),
+        executor=doc.get("executor"),
+    )
+    return JobSpec(
+        tenant=str(doc["tenant"]),
+        config=config,
+        priority=int(doc.get("priority", 0)),
+        timeout_s=doc.get("timeout_s"),
+        label=str(doc.get("label", "") or doc.get("id", "")),
+        fault_plan=fault_plan,
+    )
+
+
+def _publish(spool: str, service, ticket_to_job: Dict[str, str],
+             rejected: Dict[str, Dict[str, Any]]) -> None:
+    status = service.status()
+    status["tickets"] = dict(ticket_to_job)
+    status["rejected"] = dict(rejected)
+    atomic_io.atomic_write_text(
+        os.path.join(spool, STATUS_NAME),
+        json.dumps(status, indent=1, sort_keys=True, default=str) + "\n",
+    )
+    atomic_io.atomic_write_text(
+        os.path.join(spool, METRICS_NAME), service.metrics()
+    )
+
+
+def serve_spool(
+    spool: str,
+    root: Optional[str] = None,
+    *,
+    policy=None,
+    workers: int = 2,
+    poll_s: float = 0.2,
+    idle_exit_s: Optional[float] = None,
+    max_loops: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Run the spool server until idle/stopped; returns final status."""
+    from repro.service.scheduler import CampaignService
+
+    _ensure(spool)
+    service = CampaignService(
+        root=root or os.path.join(spool, "service"),
+        policy=policy,
+        workers=workers,
+    )
+    ticket_to_job: Dict[str, str] = {}
+    rejected: Dict[str, Dict[str, Any]] = {}
+    cancelled_markers: set = set()
+    workload_cache: Dict[str, Any] = {}
+    idle_since: Optional[float] = None
+    loops = 0
+    with service:
+        while True:
+            loops += 1
+            progressed = False
+            for ticket_id, doc in _read_tickets(spool).items():
+                if ticket_id in ticket_to_job or ticket_id in rejected:
+                    continue
+                progressed = True
+                try:
+                    spec = _spec_from_ticket(doc, workload_cache)
+                except (SpoolError, ReproError, KeyError, ValueError) as exc:
+                    rejected[ticket_id] = {
+                        "code": "bad_ticket", "detail": str(exc)
+                    }
+                    continue
+                job, decision = service.submit(spec)
+                if decision.admitted:
+                    ticket_to_job[ticket_id] = job.id
+                else:
+                    rejected[ticket_id] = {
+                        "code": decision.code,
+                        "detail": decision.detail,
+                        "limits": dict(decision.limits),
+                    }
+            for marker in _cancel_markers(spool):
+                if marker in cancelled_markers:
+                    continue
+                job_id = ticket_to_job.get(marker, marker)
+                try:
+                    service.cancel(job_id, reason="spool-cancel")
+                except ReproError:
+                    continue  # not yet submitted; retry next loop
+                cancelled_markers.add(marker)
+                progressed = True
+            _publish(spool, service, ticket_to_job, rejected)
+            busy = (service.queue.active_jobs() > 0) or progressed
+            now = time.monotonic()
+            if busy:
+                idle_since = None
+            elif idle_since is None:
+                idle_since = now
+            if (idle_exit_s is not None and idle_since is not None
+                    and now - idle_since >= idle_exit_s):
+                break
+            if max_loops is not None and loops >= max_loops:
+                break
+            time.sleep(poll_s)
+        service.drain(cancel_running=False)
+        _publish(spool, service, ticket_to_job, rejected)
+    return read_status(spool)

@@ -358,6 +358,7 @@ class FaultPlan:
 _UNSET = object()
 _plan_lock = threading.Lock()
 _active_plan: Any = _UNSET  # _UNSET -> lazily resolve REPRO_FAULT_PLAN
+_thread_plan = threading.local()
 
 
 def _ambient_from_env() -> Optional[FaultPlan]:
@@ -368,7 +369,14 @@ def _ambient_from_env() -> Optional[FaultPlan]:
 
 
 def active_plan() -> Optional[FaultPlan]:
-    """The plan :func:`fault_point` currently consults (None = none)."""
+    """The plan :func:`fault_point` currently consults (None = none).
+
+    A thread-scoped plan (:func:`thread_fault_plan`) shadows the
+    process-wide one — including shadowing it with ``None``.
+    """
+    override = getattr(_thread_plan, "plan", _UNSET)
+    if override is not _UNSET:
+        return override
     global _active_plan
     with _plan_lock:
         if _active_plan is _UNSET:
@@ -398,11 +406,68 @@ def use_fault_plan(plan: Optional[FaultPlan]):
             _active_plan = prev
 
 
+@contextmanager
+def thread_fault_plan(plan: Optional[FaultPlan]):
+    """Install ``plan`` for the *calling thread only*.
+
+    This is the campaign service's per-job fault scope: each job thread
+    carries its own plan (or ``None``), so a poisoned job cannot inject
+    faults into a neighbor running concurrently in the same process.
+    The thread override shadows the process-wide plan; ``None``
+    explicitly disables injection for the thread even when an ambient
+    plan is installed.
+    """
+    prev = getattr(_thread_plan, "plan", _UNSET)
+    _thread_plan.plan = plan
+    try:
+        yield plan
+    finally:
+        if prev is _UNSET:
+            del _thread_plan.plan
+        else:
+            _thread_plan.plan = prev
+
+
 # ---------------------------------------------------------------------------
-# recovery scope (retry protection) tracking
+# recovery scope (retry protection) + deadline propagation tracking
 # ---------------------------------------------------------------------------
 
 _recovery_ctx = threading.local()
+_deadline_ctx = threading.local()
+
+
+def current_deadline() -> Optional[float]:
+    """The innermost enclosing retry deadline (absolute, on the clock
+    of the :func:`retry_call` that installed it; None = unbounded)."""
+    stack = getattr(_deadline_ctx, "stack", None)
+    return stack[-1] if stack else None
+
+
+@contextmanager
+def deadline_scope(deadline: Optional[float]):
+    """Clamp this thread's retry deadlines to ``deadline`` for a block.
+
+    Scopes nest by *tightening only*: the effective deadline is the
+    minimum of ``deadline`` and any enclosing scope, so an inner
+    :func:`retry_call` — however generous its own policy — can never
+    back off past the budget of the job that contains it.  Yields the
+    effective (clamped) deadline.
+    """
+    stack = getattr(_deadline_ctx, "stack", None)
+    if stack is None:
+        stack = _deadline_ctx.stack = []
+    outer = stack[-1] if stack else None
+    if deadline is None:
+        effective = outer
+    elif outer is None:
+        effective = float(deadline)
+    else:
+        effective = min(outer, float(deadline))
+    stack.append(effective)
+    try:
+        yield effective
+    finally:
+        stack.pop()
 
 
 def in_recovery() -> bool:
@@ -516,6 +581,8 @@ def retry_call(
     retryable: Optional[Tuple[type, ...]] = None,
     on_retry: Optional[Callable[[BaseException, int], None]] = None,
     sleep: Callable[[float], None] = time.sleep,
+    deadline: Optional[float] = None,
+    clock: Callable[[], float] = time.monotonic,
 ) -> Any:
     """Run ``fn(attempt)`` under the retry policy (attempt is 1-based).
 
@@ -525,39 +592,61 @@ def retry_call(
     ``on_retry(exc, attempt)`` runs before each re-attempt (e.g. cache
     invalidation after a corrupt read).  Backoff jitter is drawn from a
     stream seeded by ``site``, so sleep schedules are reproducible.
+
+    Deadline semantics: ``deadline`` is an *absolute* timestamp on
+    ``clock``; the effective deadline is the minimum of it, the
+    policy's relative ``deadline_s`` budget, and any *enclosing*
+    :func:`retry_call` / :func:`deadline_scope` deadline on this thread
+    — so a nested retry's backoff can never overshoot the budget of
+    the call (or job) that contains it.  Backoff sleeps are clamped to
+    the time remaining, and no re-attempt starts past the deadline.
+    ``clock`` is injectable (with ``sleep``) so deadline behaviour is
+    testable without real waiting.
     """
     policy = policy or RetryPolicy()
     if retryable is None:
         retryable = default_retryable()
     tracer = _trace.active_tracer()
     jitter_stream = _LCG(_stream_seed(0xBACC0FF, site, _trace.current_rank()))
-    t_start = time.monotonic()
+    t_start = clock()
+    own_deadline: Optional[float] = deadline
+    if policy.deadline_s is not None:
+        budget = t_start + policy.deadline_s
+        own_deadline = budget if own_deadline is None else min(own_deadline,
+                                                               budget)
     last: Optional[BaseException] = None
-    for attempt in range(1, policy.max_attempts + 1):
-        try:
-            with recovery_scope():
-                with tracer.span("recover.attempt", kind="recovery",
-                                 site=site, attempt=int(attempt)):
-                    return fn(attempt)
-        except RankCrashError:
-            raise  # rank death is never retried in place
-        except retryable as exc:
-            last = exc
-            tracer.count("retry.attempt")
-            tracer.count(f"retry.attempt.{site}")
-            out_of_budget = attempt >= policy.max_attempts or (
-                policy.deadline_s is not None
-                and time.monotonic() - t_start >= policy.deadline_s
-            )
-            if out_of_budget:
-                break
-            if on_retry is not None:
-                on_retry(exc, attempt)
-            delay = policy.delay(attempt, jitter_stream.uniform())
-            if delay > 0.0:
-                with tracer.span("recover.backoff", kind="recovery",
-                                 site=site, delay_s=float(delay)):
-                    sleep(delay)
+    with deadline_scope(own_deadline) as eff_deadline:
+        for attempt in range(1, policy.max_attempts + 1):
+            try:
+                with recovery_scope():
+                    with tracer.span("recover.attempt", kind="recovery",
+                                     site=site, attempt=int(attempt)):
+                        return fn(attempt)
+            except RankCrashError:
+                raise  # rank death is never retried in place
+            except retryable as exc:
+                last = exc
+                tracer.count("retry.attempt")
+                tracer.count(f"retry.attempt.{site}")
+                remaining = (None if eff_deadline is None
+                             else eff_deadline - clock())
+                out_of_budget = attempt >= policy.max_attempts or (
+                    remaining is not None and remaining <= 0.0
+                )
+                if out_of_budget:
+                    break
+                if on_retry is not None:
+                    on_retry(exc, attempt)
+                delay = policy.delay(attempt, jitter_stream.uniform())
+                if remaining is not None:
+                    # never sleep past the effective deadline: the whole
+                    # point of an absolute budget is that an enclosing
+                    # job can rely on it
+                    delay = min(delay, remaining)
+                if delay > 0.0:
+                    with tracer.span("recover.backoff", kind="recovery",
+                                     site=site, delay_s=float(delay)):
+                        sleep(delay)
     tracer.count("retry.exhausted")
     tracer.count(f"retry.exhausted.{site}")
     assert last is not None

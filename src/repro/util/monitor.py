@@ -109,6 +109,7 @@ class CampaignMonitor:
         metrics_path: Optional[str] = None,
         stall_deadline: float = DEFAULT_STALL_DEADLINE,
         clock: Callable[[], float] = time.time,
+        labels: Optional[Dict[str, str]] = None,
     ) -> None:
         self.label = label
         self.metrics_path = metrics_path
@@ -120,6 +121,37 @@ class CampaignMonitor:
         self.world_size = 0
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
+        #: constant labels stamped on every exported sample — the
+        #: campaign service sets ``{"job": ..., "tenant": ...}`` here so
+        #: one scrape distinguishes concurrent jobs
+        self.labels: Dict[str, str] = {
+            str(k): str(v) for k, v in (labels or {}).items()
+        }
+        #: ad-hoc gauges published alongside the campaign metrics
+        #: (e.g. the service's ``service_queue_depth``)
+        self._extra: Dict[
+            Tuple[str, Tuple[Tuple[str, str], ...]], float
+        ] = {}
+
+    def set_gauge(self, name: str, value: float, **labels: str) -> None:
+        """Publish/update an extra gauge ``repro_<name>`` in the
+        exposition (sample-specific labels merge over the constant
+        ones)."""
+        key = (str(name), tuple(sorted(
+            (str(k), str(v)) for k, v in labels.items()
+        )))
+        with self._lock:
+            self._extra[key] = float(value)
+        self._flush()
+
+    def drop_gauge(self, name: str, **labels: str) -> None:
+        """Retract an extra gauge sample (e.g. a job's previous state
+        in an info-style metric)."""
+        key = (str(name), tuple(sorted(
+            (str(k), str(v)) for k, v in labels.items()
+        )))
+        with self._lock:
+            self._extra.pop(key, None)
 
     # -- lifecycle --------------------------------------------------------
     def start_campaign(self, n_runs: int, world_size: int = 1) -> None:
@@ -307,63 +339,95 @@ class CampaignMonitor:
 
     # -- OpenMetrics exposition -------------------------------------------
     def openmetrics(self) -> str:
-        """Prometheus/OpenMetrics text exposition of the snapshot."""
+        """Prometheus/OpenMetrics text exposition of the snapshot.
+
+        Every sample carries the monitor's constant ``labels`` (job /
+        tenant in service mode) merged with sample-specific ones.
+        """
         snap = self.snapshot()
         p = METRIC_PREFIX
         lines: List[str] = []
+
+        def esc(v: object) -> str:
+            return str(v).replace("\\", "\\\\").replace('"', '\\"')
+
+        def labelstr(*pairs: Tuple[str, object]) -> str:
+            merged = dict(self.labels)
+            merged.update({k: str(v) for k, v in pairs})
+            if not merged:
+                return ""
+            body = ",".join(
+                f'{k}="{esc(v)}"' for k, v in sorted(merged.items())
+            )
+            return "{" + body + "}"
 
         def gauge(name: str, help_: str) -> None:
             lines.append(f"# HELP {p}_{name} {help_}")
             lines.append(f"# TYPE {p}_{name} gauge")
 
+        base = labelstr()
         gauge("campaign_runs_total", "runs in this campaign")
-        lines.append(f"{p}_campaign_runs_total {snap['n_runs']}")
+        lines.append(f"{p}_campaign_runs_total{base} {snap['n_runs']}")
         gauge("campaign_runs_completed", "runs completed across ranks")
-        lines.append(f"{p}_campaign_runs_completed {snap['runs_completed']}")
+        lines.append(
+            f"{p}_campaign_runs_completed{base} {snap['runs_completed']}")
         gauge("campaign_runs_quarantined", "runs quarantined (degraded)")
         lines.append(
-            f"{p}_campaign_runs_quarantined {snap['runs_quarantined']}")
+            f"{p}_campaign_runs_quarantined{base} {snap['runs_quarantined']}")
         gauge("campaign_runs_resumed", "runs replayed from checkpoints")
-        lines.append(f"{p}_campaign_runs_resumed {snap['runs_resumed']}")
+        lines.append(
+            f"{p}_campaign_runs_resumed{base} {snap['runs_resumed']}")
         gauge("campaign_steals", "shard tasks stolen across ranks")
-        lines.append(f"{p}_campaign_steals {snap['steals']}")
+        lines.append(f"{p}_campaign_steals{base} {snap['steals']}")
         gauge("campaign_events_processed", "events processed across ranks")
         lines.append(
-            f"{p}_campaign_events_processed {snap['events_processed']:.17g}")
+            f"{p}_campaign_events_processed{base} "
+            f"{snap['events_processed']:.17g}")
         eta = snap["eta_seconds"]
         gauge("campaign_eta_seconds", "estimated seconds to completion")
         lines.append(
-            f"{p}_campaign_eta_seconds "
+            f"{p}_campaign_eta_seconds{base} "
             f"{eta if eta is not None else 'NaN'}")
         gauge("campaign_stalled_ranks", "ranks past the stall deadline")
         lines.append(
-            f"{p}_campaign_stalled_ranks {len(snap['stalled_ranks'])}")
+            f"{p}_campaign_stalled_ranks{base} {len(snap['stalled_ranks'])}")
 
         gauge("rank_runs_completed", "runs completed by rank")
         for r in snap["ranks"]:
             lines.append(
-                f"{p}_rank_runs_completed{{rank=\"{r['rank']}\"}} "
+                f"{p}_rank_runs_completed{labelstr(('rank', r['rank']))} "
                 f"{r['runs_completed']}")
         gauge("rank_steals", "shard tasks stolen by rank")
         for r in snap["ranks"]:
             lines.append(
-                f"{p}_rank_steals{{rank=\"{r['rank']}\"}} {r['steals']}")
+                f"{p}_rank_steals{labelstr(('rank', r['rank']))} "
+                f"{r['steals']}")
         gauge("rank_events_processed", "events processed by rank")
         for r in snap["ranks"]:
             lines.append(
-                f"{p}_rank_events_processed{{rank=\"{r['rank']}\"}} "
+                f"{p}_rank_events_processed{labelstr(('rank', r['rank']))} "
                 f"{r['events_processed']:.17g}")
         gauge("rank_last_progress_timestamp", "unix time of last progress")
         for r in snap["ranks"]:
             lines.append(
-                f"{p}_rank_last_progress_timestamp{{rank=\"{r['rank']}\"}} "
+                f"{p}_rank_last_progress_timestamp"
+                f"{labelstr(('rank', r['rank']))} "
                 f"{r['last_progress']:.6f}")
         gauge("rank_info", "rank status/site (value is always 1)")
         for r in snap["ranks"]:
-            site = str(r["current_site"]).replace("\\", "\\\\").replace('"', '\\"')
             lines.append(
-                f"{p}_rank_info{{rank=\"{r['rank']}\","
-                f"status=\"{r['status']}\",site=\"{site}\"}} 1")
+                f"{p}_rank_info"
+                f"{labelstr(('rank', r['rank']), ('status', r['status']), ('site', r['current_site']))}"
+                f" 1")
+
+        with self._lock:
+            extra = dict(self._extra)
+        seen: set = set()
+        for (name, pairs), value in sorted(extra.items()):
+            if name not in seen:
+                gauge(name, "service-published gauge")
+                seen.add(name)
+            lines.append(f"{p}_{name}{labelstr(*pairs)} {value:.17g}")
         lines.append("# EOF")
         return "\n".join(lines) + "\n"
 
@@ -432,9 +496,18 @@ DISABLED = NullMonitor()
 _active_lock = threading.Lock()
 _active: CampaignMonitor = DISABLED
 
+#: thread-local override: service jobs run in worker threads, and each
+#: job's loop must report into *its own* monitor, not a process global
+_thread_override = threading.local()
+
 
 def active_monitor() -> CampaignMonitor:
-    """The monitor the reduction loop currently reports into."""
+    """The monitor the reduction loop currently reports into (a
+    thread-local override installed by :func:`thread_monitor` shadows
+    the process-wide one)."""
+    override = getattr(_thread_override, "monitor", None)
+    if override is not None:
+        return override
     return _active
 
 
@@ -444,6 +517,19 @@ def set_monitor(monitor: Optional[CampaignMonitor]) -> CampaignMonitor:
     with _active_lock:
         _active = monitor if monitor is not None else DISABLED
         return _active
+
+
+@contextmanager
+def thread_monitor(monitor: CampaignMonitor) -> Iterator[CampaignMonitor]:
+    """Install ``monitor`` for the *current thread only* (per-job
+    isolation in the campaign service); restores the previous override
+    on exit."""
+    prev = getattr(_thread_override, "monitor", None)
+    _thread_override.monitor = monitor
+    try:
+        yield monitor
+    finally:
+        _thread_override.monitor = prev
 
 
 @contextmanager
@@ -508,7 +594,11 @@ def watch_report(path: str) -> str:
 
     def scalar(name: str, default: float = 0.0) -> float:
         table = metrics.get(f"{METRIC_PREFIX}_{name}", {})
-        return table.get((), default)
+        if () in table:
+            return table[()]
+        if len(table) == 1:  # constant job/tenant labels, still one sample
+            return next(iter(table.values()))
+        return default
 
     now = time.time()
     total = scalar("campaign_runs_total")

@@ -1,7 +1,9 @@
 """Checkpoint manifest + per-run delta persistence."""
 
 import json
+import multiprocessing
 import os
+import threading
 
 import numpy as np
 import pytest
@@ -173,6 +175,181 @@ class TestCorruptionDetection:
         ck = CheckpointManager(tmp_path / "ck")
         with pytest.raises(CheckpointError):
             ck.load_run(3, grid)
+
+
+def _mp_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        return multiprocessing.get_context()
+
+
+def _job_grid():
+    return HKLGrid(basis=np.eye(3), minimum=(-1, -1, -1),
+                   maximum=(1, 1, 1), bins=(3, 3, 2))
+
+
+def _job_seed(job):
+    # stable across processes (hash() is salted per interpreter)
+    return 100 * (sum(map(ord, job)) % 97)
+
+
+def _job_worker(root, job, digest, runs):
+    """Process entry point: one job writing its own checkpoint dir."""
+    grid = _job_grid()
+    ck = CheckpointManager(os.path.join(root, job, "ckpt"),
+                           config_digest=digest)
+    for i in runs:
+        binmd, mdnorm = _delta(grid, _job_seed(job) + i)
+        ck.save_run(i, binmd, mdnorm)
+    ck.mark_campaign_complete(job + "\n")
+
+
+def _complete_worker(directory, text):
+    atomic_io.mark_complete(directory, text)
+
+
+class TestConcurrentManagers:
+    """Concurrent checkpoint use under the multi-tenant service layout.
+
+    One store root holds many per-job checkpoint directories; a single
+    manager may also be driven from several threads at once.  These
+    tests pin the invariants the campaign service leans on: manifest
+    updates are serialised, sibling jobs never cross-contaminate, and
+    the COMPLETE sentinel appears atomically.
+    """
+
+    def test_threaded_saves_on_one_manager(self, tmp_path, grid):
+        ck = CheckpointManager(tmp_path / "ck", config_digest="cfg")
+        n = 8
+        errors = []
+
+        def save(i):
+            try:
+                binmd, mdnorm = _delta(grid, i)
+                ck.save_run(i, binmd, mdnorm)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=save, args=(i,))
+                   for i in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        again = CheckpointManager(tmp_path / "ck", config_digest="cfg")
+        assert again.completed_runs() == list(range(n))
+        for i in range(n):
+            delta = again.load_run(i, grid)  # digest-verified
+            assert np.array_equal(delta.binmd_signal, _delta(grid, i)[0].signal)
+
+    def test_sibling_jobs_stay_isolated(self, tmp_path, grid):
+        root = tmp_path / "store"
+        jobs = {"job-a": "digest-a", "job-b": "digest-b"}
+        managers = {
+            name: CheckpointManager(root / name / "ckpt", config_digest=dig)
+            for name, dig in jobs.items()
+        }
+
+        def drive(name, base):
+            ck = managers[name]
+            for i in range(4):
+                binmd, mdnorm = _delta(grid, base + i)
+                ck.save_run(i, binmd, mdnorm)
+
+        threads = [threading.Thread(target=drive, args=(n, b))
+                   for n, b in (("job-a", 10), ("job-b", 50))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        for name, base in (("job-a", 10), ("job-b", 50)):
+            again = CheckpointManager(root / name / "ckpt",
+                                      config_digest=jobs[name])
+            assert again.completed_runs() == [0, 1, 2, 3]
+            d = again.load_run(2, grid)
+            assert np.array_equal(d.binmd_signal, _delta(grid, base + 2)[0].signal)
+        # digest binding: reopening one job's dir as the other campaign fails
+        with pytest.raises(CheckpointMismatchError):
+            CheckpointManager(root / "job-a" / "ckpt",
+                              config_digest="digest-b")
+
+    def test_complete_marker_atomic_under_thread_race(self, tmp_path):
+        path = tmp_path / "ck"
+        ck = CheckpointManager(path, config_digest="cfg")
+        observed = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                if ck.campaign_complete:
+                    marker = path / "COMPLETE"
+                    observed.append(marker.read_text())
+
+        watcher = threading.Thread(target=reader)
+        watcher.start()
+        writers = [
+            threading.Thread(target=ck.mark_campaign_complete,
+                             args=(f"writer-{i}\n",))
+            for i in range(6)
+        ]
+        for t in writers:
+            t.start()
+        for t in writers:
+            t.join()
+        stop.set()
+        watcher.join()
+        assert ck.campaign_complete
+        # every observation is a whole message from exactly one writer
+        valid = {f"writer-{i}\n" for i in range(6)}
+        assert observed, "reader never saw the sentinel"
+        assert set(observed) <= valid
+
+    def test_process_jobs_share_store_root(self, tmp_path):
+        ctx = _mp_context()
+        root = str(tmp_path / "store")
+        jobs = {"job-a": "digest-a", "job-b": "digest-b", "job-c": "digest-c"}
+        procs = [
+            ctx.Process(target=_job_worker,
+                        args=(root, name, dig, list(range(3))))
+            for name, dig in jobs.items()
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+        grid = _job_grid()
+        for name, dig in jobs.items():
+            jobdir = os.path.join(root, name, "ckpt")
+            ck = CheckpointManager(jobdir, config_digest=dig)
+            assert ck.completed_runs() == [0, 1, 2]
+            assert ck.campaign_complete
+            for i in range(3):
+                want = _delta(grid, _job_seed(name) + i)[0].signal
+                assert np.array_equal(ck.load_run(i, grid).binmd_signal, want)
+            with pytest.raises(CheckpointMismatchError):
+                CheckpointManager(jobdir, config_digest="somebody-else")
+
+    def test_process_complete_marker_race(self, tmp_path):
+        ctx = _mp_context()
+        directory = str(tmp_path / "shared")
+        os.makedirs(directory)
+        procs = [
+            ctx.Process(target=_complete_worker,
+                        args=(directory, f"proc-{i}\n"))
+            for i in range(4)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+        assert atomic_io.is_complete(directory)
+        text = (tmp_path / "shared" / "COMPLETE").read_text()
+        assert text in {f"proc-{i}\n" for i in range(4)}
 
 
 class TestRecoveryConfig:

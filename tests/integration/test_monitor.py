@@ -352,3 +352,59 @@ class TestMonitorPlumbing:
         snap = mon.snapshot()
         assert snap["runs_completed"] == 8 * 50
         assert snap["events_processed"] == 400.0
+
+
+class TestServiceLabels:
+    """PR 8 extensions: constant labels, extra gauges, thread scoping."""
+
+    def test_constant_labels_on_every_sample(self):
+        mon = CampaignMonitor(labels={"job": "job-00001", "tenant": "hb2c"})
+        mon.start_campaign(4, 1)
+        mon.run_completed(0, 0, events=10.0)
+        parsed = parse_metrics(mon.openmetrics())
+        want = {("job", "job-00001"), ("tenant", "hb2c")}
+        for name, table in parsed.items():
+            for labels in table:
+                assert want <= set(labels), f"{name} lost constant labels"
+
+    def test_set_and_drop_gauge(self):
+        mon = CampaignMonitor()
+        mon.set_gauge("service_queue_depth", 3)
+        mon.set_gauge("service_job_state", 1.0, job="j1", state="running")
+        parsed = parse_metrics(mon.openmetrics())
+        assert parsed["repro_service_queue_depth"][()] == 3.0
+        key = (("job", "j1"), ("state", "running"))
+        assert parsed["repro_service_job_state"][key] == 1.0
+        mon.drop_gauge("service_job_state", job="j1", state="running")
+        mon.set_gauge("service_job_state", 1.0, job="j1", state="done")
+        parsed = parse_metrics(mon.openmetrics())
+        assert key not in parsed["repro_service_job_state"]
+        assert parsed["repro_service_job_state"][
+            (("job", "j1"), ("state", "done"))] == 1.0
+
+    def test_labelled_round_trip_through_parse_metrics(self):
+        mon = CampaignMonitor(labels={"tenant": "cncs"})
+        mon.set_gauge("service_active_jobs", 2, shard="s0")
+        text = mon.openmetrics()
+        parsed = parse_metrics(text)
+        key = (("shard", "s0"), ("tenant", "cncs"))
+        assert parsed["repro_service_active_jobs"][key] == 2.0
+
+    def test_thread_monitor_shadows_ambient(self):
+        ambient = CampaignMonitor()
+        scoped = CampaignMonitor(labels={"job": "j9"})
+        seen = {}
+
+        def worker():
+            with monitor_mod.thread_monitor(scoped):
+                seen["inside"] = active_monitor()
+            seen["after"] = active_monitor()
+
+        with use_monitor(ambient):
+            th = threading.Thread(target=worker)
+            th.start()
+            th.join()
+            # the override was confined to the worker thread
+            assert active_monitor() is ambient
+        assert seen["inside"] is scoped
+        assert seen["after"] is ambient

@@ -1,0 +1,350 @@
+"""Multi-tenant campaign service, end to end (PR 8 acceptance suite).
+
+The ISSUE's acceptance invariants, each proven on real reductions of
+the session-wide tiny experiment:
+
+(a) two concurrent submissions of the same configuration run **one**
+    reduction and both jobs get bit-identical results (single-flight);
+(b) a poisoned job (injected fault plan) quarantines alone while its
+    neighbour's panel is bit-identical to a solo run (isolation);
+(c) a job cancelled or expired mid-campaign has its completed runs
+    durably checkpointed and a later submission of the same science
+    resumes them bit-identically (cancel/deadline safety);
+(d) an over-quota submission is rejected with a structured reason
+    (admission control);
+(e) drain leaves no in-flight job without a durable checkpoint
+    (graceful shutdown).
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import CheckpointManager, RecoveryConfig
+from repro.core.workflow import ReductionWorkflow, WorkflowConfig
+from repro.crystal.symmetry import point_group  # noqa: F401  (fixture deps)
+from repro.core.grid import HKLGrid
+from repro.service import (
+    AdmissionPolicy,
+    CampaignService,
+    JobSpec,
+    TenantQuota,
+    workflow_digest,
+)
+from repro.service.queue import (
+    REASON_DRAINING,
+    REASON_TENANT_BYTES,
+    REASON_TENANT_JOBS,
+)
+from repro.util.faults import FaultPlan, FaultSpec, RetryPolicy
+from repro.util.monitor import parse_metrics
+
+FAST_RETRY = RetryPolicy(max_attempts=2, base_delay_s=0.0)
+
+
+def _config(exp, **overrides) -> WorkflowConfig:
+    base = dict(
+        md_paths=list(exp.md_paths),
+        flux_path=exp.flux_path,
+        vanadium_path=exp.vanadium_path,
+        instrument=exp.instrument,
+        grid=exp.grid,
+        point_group=exp.point_group,
+        recovery=RecoveryConfig(retry=FAST_RETRY),
+    )
+    base.update(overrides)
+    return WorkflowConfig(**base)
+
+
+def _small_grid():
+    return HKLGrid.benzil_grid(bins=(21, 21, 1))
+
+
+def _poison_plan():
+    """Every attempt at every run fails -> all runs quarantine."""
+    return FaultPlan(
+        [FaultSpec(site="run", kind="io_error", probability=1.0,
+                   scope="recovery")],
+        seed=5,
+    )
+
+
+def _slow_plan(delay_s=0.5):
+    """Runs succeed but each takes >= delay_s (cancel windows)."""
+    return FaultPlan(
+        [FaultSpec(site="run", kind="slow", probability=1.0,
+                   delay_s=delay_s, scope="recovery")],
+        seed=6,
+    )
+
+
+def _wait_for_checkpointed_run(root, digest, timeout=30.0):
+    """Poll until the digest's manifest records >= 1 completed run."""
+    manifest = os.path.join(root, "ckpt", digest, "manifest.json")
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            with open(manifest) as fh:
+                doc = json.load(fh)
+            if doc.get("runs"):
+                return sorted(int(k) for k in doc["runs"])
+        except (OSError, json.JSONDecodeError):
+            pass
+        time.sleep(0.005)
+    raise AssertionError("no run was checkpointed in time")
+
+
+@pytest.fixture(scope="module")
+def ref_full(tiny_experiment):
+    """Solo, service-free reduction of the full-grid configuration."""
+    return ReductionWorkflow(_config(tiny_experiment)).run(None)
+
+
+@pytest.fixture(scope="module")
+def ref_small(tiny_experiment):
+    """Solo reduction of the small-grid configuration."""
+    return ReductionWorkflow(
+        _config(tiny_experiment, grid=_small_grid())).run(None)
+
+
+class TestSingleFlight:
+    def test_concurrent_duplicate_digest_runs_once(
+            self, tmp_path, tiny_experiment, ref_full):
+        cfg = _config(tiny_experiment)
+        with CampaignService(tmp_path / "svc", workers=2) as svc:
+            job_a, dec_a = svc.submit(JobSpec(tenant="hb2c", config=cfg))
+            job_b, dec_b = svc.submit(JobSpec(tenant="cncs", config=cfg))
+            assert dec_a and dec_b
+            assert job_a.digest == job_b.digest
+            assert svc.wait(timeout=120.0)
+            stats = svc.store.stats()
+            stored = svc.store.get(job_a.digest)
+        assert job_a.state == job_b.state == "done"
+        provenances = {job_a.result["provenance"],
+                       job_b.result["provenance"]}
+        assert "computed" in provenances
+        assert provenances <= {"computed", "coalesced", "cache"}
+        # exactly one reduction happened
+        assert stats["misses"] == 1
+        assert stats["hits"] + stats["coalesced"] == 1
+        # and both tenants read the same bit-identical science
+        assert job_a.result["binmd_total"] == job_b.result["binmd_total"]
+        assert np.array_equal(stored.cross_section,
+                              ref_full.cross_section.signal,
+                              equal_nan=True)
+        assert np.array_equal(stored.binmd_signal, ref_full.binmd.signal)
+
+
+class TestIsolation:
+    def test_poisoned_job_quarantines_alone(
+            self, tmp_path, tiny_experiment, ref_full):
+        clean_cfg = _config(tiny_experiment)
+        poison_cfg = _config(tiny_experiment, grid=_small_grid())
+        with CampaignService(tmp_path / "svc", workers=2) as svc:
+            bad, _ = svc.submit(JobSpec(tenant="chaos", config=poison_cfg,
+                                        fault_plan=_poison_plan()))
+            good, _ = svc.submit(JobSpec(tenant="prod", config=clean_cfg))
+            assert svc.wait(timeout=120.0)
+            stored = svc.store.get(good.digest)
+        assert bad.state == "quarantined"
+        assert bad.result["degraded"] is True
+        assert bad.result["quarantined_runs"] == [0, 1, 2]
+        # degraded science never entered the store
+        assert svc.store.get(bad.digest) is None
+        # the neighbour's panel is bit-identical to the solo run
+        assert good.state == "done"
+        assert np.array_equal(stored.cross_section,
+                              ref_full.cross_section.signal,
+                              equal_nan=True)
+        assert np.array_equal(stored.binmd_signal, ref_full.binmd.signal)
+        if ref_full.binmd.error_sq is not None:
+            assert np.array_equal(stored.binmd_error_sq,
+                                  ref_full.binmd.error_sq)
+
+    def test_clean_resubmit_retries_quarantined_runs(
+            self, tmp_path, tiny_experiment, ref_small):
+        cfg = _config(tiny_experiment, grid=_small_grid())
+        with CampaignService(tmp_path / "svc", workers=1) as svc:
+            bad, _ = svc.submit(JobSpec(tenant="chaos", config=cfg,
+                                        fault_plan=_poison_plan()))
+            assert svc.wait(bad.id, timeout=120.0)
+            assert bad.state == "quarantined"
+            # same digest, clean environment: the new attempt clears the
+            # old quarantine and computes full fidelity
+            good, _ = svc.submit(JobSpec(tenant="prod", config=cfg))
+            assert svc.wait(good.id, timeout=120.0)
+            stored = svc.store.get(good.digest)
+        assert good.state == "done"
+        assert good.result["provenance"] == "computed"
+        assert np.array_equal(stored.cross_section,
+                              ref_small.cross_section.signal,
+                              equal_nan=True)
+        ck = CheckpointManager(
+            os.path.join(svc.root, "ckpt", good.digest),
+            config_digest=good.digest)
+        assert ck.quarantined_runs() == []
+        assert ck.completed_runs() == [0, 1, 2]
+
+
+class TestCancelAndDeadline:
+    def test_cancel_mid_campaign_then_resume_bit_identical(
+            self, tmp_path, tiny_experiment, ref_full):
+        cfg = _config(tiny_experiment)
+        digest = workflow_digest(cfg)
+        root = str(tmp_path / "svc")
+        with CampaignService(root, workers=1) as svc:
+            job, _ = svc.submit(JobSpec(tenant="hb2c", config=cfg,
+                                        fault_plan=_slow_plan(0.5)))
+            done_runs = _wait_for_checkpointed_run(root, digest)
+            assert svc.cancel(job.id, "operator request")
+            assert svc.wait(job.id, timeout=60.0)
+            assert job.state == "cancelled"
+            assert "operator request" in job.error
+            # the cancelled campaign left durable, digest-bound progress
+            ck = CheckpointManager(os.path.join(root, "ckpt", digest),
+                                   config_digest=digest)
+            completed = ck.completed_runs()
+            assert completed and completed[0] == 0
+            assert len(completed) < len(cfg.md_paths)
+            delta_files = {
+                i: os.path.join(ck.directory, ck.run_record(i)["file"])
+                for i in completed
+            }
+            mtimes = {i: os.path.getmtime(p)
+                      for i, p in delta_files.items()}
+            # resubmit the same science, clean: it must *resume*, not
+            # recompute, and end bit-identical to the uninterrupted run
+            again, _ = svc.submit(JobSpec(tenant="hb2c", config=cfg))
+            assert svc.wait(again.id, timeout=120.0)
+            stored = svc.store.get(digest)
+        assert again.state == "done"
+        assert np.array_equal(stored.cross_section,
+                              ref_full.cross_section.signal,
+                              equal_nan=True)
+        assert np.array_equal(stored.mdnorm_signal, ref_full.mdnorm.signal)
+        for i, path in delta_files.items():
+            assert os.path.getmtime(path) == mtimes[i], \
+                f"run {i} was recomputed, not resumed"
+        assert done_runs[0] == 0
+
+    def test_deadline_expiry_is_checkpointed_and_resumable(
+            self, tmp_path, tiny_experiment, ref_full):
+        cfg = _config(tiny_experiment)
+        digest = workflow_digest(cfg)
+        root = str(tmp_path / "svc")
+
+        class FakeClock:
+            def __init__(self):
+                self.t = 0.0
+
+            def __call__(self):
+                return self.t
+
+        clock = FakeClock()
+        with CampaignService(root, workers=1,
+                             cancel_clock=clock) as svc:
+            job, _ = svc.submit(JobSpec(tenant="cncs", config=cfg,
+                                        timeout_s=100.0,
+                                        fault_plan=_slow_plan(0.4)))
+            _wait_for_checkpointed_run(root, digest)
+            clock.t = 1000.0  # blow the deadline deterministically
+            assert svc.wait(job.id, timeout=60.0)
+            assert job.state == "expired"
+            assert job.cancel.reason == "deadline"
+            ck = CheckpointManager(os.path.join(root, "ckpt", digest),
+                                   config_digest=digest)
+            assert ck.completed_runs()
+            again, _ = svc.submit(JobSpec(tenant="cncs", config=cfg))
+            assert svc.wait(again.id, timeout=120.0)
+            stored = svc.store.get(digest)
+        assert again.state == "done"
+        assert np.array_equal(stored.cross_section,
+                              ref_full.cross_section.signal,
+                              equal_nan=True)
+
+
+class TestAdmission:
+    def test_over_quota_rejected_with_structured_reason(
+            self, tmp_path, tiny_experiment):
+        cfg = _config(tiny_experiment, grid=_small_grid())
+        policy = AdmissionPolicy(
+            default_quota=TenantQuota(max_jobs=1),
+            quotas={"tiny": TenantQuota(max_jobs=8, max_bytes=1)},
+        )
+        svc = CampaignService(tmp_path / "svc", policy=policy, workers=1)
+        with svc:
+            first, dec = svc.submit(JobSpec(tenant="hb2c", config=cfg,
+                                            fault_plan=_slow_plan(0.3)))
+            assert dec
+            second, dec2 = svc.submit(JobSpec(tenant="hb2c", config=cfg))
+            assert not dec2
+            assert dec2.code == REASON_TENANT_JOBS
+            assert dec2.limits == {"max_jobs": 1, "jobs": 1}
+            assert second.error == f"rejected: {REASON_TENANT_JOBS}"
+            # rejected jobs are not tracked by the service
+            assert [j.id for j in svc.jobs()] == [first.id]
+            third, dec3 = svc.submit(JobSpec(tenant="tiny", config=cfg))
+            assert not dec3
+            assert dec3.code == REASON_TENANT_BYTES
+            assert dec3.limits["max_bytes"] == 1
+            assert dec3.limits["est_bytes"] > 1
+            assert svc.wait(timeout=120.0)
+
+
+class TestDrain:
+    def test_drain_leaves_durable_checkpoints(
+            self, tmp_path, tiny_experiment):
+        running_cfg = _config(tiny_experiment)
+        queued_cfg = _config(tiny_experiment, grid=_small_grid())
+        root = str(tmp_path / "svc")
+        svc = CampaignService(root, workers=1).start()
+        running, _ = svc.submit(JobSpec(tenant="hb2c", config=running_cfg,
+                                        fault_plan=_slow_plan(0.5)))
+        queued, _ = svc.submit(JobSpec(tenant="cncs", config=queued_cfg,
+                                       fault_plan=_slow_plan(0.5)))
+        _wait_for_checkpointed_run(root, running.digest)
+        assert svc.drain(cancel_running=True, timeout=60.0)
+        assert running.state == "cancelled"
+        assert queued.state == "cancelled"
+        # the dispatched job's progress survived durably and digest-bound
+        ck = CheckpointManager(os.path.join(root, "ckpt", running.digest),
+                               config_digest=running.digest)
+        assert ck.completed_runs()
+        # the never-dispatched job never ran
+        assert "running" not in queued.timestamps
+        # and the drained service admits nothing
+        late, dec = svc.submit(JobSpec(tenant="hb2c", config=running_cfg))
+        assert not dec and dec.code == REASON_DRAINING
+
+
+class TestHealthEndpoint:
+    def test_metrics_exposition_has_service_and_job_labels(
+            self, tmp_path, tiny_experiment):
+        cfg = _config(tiny_experiment, grid=_small_grid())
+        with CampaignService(tmp_path / "svc", workers=1) as svc:
+            job, _ = svc.submit(JobSpec(tenant="hb2c", config=cfg,
+                                        label="panel-21"))
+            assert svc.wait(timeout=120.0)
+            text = svc.metrics()
+        families = parse_metrics(text)
+        assert "repro_service_queue_depth" in families
+        assert "repro_service_active_jobs" in families
+        assert "repro_service_store_hits" in families
+        state = families["repro_service_job_state"]
+        assert {("job", job.id), ("state", "done"),
+                ("tenant", "hb2c")} <= set(next(iter(state)))
+        # per-job campaign metrics carry the job/tenant labels
+        labelled = [
+            labels
+            for name, table in families.items()
+            if name.startswith("repro_campaign")
+            for labels in table
+            if ("job", job.id) in labels
+        ]
+        assert labelled, "no campaign family carried the job label"
+        # lifecycle transitions were observable as trace counters too
+        assert job.timestamps["queued"] <= job.timestamps["admitted"] \
+            <= job.timestamps["running"] <= job.timestamps["done"]

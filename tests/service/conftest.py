@@ -1,0 +1,34 @@
+"""Service test helpers: cheap WorkflowConfig factories.
+
+The queue/store unit tests never run a reduction, so they use stub
+configs; only the digest/estimate tests need a real
+:class:`WorkflowConfig`, built from the session-wide tiny experiment.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.workflow import WorkflowConfig
+
+
+@pytest.fixture()
+def make_config(tiny_experiment):
+    """A factory for real configs; overrides vary the digest."""
+
+    def factory(**overrides) -> WorkflowConfig:
+        cfg = WorkflowConfig(
+            md_paths=list(tiny_experiment.md_paths),
+            flux_path=tiny_experiment.flux_path,
+            vanadium_path=tiny_experiment.vanadium_path,
+            instrument=tiny_experiment.instrument,
+            grid=tiny_experiment.grid,
+            point_group=tiny_experiment.point_group,
+        )
+        if overrides:
+            cfg = dataclasses.replace(cfg, **overrides)
+        return cfg
+
+    return factory

@@ -1,0 +1,168 @@
+"""Admission control + fair-share dispatch (no reductions involved)."""
+
+import pytest
+
+from repro.service.jobs import Job, JobSpec, JobState
+from repro.service.queue import (
+    REASON_DRAINING,
+    REASON_OK,
+    REASON_QUEUE_FULL,
+    REASON_TENANT_BYTES,
+    REASON_TENANT_JOBS,
+    AdmissionPolicy,
+    JobQueue,
+    TenantQuota,
+)
+
+_SEQ = iter(range(10_000))
+
+
+def _job(tenant, *, est_bytes=100, priority=0):
+    # queue tests never touch spec.config, a stub object suffices
+    spec = JobSpec.__new__(JobSpec)
+    spec.tenant = tenant
+    spec.config = object()
+    spec.priority = priority
+    spec.timeout_s = None
+    spec.label = ""
+    spec.fault_plan = None
+    seq = next(_SEQ)
+    return Job(id=f"job-{seq:05d}", spec=spec, digest="d", est_bytes=est_bytes,
+               seq=seq)
+
+
+def _finish(queue, job, state=JobState.DONE):
+    job.state = state
+    queue.finish(job)
+
+
+class TestAdmission:
+    def test_admits_within_quota(self):
+        q = JobQueue(AdmissionPolicy())
+        decision = q.offer(_job("hb2c"))
+        assert decision and decision.code == REASON_OK
+
+    def test_queue_full(self):
+        q = JobQueue(AdmissionPolicy(max_queue_depth=2))
+        assert q.offer(_job("a"))
+        assert q.offer(_job("b"))
+        decision = q.offer(_job("c"))
+        assert not decision
+        assert decision.code == REASON_QUEUE_FULL
+        assert decision.limits["max_queue_depth"] == 2
+        assert q.rejections == 1
+
+    def test_tenant_job_quota(self):
+        policy = AdmissionPolicy(default_quota=TenantQuota(max_jobs=1))
+        q = JobQueue(policy)
+        assert q.offer(_job("hb2c"))
+        decision = q.offer(_job("hb2c"))
+        assert not decision and decision.code == REASON_TENANT_JOBS
+        assert decision.limits == {"max_jobs": 1, "jobs": 1}
+        # a different tenant is unaffected
+        assert q.offer(_job("cncs"))
+
+    def test_tenant_byte_quota(self):
+        policy = AdmissionPolicy(
+            default_quota=TenantQuota(max_jobs=10, max_bytes=250))
+        q = JobQueue(policy)
+        assert q.offer(_job("hb2c", est_bytes=200))
+        decision = q.offer(_job("hb2c", est_bytes=100))
+        assert not decision and decision.code == REASON_TENANT_BYTES
+        assert decision.limits["bytes_in_flight"] == 200
+        assert decision.limits["est_bytes"] == 100
+
+    def test_per_tenant_override(self):
+        policy = AdmissionPolicy(
+            default_quota=TenantQuota(max_jobs=1),
+            quotas={"vip": TenantQuota(max_jobs=3)},
+        )
+        q = JobQueue(policy)
+        for _ in range(3):
+            assert q.offer(_job("vip"))
+        assert not q.offer(_job("vip"))
+        # the default quota still applies to everyone else
+        assert q.offer(_job("other"))
+        assert not q.offer(_job("other"))
+
+    def test_quota_releases_on_finish(self):
+        policy = AdmissionPolicy(default_quota=TenantQuota(max_jobs=1))
+        q = JobQueue(policy)
+        job = _job("hb2c")
+        assert q.offer(job)
+        assert not q.offer(_job("hb2c"))
+        popped = q.pop(timeout=0.1)
+        assert popped is job
+        _finish(q, job)
+        assert q.offer(_job("hb2c"))
+
+    def test_draining_rejects(self):
+        q = JobQueue(AdmissionPolicy())
+        q.drain()
+        decision = q.offer(_job("hb2c"))
+        assert not decision and decision.code == REASON_DRAINING
+        assert q.draining
+
+
+class TestFairShare:
+    def test_least_loaded_tenant_first(self):
+        q = JobQueue(AdmissionPolicy())
+        a1, a2, b1 = _job("a"), _job("a"), _job("b")
+        for j in (a1, a2, b1):
+            assert q.offer(j)
+        first = q.pop(timeout=0.1)
+        assert first is a1  # FIFO while nobody is running
+        # tenant "a" now has one running job, so "b" goes next
+        second = q.pop(timeout=0.1)
+        assert second is b1
+
+    def test_priority_breaks_ties(self):
+        q = JobQueue(AdmissionPolicy())
+        low = _job("a", priority=0)
+        high = _job("a", priority=5)
+        assert q.offer(low) and q.offer(high)
+        assert q.pop(timeout=0.1) is high
+
+    def test_deferred_offer_holds_quota_before_enqueue(self):
+        policy = AdmissionPolicy(default_quota=TenantQuota(max_jobs=1))
+        q = JobQueue(policy)
+        job = _job("a")
+        assert q.offer(job, defer=True)
+        # quota is held immediately...
+        assert not q.offer(_job("a"))
+        # ...but the job is not dispatchable until enqueue()
+        assert q.pop(timeout=0.01) is None
+        q.enqueue(job)
+        assert q.pop(timeout=0.1) is job
+
+    def test_pop_times_out_empty(self):
+        q = JobQueue(AdmissionPolicy())
+        assert q.pop(timeout=0.01) is None
+
+    def test_remove_unqueues_pre_dispatch(self):
+        q = JobQueue(AdmissionPolicy())
+        job = _job("a")
+        assert q.offer(job)
+        assert q.remove(job)
+        assert not q.remove(job)  # second time: already gone
+        assert q.pop(timeout=0.01) is None
+        # quota is still held until finish() — cancellation settles it
+        _finish(q, job, JobState.CANCELLED)
+        assert q.active_jobs() == 0
+
+    def test_tenant_load_snapshot(self):
+        q = JobQueue(AdmissionPolicy())
+        q.offer(_job("a", est_bytes=10))
+        q.offer(_job("a", est_bytes=20))
+        q.offer(_job("b", est_bytes=5))
+        load = q.tenant_load()
+        assert load["a"] == {"jobs": 2, "bytes": 30}
+        assert load["b"] == {"jobs": 1, "bytes": 5}
+        assert q.depth() == 3 and q.active_jobs() == 3
+
+    def test_finish_requires_terminal(self):
+        q = JobQueue(AdmissionPolicy())
+        job = _job("a")
+        q.offer(job)
+        with pytest.raises(Exception):
+            q.finish(job)

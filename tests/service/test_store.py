@@ -1,0 +1,133 @@
+"""Content-addressed result store: persistence + single-flight."""
+
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.service.store import (
+    META_NAME,
+    RESULT_NAME,
+    ResultStore,
+    ResultStoreError,
+    StoredResult,
+)
+
+
+def _arrays(seed):
+    rng = np.random.default_rng(seed)
+    shape = (4, 4, 2)
+    return {
+        "binmd_signal": rng.random(shape),
+        "binmd_error_sq": rng.random(shape),
+        "mdnorm_signal": rng.random(shape),
+        "cross_section": rng.random(shape),
+    }
+
+
+class TestPersistence:
+    def test_round_trip_bit_identical(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        arrays = _arrays(1)
+        store.put("digest-a", **arrays, meta={"n_runs": 3})
+        out = store.get("digest-a")
+        assert isinstance(out, StoredResult)
+        for name, want in arrays.items():
+            assert np.array_equal(getattr(out, name), want)
+        assert out.meta == {"n_runs": 3}
+
+    def test_absent_entry_is_none(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        assert store.get("nope") is None
+        assert not store.has("nope")
+
+    def test_put_is_idempotent_first_write_wins(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        first = _arrays(1)
+        store.put("digest-a", **first)
+        store.put("digest-a", **_arrays(2))  # ignored: entry committed
+        out = store.get("digest-a")
+        assert np.array_equal(out.binmd_signal, first["binmd_signal"])
+
+    def test_corruption_detected(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put("digest-a", **_arrays(3))
+        victim = os.path.join(store.root, "digest-a", RESULT_NAME)
+        raw = bytearray(open(victim, "rb").read())
+        raw[len(raw) // 2] ^= 0xFF
+        open(victim, "wb").write(bytes(raw))
+        with pytest.raises(ResultStoreError):
+            store.get("digest-a")
+
+    def test_torn_meta_detected(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put("digest-a", **_arrays(4))
+        meta = os.path.join(store.root, "digest-a", META_NAME)
+        open(meta, "w").write('{"digest"')
+        with pytest.raises(ResultStoreError):
+            store.get("digest-a")
+
+    def test_uncommitted_entry_invisible(self, tmp_path):
+        # files present but no COMPLETE sentinel -> reader sees "absent"
+        store = ResultStore(tmp_path / "store")
+        entry = os.path.join(store.root, "digest-a")
+        os.makedirs(entry)
+        open(os.path.join(entry, RESULT_NAME), "wb").write(b"partial")
+        assert store.get("digest-a") is None
+
+
+class TestSingleFlight:
+    def test_leader_then_hit(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        kind, stored, flight = store.begin("d1", owner="job-1")
+        assert kind == "lead" and stored is None
+        result = store.put("d1", **_arrays(1))
+        store.complete(flight, result)
+        kind, stored, _ = store.begin("d1", owner="job-2")
+        assert kind == "hit"
+        assert np.array_equal(stored.binmd_signal, result.binmd_signal)
+        assert store.stats() == {
+            "hits": 1, "misses": 1, "coalesced": 0, "in_flight": 0}
+
+    def test_joiner_waits_for_leader(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        kind, _, flight = store.begin("d1", owner="leader")
+        assert kind == "lead"
+        kind2, _, flight2 = store.begin("d1", owner="joiner")
+        assert kind2 == "join" and flight2 is flight
+        assert flight.joiners == 1
+
+        seen = {}
+
+        def join():
+            flight2.done.wait(5.0)
+            seen["result"] = flight2.result
+
+        t = threading.Thread(target=join)
+        t.start()
+        result = store.put("d1", **_arrays(2))
+        store.complete(flight, result)
+        t.join(timeout=5.0)
+        assert seen["result"] is result
+        assert store.stats()["coalesced"] == 1
+
+    def test_failed_leader_triggers_reelection(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        _, _, flight = store.begin("d1", owner="leader")
+        _, _, joined = store.begin("d1", owner="joiner")
+        store.fail(flight, RuntimeError("poisoned"))
+        assert joined.done.is_set() and joined.error is not None
+        # the joiner re-enters begin() and becomes the new leader
+        kind, _, flight2 = store.begin("d1", owner="joiner")
+        assert kind == "lead" and flight2 is not flight
+        result = store.put("d1", **_arrays(3))
+        store.complete(flight2, result)
+        assert store.begin("d1", owner="late")[0] == "hit"
+
+    def test_flights_are_per_digest(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        kind_a, _, _ = store.begin("da", owner="j1")
+        kind_b, _, _ = store.begin("db", owner="j2")
+        assert kind_a == kind_b == "lead"
+        assert store.stats()["in_flight"] == 2

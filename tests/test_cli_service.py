@@ -1,0 +1,100 @@
+"""The service CLI: spool protocol + serve/submit/cancel/status."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import cancel_main, serve_main, status_main, submit_main
+from repro.service.spool import (
+    SpoolError,
+    read_status,
+    request_cancel,
+    serve_spool,
+    submit_ticket,
+)
+
+SMALL = ["--workload", "benzil", "--scale", "0.0005", "--files", "2"]
+
+
+class TestSpoolProtocol:
+    def test_ticket_round_trip(self, tmp_path):
+        spool = str(tmp_path / "spool")
+        tid = submit_ticket(spool, {"tenant": "hb2c", "workload": "benzil"})
+        assert tid.startswith("t-")
+        doc = json.load(open(os.path.join(spool, "tickets", f"{tid}.json")))
+        assert doc["tenant"] == "hb2c"
+        assert doc["id"] == tid
+
+    def test_ticket_requires_tenant(self, tmp_path):
+        with pytest.raises(SpoolError):
+            submit_ticket(str(tmp_path / "spool"), {"workload": "benzil"})
+
+    def test_cancel_marker(self, tmp_path):
+        spool = str(tmp_path / "spool")
+        path = request_cancel(spool, "t-abc")
+        assert os.path.exists(path)
+
+    def test_status_empty_before_first_publish(self, tmp_path):
+        assert read_status(str(tmp_path / "spool")) == {}
+
+
+class TestServeLoop:
+    def test_duplicate_tickets_single_flight(self, tmp_path, capsys):
+        spool = str(tmp_path / "spool")
+        assert submit_main(["--spool", spool, "--tenant", "hb2c"] + SMALL) == 0
+        assert submit_main(["--spool", spool, "--tenant", "cncs"] + SMALL) == 0
+        assert serve_main([
+            "--spool", spool, "--poll", "0.05", "--idle-exit", "0.4",
+            "--workers", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "served 2 jobs" in out
+        status = read_status(spool)
+        states = [j["state"] for j in status["jobs"]]
+        assert states == ["done", "done"]
+        # one reduction for two identical tickets
+        assert status["store"]["misses"] == 1
+        assert status["store"]["hits"] + status["store"]["coalesced"] == 1
+        assert len(status["tickets"]) == 2
+        # the exposition was published alongside the status
+        metrics = open(os.path.join(spool, "metrics.prom")).read()
+        assert "repro_service_queue_depth" in metrics
+        assert status_main(["--spool", spool]) == 0
+        rendered = capsys.readouterr().out
+        assert "done" in rendered
+
+    def test_bad_ticket_is_rejected_not_fatal(self, tmp_path):
+        spool = str(tmp_path / "spool")
+        tid = submit_ticket(spool, {"tenant": "hb2c",
+                                    "workload": "not-a-workload"})
+        status = serve_spool(spool, poll_s=0.01, idle_exit_s=0.1)
+        assert status["jobs"] == []
+        assert status["rejected"][tid]["code"] == "bad_ticket"
+
+    def test_cancel_before_serve_settles_cancelled(self, tmp_path, capsys):
+        spool = str(tmp_path / "spool")
+        faults = tmp_path / "slow.json"
+        faults.write_text(json.dumps({
+            "seed": 3,
+            "specs": [{"site": "run", "kind": "slow", "probability": 1.0,
+                       "delay_s": 0.4, "scope": "recovery"}],
+        }))
+        assert submit_main([
+            "--spool", spool, "--tenant", "hb2c",
+            "--faults", str(faults), "--label", "doomed",
+        ] + SMALL) == 0
+        tid = capsys.readouterr().out.strip().splitlines()[-1]
+        assert cancel_main(["--spool", spool, tid]) == 0
+        assert serve_main([
+            "--spool", spool, "--poll", "0.05", "--idle-exit", "0.4",
+            "--workers", "1",
+        ]) == 0
+        status = read_status(spool)
+        (job,) = status["jobs"]
+        assert job["state"] == "cancelled"
+        assert job["label"] == "doomed"
+
+    def test_status_main_without_server(self, tmp_path, capsys):
+        assert status_main(["--spool", str(tmp_path / "spool")]) == 1
+        assert "no status" in capsys.readouterr().out

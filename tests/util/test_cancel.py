@@ -1,0 +1,98 @@
+"""Unit tests for cooperative cancellation tokens and scopes."""
+
+import threading
+
+import pytest
+
+from repro.util.cancel import (
+    CancelledError,
+    CancelToken,
+    DeadlineExpiredError,
+    cancel_scope,
+    current_cancel,
+)
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = float(t)
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += float(dt)
+
+
+class TestCancelToken:
+    def test_fresh_token_is_live(self):
+        tok = CancelToken()
+        assert not tok.cancelled
+        assert tok.remaining() is None
+        tok.check()  # no raise
+
+    def test_explicit_cancel(self):
+        tok = CancelToken()
+        tok.cancel("operator request")
+        assert tok.cancelled and tok.cancel_requested
+        assert tok.reason == "operator request"
+        with pytest.raises(CancelledError) as exc:
+            tok.check("campaign")
+        assert exc.value.reason == "operator request"
+        assert "campaign" in str(exc.value)
+
+    def test_cancel_is_idempotent_first_reason_wins(self):
+        tok = CancelToken()
+        tok.cancel("first")
+        tok.cancel("second")
+        assert tok.reason == "first"
+
+    def test_deadline_expiry(self):
+        clock = FakeClock()
+        tok = CancelToken.with_timeout(10.0, clock=clock)
+        assert tok.remaining() == pytest.approx(10.0)
+        tok.check()
+        clock.advance(10.0)
+        assert tok.expired and tok.cancelled
+        assert tok.reason == "deadline"
+        assert tok.remaining() == 0.0
+        with pytest.raises(DeadlineExpiredError):
+            tok.check()
+
+    def test_deadline_error_is_cancelled_error(self):
+        # one except clause catches both shapes of "stop now"
+        assert issubclass(DeadlineExpiredError, CancelledError)
+
+    def test_not_an_oserror(self):
+        # the retry taxonomy must never treat cancellation as transient
+        assert not issubclass(CancelledError, OSError)
+
+    def test_with_timeout_none_is_unbounded(self):
+        tok = CancelToken.with_timeout(None)
+        assert tok.deadline is None
+
+
+class TestCancelScope:
+    def test_ambient_token_install_and_restore(self):
+        assert current_cancel() is None
+        tok = CancelToken()
+        with cancel_scope(tok):
+            assert current_cancel() is tok
+            inner = CancelToken()
+            with cancel_scope(inner):
+                assert current_cancel() is inner
+            assert current_cancel() is tok
+        assert current_cancel() is None
+
+    def test_scope_is_thread_local(self):
+        tok = CancelToken()
+        seen = []
+
+        def other():
+            seen.append(current_cancel())
+
+        with cancel_scope(tok):
+            t = threading.Thread(target=other)
+            t.start()
+            t.join()
+        assert seen == [None]

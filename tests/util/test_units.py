@@ -1,0 +1,52 @@
+"""Unit tests for the shared byte-size parser/formatter."""
+
+import pytest
+
+from repro.util.units import SizeParseError, format_size, parse_size
+
+
+class TestParseSize:
+    @pytest.mark.parametrize("text,expected", [
+        ("65536", 65536),
+        ("64K", 64 * 1024),
+        ("64k", 64 * 1024),
+        ("64KB", 64 * 1024),
+        ("2M", 2 * 1024 * 1024),
+        ("2MB", 2 * 1024 * 1024),
+        ("1G", 1 << 30),
+        ("1.5K", int(1.5 * 1024)),
+        (" 128K ", 128 * 1024),
+        ("1", 1),
+    ])
+    def test_accepts(self, text, expected):
+        assert parse_size(text) == expected
+
+    @pytest.mark.parametrize("text", [
+        "", "K", "abc", "1X", "12QB", "-4K", "0", "0.0001",
+    ])
+    def test_rejects(self, text):
+        with pytest.raises(SizeParseError):
+            parse_size(text)
+
+    def test_error_is_valueerror_too(self):
+        # callers that guard with ValueError (argparse adapters) work
+        with pytest.raises(ValueError):
+            parse_size("nope")
+
+
+class TestFormatSize:
+    @pytest.mark.parametrize("n,expected", [
+        (0, "0"),
+        (512, "512"),
+        (1024, "1K"),
+        (64 * 1024, "64K"),
+        (2 * 1024 * 1024, "2M"),
+        (1 << 30, "1G"),
+        (int(1.5 * 1024), "1.5K"),
+    ])
+    def test_formats(self, n, expected):
+        assert format_size(n) == expected
+
+    def test_round_trip_exact_multiples(self):
+        for n in (1024, 65536, 1 << 20, 3 << 30):
+            assert parse_size(format_size(n)) == n

@@ -357,6 +357,10 @@ def _trace_parser() -> argparse.ArgumentParser:
     _add_oocore_flags(p)
     p.add_argument("--out", metavar="PATH", default="trace.jsonl",
                    help="JSON-lines trace output path")
+    p.add_argument("--out-dir", metavar="DIR", default=None,
+                   help="also write one trace file per rank stream under "
+                        "DIR (the real-MPI layout `repro trace merge` "
+                        "stitches back together)")
     p.add_argument("--chrome", metavar="PATH", default=None,
                    help="also write a chrome://tracing / Perfetto file")
     p.add_argument("--label", default=None, help="trace label (meta record)")
@@ -461,6 +465,14 @@ def trace_main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv[:1] == ["summary"]:
         return trace_summary_main(argv[1:])
+    if argv[:1] == ["merge"]:
+        return trace_merge_main(argv[1:])
+    if argv[:1] == ["crit"]:
+        return trace_crit_main(argv[1:])
+    if argv[:1] == ["dag"]:
+        return trace_dag_main(argv[1:])
+    if argv[:1] == ["chrome"]:
+        return trace_chrome_main(argv[1:])
     args = _trace_parser().parse_args(argv)
     if args.memory_budget is not None and args.chunk_events is None:
         raise SystemExit("--memory-budget requires --chunk-events run files")
@@ -470,8 +482,13 @@ def trace_main(argv: Optional[List[str]] = None) -> int:
     print(spec.describe())
     data = build_workload(spec)
 
+    # campaign id: stable config digest + per-invocation nonce, shared
+    # by every per-rank trace file this run writes
+    config_digest = (f"{args.workload}:{args.impl}:{args.backend or '-'}"
+                     f":ranks={args.ranks}:shards={args.shards}")
     tracer = trace_mod.Tracer(
-        label=args.label or f"{args.workload}/{args.impl}"
+        label=args.label or f"{args.workload}/{args.impl}",
+        campaign_id=trace_mod.new_campaign_id(config_digest),
     )
 
     recovery = (None if args.impl == "garnet"
@@ -486,18 +503,28 @@ def trace_main(argv: Optional[List[str]] = None) -> int:
 
     fault_ctx, fault_plan = _fault_plan_context(args)
     with trace_mod.use_tracer(tracer), fault_ctx:
-        if args.ranks > 1 and args.impl != "garnet":
-            from repro.mpi.runner import run_world
+        # one campaign root: every span of the invocation (pre/post
+        # work, the world, all ranks) descends from it, so the merged
+        # DAG is a single rooted tree
+        with tracer.span("campaign", kind="campaign",
+                         workload=args.workload, impl=args.impl,
+                         ranks=int(args.ranks)):
+            if args.ranks > 1 and args.impl != "garnet":
+                from repro.mpi.runner import run_world
 
-            run_world(args.ranks, run_one)
-        else:
-            run_one()
+                run_world(args.ranks, run_one)
+            else:
+                run_one()
     if fault_plan is not None:
         print(f"fault plan {fault_plan.label or args.faults}: "
               f"{fault_plan.stats()}")
 
     n = tracer.write_jsonl(args.out)
     print(f"\nwrote {n} records to {args.out}")
+    if args.out_dir:
+        paths = tracer.write_jsonl_dir(args.out_dir)
+        print(f"wrote {len(paths)} per-rank trace files to {args.out_dir} "
+              f"(merge with `repro trace merge {args.out_dir}`)")
     if args.chrome:
         n_events = tracer.write_chrome_trace(args.chrome)
         print(f"wrote {n_events} trace events to {args.chrome} "
@@ -558,6 +585,171 @@ def trace_summary_main(argv: Optional[List[str]] = None) -> int:
             print()
         print(trace_mod.summary_from_records(
             records, label=str(meta.get("label") or path)))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# repro trace merge / crit / dag / chrome  (the campaign DAG tooling)
+# ---------------------------------------------------------------------------
+
+def _expand_trace_paths(paths: List[str]) -> List[str]:
+    """Trace file arguments, with directories expanded to their
+    ``*.jsonl`` members (the ``--out-dir`` / per-rank layout)."""
+    import glob as _glob
+
+    out: List[str] = []
+    for p in paths:
+        if os.path.isdir(p):
+            members = sorted(_glob.glob(os.path.join(p, "*.jsonl")))
+            if not members:
+                raise SystemExit(f"no *.jsonl trace files under {p}")
+            out.extend(members)
+        else:
+            out.append(p)
+    if not out:
+        raise SystemExit("no trace files given")
+    return out
+
+
+def _merge_dag(paths: List[str]):
+    from repro.util import tracedag
+
+    return tracedag.merge_files(_expand_trace_paths(paths))
+
+
+def _add_crit_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--k", type=float, default=3.0,
+                   help="anomaly threshold: median + k*IQR over sibling "
+                        "spans (default 3.0)")
+    p.add_argument("--min-ratio", type=float, default=1.5,
+                   help="anomaly floor: flag only spans slower than "
+                        "min-ratio * group median (default 1.5)")
+    p.add_argument("--min-group", type=int, default=4,
+                   help="minimum sibling group size to judge (default 4)")
+    p.add_argument("--metrics-file", metavar="PATH", default=None,
+                   help="publish repro_trace_critical_seconds / "
+                        "repro_trace_anomalies gauges to this "
+                        "OpenMetrics file")
+
+
+def _publish_crit_gauges(dag, metrics_file: str, *,
+                         k: float, min_ratio: float,
+                         min_group: int) -> None:
+    from repro.util.monitor import CampaignMonitor
+
+    mon = CampaignMonitor(label="trace-crit", metrics_path=metrics_file)
+    mon.set_gauge("trace_critical_seconds", dag.critical_seconds(),
+                  campaign=dag.campaign_id)
+    mon.set_gauge("trace_anomalies",
+                  float(len(dag.anomalies(k=k, min_ratio=min_ratio,
+                                          min_group=min_group))),
+                  campaign=dag.campaign_id)
+    mon.write_metrics()
+    print(f"published trace gauges to {metrics_file}")
+
+
+def trace_merge_main(argv: Optional[List[str]] = None) -> int:
+    """``repro trace merge``: stitch per-process trace files into one
+    validated causal DAG."""
+    p = argparse.ArgumentParser(
+        prog="repro trace merge",
+        description="Merge per-rank/per-process JSON-lines trace files "
+                    "into one campaign DAG and check its invariants.",
+    )
+    p.add_argument("paths", nargs="+", metavar="TRACE",
+                   help="trace files and/or directories of *.jsonl")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="write the merged DAG document (JSON)")
+    p.add_argument("--no-spans", action="store_true",
+                   help="omit the span table from --out (summary only)")
+    args = p.parse_args(argv)
+    from repro.util import tracedag
+
+    dag = _merge_dag(args.paths)
+    report = dag.validate()
+    print(f"campaign {report['campaign_id']}: "
+          f"{report['n_files']} files, {report['n_spans']} spans, "
+          f"{report['n_links']} links "
+          f"({report['n_steal_links']} steal), "
+          f"ranks {report['ranks']}")
+    print(f"roots: {report['roots']}"
+          + (" [legacy schema, multi-root allowed]"
+             if report["legacy"] else ""))
+    print("DAG invariants: OK" if report["ok"] else "DAG invariants: FAIL")
+    if args.out:
+        tracedag.write_dag(args.out, dag,
+                           include_spans=not args.no_spans)
+        print(f"wrote merged DAG to {args.out}")
+    return 0 if report["ok"] else 1
+
+
+def trace_crit_main(argv: Optional[List[str]] = None) -> int:
+    """``repro trace crit``: critical path + anomaly report of a merged
+    campaign trace."""
+    p = argparse.ArgumentParser(
+        prog="repro trace crit",
+        description="Critical-path / where-did-the-time-go report over "
+                    "merged trace files.",
+    )
+    p.add_argument("paths", nargs="+", metavar="TRACE",
+                   help="trace files and/or directories of *.jsonl")
+    _add_crit_flags(p)
+    args = p.parse_args(argv)
+    dag = _merge_dag(args.paths)
+    dag.validate()
+    print(dag.crit_report(k=args.k, min_ratio=args.min_ratio,
+                          min_group=args.min_group))
+    if args.metrics_file:
+        _publish_crit_gauges(dag, args.metrics_file, k=args.k,
+                             min_ratio=args.min_ratio,
+                             min_group=args.min_group)
+    return 0
+
+
+def trace_dag_main(argv: Optional[List[str]] = None) -> int:
+    """``repro trace dag``: write the merged DAG document."""
+    p = argparse.ArgumentParser(
+        prog="repro trace dag",
+        description="Merge trace files and write the campaign DAG "
+                    "document (JSON).",
+    )
+    p.add_argument("paths", nargs="+", metavar="TRACE",
+                   help="trace files and/or directories of *.jsonl")
+    p.add_argument("--out", metavar="PATH", default="trace_dag.json",
+                   help="output path (default trace_dag.json)")
+    p.add_argument("--no-spans", action="store_true",
+                   help="omit the span table (summary only)")
+    args = p.parse_args(argv)
+    from repro.util import tracedag
+
+    dag = _merge_dag(args.paths)
+    report = dag.validate()
+    tracedag.write_dag(args.out, dag, include_spans=not args.no_spans)
+    print(f"wrote campaign {report['campaign_id']} DAG "
+          f"({report['n_spans']} spans) to {args.out}")
+    return 0
+
+
+def trace_chrome_main(argv: Optional[List[str]] = None) -> int:
+    """``repro trace chrome``: one Perfetto file from many per-process
+    trace files (pid/tid rows namespaced by (rank, pid))."""
+    p = argparse.ArgumentParser(
+        prog="repro trace chrome",
+        description="Merge per-process trace files into one "
+                    "chrome://tracing / Perfetto JSON file.",
+    )
+    p.add_argument("paths", nargs="+", metavar="TRACE",
+                   help="trace files and/or directories of *.jsonl")
+    p.add_argument("--out", metavar="PATH", default="trace_chrome.json",
+                   help="output path (default trace_chrome.json)")
+    args = p.parse_args(argv)
+    from repro.util import trace as trace_mod
+
+    traces = [trace_mod.load_file(path)
+              for path in _expand_trace_paths(args.paths)]
+    n = trace_mod.write_chrome_trace_merged(args.out, traces)
+    print(f"wrote {n} trace events to {args.out} "
+          f"(load in chrome://tracing or ui.perfetto.dev)")
     return 0
 
 
@@ -650,6 +842,13 @@ def _perf_parser() -> argparse.ArgumentParser:
     chk.add_argument("--any-fingerprint", action="store_true",
                      help="compare against entries from any machine, not "
                           "just this one")
+
+    crit = sub.add_parser(
+        "crit",
+        help="critical-path + anomaly report over merged trace files")
+    crit.add_argument("--trace", nargs="+", metavar="TRACE", required=True,
+                      help="trace files and/or directories of *.jsonl")
+    _add_crit_flags(crit)
 
     w = sub.add_parser(
         "watch", help="render the live campaign monitor metrics file")
@@ -826,6 +1025,17 @@ def perf_main(argv: Optional[List[str]] = None) -> int:
         )
         print(report.text())
         return report.exit_code
+
+    if args.cmd == "crit":
+        dag = _merge_dag(args.trace)
+        dag.validate()
+        print(dag.crit_report(k=args.k, min_ratio=args.min_ratio,
+                              min_group=args.min_group))
+        if args.metrics_file:
+            _publish_crit_gauges(dag, args.metrics_file, k=args.k,
+                                 min_ratio=args.min_ratio,
+                                 min_group=args.min_group)
+        return 0
 
     if args.cmd == "watch":
         import time as _time
@@ -1054,9 +1264,12 @@ def repro_main(argv: Optional[List[str]] = None) -> int:
               "[options]\n"
               "  reduce  run a reduction and print stage timings\n"
               "  trace   run a traced reduction and export the trace\n"
-              "          (trace summary: summarize/diff written traces)\n"
+              "          (trace summary|merge|crit|dag|chrome: offline\n"
+              "          summaries, campaign-DAG merge, critical path,\n"
+              "          merged Perfetto export)\n"
               "  perf    profile kernels, record/check benchmark\n"
-              "          trajectories, watch a live campaign\n"
+              "          trajectories, watch a live campaign,\n"
+              "          critical-path report (perf crit)\n"
               "  serve   run the multi-tenant campaign service on a spool\n"
               "  submit  drop a campaign ticket into a spool\n"
               "  cancel  cooperatively cancel a submitted job\n"

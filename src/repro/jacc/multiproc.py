@@ -52,6 +52,7 @@ so results are identical either way.
 
 from __future__ import annotations
 
+import itertools
 import os
 from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import shared_memory
@@ -63,6 +64,7 @@ from repro.jacc.backend import Backend, BackendError, REDUCE_OPS, register_backe
 from repro.jacc.jit import GLOBAL_JIT
 from repro.jacc.kernels import Captures, Kernel, normalize_dims
 from repro.jacc.workers import GLOBAL_POOL, PROCS_ENV, resolve_workers
+from repro.util import trace as _trace
 
 #: fixed number of chunks the flattened index space is cut into; a
 #: function of nothing but this constant and the extent, so per-chunk
@@ -341,6 +343,74 @@ class _TreeBlocks:
 
 
 # ---------------------------------------------------------------------------
+# cross-process trace context (schema v3)
+# ---------------------------------------------------------------------------
+
+#: per-worker-process task counter: one worker pid hosts many
+#: short-lived tracers (one per chunk task), each restarting span_id at
+#: 0 — the counter keeps their uid namespaces distinct
+_WORKER_TASK_SEQ = itertools.count()
+
+
+def _trace_ctx() -> Optional[Dict[str, Any]]:
+    """The context a traced launch ships with every chunk task (None
+    with tracing off — the untraced task payload is byte-identical to
+    pre-v3)."""
+    tracer = _trace.active_tracer()
+    if not tracer.enabled:
+        return None
+    current = tracer.current_span()
+    return {
+        "campaign_id": tracer.campaign_id,
+        "parent_uid": (current.uid if current is not None
+                       else _trace.remote_parent()),
+        "rank": _trace.current_rank(),
+        "label": tracer.label,
+        "profile": tracer.profile,
+    }
+
+
+def _worker_traced(task: Dict[str, Any], body: Callable[[], Any]) -> Any:
+    """Run a chunk body under the task's trace context, if any.
+
+    With context, the worker opens a ``chunk:<kernel>`` span under the
+    dispatching span (via ``parent_uid`` — span ids never cross
+    processes) in a fresh campaign tracer and returns an envelope the
+    parent unwraps with :func:`_unwrap_traced`; without, the return
+    value is the body's, untouched.
+    """
+    ctx = task.get("trace")
+    if not ctx:
+        return body()
+    tracer = _trace.Tracer(
+        label=ctx["label"], profile=ctx["profile"],
+        campaign_id=ctx["campaign_id"],
+        uid_ns=f"{os.getpid()}.{next(_WORKER_TASK_SEQ)}",
+    )
+    with _trace.rank_scope(ctx["rank"]), \
+            _trace.parent_scope(ctx["parent_uid"]):
+        with tracer.span(
+            f"chunk:{task['kernel']}", kind="chunk",
+            chunk=int(task.get("chunk", 0)),
+            start=int(task["start"]), stop=int(task["stop"]),
+            backend="multiprocess",
+        ):
+            payload = body()
+    return {"__traced__": True, "payload": payload,
+            "records": tracer.records,
+            "epoch_unix": tracer.epoch_unix}
+
+
+def _unwrap_traced(result: Any, tracer: "_trace.Tracer") -> Any:
+    """Adopt a traced worker envelope into the parent tracer."""
+    if isinstance(result, dict) and result.get("__traced__"):
+        tracer.adopt_records(result["records"],
+                             epoch_unix=result["epoch_unix"])
+        return result["payload"]
+    return result
+
+
+# ---------------------------------------------------------------------------
 # worker side (module-level: picklable under any start method)
 # ---------------------------------------------------------------------------
 
@@ -416,33 +486,39 @@ def _for_chunk_body(
     return None
 
 
-def _run_for_chunk(task: Dict[str, Any]) -> Optional[Dict[str, Tuple]]:
+def _run_for_chunk(task: Dict[str, Any]) -> Any:
     """Execute one flat chunk of a ``parallel_for`` in a worker process."""
-    ctx, opened, hists = _open_captures(task["captures"])
-    try:
-        return _for_chunk_body(task, ctx, hists, opened)
-    finally:
-        # Drop every reference into the shared buffers (the Captures
-        # holds the views) before closing the attachments.
-        ctx = None  # noqa: F841
-        _close_worker_shm(opened)
+    def body() -> Optional[Dict[str, Tuple]]:
+        ctx, opened, hists = _open_captures(task["captures"])
+        try:
+            return _for_chunk_body(task, ctx, hists, opened)
+        finally:
+            # Drop every reference into the shared buffers (the Captures
+            # holds the views) before closing the attachments.
+            ctx = None  # noqa: F841
+            _close_worker_shm(opened)
+
+    return _worker_traced(task, body)
 
 
-def _run_reduce_chunk(task: Dict[str, Any]) -> float:
+def _run_reduce_chunk(task: Dict[str, Any]) -> Any:
     """Execute one flat chunk of a ``parallel_reduce`` in a worker."""
-    combine, init = REDUCE_OPS[task["op"]]
-    ctx, opened, _hists = _open_captures(task["captures"])
-    try:
-        loop = GLOBAL_JIT.loop_reduce_flat(
-            task["kernel"], "multiprocess", task["ndim"]
-        )
-        return float(
-            loop(task["element"], ctx, task["dims"], combine, init,
-                 task["start"], task["stop"])
-        )
-    finally:
-        ctx = None  # noqa: F841
-        _close_worker_shm(opened)
+    def body() -> float:
+        combine, init = REDUCE_OPS[task["op"]]
+        ctx, opened, _hists = _open_captures(task["captures"])
+        try:
+            loop = GLOBAL_JIT.loop_reduce_flat(
+                task["kernel"], "multiprocess", task["ndim"]
+            )
+            return float(
+                loop(task["element"], ctx, task["dims"], combine, init,
+                     task["start"], task["stop"])
+            )
+        finally:
+            ctx = None  # noqa: F841
+            _close_worker_shm(opened)
+
+    return _worker_traced(task, body)
 
 
 # ---------------------------------------------------------------------------
@@ -508,6 +584,8 @@ class MultiprocessBackend(Backend):
             return
         transport = _Transport(captures)
         tree: Optional[_TreeBlocks] = None
+        trace_ctx = _trace_ctx()
+        tracer = _trace.active_tracer()
         try:
             if self.hist_mode == "tree" and transport.hists:
                 tree = _TreeBlocks(transport.hists, len(chunks))
@@ -523,13 +601,15 @@ class MultiprocessBackend(Backend):
                     n_chunks=len(chunks),
                     captures=transport.payload,
                     tree=tree.specs if tree is not None else None,
+                    **({"trace": trace_ctx} if trace_ctx else {}),
                 )
                 for c, (start, stop) in enumerate(chunks)
             ]
             try:
                 pool = GLOBAL_POOL.executor(self.n_workers)
                 futures = [pool.submit(_run_for_chunk, t) for t in tasks]
-                results = [f.result() for f in futures]
+                results = [_unwrap_traced(f.result(), tracer)
+                           for f in futures]
             except BrokenProcessPool as exc:
                 GLOBAL_POOL.dispose()
                 raise BackendError(
@@ -583,6 +663,8 @@ class MultiprocessBackend(Backend):
             ]
             return float(pairwise_tree(partials, combine))
         transport = _Transport(captures)
+        trace_ctx = _trace_ctx()
+        tracer = _trace.active_tracer()
         try:
             tasks = [
                 dict(
@@ -592,15 +674,18 @@ class MultiprocessBackend(Backend):
                     dims=dims,
                     start=start,
                     stop=stop,
+                    chunk=c,
                     op=op,
                     captures=transport.payload,
+                    **({"trace": trace_ctx} if trace_ctx else {}),
                 )
-                for start, stop in chunks
+                for c, (start, stop) in enumerate(chunks)
             ]
             try:
                 pool = GLOBAL_POOL.executor(self.n_workers)
                 futures = [pool.submit(_run_reduce_chunk, t) for t in tasks]
-                partials = [f.result() for f in futures]
+                partials = [float(_unwrap_traced(f.result(), tracer))
+                            for f in futures]
             except BrokenProcessPool as exc:
                 GLOBAL_POOL.dispose()
                 raise BackendError(

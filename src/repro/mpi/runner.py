@@ -42,7 +42,10 @@ def run_world(
 
     Each rank's thread is rank-attributed for tracing: spans opened
     inside ``fn`` carry ``rank=<i>`` and the whole rank body is wrapped
-    in a ``rank`` span.
+    in a ``rank`` span.  The launch itself is a ``world`` span in the
+    calling thread, and every rank thread adopts its uid as the causal
+    parent (schema v3 ``parent_uid`` — the process-local ``parent_id``
+    of a rank span stays None, as spans never cross threads).
 
     ``dispose_pool=True`` shuts down the node-local shard process pool
     (:data:`repro.jacc.workers.GLOBAL_POOL`) after every rank has
@@ -57,10 +60,11 @@ def run_world(
     results: List[Any] = [None] * size
     errors: List[BaseException | None] = [None] * size
 
-    def entry(rank: int) -> None:
+    tracer = _trace.active_tracer()
+
+    def entry(rank: int, world_uid: Optional[str]) -> None:
         comm = Comm(world, rank)
-        tracer = _trace.active_tracer()
-        with _trace.rank_scope(rank):
+        with _trace.rank_scope(rank), _trace.parent_scope(world_uid):
             try:
                 with tracer.span("rank", kind="rank",
                                  rank=int(rank), size=int(size)):
@@ -69,14 +73,16 @@ def run_world(
                 errors[rank] = exc
                 world.barrier.abort()  # unblock peers stuck in collectives
 
-    threads = [
-        threading.Thread(target=entry, args=(rank,), name=f"mpi-rank-{rank}")
-        for rank in range(size)
-    ]
-    for t in threads:
-        t.start()
-    for t in threads:
-        t.join()
+    with tracer.span("world", kind="world", size=int(size)) as world_span:
+        threads = [
+            threading.Thread(target=entry, args=(rank, world_span.uid),
+                             name=f"mpi-rank-{rank}")
+            for rank in range(size)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
     if dispose_pool:
         from repro.jacc.workers import GLOBAL_POOL
 

@@ -94,6 +94,7 @@ class StealTask:
     n_ranges: int         # total planned shards of the stage
     owner: int            # rank the static plan assigned the run to
     weight: float         # work estimate (stored bytes / row count)
+    plan_uid: Optional[str] = None  # planning span's global uid (trace v3)
 
     @property
     def key(self) -> Tuple[int, str, int]:
@@ -563,18 +564,25 @@ def _plan(
         binmd_ranges, binmd_weights = _binmd_plan(ws, n_ops, shards.n_shards)
         state.task_counts[i] = len(mdnorm_ranges) + len(binmd_ranges)
         state.events_per_run[i] = _n_events(ws)
-        for idx, _rng in enumerate(mdnorm_ranges):
-            state.queue.add_task(StealTask(
-                run=i, stage="mdnorm", index=idx,
-                n_ranges=len(mdnorm_ranges), owner=owner_of[i],
-                weight=float(mdnorm_weights[idx]),
-            ))
-        for idx, _rng in enumerate(binmd_ranges):
-            state.queue.add_task(StealTask(
-                run=i, stage="binmd", index=idx,
-                n_ranges=len(binmd_ranges), owner=owner_of[i],
-                weight=float(binmd_weights[idx]),
-            ))
+        # each enqueue is a planning span whose uid rides the task, so
+        # an executing (possibly stolen) span can link back to the
+        # exact planning site across ranks
+        tracer = _trace.active_tracer()
+        for stage, ranges, weights in (
+            ("mdnorm", mdnorm_ranges, mdnorm_weights),
+            ("binmd", binmd_ranges, binmd_weights),
+        ):
+            for idx, _rng in enumerate(ranges):
+                with tracer.span(
+                    f"plan:{stage}", kind="plan_task",
+                    run=int(i), shard=int(idx), owner=int(owner_of[i]),
+                ) as plan_span:
+                    state.queue.add_task(StealTask(
+                        run=i, stage=stage, index=idx,
+                        n_ranges=len(ranges), owner=owner_of[i],
+                        weight=float(weights[idx]),
+                        plan_uid=plan_span.uid,
+                    ))
     return state
 
 
@@ -744,9 +752,12 @@ def _spawn_helper(env: _ExecEnv) -> None:
     state.queue.register_rank(new_rank)
     tracer = _trace.active_tracer()
     tracer.count("steal.births")
+    spawn_span = tracer.current_span()
+    spawn_uid = (spawn_span.uid if spawn_span is not None
+                 else _trace.remote_parent())
 
     def body() -> None:
-        with _trace.rank_scope(new_rank):
+        with _trace.rank_scope(new_rank), _trace.parent_scope(spawn_uid):
             with tracer.span("rank", kind="rank", rank=int(new_rank),
                              size=int(state.world_size), born=True):
                 try:
@@ -788,6 +799,7 @@ def _execute_task(
         kind="steal" if stolen else "steal_task",
         run=int(task.run),
         shard=int(task.index),
+        weight=float(task.weight),
         n_shards=int(task.n_ranges),
         owner=int(task.owner),
         exec_rank=int(rank),
@@ -796,6 +808,15 @@ def _execute_task(
     ) as sp:
         if stolen:
             tracer.count("steals")
+            # causal handoff: the executing rank's span back to the
+            # planning rank's task span (cross-rank, so a link record —
+            # never a parent edge)
+            tracer.link(
+                sp.uid, task.plan_uid, kind="steal",
+                run=int(task.run), shard=int(task.index),
+                exec_rank=int(rank),
+                **({"victim": int(victim)} if victim is not None else {}),
+            )
         tracer.gauge("steal.queue_depth", float(q.depth()))
 
         def attempt(attempt_no: int) -> List[Any]:

@@ -106,6 +106,7 @@ class CampaignService:
         self._threads: List[threading.Thread] = []
         self._stop = False
         self._started = False
+        self._parent_uid: Optional[str] = None
 
     # -- lifecycle of the service itself ----------------------------------
     def start(self) -> "CampaignService":
@@ -114,6 +115,14 @@ class CampaignService:
                 return self
             self._started = True
             self._stop = False
+            # worker threads adopt the starter's span as causal parent,
+            # so every service.job span hangs off the service campaign
+            # root (schema v3 parent_uid; process-local parent_id stays
+            # None across threads)
+            tracer = _trace.active_tracer()
+            cur = tracer.current_span()
+            self._parent_uid = (cur.uid if cur is not None
+                                else _trace.remote_parent())
             for w in range(self._n_workers):
                 t = threading.Thread(
                     target=self._worker_loop,
@@ -341,20 +350,21 @@ class CampaignService:
 
     # -- workers ----------------------------------------------------------
     def _worker_loop(self) -> None:
-        while True:
-            with self._lock:
-                if self._stop:
-                    return
-            job = self.queue.pop(timeout=0.05)
-            if job is None:
-                continue
-            try:
-                self._dispatch(job)
-            except Exception as exc:  # pragma: no cover - last resort
-                if not job.terminal:
-                    with contextlib.suppress(Exception):
-                        self._finish(job, JobState.QUARANTINED,
-                                     error=f"internal: {exc!r}")
+        with _trace.parent_scope(self._parent_uid):
+            while True:
+                with self._lock:
+                    if self._stop:
+                        return
+                job = self.queue.pop(timeout=0.05)
+                if job is None:
+                    continue
+                try:
+                    self._dispatch(job)
+                except Exception as exc:  # pragma: no cover - last resort
+                    if not job.terminal:
+                        with contextlib.suppress(Exception):
+                            self._finish(job, JobState.QUARANTINED,
+                                         error=f"internal: {exc!r}")
 
     def _dispatch(self, job: Job) -> None:
         # a cancel/expiry that raced dispatch settles without running
@@ -371,6 +381,9 @@ class CampaignService:
 
     def _run_single_flight(self, job: Job) -> None:
         """Resolve the job through the store's single-flight registry."""
+        tracer = _trace.active_tracer()
+        cur = tracer.current_span()  # the service.job span (same thread)
+        my_uid = cur.uid if cur is not None else None
         while True:
             role, stored, flight = self.store.begin(job.digest, job.id)
             if role == "hit":
@@ -384,6 +397,11 @@ class CampaignService:
                         self._settle_cancelled(job)
                         return
                 if flight.result is not None:
+                    # causal record of the dedup: this job's span to the
+                    # leader's span whose reduction it coalesced onto
+                    tracer.link(my_uid, flight.leader_uid, kind="joiner",
+                                job=job.id, leader=flight.leader,
+                                digest=job.digest)
                     self._finish_from_stored(
                         job, flight.result, provenance="coalesced"
                     )
@@ -391,6 +409,7 @@ class CampaignService:
                 # the leader failed or was cancelled: re-elect
                 continue
             assert flight is not None
+            flight.leader_uid = my_uid
             self._lead(job, flight)
             return
 

@@ -349,7 +349,10 @@ class CampaignMonitor:
         lines: List[str] = []
 
         def esc(v: object) -> str:
-            return str(v).replace("\\", "\\\\").replace('"', '\\"')
+            # label-value escaping per the Prometheus exposition spec:
+            # backslash first, then quote, then raw newlines
+            return (str(v).replace("\\", "\\\\").replace('"', '\\"')
+                    .replace("\n", "\\n"))
 
         def labelstr(*pairs: Tuple[str, object]) -> str:
             merged = dict(self.labels)
@@ -550,12 +553,40 @@ def use_monitor(monitor: CampaignMonitor) -> Iterator[CampaignMonitor]:
 # reading an exposition file back (repro perf watch)
 # ---------------------------------------------------------------------------
 
+# the labels body is label="..." pairs: a `}` inside a quoted value must
+# not terminate the set, so the group consumes quoted strings atomically
 _SAMPLE_RE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
-    r"(?:\{(?P<labels>[^}]*)\})?"
+    r'(?:\{(?P<labels>(?:[^"}]|"(?:[^"\\]|\\.)*")*)\})?'
     r"\s+(?P<value>\S+)\s*$"
 )
 _LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape_label_value(raw: str) -> str:
+    """Invert the exposition escaping (``\\\\``, ``\\"``, ``\\n``).
+
+    A sequential scan, not chained ``str.replace`` — the chained form
+    mis-reads an escaped backslash followed by ``n`` (``\\\\n``) as an
+    escaped newline.
+    """
+    out: List[str] = []
+    i, n = 0, len(raw)
+    while i < n:
+        c = raw[i]
+        if c == "\\" and i + 1 < n:
+            nxt = raw[i + 1]
+            if nxt == "n":
+                out.append("\n")
+            elif nxt in ('"', "\\"):
+                out.append(nxt)
+            else:  # unknown escape: keep verbatim (spec-lenient)
+                out.append(c + nxt)
+            i += 2
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
 
 
 def parse_metrics(text: str) -> Dict[str, Dict[Tuple[Tuple[str, str], ...], float]]:
@@ -575,8 +606,7 @@ def parse_metrics(text: str) -> Dict[str, Dict[Tuple[Tuple[str, str], ...], floa
         if m.group("labels"):
             for lm in _LABEL_RE.finditer(m.group("labels")):
                 labels.append(
-                    (lm.group(1),
-                     lm.group(2).replace('\\"', '"').replace("\\\\", "\\"))
+                    (lm.group(1), _unescape_label_value(lm.group(2)))
                 )
         raw = m.group("value")
         value = float("nan") if raw == "NaN" else float(raw)

@@ -35,20 +35,36 @@ keeps working) but record nothing.  Enable with::
 
 JSON-lines schema (``schema`` = :data:`SCHEMA_VERSION`):
 
-* line 1 — ``{"type": "meta", "schema": 2, "label": ..., "pid": ...,
-  "epoch_unix": ...}``
+* line 1 — ``{"type": "meta", "schema": 3, "label": ..., "pid": ...,
+  "epoch_unix": ..., "campaign_id": ...}``
 * span — ``{"type": "span", "name", "span_id", "parent_id", "rank",
-  "thread", "t0", "t1", "dur", "seq", "attrs": {...}}`` (``t0``/``t1``
-  are seconds on the tracer's monotonic clock, 0 at tracer creation)
+  "thread", "t0", "t1", "dur", "seq", "attrs": {...}, "uid",
+  "parent_uid"}`` (``t0``/``t1`` are seconds on the tracer's monotonic
+  clock, 0 at tracer creation)
 * counter — ``{"type": "counter", "name", "value"}``
 * gauge — ``{"type": "gauge", "name", "value"}``
 * metrics (schema >= 2) — one consolidated
   ``{"type": "metrics", "counters": {...}, "gauges": {...}}`` record so
   the summary/perf report needs only one artifact (the individual
   counter/gauge records are still written for v1 consumers)
+* link (schema >= 3) — ``{"type": "link", "kind", "src", "dst", "seq",
+  "attrs"}``: a causal edge between two span *uids* that is not a
+  nesting edge (a stolen task pointing back at its planning span, a
+  coalesced job pointing at the leader's reduction)
 
-:func:`validate_file` accepts schema v1 files (pre-metrics) and v2; the
-CI trace-smoke job runs it on every push.  Profiled spans additionally
+Schema v3 is the **cross-process causal layer**: every span carries a
+globally unique ``uid`` (``"{rank}:{namespace}:{span_id}"`` — the
+namespace defaults to the pid) next to the process-local integer ids,
+and a ``parent_uid`` that can cross process/thread boundaries where
+``parent_id`` never does.  The dispatching side of an execution
+boundary captures ``span.uid``; the executing side re-enters it with
+:func:`parent_scope`, so its root spans record the causal edge.  All
+files of one campaign share the meta ``campaign_id`` (see
+:func:`new_campaign_id`) and :mod:`repro.util.tracedag` merges them
+back into one validated DAG.
+
+:func:`validate_file` accepts schema v1 files (pre-metrics), v2 and
+v3; the CI trace-smoke job runs it on every push.  Profiled spans additionally
 carry a ``perf`` attribute (raw work quantities) consumed by
 :mod:`repro.util.perf` — attached only when :attr:`Tracer.profile` is
 true, which is never the case for :class:`NullTracer` (zero derived-
@@ -57,6 +73,7 @@ metric work with tracing off).
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import threading
@@ -68,12 +85,14 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 from repro.util.validation import ReproError
 
 #: JSON-lines schema version written to trace files
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: schema versions :func:`validate_file` / :func:`load_file` accept
 #: (v1: spans + counter/gauge records; v2: adds the consolidated
-#: ``metrics`` record)
-SUPPORTED_SCHEMAS = (1, 2)
+#: ``metrics`` record; v3: adds the cross-process ``uid``/
+#: ``parent_uid`` span fields, the meta ``campaign_id`` and ``link``
+#: records)
+SUPPORTED_SCHEMAS = (1, 2, 3)
 
 #: record keys every span record must carry
 SPAN_KEYS = (
@@ -81,8 +100,30 @@ SPAN_KEYS = (
     "t0", "t1", "dur", "seq", "attrs",
 )
 
+#: additional span keys required from schema v3 on
+SPAN_KEYS_V3 = SPAN_KEYS + ("uid", "parent_uid")
+
+#: record keys every link record must carry (schema >= 3)
+LINK_KEYS = ("type", "kind", "src", "dst", "seq", "attrs")
+
 #: valid record types of the JSON-lines stream
-RECORD_TYPES = ("meta", "span", "counter", "gauge", "metrics")
+RECORD_TYPES = ("meta", "span", "counter", "gauge", "metrics", "link")
+
+
+def new_campaign_id(digest: str = "", nonce: Optional[bytes] = None) -> str:
+    """A fresh 128-bit campaign id (32 hex chars).
+
+    Derived from the campaign's config ``digest`` plus a random
+    ``nonce``, so two submissions of the same configuration still get
+    distinct campaigns while the id remains reproducible when the
+    nonce is pinned (tests).
+    """
+    import hashlib
+
+    h = hashlib.blake2b(digest_size=16)
+    h.update(str(digest).encode())
+    h.update(nonce if nonce is not None else os.urandom(16))
+    return h.hexdigest()
 
 
 class TraceError(ReproError):
@@ -117,6 +158,36 @@ def rank_scope(rank: Optional[int]) -> Iterator[None]:
         set_current_rank(prev)
 
 
+def set_remote_parent(uid: Optional[str]) -> None:
+    """Declare a cross-boundary parent uid for this thread's root spans
+    (None clears).  Prefer :func:`parent_scope`."""
+    _thread_ctx.parent_uid = uid
+
+
+def remote_parent() -> Optional[str]:
+    """The cross-boundary parent uid adopted by this thread, if any."""
+    return getattr(_thread_ctx, "parent_uid", None)
+
+
+@contextmanager
+def parent_scope(uid: Optional[str]) -> Iterator[None]:
+    """Adopt ``uid`` as the causal parent of this thread's root spans.
+
+    This is the schema-v3 propagation primitive: the dispatching side
+    of an execution boundary (rank spawn, shard task, steal, service
+    job) captures ``span.uid``, and the executing thread re-enters it
+    here so spans it opens at stack depth zero record the edge in
+    ``parent_uid`` — the process-local ``parent_id`` namespace is
+    never shared across threads or processes.
+    """
+    prev = remote_parent()
+    set_remote_parent(uid)
+    try:
+        yield
+    finally:
+        set_remote_parent(prev)
+
+
 # ---------------------------------------------------------------------------
 # spans
 # ---------------------------------------------------------------------------
@@ -126,7 +197,7 @@ class Span:
     clock.  Create via :meth:`Tracer.begin` / :meth:`Tracer.span`."""
 
     __slots__ = ("name", "attrs", "span_id", "parent_id", "rank", "thread",
-                 "t0", "t1")
+                 "t0", "t1", "uid", "parent_uid")
 
     def __init__(
         self,
@@ -137,6 +208,8 @@ class Span:
         rank: Optional[int],
         thread: str,
         t0: float,
+        uid: Optional[str] = None,
+        parent_uid: Optional[str] = None,
     ) -> None:
         self.name = name
         self.attrs = attrs
@@ -146,6 +219,12 @@ class Span:
         self.thread = thread
         self.t0 = t0
         self.t1: Optional[float] = None
+        #: globally unique id (``"{rank}:{namespace}:{span_id}"``);
+        #: None on :class:`NullTracer` spans
+        self.uid = uid
+        #: the causal parent's uid — in-process nesting *or* the
+        #: cross-boundary parent adopted via :func:`parent_scope`
+        self.parent_uid = parent_uid
 
     @property
     def duration(self) -> float:
@@ -182,13 +261,23 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, label: str = "", profile: bool = True) -> None:
+    def __init__(self, label: str = "", profile: bool = True, *,
+                 campaign_id: Optional[str] = None,
+                 uid_ns: Optional[str] = None) -> None:
         self.label = label
         #: when true, instrumentation sites attach derived-metric work
         #: dicts (``perf`` span attrs) for :mod:`repro.util.perf`.  A
         #: :class:`NullTracer` forces this to False, so with tracing
         #: off *no* derived-metric arithmetic runs at all.
         self.profile = bool(profile) and self.enabled
+        #: the campaign this trace belongs to — every participant of
+        #: one campaign (ranks, shard workers, service jobs) shares it
+        self.campaign_id = campaign_id or new_campaign_id(label)
+        #: uid namespace — distinguishes tracers that could otherwise
+        #: collide on a ``(rank, span_id)`` pair.  Defaults to the pid;
+        #: multiprocess shard workers append a per-task sequence
+        #: because one worker pid hosts many short-lived tracers.
+        self.uid_ns = uid_ns if uid_ns is not None else str(os.getpid())
         self.epoch_unix = time.time()
         self._epoch = time.perf_counter()
         self._lock = threading.Lock()
@@ -196,8 +285,14 @@ class Tracer:
         self._counters: "OrderedDict[str, float]" = OrderedDict()
         self._gauges: "OrderedDict[str, float]" = OrderedDict()
         self._tls = threading.local()
-        self._next_id = 0
+        # itertools.count.__next__ never releases the GIL, so span ids
+        # stay unique across threads without taking the record lock on
+        # the begin() hot path
+        self._ids = itertools.count()
         self._seq = 0
+        # uid strings share a per-rank prefix; minting one f-string per
+        # span would cost ~20% of the whole span overhead budget
+        self._uid_prefix: Dict[Optional[int], str] = {}
 
     # -- span lifecycle ---------------------------------------------------
     def _stack(self) -> List[Span]:
@@ -210,18 +305,35 @@ class Tracer:
         """Open a span on this thread's stack (prefer :meth:`span`)."""
         if not name:
             raise TraceError("span name must be non-empty")
-        stack = self._stack()
-        parent_id = stack[-1].span_id if stack else None
-        with self._lock:
-            span_id = self._next_id
-            self._next_id += 1
+        tls = self._tls
+        stack = getattr(tls, "stack", None)
+        if stack is None:
+            stack = tls.stack = []
+        if stack:
+            top = stack[-1]
+            parent_id: Optional[int] = top.span_id
+            parent_uid: Optional[str] = top.uid
+        else:
+            parent_id = None
+            parent_uid = getattr(_thread_ctx, "parent_uid", None)
+        span_id = next(self._ids)
+        rank = getattr(_thread_ctx, "rank", None)
+        prefix = self._uid_prefix.get(rank)
+        if prefix is None:
+            prefix = self._uid_prefix.setdefault(
+                rank, f"{'-' if rank is None else rank}:{self.uid_ns}:")
+        tname = getattr(tls, "tname", None)
+        if tname is None:
+            tname = tls.tname = threading.current_thread().name
         span = Span(
             name=name,
-            attrs=dict(attrs),
+            attrs=attrs,
             span_id=span_id,
             parent_id=parent_id,
-            rank=current_rank(),
-            thread=threading.current_thread().name,
+            rank=rank,
+            thread=tname,
+            uid=prefix + str(span_id),
+            parent_uid=parent_uid,
             t0=time.perf_counter() - self._epoch,
         )
         stack.append(span)
@@ -258,11 +370,88 @@ class Tracer:
             "t1": span.t1,
             "dur": span.t1 - span.t0,  # type: ignore[operator]
             "attrs": span.attrs,
+            "uid": span.uid,
+            "parent_uid": span.parent_uid,
         }
         with self._lock:
             rec["seq"] = self._seq
             self._seq += 1
             self._records.append(rec)
+
+    # -- cross-process causality ------------------------------------------
+    def link(self, src: Optional[str], dst: Optional[str], *,
+             kind: str = "link", **attrs: Any) -> None:
+        """Record a causal edge between two span uids.
+
+        Used where the relationship is a *handoff* rather than a
+        nesting: a stolen task's executing span → its planning span,
+        a coalesced service job → the leader's reduction.  A no-op
+        when either end is unknown (NullTracer spans carry no uid),
+        so propagation sites never have to special-case tracing off.
+        """
+        if not src or not dst:
+            return
+        rec: Dict[str, Any] = {"type": "link", "kind": str(kind),
+                               "src": str(src), "dst": str(dst),
+                               "attrs": dict(attrs)}
+        with self._lock:
+            rec["seq"] = self._seq
+            self._seq += 1
+            self._records.append(rec)
+
+    def adopt_records(self, records: Sequence[Dict[str, Any]], *,
+                      epoch_unix: Optional[float] = None) -> int:
+        """Fold records produced by another tracer into this one.
+
+        The multiprocess shard workers trace into their own short-lived
+        tracers and ship the records home with the task result; this
+        merges them.  Span and link records keep their globally unique
+        ``uid``/``parent_uid`` strings, but span ``span_id``/
+        ``parent_id`` ints are **remapped onto this tracer's counter**
+        (the in-file uniqueness rules must hold) and all records get
+        fresh ``seq`` numbers.  Timestamps are rebased from the
+        worker's unix epoch onto this tracer's clock, and ``dur`` is
+        recomputed after the shift so ``dur == t1 - t0`` survives the
+        float arithmetic.  Counter/gauge records fold into this
+        tracer's tables.  Returns the number of records adopted.
+        """
+        shift = 0.0
+        if epoch_unix is not None:
+            shift = float(epoch_unix) - self.epoch_unix
+        span_recs = [r for r in records if r.get("type") == "span"]
+        id_map: Dict[int, int] = {}
+        for rec in span_recs:
+            id_map[rec["span_id"]] = next(self._ids)
+        n = 0
+        for rec in records:
+            rtype = rec.get("type")
+            if rtype == "span":
+                new = dict(rec)
+                new["span_id"] = id_map[rec["span_id"]]
+                new["parent_id"] = id_map.get(rec.get("parent_id"))
+                t0 = float(rec["t0"]) + shift
+                t1 = float(rec["t1"]) + shift
+                new["t0"], new["t1"] = t0, t1
+                new["dur"] = t1 - t0
+            elif rtype == "link":
+                new = dict(rec)
+            elif rtype == "counter":
+                self.count(rec["name"], float(rec["value"]))
+                n += 1
+                continue
+            elif rtype == "gauge":
+                self.gauge(rec["name"], float(rec["value"]))
+                n += 1
+                continue
+            else:
+                # meta / metrics records are the worker's envelope
+                continue
+            with self._lock:
+                new["seq"] = self._seq
+                self._seq += 1
+                self._records.append(new)
+            n += 1
+        return n
 
     @contextmanager
     def span(self, name: str, **attrs: Any) -> Iterator[Span]:
@@ -312,7 +501,7 @@ class Tracer:
             return len(self._records)
 
     def span_names(self) -> List[str]:
-        return sorted({r["name"] for r in self.records})
+        return sorted({r["name"] for r in iter_spans(self.records)})
 
     def clear(self) -> None:
         with self._lock:
@@ -328,6 +517,7 @@ class Tracer:
             "label": self.label,
             "pid": os.getpid(),
             "epoch_unix": self.epoch_unix,
+            "campaign_id": self.campaign_id,
             "tool": "repro.util.trace",
         }
 
@@ -359,6 +549,57 @@ class Tracer:
             }) + "\n")
             n += 1
         return n
+
+    def write_jsonl_dir(self, dir_path: str, *,
+                        prefix: str = "trace") -> List[str]:
+        """Write one JSON-lines file per rank stream under ``dir_path``.
+
+        Models the real-MPI deployment where every rank writes its own
+        trace file: span records split by ``rank`` (None → the
+        ``main`` file, which also carries the counter/gauge/metrics
+        tables), link records follow the rank encoded in their ``src``
+        uid.  Every file carries the same campaign meta, so
+        :mod:`repro.util.tracedag` can stitch the directory back into
+        one causal DAG.  Returns the written paths.
+        """
+        records = self.records
+        by_key: "OrderedDict[str, List[Dict[str, Any]]]" = OrderedDict()
+        by_key["main"] = []
+        for rec in records:
+            rtype = rec.get("type")
+            if rtype == "span":
+                rank = rec.get("rank")
+                key = "main" if rank is None else f"rank{rank}"
+            elif rtype == "link":
+                head = str(rec.get("src", "")).split(":", 1)[0]
+                key = "main" if head in ("", "-") else f"rank{head}"
+            else:
+                continue
+            by_key.setdefault(key, []).append(rec)
+        os.makedirs(dir_path, exist_ok=True)
+        counters, gauges = self.counters, self.gauges
+        paths: List[str] = []
+        for key, recs in by_key.items():
+            path = os.path.join(dir_path, f"{prefix}-{key}.jsonl")
+            with open(path, "w") as fh:
+                fh.write(json.dumps(self._meta(), default=_json_default)
+                         + "\n")
+                for rec in recs:
+                    fh.write(json.dumps(rec, default=_json_default) + "\n")
+                if key == "main":
+                    for name, value in counters.items():
+                        fh.write(json.dumps({"type": "counter",
+                                             "name": name,
+                                             "value": value}) + "\n")
+                    for name, value in gauges.items():
+                        fh.write(json.dumps({"type": "gauge",
+                                             "name": name,
+                                             "value": value}) + "\n")
+                    fh.write(json.dumps({"type": "metrics",
+                                         "counters": dict(counters),
+                                         "gauges": dict(gauges)}) + "\n")
+            paths.append(path)
+        return paths
 
     def write_chrome_trace(self, path: str) -> int:
         """Write a ``chrome://tracing`` / Perfetto JSON file."""
@@ -414,6 +655,14 @@ class NullTracer(Tracer):
 
     def gauge(self, name: str, value: float) -> None:
         pass
+
+    def link(self, src: Optional[str], dst: Optional[str], *,
+             kind: str = "link", **attrs: Any) -> None:
+        pass
+
+    def adopt_records(self, records: Sequence[Dict[str, Any]], *,
+                      epoch_unix: Optional[float] = None) -> int:
+        return 0
 
 
 #: the process-default tracer: disabled (tracing is strictly opt-in)
@@ -512,13 +761,16 @@ def validate_file(path: str) -> Dict[str, Any]:
             f"{path}: schema {meta.get('schema')!r} not in "
             f"{SUPPORTED_SCHEMAS}"
         )
+    schema = meta["schema"]
     span_ids = set()
+    uids = set()
     parents = []
     names = set()
     ranks = set()
     counters: Dict[str, float] = {}
     gauges: Dict[str, float] = {}
     n_spans = 0
+    n_links = 0
     last_seq = -1
     for i, rec in enumerate(records):
         rtype = rec.get("type")
@@ -551,10 +803,54 @@ def validate_file(path: str) -> Dict[str, Any]:
             span_ids.add(rec["span_id"])
             if rec["parent_id"] is not None:
                 parents.append((i, rec["parent_id"]))
+            if schema >= 3:
+                missing = [k for k in SPAN_KEYS_V3 if k not in rec]
+                if missing:
+                    raise TraceError(
+                        f"{path}: span record {i} missing v3 keys {missing}"
+                    )
+                uid = rec["uid"]
+                if not isinstance(uid, str) or not uid:
+                    raise TraceError(
+                        f"{path}: span record {i} uid must be a "
+                        f"non-empty string"
+                    )
+                if uid in uids:
+                    raise TraceError(f"{path}: duplicate span uid {uid!r}")
+                uids.add(uid)
+                pu = rec["parent_uid"]
+                # parent_uid may reference a span in *another* file of
+                # the campaign — dangling here is legal; the merged-DAG
+                # validator (repro.util.tracedag) is the one that
+                # rejects orphans
+                if pu is not None and (not isinstance(pu, str) or not pu):
+                    raise TraceError(
+                        f"{path}: span record {i} parent_uid must be "
+                        f"None or a non-empty string"
+                    )
             names.add(rec["name"])
             if rec["rank"] is not None:
                 ranks.add(rec["rank"])
             n_spans += 1
+        elif rtype == "link":
+            if schema < 3:
+                raise TraceError(
+                    f"{path}: link record {i} in a schema-{schema} file"
+                )
+            missing = [k for k in LINK_KEYS if k not in rec]
+            if missing:
+                raise TraceError(
+                    f"{path}: link record {i} missing keys {missing}"
+                )
+            for end in ("src", "dst"):
+                if not isinstance(rec[end], str) or not rec[end]:
+                    raise TraceError(
+                        f"{path}: link record {i} {end} must be a "
+                        f"non-empty uid"
+                    )
+            if not isinstance(rec["attrs"], dict):
+                raise TraceError(f"{path}: link record {i} attrs not a dict")
+            n_links += 1
         elif rtype in ("counter", "gauge"):
             if "name" not in rec or not isinstance(rec.get("value"), (int, float)):
                 raise TraceError(
@@ -587,7 +883,9 @@ def validate_file(path: str) -> Dict[str, Any]:
     return {
         "schema": meta["schema"],
         "label": meta.get("label", ""),
+        "campaign_id": meta.get("campaign_id"),
         "n_spans": n_spans,
+        "n_links": n_links,
         "span_names": sorted(names),
         "ranks": sorted(ranks),
         "counters": counters,
@@ -641,6 +939,75 @@ def write_chrome_trace(
             "dur": rec["dur"] * 1e6,
             "args": rec.get("attrs", {}),
         })
+    with open(path, "w") as fh:
+        json.dump({"traceEvents": events, "displayTimeUnit": "ms"},
+                  fh, default=_json_default)
+    return len(events)
+
+
+def write_chrome_trace_merged(
+    path: str,
+    traces: Sequence[Tuple[Dict[str, Any], Sequence[Dict[str, Any]]]],
+) -> int:
+    """Write one Chrome-trace file from many per-process trace files.
+
+    ``traces`` is a sequence of ``(meta, records)`` pairs (from
+    :func:`load_file`).  Unlike :func:`write_chrome_trace` — which
+    keeps the originating pid as the single chrome process and is the
+    right exporter for *one* file — every distinct ``(pid, rank)``
+    pair here gets its **own** chrome pid, so per-rank files written
+    by the same process (or files whose processes recycled a pid) no
+    longer collide on pid/tid rows, and each file's timestamps are
+    aligned onto one campaign clock via its meta ``epoch_unix``.
+    Returns the number of trace events written.
+    """
+    if not traces:
+        raise TraceError("write_chrome_trace_merged: no trace files given")
+    base_epoch = min(float((m or {}).get("epoch_unix", 0.0))
+                     for m, _ in traces)
+    events: List[Dict[str, Any]] = []
+    pids: Dict[Tuple[Any, Any], int] = {}
+    tids: Dict[Tuple[int, Any, str], int] = {}
+    for meta, records in traces:
+        meta = meta or {}
+        file_pid = meta.get("pid", 0)
+        offset_us = (float(meta.get("epoch_unix", base_epoch))
+                     - base_epoch) * 1e6
+        label = meta.get("label", "")
+        for rec in records:
+            if rec.get("type", "span") != "span":
+                continue
+            rank = rec.get("rank")
+            pkey = (file_pid, rank)
+            if pkey not in pids:
+                pid = len(pids) + 1
+                pids[pkey] = pid
+                row = (f"rank {rank}" if rank is not None
+                       else (label or "main"))
+                events.append({
+                    "ph": "M", "name": "process_name", "pid": pid,
+                    "args": {"name": f"{row} (pid {file_pid})"},
+                })
+            pid = pids[pkey]
+            tkey = (pid, rank, rec.get("thread", ""))
+            if tkey not in tids:
+                tid = len([k for k in tids if k[0] == pid])
+                tids[tkey] = tid
+                events.append({
+                    "ph": "M", "name": "thread_name", "pid": pid,
+                    "tid": tid,
+                    "args": {"name": rec.get("thread", "") or "main"},
+                })
+            events.append({
+                "ph": "X",
+                "name": rec["name"],
+                "cat": str(rec.get("attrs", {}).get("kind", "span")),
+                "pid": pid,
+                "tid": tids[tkey],
+                "ts": rec["t0"] * 1e6 + offset_us,
+                "dur": rec["dur"] * 1e6,
+                "args": rec.get("attrs", {}),
+            })
     with open(path, "w") as fh:
         json.dump({"traceEvents": events, "displayTimeUnit": "ms"},
                   fh, default=_json_default)

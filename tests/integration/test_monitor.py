@@ -408,3 +408,42 @@ class TestServiceLabels:
             assert active_monitor() is ambient
         assert seen["inside"] is scoped
         assert seen["after"] is ambient
+
+
+class TestLabelEscaping:
+    """Label-value escaping per the Prometheus exposition spec:
+    backslash, double quote and newline must survive a write/parse
+    round trip (satellite of the causal-tracing PR)."""
+
+    def test_quote_backslash_newline_round_trip(self):
+        nasty = 'run "A"\\steal\nphase'
+        mon = CampaignMonitor(labels={"job": nasty})
+        mon.set_gauge("service_active_jobs", 1.0, site='x"y\\z')
+        parsed = parse_metrics(mon.openmetrics())
+        key = (("job", nasty), ("site", 'x"y\\z'))
+        assert parsed["repro_service_active_jobs"][key] == 1.0
+
+    def test_closing_brace_inside_label_value(self):
+        mon = CampaignMonitor()
+        mon.set_gauge("service_active_jobs", 2.0, site="shard{3}of4")
+        parsed = parse_metrics(mon.openmetrics())
+        key = (("site", "shard{3}of4"),)
+        assert parsed["repro_service_active_jobs"][key] == 2.0
+
+    def test_escaped_backslash_before_n_is_not_newline(self):
+        # the classic chained-replace bug: a literal backslash followed
+        # by the letter n must NOT come back as a newline
+        mon = CampaignMonitor()
+        mon.set_gauge("service_active_jobs", 3.0, path="C:\\new\\nodes")
+        parsed = parse_metrics(mon.openmetrics())
+        key = (("path", "C:\\new\\nodes"),)
+        assert parsed["repro_service_active_jobs"][key] == 3.0
+
+    def test_rank_info_site_with_quotes(self):
+        mon = CampaignMonitor()
+        mon.start_campaign(n_runs=1, world_size=1)
+        mon.heartbeat(0, site='run:0/"BinMD"/shard:1of2', run=0)
+        parsed = parse_metrics(mon.openmetrics())
+        sites = [dict(k).get("site")
+                 for k in parsed["repro_rank_info"]]
+        assert 'run:0/"BinMD"/shard:1of2' in sites

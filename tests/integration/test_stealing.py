@@ -216,7 +216,7 @@ def _completed_cells(records):
     """(run, stage, shard) of every completed steal span, with
     multiplicity (exactly-once accounting reads this)."""
     cells = {}
-    for rec in records:
+    for rec in trace_mod.iter_spans(records):
         if not rec["name"].startswith("steal:"):
             continue
         if not rec["attrs"].get("completed"):
@@ -353,7 +353,7 @@ class TestAdversarialSchedules:
         _assert_identical(res, golden, steal_baseline)
         assert res.extras["stealing"]["births"] == 1
         assert tracer.counters["steal.births"] == 1
-        born = [r for r in tracer.records
+        born = [r for r in trace_mod.iter_spans(tracer.records)
                 if r["name"] == "rank" and r["attrs"].get("born")]
         assert len(born) == 1
         assert born[0]["attrs"]["rank"] == 2  # helper ids start at size
@@ -469,7 +469,7 @@ class TestExactlyOnceAccounting:
         with trace_mod.use_tracer(tracer):
             res = _steal_world(
                 exp, 2, ScheduleController(seed=43, policy="all-steal"))
-        stolen = [r for r in tracer.records
+        stolen = [r for r in trace_mod.iter_spans(tracer.records)
                   if r["name"].startswith("steal:")
                   and r["attrs"].get("stolen")]
         assert res.extras["stealing"]["steals"] == len(stolen)

@@ -18,6 +18,7 @@ from repro.mpi import (
     MPIError,
     run_world,
 )
+from repro.util import trace as trace_mod
 from repro.util.faults import RankCrashError
 
 
@@ -334,7 +335,7 @@ class TestStealingExactlyOnce:
     @staticmethod
     def _completed_cells(records):
         cells = {}
-        for rec in records:
+        for rec in trace_mod.iter_spans(records):
             if (rec["name"].startswith("steal:")
                     and rec["attrs"].get("completed")):
                 key = (rec["attrs"]["run"], rec["name"].split(":", 1)[1],
@@ -378,7 +379,7 @@ class TestStealingExactlyOnce:
         # the fault fires inside the task body, before q.complete(): the
         # span the crash interrupted must not be marked completed
         crashed = [
-            rec for rec in tracer.records
+            rec for rec in trace_mod.iter_spans(tracer.records)
             if rec["name"].startswith("steal:")
             and rec["attrs"]["exec_rank"] == 1
             and not rec["attrs"].get("completed")

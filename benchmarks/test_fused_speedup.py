@@ -1,0 +1,141 @@
+"""Fused-kernel speedup gate on the Benzil/CORELLI workload (ISSUE 10).
+
+The tentpole's acceptance bar: the plan-specialized fused MDNorm kernel
+must run the single-shard normalization at least **2x** faster than the
+vectorized back end on the Benzil smoke workload, *without changing a
+bit* of the histogram.
+
+Methodology — the two costs the fused tier separates:
+
+* **compile** (once per plan): source generation + ``compile``/``exec``
+  on the first launch, re-payable only via the artifact store.  Each
+  specialization lands in ``GLOBAL_JIT.compile_events`` with variant
+  ``codegen:<digest>`` / ``load:<digest>``, which is how this test (and
+  EXPERIMENTS.md) separates it from execution;
+* **execution** (every launch): timed here as the median of direct
+  single-shard ``mdnorm`` calls with a precomputed intersection-width
+  bound and the geometry cache disabled, so both back ends run exactly
+  one kernel launch per call — the fused win (no comb-sort pass, no
+  materialized coordinate array, no per-tile bin-index broadcasting,
+  thread-local reused buffers) against shared costs (crossing fill,
+  flux interpolation, scatter) is what the ratio measures.
+
+The workflow-level number (wrapper pre-pass + geometry digesting
+diluting the kernel win) is tracked separately by
+``BENCH_benzil_fused.json`` behind the ``repro perf`` regression gate.
+"""
+
+import time
+
+import numpy as np
+
+from conftest import record_report
+from repro.bench.report import format_table
+from repro.core import geom_cache as gc
+from repro.core.hist3 import Hist3
+from repro.core.md_event_workspace import load_md
+from repro.core.mdnorm import max_intersections, mdnorm
+from repro.jacc.fused import FUSED
+from repro.jacc.jit import GLOBAL_JIT
+from repro.nexus.corrections import read_flux_file, read_vanadium_file
+
+#: acceptance floor: fused >= 2x vectorized on the single-shard kernel
+MIN_FUSED_SPEEDUP = 2.0
+
+REPEATS = 5
+
+
+def _median_kernel_seconds(data, ws, transforms, flux, sa, width, backend):
+    """Median wall-clock of one full single-shard mdnorm launch."""
+    samples = []
+    hist = None
+    for _ in range(REPEATS):
+        hist = Hist3(data.grid, track_errors=True)
+        t0 = time.perf_counter()
+        mdnorm(hist, transforms, data.instrument.directions, sa, flux,
+               ws.momentum_band, charge=ws.proton_charge, backend=backend,
+               width=width, cache=gc.DISABLED)
+        samples.append(time.perf_counter() - t0)
+    return float(np.median(samples)), hist
+
+
+def test_fused_speedup_benzil(benzil_data):
+    data = benzil_data
+    ws = load_md(data.md_paths[0])
+    transforms = data.grid.transforms_for(
+        ws.ub_matrix, data.point_group, goniometer=ws.goniometer
+    )
+    flux = read_flux_file(data.flux_path)
+    sa = read_vanadium_file(data.vanadium_path).detector_weights
+    width = max_intersections(
+        data.grid, transforms, data.instrument.directions, ws.momentum_band,
+        backend="vectorized",
+    )
+
+    # measure compile cold: drop every in-process specialization
+    GLOBAL_JIT.clear()
+    FUSED.clear()
+
+    # warm-up launch per back end — the fused one pays codegen+compile
+    # here, so the timed loop below measures pure execution
+    warm = {}
+    for backend in ("vectorized", "fused"):
+        h = Hist3(data.grid, track_errors=True)
+        t0 = time.perf_counter()
+        mdnorm(h, transforms, data.instrument.directions, sa, flux,
+               ws.momentum_band, charge=ws.proton_charge, backend=backend,
+               width=width, cache=gc.DISABLED)
+        warm[backend] = (time.perf_counter() - t0, h)
+
+    # -- compile/execute separation via the JIT event log --------------
+    fused_compiles = [e for e in GLOBAL_JIT.compile_events
+                      if e.backend == "fused" and ":" in e.variant]
+    assert len(fused_compiles) == 1, fused_compiles  # one plan, one kernel
+    compile_s = sum(e.seconds for e in fused_compiles)
+    assert compile_s > 0.0
+
+    times = {}
+    hists = {}
+    for backend in ("vectorized", "fused"):
+        times[backend], hists[backend] = _median_kernel_seconds(
+            data, ws, transforms, flux, sa, width, backend
+        )
+
+    # no further specialization happened inside the timed loop
+    still = [e for e in GLOBAL_JIT.compile_events
+             if e.backend == "fused" and ":" in e.variant]
+    assert still == fused_compiles
+
+    # -- correctness before speed: not a single bit may differ ---------
+    assert hists["vectorized"].signal.sum() > 0
+    assert np.array_equal(hists["fused"].signal, hists["vectorized"].signal)
+    assert np.array_equal(hists["fused"].error_sq,
+                          hists["vectorized"].error_sq)
+    assert np.array_equal(warm["fused"][1].signal, warm["vectorized"][1].signal)
+
+    speedup = times["vectorized"] / times["fused"]
+    rows = [
+        ("vectorized", f"{times['vectorized'] * 1e3:.1f}", "-", "1.00x"),
+        ("fused", f"{times['fused'] * 1e3:.1f}",
+         f"{compile_s * 1e3:.1f}", f"{speedup:.2f}x"),
+        ("fused cold (compile+exec)", f"{warm['fused'][0] * 1e3:.1f}",
+         "included", "-"),
+    ]
+    record_report(
+        "fused_speedup",
+        format_table(
+            "Fused plan-specialized MDNorm vs vectorized "
+            f"(Benzil/CORELLI, single shard, {transforms.shape[0]} ops, "
+            f"{data.instrument.directions.shape[0]} detectors, "
+            f"median of {REPEATS})",
+            ["back end", "exec (ms)", "compile (ms)", "speedup"],
+            rows,
+        ),
+    )
+
+    assert speedup >= MIN_FUSED_SPEEDUP, (
+        f"fused MDNorm only {speedup:.2f}x faster than vectorized "
+        f"(need >= {MIN_FUSED_SPEEDUP}x); "
+        f"vectorized={times['vectorized'] * 1e3:.1f}ms "
+        f"fused={times['fused'] * 1e3:.1f}ms"
+    )

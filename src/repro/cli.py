@@ -350,7 +350,7 @@ def _trace_parser() -> argparse.ArgumentParser:
                    help="number of run files to synthesize/measure")
     p.add_argument("--backend", default=None,
                    help="jacc back end for --impl core "
-                        "(serial|threads|vectorized|multiprocess)")
+                        "(serial|threads|vectorized|multiprocess|fused)")
     p.add_argument("--ranks", type=int, default=1,
                    help="simulated MPI world size (core/cpp/minivates)")
     _add_shard_flags(p)
@@ -773,7 +773,7 @@ def _perf_add_bench_flags(p: argparse.ArgumentParser) -> None:
                    help="timing repeats per stage (default 5)")
     p.add_argument("--backend", default="vectorized",
                    help="jacc back end for the timed panel "
-                        "(serial|threads|vectorized|multiprocess)")
+                        "(serial|threads|vectorized|multiprocess|fused)")
     _add_shard_flags(p)
     _add_oocore_flags(p)
     p.add_argument("--name", default=None,

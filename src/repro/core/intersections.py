@@ -208,6 +208,8 @@ def fill_crossings_batch(
     k_lo: np.ndarray,
     k_hi: np.ndarray,
     width: int,
+    *,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Padded per-trajectory crossing buffer, ready for the in-kernel sort.
 
@@ -216,6 +218,11 @@ def fill_crossings_batch(
     trailing duplicates form zero-length segments that deposit nothing.
     Rows with an empty window are entirely ``k_lo`` (also harmless).
     ``width`` must be at least ``max crossings + 2`` (use the pre-pass).
+
+    ``out`` may supply a caller-owned ``(n_rows, width)`` C-contiguous
+    float64 buffer to fill in place (the fused back end reuses one
+    across launches for allocation-free execution); the written values
+    are bit-identical to the allocating form.
     """
     d = np.asarray(directions, dtype=np.float64).reshape(-1, 3)
     lo = np.asarray(k_lo, dtype=np.float64).reshape(-1)
@@ -224,7 +231,17 @@ def fill_crossings_batch(
     valid = hi > lo
     safe_hi = np.where(valid, hi, lo)
 
-    padded = np.broadcast_to(safe_hi[:, None], (n_rows, width)).copy()
+    if out is None:
+        padded = np.broadcast_to(safe_hi[:, None], (n_rows, width)).copy()
+    else:
+        if (out.shape != (n_rows, width) or out.dtype != np.float64
+                or not out.flags.c_contiguous):
+            raise ValueError(
+                f"out buffer must be C-contiguous float64 {(n_rows, width)}, "
+                f"got {out.dtype} {out.shape}"
+            )
+        padded = out
+        padded[...] = safe_hi[:, None]
     padded[:, 0] = lo
     cursor = np.ones(n_rows, dtype=np.int64)
 

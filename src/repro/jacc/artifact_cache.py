@@ -1,0 +1,123 @@
+"""Content-digest-keyed on-disk store for compiled fused kernels.
+
+The fused back end pays real specialization cost on a plan's first
+launch (source generation + ``compile``/``exec``).  Within one process
+the compiled callable is memoized; across processes — shard workers,
+campaign reruns, CI jobs — this store amortizes the cost the way the
+MC/DC Numba work caches its JIT products: each generated source module
+is published under a **blake2b digest of the plan configuration plus
+the codegen version**, so
+
+* identical plans in any process converge on one artifact file;
+* any config change (grid geometry, op count, scatter impl, codec) or
+  a codegen bump produces a new digest — stale artifacts are never
+  loaded, and no invalidation pass exists or is needed;
+* scheduling knobs (width, tile rows, shards, workers) are absent from
+  the digest, so one artifact serves every schedule.
+
+Durability rules follow :mod:`repro.util.atomic_io`: artifacts are
+published write-then-rename, so readers see a complete file or none.
+Each artifact additionally carries a ``source_digest`` self-checksum;
+a file that is unreadable, torn, truncated, tampered with, or written
+by a different codegen version is treated as a **miss** — the caller
+silently regenerates and republishes (corruption can cost time, never
+correctness).
+
+The store root comes from ``REPRO_JACC_ARTIFACT_DIR`` (tests point it
+at tmp dirs; the cross-process reuse test shares one between
+subprocesses), defaulting to a per-uid directory under the system temp
+root.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.jacc.codegen import CODEGEN_VERSION
+from repro.util.atomic_io import atomic_write_text
+
+#: environment variable overriding the artifact directory
+ARTIFACT_DIR_ENV = "REPRO_JACC_ARTIFACT_DIR"
+
+#: on-disk artifact document schema
+ARTIFACT_SCHEMA = 1
+
+
+def default_artifact_dir() -> Path:
+    """The artifact root: env override, else a per-uid temp directory."""
+    env = os.environ.get(ARTIFACT_DIR_ENV)
+    if env:
+        return Path(env)
+    uid = os.getuid() if hasattr(os, "getuid") else 0
+    return Path(tempfile.gettempdir()) / f"repro-jacc-artifacts-{uid}"
+
+
+def artifact_digest(config_json: str, codegen_version: int = CODEGEN_VERSION) -> str:
+    """Digest keying one compiled artifact: blake2b(config + version)."""
+    h = hashlib.blake2b(digest_size=16)
+    h.update(f"repro-jacc-codegen:v{codegen_version}\n".encode("utf-8"))
+    h.update(config_json.encode("utf-8"))
+    return h.hexdigest()
+
+
+def _source_digest(source: str) -> str:
+    return hashlib.blake2b(source.encode("utf-8"), digest_size=16).hexdigest()
+
+
+class ArtifactStore:
+    """Digest-addressed artifact files under one root directory."""
+
+    def __init__(self, root: Optional[Union[str, os.PathLike]] = None) -> None:
+        self.root = Path(root) if root is not None else default_artifact_dir()
+
+    def path_for(self, digest: str) -> Path:
+        return self.root / f"fused-{digest}.json"
+
+    def load(self, digest: str) -> Optional[str]:
+        """The stored source for ``digest``, or None.
+
+        *Any* defect — missing file, unreadable bytes, malformed JSON,
+        schema/version/digest mismatch, failed source checksum — is a
+        plain miss: the caller recompiles and overwrites.  Corruption
+        is deliberately silent at this layer (it costs a recompile,
+        never a wrong result).
+        """
+        path = self.path_for(digest)
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError, UnicodeDecodeError):
+            return None
+        if not isinstance(doc, dict):
+            return None
+        if doc.get("schema") != ARTIFACT_SCHEMA:
+            return None
+        if doc.get("codegen_version") != CODEGEN_VERSION:
+            return None
+        if doc.get("digest") != digest:
+            return None
+        source = doc.get("source")
+        if not isinstance(source, str):
+            return None
+        if doc.get("source_digest") != _source_digest(source):
+            return None
+        return source
+
+    def store(self, digest: str, source: str, config_json: str) -> Path:
+        """Atomically publish one artifact; returns its path."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "schema": ARTIFACT_SCHEMA,
+            "codegen_version": CODEGEN_VERSION,
+            "digest": digest,
+            "config": config_json,
+            "source": source,
+            "source_digest": _source_digest(source),
+        }
+        path = self.path_for(digest)
+        atomic_write_text(path, json.dumps(doc, sort_keys=True, indent=1))
+        return path

@@ -738,6 +738,13 @@ def _work_loop(env: _ExecEnv, rank: int, *, helper: bool) -> None:
                 tracer.count("steal.helper_deaths")
                 return
             raise
+        except BaseException:
+            # unexpected failure: requeue the claim before propagating,
+            # otherwise the task stays claimed-by-a-dead-rank forever
+            # and every surviving rank spins on a queue that can never
+            # drain
+            q.release_rank(rank)
+            raise
 
 
 def _spawn_helper(env: _ExecEnv) -> None:
@@ -766,9 +773,14 @@ def _spawn_helper(env: _ExecEnv) -> None:
                     state.queue.deregister_rank(new_rank)
 
     t = threading.Thread(target=body, name=f"steal-born-{new_rank}")
+    # start *before* publishing to state.helpers: a concurrently
+    # draining rank joins every published helper, and joining a
+    # not-yet-started thread raises RuntimeError.  A helper published
+    # after a drain's snapshot is still joined by the spawner itself —
+    # its own drain loop runs after this function returns.
+    t.start()
     with state.lock:
         state.helpers.append(t)
-    t.start()
 
 
 def _execute_task(

@@ -10,6 +10,7 @@ paper's table rows.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from contextlib import contextmanager
@@ -89,12 +90,16 @@ class StageTimings:
     label: str = ""
     stages: "OrderedDict[str, Timer]" = field(default_factory=OrderedDict)
     first_call: Dict[str, float] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def timer(self, stage: str) -> Timer:
-        t = self.stages.get(stage)
-        if t is None:
-            t = self.stages[stage] = Timer()
-        return t
+        with self._lock:
+            t = self.stages.get(stage)
+            if t is None:
+                t = self.stages[stage] = Timer()
+            return t
 
     @contextmanager
     def stage(self, name: str) -> Iterator[Timer]:
@@ -107,24 +112,34 @@ class StageTimings:
         the trace (:func:`repro.util.trace.stage_timings_from_records`)
         equal this accumulator bit for bit.  With tracing disabled the
         span is a timestamp-only stub and behaviour is unchanged.
+
+        Concurrent entries on the same stage are allowed — an elastic
+        born helper shares its spawner's accumulator, so two threads can
+        be inside e.g. ``MDNorm`` at once.  Each entry contributes its
+        own span duration (``elapsed`` sums call durations, which under
+        overlap can exceed wall time, same as summing over runs).
         """
         t = self.timer(name)
-        if t.running:
-            raise RuntimeError("Timer already running")
         tracer = _trace.active_tracer()
         sp = tracer.begin(name, kind="stage", timings=self.label)
-        # mark the timer running (in perf_counter coordinates, so a
-        # stray manual stop() still behaves sanely)
-        t._t0 = sp.t0 + tracer._epoch
+        with self._lock:
+            # mark the timer running (in perf_counter coordinates, so a
+            # stray manual stop() still behaves sanely); the first
+            # concurrent entry owns the running flag
+            owns_flag = not t.running
+            if owns_flag:
+                t._t0 = sp.t0 + tracer._epoch
         try:
             yield t
         finally:
             tracer.end(sp)
             dt = sp.duration
-            t._t0 = None
-            t.elapsed += dt
-            t.ncalls += 1
-            self.first_call.setdefault(name, dt)
+            with self._lock:
+                if owns_flag:
+                    t._t0 = None
+                t.elapsed += dt
+                t.ncalls += 1
+                self.first_call.setdefault(name, dt)
 
     def seconds(self, stage: str) -> float:
         """Total accumulated seconds for ``stage`` (0.0 if never run)."""

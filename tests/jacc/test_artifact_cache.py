@@ -1,0 +1,320 @@
+"""Artifact store + digest keying for the fused back end (ISSUE 10).
+
+Property under test: the blake2b artifact digest is a pure function of
+the *plan configuration* (grid geometry, symmetry-op count, scatter
+impl, codec) and the codegen version — nothing else.  Scheduling knobs
+(width, tile rows, shards, workers) are deliberately absent, so one
+artifact serves every schedule; any config change or codegen bump keys
+a fresh artifact, making stale-cache invalidation unnecessary by
+construction.  Corrupt artifacts of every flavour are silent misses
+(recompile + republish), and a second *process* reuses the first's
+artifact (the cross-process warm path the store exists for).
+
+Also pins the ``JITCache`` key-collision behaviour: cache keys are
+``(kernel name, backend, variant)`` but the cached object is a *loop
+shell* taking the kernel body per call — two kernels sharing a name
+with different bodies must both run their own body, not the first's.
+"""
+
+import dataclasses
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core.grid import HKLGrid
+from repro.jacc import Kernel, parallel_for, parallel_reduce
+from repro.jacc.artifact_cache import (
+    ARTIFACT_DIR_ENV,
+    ArtifactStore,
+    artifact_digest,
+    default_artifact_dir,
+)
+from repro.jacc.codegen import CODEGEN_VERSION, FusedPlanConfig, generate_fused_source
+from repro.jacc.jit import JITCache
+from repro.jacc.kernels import make_captures
+
+GRID = HKLGrid(basis=np.eye(3), minimum=(-2.0, -2.0, -0.5),
+               maximum=(2.0, 2.0, 0.5), bins=(16, 16, 2))
+
+
+def _config(grid=GRID, n_ops=1, scatter_impl="atomic", codec="none"):
+    return FusedPlanConfig.for_plan(grid, n_ops=n_ops,
+                                    scatter_impl=scatter_impl, codec=codec)
+
+
+def _digest(**kwargs):
+    return artifact_digest(_config(**kwargs).canonical_json())
+
+
+class TestDigestKeying:
+    def test_deterministic(self):
+        assert _digest() == _digest()
+        assert len(_digest()) == 32  # blake2b-128 hex
+
+    def test_each_config_field_changes_digest(self):
+        base = _digest()
+        assert _digest(n_ops=2) != base
+        assert _digest(scatter_impl="buffered") != base
+        assert _digest(codec="delta") != base
+        for variant in (
+            HKLGrid(basis=np.eye(3), minimum=(-2.0, -2.0, -0.5),
+                    maximum=(2.0, 2.0, 0.5), bins=(8, 16, 2)),
+            HKLGrid(basis=np.eye(3), minimum=(-1.0, -2.0, -0.5),
+                    maximum=(2.0, 2.0, 0.5), bins=(16, 16, 2)),
+            HKLGrid(basis=np.eye(3), minimum=(-2.0, -2.0, -0.5),
+                    maximum=(3.0, 2.0, 0.5), bins=(16, 16, 2)),
+            HKLGrid(basis=np.eye(3) * 1.5, minimum=(-2.0, -2.0, -0.5),
+                    maximum=(2.0, 2.0, 0.5), bins=(16, 16, 2)),
+        ):
+            assert _digest(grid=variant) != base, variant
+
+    def test_codegen_version_bump_changes_digest(self):
+        config_json = _config().canonical_json()
+        assert artifact_digest(config_json, CODEGEN_VERSION) != artifact_digest(
+            config_json, CODEGEN_VERSION + 1
+        )
+
+    def test_scheduling_knobs_absent_from_config(self):
+        """Width / tiling / sharding must not key artifacts: the config
+        dataclass has no such fields, so one artifact serves every
+        schedule by construction."""
+        fields = {f.name for f in dataclasses.fields(FusedPlanConfig)}
+        assert fields == {"grid_basis", "grid_minimum", "grid_maximum",
+                          "grid_bins", "n_ops", "scatter_impl", "codec"}
+        for knob in ("width", "tile_rows", "shards", "workers"):
+            assert knob not in _config().canonical_json()
+
+    def test_canonical_json_is_stable_and_compact(self):
+        doc = _config().canonical_json()
+        assert json.loads(doc)  # valid
+        assert doc == json.dumps(json.loads(doc), sort_keys=True,
+                                 separators=(",", ":"))
+
+
+class TestStoreRoundTrip:
+    def test_store_then_load(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        config = _config()
+        digest = artifact_digest(config.canonical_json())
+        source = generate_fused_source(config)
+        path = store.store(digest, source, config.canonical_json())
+        assert path.exists()
+        assert store.load(digest) == source
+
+    def test_missing_is_none(self, tmp_path):
+        assert ArtifactStore(tmp_path).load("0" * 32) is None
+
+    def test_env_override_controls_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ARTIFACT_DIR_ENV, str(tmp_path / "override"))
+        assert default_artifact_dir() == tmp_path / "override"
+        assert ArtifactStore().root == tmp_path / "override"
+        monkeypatch.delenv(ARTIFACT_DIR_ENV)
+        assert ArtifactStore().root == default_artifact_dir()
+
+    @pytest.mark.parametrize("corruption", (
+        "truncate", "garbage", "not-json", "not-dict", "wrong-schema",
+        "wrong-version", "wrong-digest", "tampered-source", "non-str-source",
+    ))
+    def test_corruption_is_a_silent_miss(self, tmp_path, corruption):
+        store = ArtifactStore(tmp_path)
+        config = _config()
+        digest = artifact_digest(config.canonical_json())
+        source = generate_fused_source(config)
+        path = store.store(digest, source, config.canonical_json())
+        doc = json.loads(path.read_text())
+        if corruption == "truncate":
+            path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        elif corruption == "garbage":
+            path.write_bytes(b"\x00\xff" * 64)
+        elif corruption == "not-json":
+            path.write_text("definitely not json{")
+        elif corruption == "not-dict":
+            path.write_text(json.dumps([1, 2, 3]))
+        elif corruption == "wrong-schema":
+            doc["schema"] = 999
+            path.write_text(json.dumps(doc))
+        elif corruption == "wrong-version":
+            doc["codegen_version"] = CODEGEN_VERSION + 1
+            path.write_text(json.dumps(doc))
+        elif corruption == "wrong-digest":
+            doc["digest"] = "f" * 32
+            path.write_text(json.dumps(doc))
+        elif corruption == "tampered-source":
+            doc["source"] = doc["source"].replace("fused_mdnorm", "evil")
+            path.write_text(json.dumps(doc))
+        elif corruption == "non-str-source":
+            doc["source"] = 42
+            path.write_text(json.dumps(doc))
+        assert store.load(digest) is None
+        # recompile + republish heals the entry
+        store.store(digest, source, config.canonical_json())
+        assert store.load(digest) == source
+
+    def test_corrupted_artifact_recompiles_in_backend(self, tmp_path,
+                                                      monkeypatch):
+        """End to end: a torn artifact costs a recompile, never a wrong
+        or missing result — and the rewrite heals the store."""
+        from repro.core import geom_cache as gc
+        from repro.core.hist3 import Hist3
+        from repro.core.mdnorm import mdnorm
+        from repro.jacc.fused import FUSED
+        from repro.jacc.jit import GLOBAL_JIT
+        from repro.nexus.corrections import FluxSpectrum
+
+        monkeypatch.setenv(ARTIFACT_DIR_ENV, str(tmp_path))
+        FUSED.clear()
+        k = np.linspace(1.0, 12.0, 32)
+        flux = FluxSpectrum(momentum=k, density=np.ones(32))
+        rng = np.random.default_rng(0)
+        dets = rng.normal(size=(40, 3))
+        dets /= np.linalg.norm(dets, axis=1, keepdims=True)
+        ident = np.eye(3)[None]
+
+        def run():
+            h = Hist3(GRID, track_errors=True)
+            mdnorm(h, ident, dets, np.ones(40), flux, (2.0, 9.0),
+                   backend="fused", cache=gc.DISABLED)
+            return h
+
+        ref = run()
+        (digest,) = FUSED._kernels
+        path = ArtifactStore(tmp_path).path_for(digest)
+        path.write_text("torn" + path.read_text()[:100])
+
+        FUSED.clear()
+        GLOBAL_JIT.clear()
+        healed = run()
+        assert np.array_equal(healed.signal, ref.signal)
+        events = [e.variant for e in GLOBAL_JIT.compile_events
+                  if e.backend == "fused" and ":" in e.variant]
+        assert events == [f"codegen:{digest[:12]}"]  # miss, not load
+        assert ArtifactStore(tmp_path).load(digest) is not None  # healed
+        FUSED.clear()
+
+
+_CROSS_PROCESS_SCRIPT = """
+import json, os, sys
+import numpy as np
+from repro.core import geom_cache as gc
+from repro.core.grid import HKLGrid
+from repro.core.hist3 import Hist3
+from repro.core.mdnorm import mdnorm
+from repro.jacc.jit import GLOBAL_JIT
+from repro.nexus.corrections import FluxSpectrum
+from repro.util import trace
+
+grid = HKLGrid(basis=np.eye(3), minimum=(-2.0, -2.0, -0.5),
+               maximum=(2.0, 2.0, 0.5), bins=(16, 16, 2))
+k = np.linspace(1.0, 12.0, 32)
+flux = FluxSpectrum(momentum=k, density=np.ones(32))
+rng = np.random.default_rng(0)
+dets = rng.normal(size=(40, 3))
+dets /= np.linalg.norm(dets, axis=1, keepdims=True)
+hist = Hist3(grid, track_errors=True)
+tracer = trace.Tracer(label="xproc")
+with trace.use_tracer(tracer):
+    mdnorm(hist, np.eye(3)[None], dets, np.ones(40), flux, (2.0, 9.0),
+           backend="fused", cache=gc.DISABLED)
+print(json.dumps({
+    "artifact_hits": tracer.counters.get("jacc.artifact_hits", 0),
+    "compile_seconds": tracer.counters.get("jacc.compile_seconds", 0.0),
+    "variants": [e.variant.split(":")[0] for e in GLOBAL_JIT.compile_events
+                 if e.backend == "fused" and ":" in e.variant],
+    "checksum": float(hist.signal.sum()),
+}))
+"""
+
+
+class TestCrossProcessReuse:
+    def test_second_process_hits_first_processes_artifact(self, tmp_path):
+        env = dict(os.environ)
+        env[ARTIFACT_DIR_ENV] = str(tmp_path)
+        src_root = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src_root) + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+
+        def launch():
+            out = subprocess.run(
+                [sys.executable, "-c", _CROSS_PROCESS_SCRIPT],
+                env=env, capture_output=True, text=True, check=True,
+            )
+            return json.loads(out.stdout.strip().splitlines()[-1])
+
+        first = launch()
+        assert first["artifact_hits"] == 0
+        assert first["variants"] == ["codegen"]
+        assert first["compile_seconds"] > 0.0
+
+        second = launch()
+        assert second["artifact_hits"] == 1
+        assert second["variants"] == ["load"]  # no source generation
+        assert second["checksum"] == first["checksum"]
+        assert len(list(tmp_path.glob("fused-*.json"))) == 1
+
+
+class TestJITCacheKeyCollision:
+    """Cache keys ignore the kernel *body*; the loops must not."""
+
+    def test_same_name_different_batch_bodies(self):
+        def batch_a(ctx, dims):
+            ctx.out[...] = ctx.x + 1.0
+
+        def batch_b(ctx, dims):
+            ctx.out[...] = ctx.x * 10.0
+
+        x = np.arange(4.0)
+        results = {}
+        for body in (batch_a, batch_b):
+
+            def element(ctx, i, _body=body):
+                tmp = np.empty(1)
+                _body(make_captures(x=ctx.x[i:i + 1], out=tmp), (1,))
+                ctx.out[i] = tmp[0]
+
+            k = Kernel(name="collide_probe", element=element, batch=body)
+            out = np.zeros(4)
+            parallel_for(4, k, make_captures(x=x, out=out),
+                         backend="vectorized")
+            results[body.__name__] = out.copy()
+        # the second launch hit the cached trampoline under the SAME
+        # (name, backend, "launch") key — it must still run batch_b
+        assert np.array_equal(results["batch_a"], x + 1.0)
+        assert np.array_equal(results["batch_b"], x * 10.0)
+
+    def test_same_name_different_element_closures(self):
+        cache = JITCache()
+        loop1 = cache.loop_for("collide_probe", "serial", 1)
+        loop2 = cache.loop_for("collide_probe", "serial", 1)
+        assert loop1 is loop2  # one cache entry...
+        out = np.zeros(3)
+
+        def elem_add(ctx, i):
+            ctx.out[i] = ctx.x[i] + 2.0
+
+        def elem_mul(ctx, i):
+            ctx.out[i] = ctx.x[i] * 5.0
+
+        x = np.arange(3.0)
+        loop1(elem_add, make_captures(x=x, out=out), (3,))
+        assert np.array_equal(out, x + 2.0)
+        loop2(elem_mul, make_captures(x=x, out=out), (3,))
+        assert np.array_equal(out, x * 5.0)  # ...but per-call bodies
+        assert len(cache.compile_events) == 1
+
+    def test_reduce_loops_take_combine_per_call(self):
+        cache = JITCache()
+        loop = cache.loop_reduce("collide_probe", "serial", 1)
+
+        def elem(ctx, i):
+            return float(ctx.x[i])
+
+        x = np.array([3.0, 1.0, 2.0])
+        total = loop(elem, make_captures(x=x), (3,), lambda a, b: a + b, 0.0)
+        peak = loop(elem, make_captures(x=x), (3,), max, float("-inf"))
+        assert total == 6.0
+        assert peak == 3.0

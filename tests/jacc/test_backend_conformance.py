@@ -19,9 +19,10 @@ Bit-identity tiers (the determinism contract, DESIGN.md §6f):
 * histogram deposits with *integer-valued* weights — bit-identical on
   every back end (integer adds are exact under any association);
 * histogram deposits with float weights — bit-identical to serial for
-  the ORDER_EXACT back ends (serial / vectorized / multiprocess, whose
-  per-bin fold replays the serial deposit order); threads interleaves
-  chunk deposits under the GIL, so it is held to ``allclose`` only;
+  the ORDER_EXACT back ends (serial / vectorized / multiprocess /
+  fused, whose per-bin fold replays the serial deposit order); threads
+  interleaves chunk deposits under the GIL, so it is held to
+  ``allclose`` only;
 * reductions — ``max``/``min`` are associative ⇒ exactly equal on
   every CPU back end; ``+`` is exactly equal for integer-valued
   elements and deterministic (run-to-run and worker-count invariant)
@@ -53,7 +54,11 @@ N_SEEDS = 50
 BACKENDS = tuple(available_backends())
 
 #: back ends whose float deposit/fold order equals the serial oracle's
-ORDER_EXACT = ("serial", "vectorized", "multiprocess")
+ORDER_EXACT = ("serial", "vectorized", "multiprocess", "fused")
+
+#: back ends held to ``allclose`` only for float deposits (GIL
+#: interleaving reorders the fold)
+ORDER_RELAXED = ("threads",)
 
 
 def _cpu_backends():
@@ -417,6 +422,35 @@ def test_future_backends_auto_register():
 
 def test_matrix_covers_all_expected_backends():
     """The engines ISSUE 5 names are all present in the matrix rows."""
-    assert {"serial", "threads", "vectorized", "multiprocess"} <= set(BACKENDS)
+    assert {"serial", "threads", "vectorized", "multiprocess",
+            "fused"} <= set(BACKENDS)
     for name in BACKENDS:
         assert isinstance(get_backend(name), Backend)
+
+
+def test_registry_completeness():
+    """Every ``register_backend()`` back end is in the matrix AND is
+    classified into a determinism tier.
+
+    Registering a new engine without adding it to ORDER_EXACT or
+    ORDER_RELAXED fails here on purpose: an unclassified back end would
+    silently skip the strict float-deposit oracle (ORDER_EXACT rows get
+    ``array_equal``; everything else only ``allclose``), so the tier
+    lists must be a partition of the registry."""
+    registry = set(available_backends())
+    assert set(BACKENDS) == registry, (
+        "matrix rows diverged from the backend registry; "
+        f"matrix={sorted(BACKENDS)} registry={sorted(registry)}"
+    )
+    classified = set(ORDER_EXACT) | set(ORDER_RELAXED)
+    unclassified = registry - classified
+    assert not unclassified, (
+        f"back ends {sorted(unclassified)} are registered but missing "
+        "from the conformance determinism tiers (ORDER_EXACT / "
+        "ORDER_RELAXED) — add each to exactly one tier"
+    )
+    stale = classified - registry
+    assert not stale, (
+        f"tier lists name unregistered back ends: {sorted(stale)}"
+    )
+    assert not set(ORDER_EXACT) & set(ORDER_RELAXED)

@@ -1,0 +1,277 @@
+"""Fused back end (ISSUE 10 tentpole): plan-specialized MDNorm kernels.
+
+The contract under test:
+
+* bit-identity — ``backend="fused"`` reproduces ``backend="vectorized"``
+  exactly (signal *and* error_sq), cold and warm, for both scatter
+  implementations and any symmetry-op count;
+* plan memoization — one compiled kernel per plan configuration;
+  scheduling knobs (width, tile rows) reuse it, config changes
+  (scatter impl, grid, op count) specialize a new one;
+* observability — ``fused:plan`` / ``fused:exec`` spans (plus
+  ``fused:codegen`` on a miss, ``fused:load`` on an artifact hit)
+  inside the ``kernel:mdnorm`` span, ``jacc.compile_seconds`` /
+  ``jacc.artifact_hits`` counters, and a ``CompileEvent`` per
+  specialization in ``GLOBAL_JIT.compile_events``;
+* fall-through — every non-MDNorm kernel takes the inherited
+  vectorized path (no fused spans, no specializations).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import geom_cache as gc
+from repro.core.grid import HKLGrid
+from repro.core.hist3 import Hist3
+from repro.core.mdnorm import max_intersections, mdnorm
+from repro.jacc import Kernel, get_backend, parallel_for
+from repro.jacc.artifact_cache import ARTIFACT_DIR_ENV, ArtifactStore
+from repro.jacc.fused import FUSED, FusedBackend
+from repro.jacc.jit import GLOBAL_JIT
+from repro.jacc.kernels import make_captures
+from repro.util import trace
+
+BAND = (2.0, 9.0)
+
+IDENT = np.eye(3)[None, :, :]
+
+#: identity + two proper rotations (z 90deg, x 180deg)
+OPS3 = np.stack([
+    np.eye(3),
+    np.array([[0.0, -1.0, 0.0], [1.0, 0.0, 0.0], [0.0, 0.0, 1.0]]),
+    np.array([[1.0, 0.0, 0.0], [0.0, -1.0, 0.0], [0.0, 0.0, -1.0]]),
+])
+
+
+@pytest.fixture()
+def grid():
+    return HKLGrid(
+        basis=np.eye(3), minimum=(-2.0, -2.0, -0.5), maximum=(2.0, 2.0, 0.5),
+        bins=(16, 16, 2),
+    )
+
+
+@pytest.fixture()
+def flux():
+    from repro.nexus.corrections import FluxSpectrum
+
+    k = np.linspace(1.0, 12.0, 64)
+    rng = np.random.default_rng(11)
+    return FluxSpectrum(momentum=k, density=1.0 + rng.random(64))
+
+
+@pytest.fixture(autouse=True)
+def _isolated_artifacts(tmp_path, monkeypatch):
+    """Every test compiles cold into its own artifact root."""
+    monkeypatch.setenv(ARTIFACT_DIR_ENV, str(tmp_path / "artifacts"))
+    FUSED.clear()
+    yield
+    FUSED.clear()
+
+
+def _detectors(n=60, seed=0):
+    rng = np.random.default_rng(seed)
+    d = rng.normal(size=(n, 3))
+    d /= np.linalg.norm(d, axis=1, keepdims=True)
+    d[:, 2] = np.abs(d[:, 2]) * 0.5
+    d /= np.linalg.norm(d, axis=1, keepdims=True)
+    return d
+
+
+def _run(grid, flux, *, backend, ops=None, scatter_impl="atomic", seed=0,
+         **kwargs):
+    ops = IDENT if ops is None else ops
+    dets = _detectors(seed=seed)
+    solid = np.random.default_rng(100 + seed).random(len(dets))
+    hist = Hist3(grid, track_errors=True)
+    mdnorm(hist, ops, dets, solid, flux, BAND, backend=backend,
+           scatter_impl=scatter_impl, cache=gc.DISABLED, **kwargs)
+    return hist
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("scatter_impl", ("atomic", "buffered"))
+    @pytest.mark.parametrize("ops", (IDENT, OPS3), ids=("1op", "3ops"))
+    def test_matches_vectorized_exactly(self, grid, flux, ops, scatter_impl):
+        for seed in range(5):
+            ref = _run(grid, flux, backend="vectorized", ops=ops,
+                       scatter_impl=scatter_impl, seed=seed)
+            got = _run(grid, flux, backend="fused", ops=ops,
+                       scatter_impl=scatter_impl, seed=seed)
+            assert ref.signal.sum() > 0
+            assert np.array_equal(got.signal, ref.signal), (scatter_impl, seed)
+            assert np.array_equal(got.error_sq, ref.error_sq), (scatter_impl, seed)
+
+    def test_warm_launch_matches_cold(self, grid, flux):
+        cold = _run(grid, flux, backend="fused", ops=OPS3)
+        warm = _run(grid, flux, backend="fused", ops=OPS3)
+        assert np.array_equal(cold.signal, warm.signal)
+        assert np.array_equal(cold.error_sq, warm.error_sq)
+
+    def test_explicit_width_and_tiling_match(self, grid, flux):
+        """Scheduling knobs never change the deposited histogram."""
+        dets = _detectors()
+        width = max_intersections(grid, IDENT, dets, BAND, backend="vectorized")
+        ref = _run(grid, flux, backend="vectorized")
+        for kwargs in ({"width": width}, {"tile_rows": 7}, {"tile_rows": 17}):
+            got = _run(grid, flux, backend="fused", **kwargs)
+            assert np.array_equal(got.signal, ref.signal), kwargs
+
+    def test_charge_scaling_matches(self, grid, flux):
+        ref = _run(grid, flux, backend="vectorized", charge=2.5)
+        got = _run(grid, flux, backend="fused", charge=2.5)
+        assert np.array_equal(got.signal, ref.signal)
+
+    def test_warm_deposit_plan_path_matches(self, grid, flux):
+        """With a live GeomCache the second launch replays the stored
+        DepositPlan — the fused warm path must equal vectorized's."""
+        dets = _detectors()
+        solid = np.random.default_rng(7).random(len(dets))
+        hists = {}
+        for backend in ("vectorized", "fused"):
+            cache = gc.GeomCache()
+            for _ in range(2):
+                h = Hist3(grid, track_errors=True)
+                mdnorm(h, OPS3, dets, solid, flux, BAND, backend=backend,
+                       cache=cache, cache_tag="plan-path")
+            hists[backend] = h
+        assert hists["fused"].signal.sum() > 0
+        assert np.array_equal(hists["fused"].signal,
+                              hists["vectorized"].signal)
+        assert np.array_equal(hists["fused"].error_sq,
+                              hists["vectorized"].error_sq)
+
+
+class TestPlanMemoization:
+    def test_one_kernel_per_config(self, grid, flux):
+        _run(grid, flux, backend="fused")
+        assert len(FUSED._kernels) == 1
+        # warm launches and scheduling knobs reuse it
+        _run(grid, flux, backend="fused")
+        _run(grid, flux, backend="fused", tile_rows=9)
+        assert len(FUSED._kernels) == 1
+        # a config change (scatter impl, op count) specializes anew
+        _run(grid, flux, backend="fused", scatter_impl="buffered")
+        assert len(FUSED._kernels) == 2
+        _run(grid, flux, backend="fused", ops=OPS3)
+        assert len(FUSED._kernels) == 3
+
+    def test_warm_launch_adds_no_compile_events(self, grid, flux):
+        GLOBAL_JIT.clear()
+        _run(grid, flux, backend="fused")
+        cold_events = [e for e in GLOBAL_JIT.compile_events
+                       if e.backend == "fused" and e.kernel == "mdnorm"]
+        assert len(cold_events) == 1
+        assert cold_events[0].variant.startswith("codegen:")
+        assert cold_events[0].seconds > 0.0
+        n = len(GLOBAL_JIT.compile_events)
+        _run(grid, flux, backend="fused")
+        assert len(GLOBAL_JIT.compile_events) == n
+
+    def test_clear_recompiles_from_artifact(self, grid, flux):
+        """clear() drops the in-process memo; the next launch reloads
+        the published artifact (variant ``load:``) instead of
+        regenerating source."""
+        GLOBAL_JIT.clear()
+        _run(grid, flux, backend="fused")
+        FUSED.clear()
+        assert not FUSED._kernels and not FUSED._plans
+        _run(grid, flux, backend="fused")
+        variants = [e.variant.split(":", 1)[0]
+                    for e in GLOBAL_JIT.compile_events
+                    if e.backend == "fused" and e.kernel == "mdnorm"]
+        assert variants == ["codegen", "load"]
+
+    def test_distinct_grids_get_distinct_digests(self, flux):
+        g1 = HKLGrid(basis=np.eye(3), minimum=(-2.0, -2.0, -0.5),
+                     maximum=(2.0, 2.0, 0.5), bins=(16, 16, 2))
+        g2 = HKLGrid(basis=np.eye(3), minimum=(-2.0, -2.0, -0.5),
+                     maximum=(2.0, 2.0, 0.5), bins=(8, 8, 2))
+        _run(g1, flux, backend="fused")
+        _run(g2, flux, backend="fused")
+        assert len(FUSED._kernels) == 2
+
+
+class TestObservability:
+    def test_spans_and_counters_cold_then_warm(self, grid, flux):
+        tracer = trace.Tracer(label="fused-test")
+        with trace.use_tracer(tracer):
+            _run(grid, flux, backend="fused")
+        names = [r["name"] for r in tracer.records if r.get("type") == "span"]
+        assert "kernel:mdnorm" in names
+        assert "fused:plan" in names
+        assert "fused:codegen" in names
+        assert "fused:exec" in names
+        assert "fused:load" not in names
+        assert tracer.counters.get("jacc.compile_seconds", 0.0) > 0.0
+        assert "jacc.artifact_hits" not in tracer.counters
+
+        # nesting: the fused phases are children of kernel:mdnorm
+        spans = {r["name"]: r for r in tracer.records
+                 if r.get("type") == "span"}
+        kid = spans["kernel:mdnorm"]["span_id"]
+        for phase in ("fused:plan", "fused:codegen", "fused:exec"):
+            assert spans[phase]["parent_id"] == kid, phase
+
+        # drop the memo: the relaunch hits the artifact store
+        FUSED.clear()
+        tracer2 = trace.Tracer(label="fused-warm")
+        with trace.use_tracer(tracer2):
+            _run(grid, flux, backend="fused")
+        names2 = [r["name"] for r in tracer2.records if r.get("type") == "span"]
+        assert "fused:load" in names2
+        assert "fused:codegen" not in names2
+        assert tracer2.counters.get("jacc.artifact_hits") == 1
+
+    def test_exec_span_carries_digest(self, grid, flux):
+        tracer = trace.Tracer(label="fused-digest")
+        with trace.use_tracer(tracer):
+            _run(grid, flux, backend="fused")
+        execs = [r for r in tracer.records
+                 if r.get("type") == "span" and r["name"] == "fused:exec"]
+        assert execs and execs[0]["attrs"]["digest"]
+        plan = [r for r in tracer.records
+                if r.get("type") == "span" and r["name"] == "fused:plan"]
+        assert plan[0]["attrs"]["digest"] == execs[0]["attrs"]["digest"]
+
+    def test_artifact_published_on_first_launch(self, grid, flux):
+        _run(grid, flux, backend="fused")
+        store = ArtifactStore()
+        (digest,) = FUSED._kernels.keys()
+        assert store.path_for(digest).exists()
+        assert isinstance(store.load(digest), str)
+
+
+class TestFallThrough:
+    def test_non_mdnorm_kernels_take_vectorized_path(self):
+        def _element(ctx, i):
+            ctx.out[i] = ctx.x[i] * 3.0
+
+        def _batch(ctx, dims):
+            ctx.out[...] = ctx.x * 3.0
+
+        k = Kernel(name="fused_passthrough", element=_element, batch=_batch)
+        x = np.arange(8.0)
+        out = np.zeros(8)
+        tracer = trace.Tracer(label="fallthrough")
+        with trace.use_tracer(tracer):
+            parallel_for(8, k, make_captures(x=x, out=out), backend="fused")
+        assert np.array_equal(out, x * 3.0)
+        names = [r["name"] for r in tracer.records if r.get("type") == "span"]
+        assert not any(n.startswith("fused:") for n in names)
+        assert not FUSED._kernels
+
+    def test_registered_as_device_backend(self):
+        be = get_backend("fused")
+        assert isinstance(be, FusedBackend)
+        assert be.device_kind == "device"
+
+    def test_zero_extent_launch_is_noop(self, grid, flux):
+        from repro.core.mdnorm import MDNORM_KERNEL  # noqa: F401 - import check
+
+        h = Hist3(grid, track_errors=True)
+        dets = np.zeros((0, 3))
+        mdnorm(h, IDENT, dets, np.zeros(0), flux, BAND, backend="fused",
+               cache=gc.DISABLED)
+        assert h.signal.sum() == 0.0
+        assert not FUSED._kernels
